@@ -1,0 +1,32 @@
+"""Ablations of the design choices DESIGN.md calls out (reproduction
+additions): Figure 7 sibling-cost updates, QTE unit cost, exploration.
+Benchmarks the ablation evaluation primitive (one greedy episode)."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import (
+    run_ablation_cost_updates,
+    run_ablation_exploration,
+    run_ablation_unit_cost,
+)
+from repro.experiments.ablations import _make_trainer
+from repro.experiments.setups import twitter_setup
+
+
+def test_ablation_design_choices(benchmark):
+    for runner in (
+        run_ablation_cost_updates,
+        run_ablation_unit_cost,
+        run_ablation_exploration,
+    ):
+        result = runner(SCALE, seed=SEED)
+        emit(result.render())
+
+    setup = twitter_setup(SCALE, seed=SEED)
+    trainer = _make_trainer(setup, seed=SEED + 5)
+    query = setup.split.evaluation[0]
+    benchmark.pedantic(
+        lambda: trainer.run_episode(query, epsilon=0.0, learn=False),
+        rounds=bench_rounds(),
+        iterations=1,
+    )

@@ -1,0 +1,31 @@
+"""Figure 12: viable query percentage on Twitter / NYC Taxi / TPC-H.
+Benchmarks raw engine execution of an original (unhinted) query."""
+
+import pytest
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import (
+    dataset_setup,
+    render_metric_table,
+    run_fig12,
+    save_json,
+)
+
+DATASETS = ("twitter", "taxi", "tpch")
+TAUS = {"twitter": 500.0, "taxi": 1_000.0, "tpch": 500.0}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig12_vqp(benchmark, dataset):
+    result = run_fig12(dataset, SCALE, seed=SEED)
+    emit(render_metric_table(result, "vqp"))
+    save_json(result)
+
+    setup = dataset_setup(dataset, SCALE, seed=SEED, tau_ms=TAUS[dataset])
+    query = setup.split.evaluation[0]
+    benchmark.pedantic(
+        lambda: setup.database.execute(query),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.rows

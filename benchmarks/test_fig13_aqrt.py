@@ -1,0 +1,26 @@
+"""Figure 13: average query response time (same runs as Figure 12).
+Benchmarks the built-in optimizer's planning of one query."""
+
+import pytest
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import dataset_setup, render_metric_table, run_fig13
+
+DATASETS = ("twitter", "taxi", "tpch")
+TAUS = {"twitter": 500.0, "taxi": 1_000.0, "tpch": 500.0}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig13_aqrt(benchmark, dataset):
+    result = run_fig13(dataset, SCALE, seed=SEED)
+    emit(render_metric_table(result, "aqrt_ms"))
+    emit(render_metric_table(result, "avg_planning_ms"))
+
+    setup = dataset_setup(dataset, SCALE, seed=SEED, tau_ms=TAUS[dataset])
+    query = setup.split.evaluation[1]
+    benchmark.pedantic(
+        lambda: setup.database.explain(query),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.rows

@@ -1,0 +1,31 @@
+"""Figure 14: VQP for 16 and 32 rewrite options (incl. the Naive approach
+on 16 options).  Benchmarks sampling-QTE estimation of one rewritten query."""
+
+import pytest
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import (
+    render_metric_table,
+    run_fig14,
+    sampling_qte,
+    save_json,
+    twitter_setup,
+)
+from repro.qte import SelectivityCache
+
+
+@pytest.mark.parametrize("n_options", (16, 32))
+def test_fig14_options_vqp(benchmark, n_options):
+    result = run_fig14(n_options, SCALE, seed=SEED)
+    emit(render_metric_table(result, "vqp"))
+    save_json(result)
+
+    setup = twitter_setup(SCALE, n_attributes={16: 4, 32: 5}[n_options], seed=SEED)
+    qte = sampling_qte(setup)
+    rewritten = setup.space.build(setup.split.evaluation[0], setup.database, 3)
+
+    def estimate_once():
+        qte.estimate(rewritten, SelectivityCache())
+
+    benchmark.pedantic(estimate_once, rounds=bench_rounds(), iterations=1)
+    assert result.metadata["n_options"] == n_options

@@ -1,0 +1,24 @@
+"""Figure 15: AQRT for 16 and 32 rewrite options (same runs as Fig 14).
+Benchmarks accurate-QTE estimation (oracle + selectivity collection)."""
+
+import pytest
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import accurate_qte, render_metric_table, run_fig15, twitter_setup
+from repro.qte import SelectivityCache
+
+
+@pytest.mark.parametrize("n_options", (16, 32))
+def test_fig15_options_aqrt(benchmark, n_options):
+    result = run_fig15(n_options, SCALE, seed=SEED)
+    emit(render_metric_table(result, "aqrt_ms"))
+
+    setup = twitter_setup(SCALE, n_attributes={16: 4, 32: 5}[n_options], seed=SEED)
+    qte = accurate_qte(setup)
+    rewritten = setup.space.build(setup.split.evaluation[0], setup.database, 5)
+
+    def estimate_once():
+        qte.estimate(rewritten, SelectivityCache())
+
+    benchmark.pedantic(estimate_once, rounds=bench_rounds(), iterations=1)
+    assert result.rows

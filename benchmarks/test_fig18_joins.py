@@ -1,0 +1,21 @@
+"""Figure 18: join queries (21 rewrite options).
+Benchmarks hinted join execution in the engine."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import render_experiment, run_fig18, save_json, twitter_setup
+
+
+def test_fig18_joins(benchmark):
+    result = run_fig18(SCALE, seed=SEED)
+    emit(render_experiment(result, ("vqp", "aqrt_ms")))
+    save_json(result)
+
+    setup = twitter_setup(SCALE, join=True, seed=SEED)
+    rewritten = setup.space.build(setup.split.evaluation[0], setup.database, 0)
+    benchmark.pedantic(
+        lambda: setup.database.execute(rewritten),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.metadata["n_options"] == 21

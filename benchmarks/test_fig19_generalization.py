@@ -1,0 +1,49 @@
+"""Figure 19: generalization to unseen query shapes (a) and to a
+commercial-profile database (b).  Benchmarks execution under the
+commercial profile (buffer cache + instability)."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import (
+    render_metric_table,
+    run_fig19a,
+    run_fig19b,
+    save_json,
+    twitter_setup,
+)
+
+
+def test_fig19a_unseen_queries(benchmark):
+    result = run_fig19a(SCALE, seed=SEED)
+    emit(render_metric_table(result, "vqp"))
+    save_json(result)
+
+    setup = twitter_setup(SCALE, join=True, seed=SEED)
+    query = setup.split.evaluation[0]
+    benchmark.pedantic(
+        lambda: setup.database.execute(query),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.rows
+
+
+def test_fig19b_commercial_database(benchmark):
+    result = run_fig19b(SCALE, seed=SEED)
+    emit(render_metric_table(result, "vqp"))
+    save_json(result)
+
+    setup = twitter_setup(
+        SCALE,
+        tau_ms=250.0,
+        profile="commercial",
+        rows_override=max(10_000, SCALE.twitter_rows // 4),
+        seed=SEED,
+    )
+    query = setup.split.evaluation[0]
+    benchmark.pedantic(
+        lambda: setup.database.execute(query),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.metadata["tau_ms"] == 250.0

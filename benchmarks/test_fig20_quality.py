@@ -1,0 +1,33 @@
+"""Figure 20: quality-aware rewriting (one-stage vs two-stage).
+Benchmarks the Jaccard quality evaluation of an approximate result."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.db import LimitRule
+from repro.experiments import (
+    render_experiment,
+    run_fig20,
+    save_json,
+    twitter_setup,
+)
+from repro.viz import JaccardQuality, evaluate_quality
+
+
+def test_fig20_quality(benchmark):
+    result = run_fig20(SCALE, seed=SEED)
+    emit(render_experiment(result, ("vqp", "aqrt_ms", "avg_quality")))
+    save_json(result)
+
+    setup = twitter_setup(SCALE, seed=SEED)
+    query = setup.split.evaluation[0]
+    limited = LimitRule(0.04).apply(query, setup.database)
+    approx_result = setup.database.execute(limited)
+
+    benchmark.pedantic(
+        lambda: evaluate_quality(
+            setup.database, query, limited, approx_result, JaccardQuality()
+        ),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.rows

@@ -1,0 +1,35 @@
+"""Figure 21: learning curves and training-time curves.
+Benchmarks one complete training episode (Algorithm 1 inner loop)."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.core import DQNTrainer, TrainingConfig
+from repro.experiments import accurate_qte, run_fig21, twitter_setup
+
+
+def test_fig21_training(benchmark):
+    result = run_fig21(SCALE, seed=SEED)
+    emit(result.render())
+
+    import json
+    from pathlib import Path
+
+    out_dir = Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "fig21.json").write_text(json.dumps(result.to_dict(), indent=2))
+
+    setup = twitter_setup(SCALE, seed=SEED)
+    trainer = DQNTrainer(
+        setup.database,
+        accurate_qte(setup),
+        setup.space,
+        setup.tau_ms,
+        config=TrainingConfig(seed=1),
+    )
+    query = setup.split.train[0]
+    benchmark.pedantic(
+        lambda: trainer.run_episode(query, epsilon=0.5),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert result.points

@@ -1,0 +1,18 @@
+"""Table 1: dataset inventory.  Benchmarks statistics (ANALYZE) build time."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.db import TableStatistics
+from repro.experiments import run_table1, twitter_setup
+
+
+def test_table1_datasets(benchmark):
+    result = run_table1(SCALE, seed=SEED)
+    emit(result.render())
+
+    setup = twitter_setup(SCALE, seed=SEED)
+    tweets = setup.database.table("tweets")
+    benchmark.pedantic(
+        lambda: TableStatistics(tweets), rounds=bench_rounds(), iterations=1
+    )
+    assert len(result.rows) == 3

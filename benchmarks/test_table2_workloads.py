@@ -1,0 +1,21 @@
+"""Table 2: queries per viable-plan count on the three datasets.
+Benchmarks the difficulty metric (8 hinted executions per query)."""
+
+from _bench_utils import SCALE, SEED, bench_rounds, emit
+
+from repro.experiments import run_table2, save_json, twitter_setup
+from repro.workloads import viable_plan_count
+
+
+def test_table2_workloads(benchmark):
+    result = run_table2(SCALE, seed=SEED)
+    emit(result.render())
+
+    setup = twitter_setup(SCALE, seed=SEED)
+    query = setup.split.evaluation[0]
+    benchmark.pedantic(
+        lambda: viable_plan_count(setup.database, query, setup.space, setup.tau_ms),
+        rounds=bench_rounds(),
+        iterations=1,
+    )
+    assert sum(result.rows["twitter"].values()) > 0

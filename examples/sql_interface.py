@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Driving the middleware with raw SQL text, and rendering the results.
+
+Shows the full text-in/pixels-out path: a SQL string (the exact dialect the
+paper's middleware emits) is parsed into the query AST, rewritten by a
+trained Maliva agent, executed, and the visualization is rendered as an
+ASCII heatmap — no latency numbers, just what the user would see.
+
+Run:  python examples/sql_interface.py
+"""
+
+from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
+from repro.datasets import TwitterConfig, build_twitter_database
+from repro.db import parse_sql
+from repro.qte import AccurateQTE
+from repro.viz import render_heatmap, render_scatter
+from repro.workloads import TwitterWorkloadGenerator, split_workload
+
+TAU_MS = 500.0
+ATTRIBUTES = ("text", "created_at", "coordinates")
+
+HEATMAP_SQL = """
+SELECT BIN_ID(coordinates), COUNT(*)
+FROM tweets
+WHERE text CONTAINS 'covid'
+  AND created_at BETWEEN 0 AND 40000000
+  AND coordinates IN ((-125.0, 24.0), (-66.0, 50.0))
+GROUP BY BIN_ID(coordinates);
+"""
+
+SCATTER_SQL = """
+SELECT id, coordinates
+FROM tweets
+WHERE text CONTAINS 'rain'
+  AND created_at BETWEEN 0 AND 40000000
+  AND coordinates IN ((-125.0, 24.0), (-66.0, 50.0));
+"""
+
+
+def main() -> None:
+    print("=== SQL in, pixels out ===\n")
+    database = build_twitter_database(
+        TwitterConfig(n_tweets=60_000, n_users=3_000, seed=77)
+    )
+    space = RewriteOptionSpace.hint_subsets(ATTRIBUTES)
+    workload = TwitterWorkloadGenerator(database, seed=79, zoom_decay=0.75).generate(100)
+    split = split_workload(workload, seed=81)
+    maliva = Maliva(
+        database,
+        space,
+        AccurateQTE(database),
+        TAU_MS,
+        config=TrainingConfig(max_epochs=8, seed=83),
+    )
+    maliva.train(list(split.train))
+
+    # --- a heatmap request arriving as SQL text --------------------------
+    query = parse_sql(HEATMAP_SQL, default_cell=2.0)
+    outcome = maliva.answer(query)
+    print(f"parsed: {query.to_sql().splitlines()[0]} ...")
+    print(
+        f"served via {outcome.option_label} in {outcome.total_ms:.0f} ms "
+        f"({'viable' if outcome.viable else 'missed'}), "
+        f"{outcome.result.result_size} bins\n"
+    )
+    print(render_heatmap(outcome.result.bins, query.group_by, width=66, height=18))
+
+    # --- a scatterplot request -------------------------------------------
+    query = parse_sql(SCATTER_SQL)
+    outcome = maliva.answer(query)
+    points = database.table("tweets").points("coordinates")[outcome.result.row_ids]
+    print(
+        f"\nscatter: {len(points)} tweets matching 'rain', served via "
+        f"{outcome.option_label} in {outcome.total_ms:.0f} ms\n"
+    )
+    print(render_scatter(points, width=66, height=18))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""A city-operations taxi dashboard with a 1-second interactivity budget.
+
+Loads the synthetic NYC Taxi dataset (paper Table 1) and serves a set of
+dashboard widgets — trip heatmaps, airport-run scatter, rush-hour windows —
+through the Maliva middleware with the sampling-based approximate QTE,
+mirroring the paper's NYC Taxi configuration (tau = 1 s).
+
+Run:  python examples/taxi_dashboard.py
+"""
+
+from repro.baselines import BaselineApproach
+from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
+from repro.datasets import TaxiConfig, build_taxi_database
+from repro.db import BoundingBox
+from repro.db.types import days
+from repro.qte import SamplingQTE
+from repro.viz import TAXI_TRANSLATOR, VisualizationKind, VisualizationRequest
+from repro.workloads import TaxiWorkloadGenerator, split_workload
+
+TAU_MS = 1_000.0
+ATTRIBUTES = ("pickup_datetime", "trip_distance", "pickup_coordinates")
+
+MANHATTAN = BoundingBox(-74.03, 40.70, -73.93, 40.82)
+JFK = BoundingBox(-73.83, 40.62, -73.74, 40.67)
+CITY = BoundingBox(-74.30, 40.45, -73.65, 41.00)
+
+WIDGETS = [
+    ("city-wide pickups, last quarter (heatmap)", VisualizationRequest(
+        kind=VisualizationKind.HEATMAP,
+        region=CITY,
+        time_range=(days(1_000), days(1_095)),
+        heatmap_cell_degrees=0.01,
+    )),
+    ("Manhattan pickups, one week (heatmap)", VisualizationRequest(
+        kind=VisualizationKind.HEATMAP,
+        region=MANHATTAN,
+        time_range=(days(1_060), days(1_067)),
+        heatmap_cell_degrees=0.005,
+    )),
+    ("long airport runs, one month (scatter)", VisualizationRequest(
+        kind=VisualizationKind.SCATTERPLOT,
+        region=JFK,
+        time_range=(days(1_030), days(1_060)),
+        extra_ranges=(("trip_distance", (8.0, 60.0)),),
+    )),
+    ("short hops city-wide, two days (scatter)", VisualizationRequest(
+        kind=VisualizationKind.SCATTERPLOT,
+        region=CITY,
+        time_range=(days(1_093), days(1_095)),
+        extra_ranges=(("trip_distance", (0.0, 2.0)),),
+    )),
+]
+
+
+def main() -> None:
+    print("=== NYC taxi dashboard (tau = 1s) ===\n")
+    print("building synthetic trips table (120k trips over 3 years)...")
+    database = build_taxi_database(TaxiConfig(n_trips=120_000, seed=31))
+    database.create_sample_table("trips", 0.01, name="trips_qte_sample", seed=37)
+
+    space = RewriteOptionSpace.hint_subsets(ATTRIBUTES)
+    workload = TaxiWorkloadGenerator(database, seed=41).generate(150)
+    split = split_workload(workload, seed=43)
+
+    qte = SamplingQTE(database, ATTRIBUTES, "trips_qte_sample")
+    qte.fit(
+        [
+            space.build(query, database, index)
+            for query in split.train[:30]
+            for index in range(len(space))
+        ]
+    )
+    print(f"approximate QTE fitted (log-RMSE {qte.training_rmse_log:.2f})")
+
+    maliva = Maliva(
+        database, space, qte, TAU_MS, config=TrainingConfig(max_epochs=10, seed=47)
+    )
+    maliva.train(list(split.train), list(split.validation))
+    baseline = BaselineApproach(database, TAU_MS)
+
+    print("\nrendering dashboard widgets:\n")
+    header = f"{'widget':<46} {'Maliva':>12} {'baseline':>12}"
+    print(header)
+    print("-" * len(header))
+    for label, request in WIDGETS:
+        query = TAXI_TRANSLATOR.to_query(request)
+        ours = maliva.answer(query)
+        theirs = baseline.answer(query)
+        size = ours.result.result_size
+        print(
+            f"{label:<46} {ours.total_ms:9.0f} ms {theirs.total_ms:9.0f} ms"
+            f"{'' if theirs.viable else '  <- budget missed'}"
+        )
+        print(
+            f"{'':<8}{size} result rows/bins via {ours.option_label} "
+            f"({ours.reason})"
+        )
+    print(
+        "\nMaliva steers the engine to the selective index for each widget;"
+        "\nthe baseline trusts the optimizer's uniform-spatial estimates and"
+        "\npays full price whenever they are wrong."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""An interactive map session: a user explores tweets on a US map.
+
+Simulates the paper's motivating scenario end to end: frontend requests
+(keyword + viewport + time window) are translated by the middleware into
+SQL, and Maliva keeps every interaction under the 500 ms budget while the
+baseline repeatedly blows it on popular keywords (PostgreSQL-style text
+selectivity misestimation).
+
+Run:  python examples/twitter_heatmap_session.py
+"""
+
+from repro.baselines import BaselineApproach
+from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
+from repro.datasets import TwitterConfig, build_twitter_database
+from repro.db import BoundingBox
+from repro.db.types import days
+from repro.qte import SamplingQTE
+from repro.viz import TWITTER_TRANSLATOR, VisualizationKind, VisualizationRequest
+from repro.workloads import TwitterWorkloadGenerator, split_workload
+
+TAU_MS = 500.0
+ATTRIBUTES = ("text", "created_at", "coordinates")
+
+#: A exploration session: keyword search, then pan/zoom around the country.
+SESSION = [
+    ("search 'covid' nationwide, one month", VisualizationRequest(
+        kind=VisualizationKind.HEATMAP,
+        keyword="covid",
+        region=BoundingBox(-124.7, 24.5, -66.9, 49.4),
+        time_range=(days(300), days(330)),
+    )),
+    ("zoom into the west coast", VisualizationRequest(
+        kind=VisualizationKind.HEATMAP,
+        keyword="covid",
+        region=BoundingBox(-124.7, 32.0, -114.0, 49.0),
+        time_range=(days(300), days(330)),
+    )),
+    ("narrow to Thanksgiving week", VisualizationRequest(
+        kind=VisualizationKind.HEATMAP,
+        keyword="covid",
+        region=BoundingBox(-124.7, 32.0, -114.0, 49.0),
+        time_range=(days(325), days(332)),
+    )),
+    ("switch keyword to 'rain', Bay Area scatter", VisualizationRequest(
+        kind=VisualizationKind.SCATTERPLOT,
+        keyword="rain",
+        region=BoundingBox(-123.2, 37.0, -121.5, 38.5),
+        time_range=(days(200), days(340)),
+    )),
+    ("rare topic 'concert' nationwide, full year", VisualizationRequest(
+        kind=VisualizationKind.SCATTERPLOT,
+        keyword="concert",
+        region=BoundingBox(-124.7, 24.5, -66.9, 49.4),
+        time_range=(days(0), days(365)),
+    )),
+]
+
+
+def main() -> None:
+    print("=== Twitter heatmap session ===\n")
+    print("building dataset and training the middleware (sampling QTE)...")
+    database = build_twitter_database(
+        TwitterConfig(n_tweets=80_000, n_users=4_000, seed=11)
+    )
+    database.create_sample_table("tweets", 0.01, name="tweets_qte_sample", seed=13)
+
+    space = RewriteOptionSpace.hint_subsets(ATTRIBUTES)
+    workload = TwitterWorkloadGenerator(database, seed=17, zoom_decay=0.75).generate(150)
+    split = split_workload(workload, seed=19)
+
+    qte = SamplingQTE(database, ATTRIBUTES, "tweets_qte_sample")
+    qte.fit(
+        [
+            space.build(query, database, index)
+            for query in split.train[:30]
+            for index in range(len(space))
+        ]
+    )
+    maliva = Maliva(
+        database, space, qte, TAU_MS, config=TrainingConfig(max_epochs=10, seed=23)
+    )
+    maliva.train(list(split.train), list(split.validation))
+    baseline = BaselineApproach(database, TAU_MS)
+
+    print(f"\nsession (time budget {TAU_MS:.0f} ms per interaction):\n")
+    header = f"{'interaction':<44} {'Maliva':>12} {'baseline':>12}"
+    print(header)
+    print("-" * len(header))
+    maliva_total = baseline_total = 0.0
+    maliva_misses = baseline_misses = 0
+    for label, request in SESSION:
+        query = TWITTER_TRANSLATOR.to_query(request)
+        ours = maliva.answer(query)
+        theirs = baseline.answer(query)
+        maliva_total += ours.total_ms
+        baseline_total += theirs.total_ms
+        maliva_misses += not ours.viable
+        baseline_misses += not theirs.viable
+        print(
+            f"{label:<44} {ours.total_ms:9.0f} ms {theirs.total_ms:9.0f} ms"
+            f"{'' if theirs.viable else '  <- budget missed'}"
+        )
+        print(f"{'':<8}Maliva chose: {ours.option_label} ({ours.reason})")
+    print("-" * len(header))
+    print(
+        f"{'TOTAL session latency':<44} {maliva_total:9.0f} ms "
+        f"{baseline_total:9.0f} ms"
+    )
+    print(
+        f"\nbudget misses: Maliva {maliva_misses}/{len(SESSION)}, "
+        f"baseline {baseline_misses}/{len(SESSION)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

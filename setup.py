@@ -1,0 +1,11 @@
+"""Setup shim enabling legacy editable installs in offline environments.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable wheels cannot be built; ``pip install -e .`` falls back
+to ``setup.py develop`` through this shim. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Reproduction of *Maliva: Using Machine Learning to Rewrite Visualization
+Queries Under Time Constraints* (EDBT).
+
+Layout
+------
+``repro.db``
+    In-memory database substrate: columnar tables, B-tree / inverted /
+    spatial indexes, a PostgreSQL-style fallible cost-based optimizer, a
+    hint-aware executor, and a virtual clock.
+``repro.datasets``
+    Synthetic Twitter / NYC Taxi / TPC-H generators with the paper's skew.
+``repro.viz``
+    Visualization requests, spatial binning, and quality functions.
+``repro.qte``
+    Query time estimators: the accurate oracle and the sampling-based
+    approximate estimator.
+``repro.core``
+    Maliva itself: the MDP model, DQN training (Algorithm 1), the online
+    rewriter (Algorithm 2), and the quality-aware one/two-stage rewriters.
+``repro.baselines``
+    The no-rewriting baseline, the brute-force Naive rewriter, and a
+    Bao-style learned comparator.
+``repro.workloads``
+    Query workload generation (Section 7.1) and difficulty bucketing.
+``repro.experiments``
+    The harness regenerating every table and figure of Section 7.
+"""
+
+import importlib
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "db",
+    "datasets",
+    "viz",
+    "qte",
+    "core",
+    "baselines",
+    "workloads",
+    "experiments",
+    "errors",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily import subpackages on first attribute access."""
+    if name in __all__:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,12 @@
+"""Comparator approaches: Baseline, Naive, and a Bao-style rewriter."""
+
+from .bao import BaoApproach, BayesianLinearModel
+from .baseline import BaselineApproach
+from .naive import NaiveApproach
+
+__all__ = [
+    "BaoApproach",
+    "BaselineApproach",
+    "BayesianLinearModel",
+    "NaiveApproach",
+]

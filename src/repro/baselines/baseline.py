@@ -1,0 +1,46 @@
+"""The no-rewriting baseline: trust the database optimizer.
+
+The middleware sends the original query unchanged; the database's cost-based
+optimizer — with its text/spatial selectivity misestimates — picks the plan.
+This is the paper's "Baseline" in every figure, and the source of its
+"PostgreSQL failed to choose an efficient plan for 269 of 602 queries"
+observation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.middleware import RequestOutcome
+from ..db import Database, SelectQuery
+
+
+class BaselineApproach:
+    """Send the original query; planning cost is one optimizer invocation."""
+
+    name = "Baseline"
+
+    def __init__(self, database: Database, tau_ms: float) -> None:
+        self.database = database
+        self.tau_ms = tau_ms
+
+    def prepare(
+        self,
+        train_queries: Sequence[SelectQuery],
+        validation_queries: Sequence[SelectQuery] | None = None,
+    ) -> None:
+        """Nothing to train."""
+
+    def answer(self, query: SelectQuery) -> RequestOutcome:
+        planning_ms = self.database.planning_ms
+        result = self.database.execute(query.without_hints())
+        return RequestOutcome(
+            original=query,
+            rewritten=query.without_hints(),
+            option_label="original",
+            reason="baseline",
+            planning_ms=planning_ms,
+            execution_ms=result.execution_ms,
+            result=result,
+            tau_ms=self.tau_ms,
+        )

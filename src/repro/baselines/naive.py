@@ -1,0 +1,65 @@
+"""The Naive approach: brute-force QTE over every rewritten query.
+
+Uses the same QTE as the MDP approach but estimates *all* candidate RQs,
+paying the full planning bill, then picks the fastest estimate (Section 7.1
+"naive").  With expensive QTEs the planning time alone can blow the budget —
+the exact failure mode Maliva's sequential-decision formulation avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.middleware import RequestOutcome
+from ..core.options import RewriteOptionSpace
+from ..db import Database, SelectQuery
+from ..qte import QueryTimeEstimator, SelectivityCache
+
+
+class NaiveApproach:
+    """Estimate every option, choose the best, pay for everything."""
+
+    def __init__(
+        self,
+        database: Database,
+        space: RewriteOptionSpace,
+        qte: QueryTimeEstimator,
+        tau_ms: float,
+    ) -> None:
+        self.database = database
+        self.space = space
+        self.qte = qte
+        self.tau_ms = tau_ms
+        self.name = f"Naive ({qte.name}-QTE)"
+
+    def prepare(
+        self,
+        train_queries: Sequence[SelectQuery],
+        validation_queries: Sequence[SelectQuery] | None = None,
+    ) -> None:
+        """The QTE itself may need fitting, handled by the caller."""
+
+    def answer(self, query: SelectQuery) -> RequestOutcome:
+        cache = SelectivityCache()
+        planning_ms = 0.0
+        best_index = 0
+        best_estimate = float("inf")
+        for index in range(len(self.space)):
+            rewritten = self.space.build(query, self.database, index)
+            outcome = self.qte.estimate(rewritten, cache)
+            planning_ms += outcome.cost_ms
+            if outcome.estimated_ms < best_estimate:
+                best_estimate = outcome.estimated_ms
+                best_index = index
+        chosen = self.space.build(query, self.database, best_index)
+        result = self.database.execute(chosen)
+        return RequestOutcome(
+            original=query,
+            rewritten=chosen,
+            option_label=self.space.option(best_index).label(),
+            reason="brute-force",
+            planning_ms=planning_ms,
+            execution_ms=result.execution_ms,
+            result=result,
+            tau_ms=self.tau_ms,
+        )

@@ -1,0 +1,138 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig12 --dataset twitter --scale tiny
+    python -m repro.cli run table2 --scale small
+    python -m repro.cli run fig16 --tau-ms 750 --scale tiny
+    python -m repro.cli run ablation-unit-cost --scale tiny
+    python -m repro.cli run all --scale tiny        # everything, in order
+
+Results are printed as the paper's tables and saved as JSON under
+``--save-dir`` (default ``results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .experiments import (
+    ExperimentResult,
+    render_experiment,
+    run_fig12,
+    run_fig14,
+    run_fig16,
+    run_fig18,
+    run_fig19a,
+    run_fig19b,
+    run_fig20,
+    run_fig21,
+    run_table1,
+    run_table2,
+    run_table3,
+    save_json,
+)
+from .experiments.ablations import (
+    run_ablation_cost_updates,
+    run_ablation_exploration,
+    run_ablation_unit_cost,
+)
+
+#: name -> (description, runner). Runners take the parsed args namespace.
+_EXPERIMENTS = {
+    "table1": ("dataset inventory", lambda a: run_table1(a.scale, a.seed)),
+    "table2": ("difficulty distribution, 3 datasets", lambda a: run_table2(a.scale, a.seed)),
+    "table3": ("16/32-option workload difficulty", lambda a: run_table3(a.scale, a.seed)),
+    "fig12": ("VQP (and AQRT) main comparison", lambda a: run_fig12(a.dataset, a.scale, a.seed)),
+    "fig14": ("effect of 16/32 rewrite options", lambda a: run_fig14(a.n_options, a.scale, a.seed)),
+    "fig16": ("effect of the time budget", lambda a: run_fig16(a.tau_ms, a.scale, a.seed)),
+    "fig18": ("join queries, 21 options", lambda a: run_fig18(a.scale, a.seed)),
+    "fig19a": ("generalization to unseen join queries", lambda a: run_fig19a(a.scale, a.seed)),
+    "fig19b": ("commercial database profile", lambda a: run_fig19b(a.scale, a.seed)),
+    "fig20": ("quality-aware rewriting", lambda a: run_fig20(a.scale, a.seed)),
+    "fig21": ("learning curves and training time", lambda a: run_fig21(a.scale, a.seed)),
+    "ablation-cost-updates": (
+        "with/without Figure 7 sibling-cost updates",
+        lambda a: run_ablation_cost_updates(a.scale, a.seed),
+    ),
+    "ablation-unit-cost": (
+        "sweep of the QTE estimation cost",
+        lambda a: run_ablation_unit_cost(a.scale, a.seed),
+    ),
+    "ablation-exploration": (
+        "epsilon-greedy vs pure exploitation",
+        lambda a: run_ablation_exploration(a.scale, a.seed),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Maliva reproduction experiment runner"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=sorted(_EXPERIMENTS) + ["all"])
+    run.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--dataset", default="twitter", choices=["twitter", "taxi", "tpch"])
+    run.add_argument("--n-options", type=int, default=16, choices=[16, 32])
+    run.add_argument("--tau-ms", type=float, default=250.0)
+    run.add_argument("--save-dir", default="results")
+    run.add_argument("--no-save", action="store_true")
+    return parser
+
+
+def _emit(result, args) -> None:
+    if isinstance(result, ExperimentResult):
+        metrics = ["vqp", "aqrt_ms"]
+        if any(
+            summary.avg_quality is not None
+            for row in result.rows
+            for summary in row.summaries.values()
+        ):
+            metrics.append("avg_quality")
+        print(render_experiment(result, metrics))
+        if not args.no_save:
+            path = save_json(result, args.save_dir)
+            print(f"\nsaved: {path}")
+        return
+    # Table / learning-curve / ablation results all expose render/to_dict.
+    print(result.render())
+    if not args.no_save:
+        out_dir = Path(args.save_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        name = result.to_dict().get("experiment_id") or getattr(
+            result, "name", "result"
+        )
+        path = out_dir / f"{str(name).replace(' ', '_')}.json"
+        path.write_text(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        print(f"\nsaved: {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in _EXPERIMENTS)
+        for name, (description, _) in sorted(_EXPERIMENTS.items()):
+            print(f"{name:<{width}}  {description}")
+        return 0
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        description, runner = _EXPERIMENTS[name]
+        print(f"== {name}: {description} (scale={args.scale}) ==\n")
+        _emit(runner(args), args)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

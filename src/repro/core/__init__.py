@@ -1,0 +1,50 @@
+"""Maliva's core: the MDP model, training, and online rewriting."""
+
+from .agent import MalivaAgent
+from .environment import Decision, RewriteEpisode, StepResult
+from .middleware import Maliva, RequestOutcome
+from .options import RewriteOption, RewriteOptionSpace
+from .persistence import load_agent, save_agent
+from .qnetwork import AdamParams, QNetwork
+from .quality_aware import TwoStageHistory, TwoStageRewriter, build_one_stage
+from .replay import ReplayMemory, Transition
+from .reward import (
+    EfficiencyReward,
+    EpisodeOutcome,
+    QualityAwareReward,
+    RewardFunction,
+)
+from .rewriter import MDPQueryRewriter, RewriteDecision
+from .state import MDPState
+from .trainer import DQNTrainer, TrainingConfig, TrainingHistory, train_validated
+
+__all__ = [
+    "AdamParams",
+    "DQNTrainer",
+    "Decision",
+    "EfficiencyReward",
+    "EpisodeOutcome",
+    "Maliva",
+    "MalivaAgent",
+    "MDPQueryRewriter",
+    "MDPState",
+    "QNetwork",
+    "QualityAwareReward",
+    "ReplayMemory",
+    "RequestOutcome",
+    "RewardFunction",
+    "RewriteDecision",
+    "RewriteEpisode",
+    "RewriteOption",
+    "RewriteOptionSpace",
+    "StepResult",
+    "Transition",
+    "TrainingConfig",
+    "TrainingHistory",
+    "TwoStageHistory",
+    "TwoStageRewriter",
+    "build_one_stage",
+    "load_agent",
+    "save_agent",
+    "train_validated",
+]

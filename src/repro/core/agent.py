@@ -1,0 +1,59 @@
+"""The trained MDP agent: a policy over rewrite options."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+from .options import RewriteOptionSpace
+from .qnetwork import QNetwork
+from .state import MDPState
+
+
+class MalivaAgent:
+    """Wraps a q-network with the option space and budget it was trained for."""
+
+    def __init__(
+        self, network: QNetwork, space: RewriteOptionSpace, tau_ms: float
+    ) -> None:
+        expected = MDPState.vector_size(len(space))
+        if network.input_dim != expected:
+            raise TrainingError(
+                f"network input dim {network.input_dim} does not match "
+                f"option space of size {len(space)} (expected {expected})"
+            )
+        if network.n_actions != len(space):
+            raise TrainingError(
+                f"network has {network.n_actions} actions for a space of "
+                f"{len(space)} options"
+            )
+        self.network = network
+        self.space = space
+        self.tau_ms = tau_ms
+
+    def q_values(self, state: MDPState) -> np.ndarray:
+        return self.network.q_values(state.vector(self.tau_ms))
+
+    def best_action(self, state: MDPState, remaining: np.ndarray) -> int:
+        """Highest-q unexplored option (Algorithm 2 line 5)."""
+        if not len(remaining):
+            raise TrainingError("no remaining options to choose from")
+        q = self.q_values(state)
+        return int(remaining[int(np.argmax(q[remaining]))])
+
+    def epsilon_greedy_action(
+        self,
+        state: MDPState,
+        remaining: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+    ) -> int:
+        """Exploration policy of Algorithm 1 (lines 10-15)."""
+        if not len(remaining):
+            raise TrainingError("no remaining options to choose from")
+        if rng.random() < epsilon:
+            return int(rng.choice(remaining))
+        return self.best_action(state, remaining)
+
+    def save(self, path: str) -> None:
+        self.network.save(path)

@@ -1,0 +1,147 @@
+"""The MDP environment: transitions (Section 4.1) and termination checks.
+
+A :class:`RewriteEpisode` is created per visualization request.  Each step:
+
+1. the QTE estimates the chosen rewritten query's time, paying its actual
+   cost Ĉ_i (which may differ from the predicted C_i in the state),
+2. the elapsed time E advances by Ĉ_i,
+3. T_i is filled with the estimate,
+4. every *unexplored* option's C_j is re-predicted against the now-richer
+   selectivity cache — the paper's "estimating RQ1 changes the costs for
+   estimating RQ5 and RQ7" effect (Figure 7).
+
+Termination mirrors Algorithm 1 line 9 / Algorithm 2: the last estimate is
+potentially viable (E + T(a) ≤ tau), the budget is exhausted (E ≥ tau), or
+no options remain; in the latter two cases the fastest estimated RQ so far
+is decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db import Database, SelectQuery
+from ..errors import TrainingError
+from ..qte import QueryTimeEstimator, SelectivityCache
+from .options import RewriteOptionSpace
+from .state import MDPState
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The episode's final choice of rewritten query."""
+
+    option_index: int
+    #: Why the episode ended: "viable", "timeout", or "exhausted".
+    reason: str
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one environment step."""
+
+    state: MDPState
+    action: int
+    estimated_ms: float
+    actual_cost_ms: float
+    decision: Decision | None
+
+
+class RewriteEpisode:
+    """Environment for one request: candidate RQs + shared selectivity cache."""
+
+    def __init__(
+        self,
+        database: Database,
+        qte: QueryTimeEstimator,
+        space: RewriteOptionSpace,
+        query: SelectQuery,
+        tau_ms: float,
+        start_elapsed_ms: float = 0.0,
+        cache: SelectivityCache | None = None,
+        update_sibling_costs: bool = True,
+    ) -> None:
+        if tau_ms <= 0:
+            raise TrainingError("time budget must be positive")
+        self.database = database
+        self.qte = qte
+        self.space = space
+        self.query = query
+        self.tau_ms = tau_ms
+        #: Ablation switch: when False, the estimation costs C_j of
+        #: unexplored options are NOT re-predicted after each step — the
+        #: agent loses the paper's Figure 7 shared-selectivity signal.
+        self.update_sibling_costs = update_sibling_costs
+        self.cache = cache if cache is not None else SelectivityCache()
+        self.rewritten_queries = space.build_all(query, database)
+        costs = np.array(
+            [self.qte.predict_cost_ms(rq, self.cache) for rq in self.rewritten_queries]
+        )
+        self.state = MDPState.initial(costs)
+        self.state.elapsed_ms = start_elapsed_ms
+
+    # ------------------------------------------------------------------
+    @property
+    def n_options(self) -> int:
+        return len(self.rewritten_queries)
+
+    def remaining(self) -> np.ndarray:
+        return self.state.remaining()
+
+    def step(self, action: int) -> StepResult:
+        """Estimate option ``action`` and transition (paper's T function)."""
+        state = self.state
+        if state.explored[action]:
+            raise TrainingError(f"option {action} was already explored")
+        rewritten = self.rewritten_queries[action]
+        outcome = self.qte.estimate(rewritten, self.cache)
+
+        state.elapsed_ms += outcome.cost_ms
+        state.estimated_times_ms[action] = outcome.estimated_ms
+        state.explored[action] = True
+        # Actual cost replaces the prediction for the explored option; the
+        # richer cache re-prices every unexplored option.
+        state.estimation_costs_ms[action] = outcome.cost_ms
+        if self.update_sibling_costs:
+            for index in state.remaining():
+                state.estimation_costs_ms[index] = self.qte.predict_cost_ms(
+                    self.rewritten_queries[index], self.cache
+                )
+
+        decision = self._termination_decision(last_action=action)
+        return StepResult(
+            state=state,
+            action=action,
+            estimated_ms=outcome.estimated_ms,
+            actual_cost_ms=outcome.cost_ms,
+            decision=decision,
+        )
+
+    # ------------------------------------------------------------------
+    def _termination_decision(self, last_action: int | None) -> Decision | None:
+        state = self.state
+        if last_action is not None:
+            projected = state.elapsed_ms + state.estimated_times_ms[last_action]
+            if projected <= self.tau_ms:
+                return Decision(option_index=last_action, reason="viable")
+        if state.elapsed_ms >= self.tau_ms:
+            return Decision(option_index=self._best_explored(), reason="timeout")
+        if not len(state.remaining()):
+            return Decision(option_index=self._best_explored(), reason="exhausted")
+        return None
+
+    def _best_explored(self) -> int:
+        """Fastest-estimated explored option (Algorithm 2 line 12)."""
+        explored = self.state.explored_indices()
+        if not len(explored):
+            # Nothing was estimated (e.g. budget exhausted immediately):
+            # fall back to the first option, which by convention is the
+            # least aggressive rewrite in every factory-built space.
+            return 0
+        times = self.state.estimated_times_ms[explored]
+        return int(explored[int(np.argmin(times))])
+
+    def rewritten(self, option_index: int) -> SelectQuery:
+        return self.rewritten_queries[option_index]

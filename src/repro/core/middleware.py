@@ -1,0 +1,141 @@
+"""The Maliva middleware facade: train offline, answer requests online.
+
+``Maliva`` owns the option space, the QTE, the trained agent, and the time
+budget.  :meth:`Maliva.answer` performs the full middleware loop of Figure 5:
+plan a rewritten query with the MDP rewriter, send it to the database, and
+report the total (planning + execution) virtual response time, which is what
+the paper's VQP and AQRT metrics measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..db import Database, ExecutionResult, SelectQuery
+from ..errors import TrainingError
+from ..qte import QueryTimeEstimator
+from ..viz.quality import QualityFunction, evaluate_quality
+from .agent import MalivaAgent
+from .options import RewriteOptionSpace
+from .rewriter import MDPQueryRewriter, RewriteDecision
+from .trainer import TrainingConfig, TrainingHistory, train_validated
+from .reward import RewardFunction
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """End-to-end outcome of answering one visualization request."""
+
+    original: SelectQuery
+    rewritten: SelectQuery
+    option_label: str
+    reason: str
+    planning_ms: float
+    execution_ms: float
+    result: ExecutionResult
+    tau_ms: float
+    quality: float | None = None
+
+    @property
+    def total_ms(self) -> float:
+        return self.planning_ms + self.execution_ms
+
+    @property
+    def viable(self) -> bool:
+        """Total response time within the budget — the paper's viability."""
+        return self.total_ms <= self.tau_ms
+
+
+class Maliva:
+    """ML-based middleware for interactive visualization (the paper's system)."""
+
+    def __init__(
+        self,
+        database: Database,
+        space: RewriteOptionSpace,
+        qte: QueryTimeEstimator,
+        tau_ms: float,
+        reward: RewardFunction | None = None,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        if tau_ms <= 0:
+            raise TrainingError("time budget must be positive")
+        self.database = database
+        self.space = space
+        self.qte = qte
+        self.tau_ms = tau_ms
+        self.reward = reward
+        self.config = config or TrainingConfig()
+        self._agent: MalivaAgent | None = None
+        self._rewriter: MDPQueryRewriter | None = None
+        self.training_history: TrainingHistory | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def agent(self) -> MalivaAgent:
+        if self._agent is None:
+            raise TrainingError("Maliva.train() must be called before use")
+        return self._agent
+
+    @property
+    def is_trained(self) -> bool:
+        return self._agent is not None
+
+    def train(
+        self,
+        train_queries: Sequence[SelectQuery],
+        validation_queries: Sequence[SelectQuery] | None = None,
+        n_candidates: int = 1,
+    ) -> TrainingHistory:
+        """Train the MDP agent offline (Algorithm 1 + hold-out validation)."""
+        agent, history = train_validated(
+            self.database,
+            self.qte,
+            self.space,
+            self.tau_ms,
+            train_queries,
+            validation_queries,
+            n_candidates=n_candidates,
+            reward=self.reward,
+            config=self.config,
+        )
+        self._agent = agent
+        self._rewriter = MDPQueryRewriter(agent, self.database, self.qte)
+        self.training_history = history
+        return history
+
+    def adopt_agent(self, agent: MalivaAgent) -> None:
+        """Install an externally trained agent (generalization experiments)."""
+        self._agent = agent
+        self._rewriter = MDPQueryRewriter(agent, self.database, self.qte)
+
+    # ------------------------------------------------------------------
+    def rewrite(self, query: SelectQuery) -> RewriteDecision:
+        """Plan only (Algorithm 2), without executing the final query."""
+        if self._rewriter is None:
+            raise TrainingError("Maliva.train() must be called before use")
+        return self._rewriter.rewrite(query)
+
+    def answer(
+        self, query: SelectQuery, quality_fn: QualityFunction | None = None
+    ) -> RequestOutcome:
+        """Full middleware loop: rewrite, execute, report."""
+        decision = self.rewrite(query)
+        result = self.database.execute(decision.rewritten)
+        quality = None
+        if quality_fn is not None:
+            quality = evaluate_quality(
+                self.database, query, decision.rewritten, result, quality_fn
+            )
+        return RequestOutcome(
+            original=query,
+            rewritten=decision.rewritten,
+            option_label=decision.option_label,
+            reason=decision.reason,
+            planning_ms=decision.planning_ms,
+            execution_ms=result.execution_ms,
+            result=result,
+            tau_ms=self.tau_ms,
+            quality=quality,
+        )

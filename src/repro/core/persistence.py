@@ -1,0 +1,65 @@
+"""Saving and loading trained agents.
+
+A trained agent is a q-network whose inputs and outputs are positional over
+a specific rewrite-option space and whose values were learned for a specific
+time budget.  Persistence therefore stores the option labels and tau
+alongside the weights and validates them on load — loading an agent against
+a mismatched space is a silent-corruption bug this module turns into a loud
+error.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import TrainingError
+from .agent import MalivaAgent
+from .options import RewriteOptionSpace
+from .qnetwork import QNetwork
+
+
+def save_agent(agent: MalivaAgent, path: str | Path) -> Path:
+    """Serialize an agent (weights + option labels + budget) to ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {
+        f"weights_{k}": v for k, v in agent.network.get_weights().items()
+    }
+    np.savez(
+        path,
+        input_dim=agent.network.input_dim,
+        n_actions=agent.network.n_actions,
+        hidden0=agent.network.hidden_dims[0],
+        hidden1=agent.network.hidden_dims[1],
+        tau_ms=agent.tau_ms,
+        option_labels=np.array(agent.space.labels()),
+        **payload,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_agent(path: str | Path, space: RewriteOptionSpace) -> MalivaAgent:
+    """Load an agent and bind it to ``space``, validating compatibility."""
+    data = np.load(Path(path), allow_pickle=False)
+    saved_labels = [str(label) for label in data["option_labels"]]
+    if saved_labels != space.labels():
+        raise TrainingError(
+            "saved agent was trained for a different option space:\n"
+            f"  saved:    {saved_labels}\n"
+            f"  provided: {space.labels()}"
+        )
+    network = QNetwork(
+        int(data["input_dim"]),
+        int(data["n_actions"]),
+        (int(data["hidden0"]), int(data["hidden1"])),
+    )
+    network.set_weights(
+        {
+            key.removeprefix("weights_"): data[key]
+            for key in data.files
+            if key.startswith("weights_")
+        }
+    )
+    return MalivaAgent(network, space, float(data["tau_ms"]))

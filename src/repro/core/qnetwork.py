@@ -1,0 +1,170 @@
+"""The q-network of Figure 8, implemented in numpy.
+
+Architecture (verbatim from the paper): an input layer taking the state
+vector ``(E, C_1..C_n, T_1..T_n)``, two fully connected hidden layers "with
+sizes similar to the input layer" using ReLU, and a linear output layer with
+one q-value per rewrite option.  Training minimizes the squared Bellman
+error with Adam.
+
+PyTorch is not available in this environment, so forward/backward passes and
+the Adam optimizer are hand-rolled; weights are plain numpy arrays and can
+be saved/loaded as ``.npz`` files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AdamParams:
+    """Adam hyper-parameters."""
+
+    lr: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+
+
+class QNetwork:
+    """A 2-hidden-layer ReLU MLP mapping states to per-option q-values."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        n_actions: int,
+        hidden_dims: tuple[int, int] | None = None,
+        seed: int = 0,
+        adam: AdamParams | None = None,
+    ) -> None:
+        if input_dim < 1 or n_actions < 1:
+            raise ValueError("network dimensions must be positive")
+        if hidden_dims is None:
+            hidden_dims = (input_dim, input_dim)
+        self.input_dim = input_dim
+        self.n_actions = n_actions
+        self.hidden_dims = hidden_dims
+        self.adam = adam or AdamParams()
+
+        rng = np.random.default_rng(seed)
+        dims = [input_dim, hidden_dims[0], hidden_dims[1], n_actions]
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
+            self._weights.append(rng.standard_normal((fan_in, fan_out)) * scale)
+            self._biases.append(np.zeros(fan_out))
+
+        self._m = [np.zeros_like(w) for w in self._weights + self._biases]
+        self._v = [np.zeros_like(w) for w in self._weights + self._biases]
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Q-values for a batch of states, shape ``(batch, n_actions)``."""
+        q, _ = self._forward(np.atleast_2d(states).astype(np.float64))
+        return q
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        """Q-values for a single state vector, shape ``(n_actions,)``."""
+        return self.predict(state[None, :])[0]
+
+    def _forward(self, x: np.ndarray):
+        z1 = x @ self._weights[0] + self._biases[0]
+        a1 = np.maximum(z1, 0.0)
+        z2 = a1 @ self._weights[1] + self._biases[1]
+        a2 = np.maximum(z2, 0.0)
+        q = a2 @ self._weights[2] + self._biases[2]
+        return q, (x, z1, a1, z2, a2)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_batch(
+        self, states: np.ndarray, actions: np.ndarray, targets: np.ndarray
+    ) -> float:
+        """One Adam step on ``L = mean (Q(s, a) − y)^2``; returns the loss."""
+        states = np.atleast_2d(states).astype(np.float64)
+        actions = np.asarray(actions, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.float64)
+        batch = len(states)
+        q, (x, z1, a1, z2, a2) = self._forward(states)
+
+        selected = q[np.arange(batch), actions]
+        errors = selected - targets
+        loss = float(np.mean(errors**2))
+
+        grad_q = np.zeros_like(q)
+        grad_q[np.arange(batch), actions] = 2.0 * errors / batch
+
+        grad_w3 = a2.T @ grad_q
+        grad_b3 = grad_q.sum(axis=0)
+        grad_a2 = grad_q @ self._weights[2].T
+        grad_z2 = grad_a2 * (z2 > 0)
+        grad_w2 = a1.T @ grad_z2
+        grad_b2 = grad_z2.sum(axis=0)
+        grad_a1 = grad_z2 @ self._weights[1].T
+        grad_z1 = grad_a1 * (z1 > 0)
+        grad_w1 = x.T @ grad_z1
+        grad_b1 = grad_z1.sum(axis=0)
+
+        grads = [grad_w1, grad_w2, grad_w3, grad_b1, grad_b2, grad_b3]
+        params = self._weights + self._biases
+        self._t += 1
+        adam = self.adam
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            self._m[i] = adam.beta1 * self._m[i] + (1 - adam.beta1) * grad
+            self._v[i] = adam.beta2 * self._v[i] + (1 - adam.beta2) * grad**2
+            m_hat = self._m[i] / (1 - adam.beta1**self._t)
+            v_hat = self._v[i] / (1 - adam.beta2**self._t)
+            param -= adam.lr * m_hat / (np.sqrt(v_hat) + adam.eps)
+        return loss
+
+    # ------------------------------------------------------------------
+    # Weight management
+    # ------------------------------------------------------------------
+    def get_weights(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for i, weight in enumerate(self._weights):
+            state[f"w{i}"] = weight.copy()
+        for i, bias in enumerate(self._biases):
+            state[f"b{i}"] = bias.copy()
+        return state
+
+    def set_weights(self, state: dict[str, np.ndarray]) -> None:
+        for i in range(len(self._weights)):
+            self._weights[i] = state[f"w{i}"].copy()
+            self._biases[i] = state[f"b{i}"].copy()
+
+    def clone(self) -> "QNetwork":
+        """A frozen copy (used as the DQN target network)."""
+        twin = QNetwork(
+            self.input_dim, self.n_actions, self.hidden_dims, seed=0, adam=self.adam
+        )
+        twin.set_weights(self.get_weights())
+        return twin
+
+    def save(self, path: str) -> None:
+        np.savez(
+            path,
+            input_dim=self.input_dim,
+            n_actions=self.n_actions,
+            hidden0=self.hidden_dims[0],
+            hidden1=self.hidden_dims[1],
+            **self.get_weights(),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "QNetwork":
+        data = np.load(path)
+        network = cls(
+            int(data["input_dim"]),
+            int(data["n_actions"]),
+            (int(data["hidden0"]), int(data["hidden1"])),
+        )
+        network.set_weights({k: data[k] for k in data.files if k[0] in "wb" and k[1:].isdigit()})
+        return network

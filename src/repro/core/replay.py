@@ -1,0 +1,56 @@
+"""Experience replay memory (Algorithm 1, lines 1 and 18-21).
+
+Experiences are 4-tuples ``(s, a, s', r')`` plus the bookkeeping deep
+q-learning needs: whether ``s'`` is terminal and which actions remain legal
+at ``s'`` (an option cannot be estimated twice).  The memory is bounded and
+replaced FIFO, as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TrainingError
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stored experience."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    #: Boolean mask over options still available at ``next_state``.
+    next_mask: np.ndarray
+    terminal: bool
+
+
+class ReplayMemory:
+    """Bounded FIFO experience store with uniform sampling."""
+
+    def __init__(self, capacity: int = 2_000) -> None:
+        if capacity < 1:
+            raise TrainingError("replay capacity must be positive")
+        self.capacity = capacity
+        self._buffer: deque[Transition] = deque(maxlen=capacity)
+
+    def push(self, transition: Transition) -> None:
+        self._buffer.append(transition)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
+        """Uniform sample without replacement (or everything, if smaller)."""
+        if not self._buffer:
+            raise TrainingError("cannot sample from an empty replay memory")
+        size = min(batch_size, len(self._buffer))
+        indices = rng.choice(len(self._buffer), size=size, replace=False)
+        return [self._buffer[i] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()

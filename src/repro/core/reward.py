@@ -1,0 +1,85 @@
+"""Reward functions: Equation 1 (efficiency) and Equation 2 (quality-aware).
+
+Rewards are terminal-only: intermediate steps yield 0 (Section 4.1, case 1).
+When the agent commits to a rewritten query and it has been run, the reward
+is ``(tau − E − T̂)/tau`` — positive iff the total time beat the budget —
+optionally blended with the visualization quality ``F(r(Q), r(RQ))``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..db import Database, ExecutionResult, SelectQuery
+from ..viz.quality import QualityContext, QualityFunction
+
+
+@dataclass(frozen=True)
+class EpisodeOutcome:
+    """Everything a reward function may need about a finished episode."""
+
+    tau_ms: float
+    elapsed_ms: float
+    execution_ms: float
+    original_query: SelectQuery
+    rewritten_query: SelectQuery
+    rewritten_result: ExecutionResult
+
+    @property
+    def total_ms(self) -> float:
+        return self.elapsed_ms + self.execution_ms
+
+    @property
+    def viable(self) -> bool:
+        return self.total_ms <= self.tau_ms
+
+
+class RewardFunction(ABC):
+    """Terminal reward for a finished rewrite episode."""
+
+    @abstractmethod
+    def final_reward(self, outcome: EpisodeOutcome) -> float:
+        """Reward for the terminal transition."""
+
+    def intermediate_reward(self) -> float:
+        """Reward for non-terminal transitions (always 0 in the paper)."""
+        return 0.0
+
+
+class EfficiencyReward(RewardFunction):
+    """Equation 1: ``R = (tau − E − T̂) / tau``."""
+
+    def final_reward(self, outcome: EpisodeOutcome) -> float:
+        return (outcome.tau_ms - outcome.total_ms) / outcome.tau_ms
+
+
+class QualityAwareReward(RewardFunction):
+    """Equation 2: ``R = beta·(tau − E − T̂)/tau + (1 − beta)·F(r(Q), r(RQ))``.
+
+    ``F`` requires the original query's exact result, which is computed
+    offline (training phase) — the paper notes this cost is paid once and
+    never during online planning.
+    """
+
+    def __init__(
+        self, database: Database, quality_fn: QualityFunction, beta: float = 0.5
+    ) -> None:
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        self._db = database
+        self._quality_fn = quality_fn
+        self.beta = beta
+
+    def quality(self, outcome: EpisodeOutcome) -> float:
+        original_result = self._db.true_result(outcome.original_query.without_hints())
+        context = QualityContext(
+            self._db, outcome.original_query, outcome.rewritten_query
+        )
+        return self._quality_fn.evaluate(
+            original_result, outcome.rewritten_result, context
+        )
+
+    def final_reward(self, outcome: EpisodeOutcome) -> float:
+        efficiency = (outcome.tau_ms - outcome.total_ms) / outcome.tau_ms
+        return self.beta * efficiency + (1.0 - self.beta) * self.quality(outcome)

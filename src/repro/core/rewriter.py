@@ -1,0 +1,90 @@
+"""Online query rewriting — the paper's Algorithm 2.
+
+Given a trained agent, the rewriter plans greedily: at each step it picks
+the unexplored rewritten query with the highest q-value, asks the QTE for
+its time (paying the cost on the virtual clock), and stops as soon as one of
+the termination conditions fires.  The decided rewritten query and the
+planning time spent finding it are returned to the middleware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db import Database, SelectQuery
+from ..qte import QueryTimeEstimator, SelectivityCache
+from .agent import MalivaAgent
+from .environment import RewriteEpisode
+
+
+@dataclass(frozen=True)
+class RewriteDecision:
+    """What the rewriter decided for one request."""
+
+    rewritten: SelectQuery
+    option_index: int
+    option_label: str
+    #: Virtual time spent planning (QTE costs accumulated).
+    planning_ms: float
+    #: "viable" | "timeout" | "exhausted".
+    reason: str
+    #: How many rewritten queries were estimated.
+    n_explored: int
+
+
+class MDPQueryRewriter:
+    """Runs Algorithm 2 for each incoming query."""
+
+    def __init__(
+        self,
+        agent: MalivaAgent,
+        database: Database,
+        qte: QueryTimeEstimator,
+    ) -> None:
+        self.agent = agent
+        self.database = database
+        self.qte = qte
+
+    def plan(
+        self,
+        query: SelectQuery,
+        start_elapsed_ms: float = 0.0,
+        cache: SelectivityCache | None = None,
+    ) -> tuple[RewriteDecision, RewriteEpisode]:
+        """Run the planning loop; returns the decision and the episode.
+
+        The episode is exposed so callers (the two-stage rewriter) can chain
+        a second planning phase that inherits elapsed time and collected
+        selectivities.
+        """
+        episode = RewriteEpisode(
+            self.database,
+            self.qte,
+            self.agent.space,
+            query,
+            self.agent.tau_ms,
+            start_elapsed_ms=start_elapsed_ms,
+            cache=cache,
+        )
+        n_explored = 0
+        while True:
+            action = self.agent.best_action(episode.state, episode.remaining())
+            step = episode.step(action)
+            n_explored += 1
+            if step.decision is None:
+                continue
+            option_index = step.decision.option_index
+            decision = RewriteDecision(
+                rewritten=episode.rewritten(option_index),
+                option_index=option_index,
+                option_label=self.agent.space.option(option_index).label(),
+                planning_ms=episode.state.elapsed_ms - start_elapsed_ms,
+                reason=step.decision.reason,
+                n_explored=n_explored,
+            )
+            return decision, episode
+
+    def rewrite(self, query: SelectQuery) -> RewriteDecision:
+        """Algorithm 2: plan and return the chosen rewritten query."""
+        decision, _ = self.plan(query)
+        return decision

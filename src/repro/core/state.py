@@ -1,0 +1,82 @@
+"""The MDP state of Section 4.1: ``s = (E, C_1..C_n, T_1..T_n)``.
+
+* ``E`` — elapsed planning time for the current request,
+* ``C_i`` — (predicted) cost of estimating rewritten query RQ_i, updated as
+  the shared selectivity cache fills up,
+* ``T_i`` — estimated execution time of RQ_i, zero until explored.
+
+The q-network consumes :meth:`MDPState.vector`, a tau-normalized, clipped
+encoding of the same numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Estimated times are clipped at this many budgets in the network input,
+#: so a catastrophically slow RQ does not saturate the features.
+TIME_CLIP_BUDGETS = 5.0
+
+
+@dataclass
+class MDPState:
+    """Mutable per-request MDP state (Figure 6 of the paper)."""
+
+    elapsed_ms: float
+    estimation_costs_ms: np.ndarray
+    estimated_times_ms: np.ndarray
+    explored: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.estimation_costs_ms = np.asarray(self.estimation_costs_ms, dtype=np.float64)
+        self.estimated_times_ms = np.asarray(self.estimated_times_ms, dtype=np.float64)
+        if self.explored is None:
+            self.explored = np.zeros(len(self.estimation_costs_ms), dtype=bool)
+        if len(self.estimation_costs_ms) != len(self.estimated_times_ms):
+            raise ValueError("cost and time vectors must have equal length")
+        if len(self.explored) != len(self.estimation_costs_ms):
+            raise ValueError("explored mask length mismatch")
+
+    @property
+    def n_options(self) -> int:
+        return len(self.estimation_costs_ms)
+
+    def remaining(self) -> np.ndarray:
+        """Indices of options not explored yet."""
+        return np.flatnonzero(~self.explored)
+
+    def explored_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.explored)
+
+    def copy(self) -> "MDPState":
+        return MDPState(
+            elapsed_ms=self.elapsed_ms,
+            estimation_costs_ms=self.estimation_costs_ms.copy(),
+            estimated_times_ms=self.estimated_times_ms.copy(),
+            explored=self.explored.copy(),
+        )
+
+    def vector(self, tau_ms: float) -> np.ndarray:
+        """Network input: ``[E, C_1..C_n, T_1..T_n] / tau``, clipped."""
+        if tau_ms <= 0:
+            raise ValueError("time budget must be positive")
+        elapsed = min(self.elapsed_ms / tau_ms, TIME_CLIP_BUDGETS)
+        costs = np.clip(self.estimation_costs_ms / tau_ms, 0.0, TIME_CLIP_BUDGETS)
+        times = np.clip(self.estimated_times_ms / tau_ms, 0.0, TIME_CLIP_BUDGETS)
+        return np.concatenate(([elapsed], costs, times)).astype(np.float32)
+
+    @staticmethod
+    def vector_size(n_options: int) -> int:
+        return 1 + 2 * n_options
+
+    @staticmethod
+    def initial(estimation_costs_ms: np.ndarray) -> "MDPState":
+        """The paper's initial state ``(0, C_1..C_n, 0..0)``."""
+        n = len(estimation_costs_ms)
+        return MDPState(
+            elapsed_ms=0.0,
+            estimation_costs_ms=np.asarray(estimation_costs_ms, dtype=np.float64),
+            estimated_times_ms=np.zeros(n, dtype=np.float64),
+        )

@@ -1,0 +1,301 @@
+"""Training the MDP agent offline — the paper's Algorithm 1.
+
+The trainer runs episodes over the training workload in shuffled epochs.
+Each episode follows the epsilon-greedy policy over *unexplored* options,
+stores experiences in the FIFO replay memory, and updates the q-network by
+replaying random batches against a periodically synchronized target network
+(the Bellman targets of Watkins' q-learning).  Training stops when the total
+accumulated reward of an epoch stops improving by more than ~1% (the paper's
+convergence criterion) or when ``max_epochs`` is reached.
+
+``train_validated`` implements the paper's hold-out validation protocol:
+train several candidate agents and keep the one with the best viable-query
+percentage on the validation workload.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..db import Database, SelectQuery
+from ..errors import TrainingError
+from ..qte import QueryTimeEstimator
+from .agent import MalivaAgent
+from .environment import RewriteEpisode
+from .options import RewriteOptionSpace
+from .qnetwork import AdamParams, QNetwork
+from .replay import ReplayMemory, Transition
+from .reward import EfficiencyReward, EpisodeOutcome, RewardFunction
+from .state import MDPState
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters for Algorithm 1."""
+
+    max_epochs: int = 30
+    min_epochs: int = 4
+    batch_size: int = 32
+    replay_capacity: int = 4_000
+    gamma: float = 1.0
+    learning_rate: float = 1e-3
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    #: Epochs over which epsilon decays linearly from start to end.
+    epsilon_decay_epochs: int = 10
+    #: Episodes between target-network synchronizations.
+    target_sync_episodes: int = 25
+    #: Gradient updates performed after each episode (Algorithm 1 line 21).
+    updates_per_episode: int = 4
+    #: Relative epoch-reward improvement below which we count convergence.
+    convergence_tol: float = 0.01
+    convergence_patience: int = 3
+    seed: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch learning diagnostics (feeds Figure 21)."""
+
+    epoch_rewards: list[float] = field(default_factory=list)
+    epoch_viable_fraction: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    converged: bool = False
+    training_seconds: float = 0.0
+
+
+class DQNTrainer:
+    """Trains one MDP agent on a workload (Algorithm 1)."""
+
+    def __init__(
+        self,
+        database: Database,
+        qte: QueryTimeEstimator,
+        space: RewriteOptionSpace,
+        tau_ms: float,
+        reward: RewardFunction | None = None,
+        config: TrainingConfig | None = None,
+        episode_factory: Callable[[SelectQuery], RewriteEpisode] | None = None,
+    ) -> None:
+        self.database = database
+        self.qte = qte
+        self.space = space
+        self.tau_ms = tau_ms
+        self.reward = reward or EfficiencyReward()
+        self.config = config or TrainingConfig()
+        self._episode_factory = episode_factory or self._default_episode
+        self._rng = np.random.default_rng(self.config.seed)
+
+        input_dim = MDPState.vector_size(len(space))
+        self.network = QNetwork(
+            input_dim,
+            len(space),
+            seed=self.config.seed,
+            adam=AdamParams(lr=self.config.learning_rate),
+        )
+        self._target = self.network.clone()
+        self.memory = ReplayMemory(self.config.replay_capacity)
+        self.agent = MalivaAgent(self.network, space, tau_ms)
+        self._episodes_since_sync = 0
+
+    def _default_episode(self, query: SelectQuery) -> RewriteEpisode:
+        return RewriteEpisode(self.database, self.qte, self.space, query, self.tau_ms)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def train(self, workload: Sequence[SelectQuery]) -> TrainingHistory:
+        """Run Algorithm 1 over ``workload``; returns learning diagnostics."""
+        if not workload:
+            raise TrainingError("cannot train on an empty workload")
+        config = self.config
+        history = TrainingHistory()
+        start = time.perf_counter()
+        queries = list(workload)
+        stall_epochs = 0
+        previous_reward: float | None = None
+
+        for epoch in range(config.max_epochs):
+            epsilon = self._epsilon_at(epoch)
+            self._rng.shuffle(queries)
+            total_reward = 0.0
+            viable = 0
+            for query in queries:
+                episode_reward, episode_viable = self.run_episode(query, epsilon)
+                total_reward += episode_reward
+                viable += int(episode_viable)
+            history.epoch_rewards.append(total_reward)
+            history.epoch_viable_fraction.append(viable / len(queries))
+            history.epochs_run = epoch + 1
+
+            if previous_reward is not None:
+                improvement = total_reward - previous_reward
+                threshold = config.convergence_tol * max(1.0, abs(previous_reward))
+                if improvement < threshold:
+                    stall_epochs += 1
+                else:
+                    stall_epochs = 0
+                if (
+                    epoch + 1 >= config.min_epochs
+                    and stall_epochs >= config.convergence_patience
+                ):
+                    history.converged = True
+                    break
+            previous_reward = total_reward
+
+        history.training_seconds = time.perf_counter() - start
+        return history
+
+    def run_episode(
+        self, query: SelectQuery, epsilon: float, learn: bool = True
+    ) -> tuple[float, bool]:
+        """One training episode; returns (final reward, viability)."""
+        episode = self._episode_factory(query)
+        final_reward = 0.0
+        viable = False
+        while True:
+            remaining = episode.remaining()
+            state_vec = episode.state.vector(self.tau_ms)
+            action = self.agent.epsilon_greedy_action(
+                episode.state, remaining, epsilon, self._rng
+            )
+            step = episode.step(action)
+            next_vec = episode.state.vector(self.tau_ms)
+            next_mask = ~episode.state.explored.copy()
+
+            if step.decision is None:
+                self.memory.push(
+                    Transition(
+                        state=state_vec,
+                        action=action,
+                        reward=self.reward.intermediate_reward(),
+                        next_state=next_vec,
+                        next_mask=next_mask,
+                        terminal=False,
+                    )
+                )
+                continue
+
+            # Terminal: run the decided rewritten query and compute Eq. 1/2.
+            rewritten = episode.rewritten(step.decision.option_index)
+            result = self.database.execute(rewritten)
+            outcome = EpisodeOutcome(
+                tau_ms=self.tau_ms,
+                elapsed_ms=episode.state.elapsed_ms,
+                execution_ms=result.execution_ms,
+                original_query=query,
+                rewritten_query=rewritten,
+                rewritten_result=result,
+            )
+            final_reward = self.reward.final_reward(outcome)
+            viable = outcome.viable
+            self.memory.push(
+                Transition(
+                    state=state_vec,
+                    action=action,
+                    reward=final_reward,
+                    next_state=next_vec,
+                    next_mask=next_mask,
+                    terminal=True,
+                )
+            )
+            break
+
+        if learn:
+            self._learn()
+        return final_reward, viable
+
+    # ------------------------------------------------------------------
+    # Learning internals
+    # ------------------------------------------------------------------
+    def _learn(self) -> None:
+        config = self.config
+        if len(self.memory) < config.batch_size:
+            return
+        for _ in range(config.updates_per_episode):
+            batch = self.memory.sample(config.batch_size, self._rng)
+            states = np.stack([t.state for t in batch])
+            actions = np.array([t.action for t in batch])
+            targets = self._bellman_targets(batch)
+            self.network.train_batch(states, actions, targets)
+        self._episodes_since_sync += 1
+        if self._episodes_since_sync >= config.target_sync_episodes:
+            self._target.set_weights(self.network.get_weights())
+            self._episodes_since_sync = 0
+
+    def _bellman_targets(self, batch: list[Transition]) -> np.ndarray:
+        next_states = np.stack([t.next_state for t in batch])
+        next_q = self._target.predict(next_states)
+        targets = np.empty(len(batch))
+        for i, transition in enumerate(batch):
+            if transition.terminal or not transition.next_mask.any():
+                targets[i] = transition.reward
+            else:
+                best_next = float(np.max(next_q[i][transition.next_mask]))
+                targets[i] = transition.reward + self.config.gamma * best_next
+        return targets
+
+    def _epsilon_at(self, epoch: int) -> float:
+        config = self.config
+        if config.epsilon_decay_epochs <= 0:
+            return config.epsilon_end
+        fraction = min(1.0, epoch / config.epsilon_decay_epochs)
+        return config.epsilon_start + fraction * (
+            config.epsilon_end - config.epsilon_start
+        )
+
+
+def train_validated(
+    database: Database,
+    qte: QueryTimeEstimator,
+    space: RewriteOptionSpace,
+    tau_ms: float,
+    train_queries: Sequence[SelectQuery],
+    validation_queries: Sequence[SelectQuery] | None = None,
+    n_candidates: int = 1,
+    reward: RewardFunction | None = None,
+    config: TrainingConfig | None = None,
+) -> tuple[MalivaAgent, TrainingHistory]:
+    """Hold-out validation: train ``n_candidates`` agents, keep the best.
+
+    "We used a workload to train multiple MDP agents, and used a validation
+    workload to choose a best agent" (Section 7.1).  With no validation
+    workload (or a single candidate) the first agent is returned.
+    """
+    if n_candidates < 1:
+        raise TrainingError("need at least one candidate agent")
+    base_config = config or TrainingConfig()
+    best: tuple[MalivaAgent, TrainingHistory] | None = None
+    best_score = -np.inf
+    for candidate in range(n_candidates):
+        candidate_config = TrainingConfig(
+            **{
+                **base_config.__dict__,
+                "seed": base_config.seed + candidate * 7_919,
+            }
+        )
+        trainer = DQNTrainer(
+            database, qte, space, tau_ms, reward=reward, config=candidate_config
+        )
+        history = trainer.train(train_queries)
+        if validation_queries is None or n_candidates == 1:
+            return trainer.agent, history
+        score = _validation_vqp(trainer, validation_queries)
+        if score > best_score:
+            best_score = score
+            best = (trainer.agent, history)
+    assert best is not None
+    return best
+
+
+def _validation_vqp(trainer: DQNTrainer, queries: Sequence[SelectQuery]) -> float:
+    """Greedy (epsilon = 0) viable-query percentage on a validation set."""
+    viable = 0
+    for query in queries:
+        _, was_viable = trainer.run_episode(query, epsilon=0.0, learn=False)
+        viable += int(was_viable)
+    return viable / max(1, len(queries))

@@ -1,0 +1,38 @@
+"""Synthetic datasets with the skew properties of the paper's Table 1."""
+
+from .nyc_taxi import TRIP_FILTER_ATTRIBUTES, TaxiConfig, build_taxi_database, build_taxi_table
+from .spatial import NYC_MODEL, US_MODEL, ClusterModel
+from .text import HEAD_WORDS, ZipfVocabulary, generate_texts
+from .tpch import (
+    LINEITEM_FILTER_ATTRIBUTES,
+    TpchConfig,
+    build_lineitem_table,
+    build_tpch_database,
+)
+from .twitter import (
+    TWEET_FILTER_ATTRIBUTES,
+    TwitterConfig,
+    build_twitter_database,
+    build_twitter_tables,
+)
+
+__all__ = [
+    "ClusterModel",
+    "HEAD_WORDS",
+    "LINEITEM_FILTER_ATTRIBUTES",
+    "NYC_MODEL",
+    "TRIP_FILTER_ATTRIBUTES",
+    "TWEET_FILTER_ATTRIBUTES",
+    "TaxiConfig",
+    "TpchConfig",
+    "TwitterConfig",
+    "US_MODEL",
+    "ZipfVocabulary",
+    "build_lineitem_table",
+    "build_taxi_database",
+    "build_taxi_table",
+    "build_tpch_database",
+    "build_twitter_database",
+    "build_twitter_tables",
+    "generate_texts",
+]

@@ -1,0 +1,158 @@
+"""Synthetic Twitter dataset: ``tweets`` and ``users`` tables.
+
+Mirrors the paper's Table 1 schema:
+
+``tweets``
+    id, text, created_at, coordinates, users_statues_count,
+    users_followers_count, user_id (FK to users.id).
+``users``
+    id, tweet_cnt, followers_count.
+
+Filter attributes carry the skew that makes plan choice hard: Zipfian text,
+city-clustered coordinates, and a seasonally varying posting rate over the
+paper's Nov 2015 – Jan 2017 window (~425 days).  User activity attributes
+are heavy-tailed log-normals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..db import Column, ColumnKind, Database, EngineProfile, Table, TableSchema
+from ..db.schema import ForeignKey
+from ..db.types import days
+from .spatial import US_MODEL
+from .text import ZipfVocabulary, generate_texts
+
+#: Attributes eligible for filter conditions, in canonical order.
+TWEET_FILTER_ATTRIBUTES = (
+    "text",
+    "created_at",
+    "coordinates",
+    "users_statues_count",
+    "users_followers_count",
+)
+
+
+@dataclass(frozen=True)
+class TwitterConfig:
+    """Size and randomness knobs for the synthetic Twitter dataset."""
+
+    n_tweets: int = 120_000
+    n_users: int = 6_000
+    time_span_days: float = 425.0
+    mean_words: float = 8.0
+    vocabulary_size: int = 4_000
+    zipf_alpha: float = 1.1
+    seed: int = 42
+    #: Fractions of approximation sample tables to materialize.
+    sample_fractions: tuple[float, ...] = ()
+    #: Columns to index on the tweets table.
+    indexed_attributes: tuple[str, ...] = field(
+        default=("text", "created_at", "coordinates")
+    )
+
+
+def tweets_schema() -> TableSchema:
+    return TableSchema(
+        name="tweets",
+        columns=(
+            Column("id", ColumnKind.INT),
+            Column("text", ColumnKind.TEXT),
+            Column("created_at", ColumnKind.TIMESTAMP),
+            Column("coordinates", ColumnKind.POINT),
+            Column("users_statues_count", ColumnKind.INT),
+            Column("users_followers_count", ColumnKind.INT),
+            Column("user_id", ColumnKind.INT),
+        ),
+        primary_key="id",
+        foreign_keys=(ForeignKey("user_id", "users", "id"),),
+    )
+
+
+def users_schema() -> TableSchema:
+    return TableSchema(
+        name="users",
+        columns=(
+            Column("id", ColumnKind.INT),
+            Column("tweet_cnt", ColumnKind.INT),
+            Column("followers_count", ColumnKind.INT),
+        ),
+        primary_key="id",
+    )
+
+
+def _posting_times(n: int, span_days: float, rng: np.random.Generator) -> np.ndarray:
+    """Timestamps with seasonal + weekly volume variation and mild growth."""
+    base = rng.uniform(0.0, span_days, size=n)
+    # Rejection-free reshaping: accept-weighting via inverse-CDF style mixing.
+    seasonal = 1.0 + 0.35 * np.sin(2 * np.pi * base / 365.0)
+    weekly = 1.0 + 0.2 * np.sin(2 * np.pi * base / 7.0)
+    growth = 1.0 + 0.4 * base / span_days
+    weight = seasonal * weekly * growth
+    keep_prob = weight / weight.max()
+    kept = base[rng.random(n) < keep_prob]
+    while len(kept) < n:
+        extra = rng.uniform(0.0, span_days, size=n)
+        w = (
+            (1.0 + 0.35 * np.sin(2 * np.pi * extra / 365.0))
+            * (1.0 + 0.2 * np.sin(2 * np.pi * extra / 7.0))
+            * (1.0 + 0.4 * extra / span_days)
+        )
+        kept = np.concatenate([kept, extra[rng.random(n) < w / w.max()]])
+    return days(np.sort(kept[:n]))
+
+
+def build_twitter_tables(config: TwitterConfig | None = None) -> tuple[Table, Table]:
+    """Generate the tweets and users tables (no database wiring)."""
+    cfg = config or TwitterConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    # Users: heavy-tailed activity and audience size.
+    user_ids = np.arange(cfg.n_users, dtype=np.int64)
+    tweet_cnt = np.maximum(1, rng.lognormal(4.5, 1.6, cfg.n_users)).astype(np.int64)
+    followers = np.maximum(0, rng.lognormal(4.0, 2.0, cfg.n_users)).astype(np.int64)
+    users = Table(
+        users_schema(),
+        {"id": user_ids, "tweet_cnt": tweet_cnt, "followers_count": followers},
+    )
+
+    # Tweets: authors drawn proportionally to activity.
+    author_probs = tweet_cnt / tweet_cnt.sum()
+    authors = rng.choice(cfg.n_users, size=cfg.n_tweets, p=author_probs)
+    vocabulary = ZipfVocabulary(cfg.vocabulary_size, cfg.zipf_alpha, seed=cfg.seed + 1)
+    tweets = Table(
+        tweets_schema(),
+        {
+            "id": np.arange(cfg.n_tweets, dtype=np.int64),
+            "text": generate_texts(cfg.n_tweets, rng, vocabulary, cfg.mean_words),
+            "created_at": _posting_times(cfg.n_tweets, cfg.time_span_days, rng),
+            "coordinates": US_MODEL.sample(cfg.n_tweets, rng),
+            "users_statues_count": tweet_cnt[authors],
+            "users_followers_count": followers[authors],
+            "user_id": user_ids[authors],
+        },
+    )
+    return tweets, users
+
+
+def build_twitter_database(
+    config: TwitterConfig | None = None,
+    profile: EngineProfile | None = None,
+    seed: int = 0,
+) -> Database:
+    """Create a fully wired database: tables, indexes, statistics, samples."""
+    cfg = config or TwitterConfig()
+    tweets, users = build_twitter_tables(cfg)
+    database = Database(profile=profile, seed=seed)
+    database.add_table(tweets)
+    database.add_table(users)
+    for attribute in cfg.indexed_attributes:
+        database.create_index("tweets", attribute)
+    database.create_index("users", "id")
+    database.create_index("users", "tweet_cnt")
+    for fraction in cfg.sample_fractions:
+        database.create_sample_table("tweets", fraction, seed=cfg.seed + 97)
+    return database

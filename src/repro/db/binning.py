@@ -1,0 +1,48 @@
+"""Spatial BIN_ID computation shared by the executor and the viz layer.
+
+``BIN_ID(column)`` assigns each point to a fixed-size rectangular cell and
+returns a single integer id per cell, matching the paper's heatmap queries
+(``GROUP BY BIN_ID(Location)``).  Cell ids are stable across queries with the
+same cell size, so results of original and rewritten queries are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .query import BinGroupBy
+
+#: Global origin for bin grids (covers geographic coordinates comfortably).
+BIN_ORIGIN_X = -180.0
+BIN_ORIGIN_Y = -90.0
+#: Stride multiplier packing (ix, iy) into one integer id.
+_BIN_STRIDE = 1 << 20
+
+
+def compute_bin_ids(points: np.ndarray, group_by: BinGroupBy) -> np.ndarray:
+    """Integer bin id for each point in an ``(n, 2)`` array."""
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be an (n, 2) array")
+    ix = np.floor((points[:, 0] - BIN_ORIGIN_X) / group_by.cell_x).astype(np.int64)
+    iy = np.floor((points[:, 1] - BIN_ORIGIN_Y) / group_by.cell_y).astype(np.int64)
+    return ix * _BIN_STRIDE + iy
+
+
+def bin_counts(
+    points: np.ndarray, group_by: BinGroupBy, weight: float = 1.0
+) -> dict[int, float]:
+    """Histogram of bin ids -> (weighted) counts."""
+    if len(points) == 0:
+        return {}
+    ids = compute_bin_ids(points, group_by)
+    unique, counts = np.unique(ids, return_counts=True)
+    return {int(b): float(c) * weight for b, c in zip(unique, counts)}
+
+
+def bin_center(bin_id: int, group_by: BinGroupBy) -> tuple[float, float]:
+    """Geographic center of a bin (used when rendering heatmaps)."""
+    ix, iy = divmod(bin_id, _BIN_STRIDE)
+    return (
+        BIN_ORIGIN_X + (ix + 0.5) * group_by.cell_x,
+        BIN_ORIGIN_Y + (iy + 0.5) * group_by.cell_y,
+    )

@@ -1,0 +1,74 @@
+"""Virtual clock used to account for planning and execution time.
+
+The paper measures real wall-clock time on an AWS instance.  This
+reproduction replaces wall-clock with a deterministic *virtual clock*: every
+operation (optimizer planning, QTE estimation, query execution) charges a
+cost in virtual milliseconds derived from the engine cost model.  All
+latency-sensitive logic — the MDP state's elapsed time ``E``, the viability
+check ``E + T <= tau`` — reads this clock, which makes every experiment
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock measured in milliseconds."""
+
+    __slots__ = ("_now_ms",)
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("clock cannot start at negative time")
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` (must be non-negative).
+
+        Returns the new current time, which makes call sites compact:
+        ``elapsed = clock.advance(cost)``.
+        """
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by negative time {delta_ms}")
+        self._now_ms += float(delta_ms)
+        return self._now_ms
+
+    def reset(self, start_ms: float = 0.0) -> None:
+        """Rewind the clock (used when a new request starts)."""
+        if start_ms < 0:
+            raise ValueError("clock cannot be reset to negative time")
+        self._now_ms = float(start_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"VirtualClock({self._now_ms:.3f}ms)"
+
+
+class Stopwatch:
+    """Measures the virtual time spent inside a ``with`` block.
+
+    Example
+    -------
+    >>> clock = VirtualClock()
+    >>> with Stopwatch(clock) as watch:
+    ...     _ = clock.advance(12.5)
+    >>> watch.elapsed_ms
+    12.5
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start: float | None = None
+        self.elapsed_ms: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now_ms
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed_ms = self._clock.now_ms - self._start

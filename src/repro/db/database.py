@@ -1,0 +1,404 @@
+"""The database: catalog, optimizer, executor, and engine behaviour profiles.
+
+This is the black-box "backend database" of the paper's architecture.  The
+middleware only ever talks to it through :meth:`Database.execute` (run a
+query, hints honoured with high probability) and — for the oracle QTE and
+experiment bookkeeping — :meth:`Database.true_execution_time_ms`.
+
+Engine profiles capture the behavioural differences the paper observed:
+
+* :meth:`EngineProfile.postgres` — small execution-time noise, hints almost
+  always honoured, no buffer-cache modelling.  The optimizer's selectivity
+  misestimates (see ``statistics.py``) are the dominant failure source.
+* :meth:`EngineProfile.commercial` — Section 7.6's "complex behaviours":
+  buffer-cache effects make repeated access patterns much cheaper, a plan
+  can sporadically run far slower than its cost (dynamic plan change), and
+  hints are ignored more often.  A selectivity-only analytic QTE becomes
+  wildly inaccurate here, exactly as reported.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchemaError
+from .cost_model import CostModel
+from .executor import ExecutionResult, Executor
+from .indexes import GridIndex, Index, IndexLookup, InvertedIndex, SortedIndex
+from .optimizer import Optimizer
+from .plans import PhysicalPlan
+from .predicates import Predicate
+from .query import SelectQuery
+from .statistics import StatisticsConfig, TableStatistics
+from .table import Table
+from .types import ColumnKind
+
+
+@dataclass(frozen=True)
+class EngineProfile:
+    """Behavioural knobs of the simulated engine."""
+
+    name: str
+    #: Probability that the engine silently ignores query hints (challenge C2).
+    hint_ignore_prob: float = 0.0
+    #: Log-normal sigma of multiplicative execution-time noise.
+    noise_sigma: float = 0.04
+    #: Whether repeated access patterns get cheaper (buffer cache).
+    buffer_cache: bool = False
+    #: Execution-time multiplier when every touched structure is warm.
+    cache_hit_factor: float = 0.45
+    #: Probability of a sporadic slow run (dynamic plan change).
+    instability_prob: float = 0.0
+    #: Multiplier applied on a sporadic slow run.
+    instability_factor: float = 2.5
+
+    @staticmethod
+    def postgres() -> "EngineProfile":
+        return EngineProfile(name="postgres", hint_ignore_prob=0.02, noise_sigma=0.04)
+
+    @staticmethod
+    def commercial() -> "EngineProfile":
+        return EngineProfile(
+            name="commercial",
+            hint_ignore_prob=0.08,
+            noise_sigma=0.12,
+            buffer_cache=True,
+            cache_hit_factor=0.45,
+            instability_prob=0.18,
+            instability_factor=2.5,
+        )
+
+    @staticmethod
+    def deterministic() -> "EngineProfile":
+        """Noise-free profile used by unit tests."""
+        return EngineProfile(name="deterministic", hint_ignore_prob=0.0, noise_sigma=0.0)
+
+
+class _LruCache:
+    """A tiny LRU cache bounding memory used by row-id memoization."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class Database:
+    """In-memory database with a cost-based optimizer and virtual timing."""
+
+    def __init__(
+        self,
+        profile: EngineProfile | None = None,
+        cost_model: CostModel | None = None,
+        stats_config: StatisticsConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile or EngineProfile.postgres()
+        self.cost_model = cost_model or CostModel()
+        self._stats_config = stats_config or StatisticsConfig()
+        self._rng = np.random.default_rng(seed)
+
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[tuple[str, str], Index] = {}
+        self._stats: dict[str, TableStatistics] = {}
+
+        self._optimizer = Optimizer(self)
+        self._executor = Executor(self)
+
+        self._match_cache = _LruCache(capacity=256)
+        self._lookup_cache = _LruCache(capacity=256)
+        self._key_cache: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        self._true_time_cache: dict[tuple, float] = {}
+        self._warm_structures: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table, analyze: bool = True) -> Table:
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        if analyze:
+            self.analyze(table.name)
+        return table
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def analyze(self, table_name: str) -> TableStatistics:
+        """(Re)build optimizer statistics for a table."""
+        stats = TableStatistics(self.table(table_name), self._stats_config)
+        self._stats[table_name] = stats
+        return stats
+
+    def stats(self, table_name: str) -> TableStatistics:
+        if table_name not in self._stats:
+            return self.analyze(table_name)
+        return self._stats[table_name]
+
+    def create_index(self, table_name: str, column: str) -> Index:
+        """Create the natural index for a column's kind."""
+        key = (table_name, column)
+        if key in self._indexes:
+            raise SchemaError(f"index on {table_name}.{column} already exists")
+        table = self.table(table_name)
+        kind = table.schema.kind_of(column)
+        index: Index
+        if kind.is_numeric:
+            index = SortedIndex(table, column)
+        elif kind is ColumnKind.TEXT:
+            index = InvertedIndex(table, column)
+        elif kind is ColumnKind.POINT:
+            index = GridIndex(table, column)
+        else:  # pragma: no cover - all kinds covered
+            raise SchemaError(f"cannot index column kind {kind}")
+        self._indexes[key] = index
+        return index
+
+    def index(self, table_name: str, column: str) -> Index | None:
+        return self._indexes.get((table_name, column))
+
+    def indexes_for(self, table_name: str) -> dict[str, Index]:
+        return {
+            column: index
+            for (tname, column), index in self._indexes.items()
+            if tname == table_name
+        }
+
+    def create_sample_table(
+        self,
+        base_name: str,
+        fraction: float,
+        name: str | None = None,
+        seed: int = 1234,
+        with_indexes: bool = True,
+    ) -> Table:
+        """Materialize a random sample table, mirroring the base's indexes."""
+        base = self.table(base_name)
+        if name is None:
+            name = f"{base_name}_sample{int(round(fraction * 100))}"
+        sample = base.sample(fraction, seed=seed, name=name)
+        self.add_table(sample)
+        if with_indexes:
+            for column in self.indexes_for(base_name):
+                self.create_index(name, column)
+        return sample
+
+    # ------------------------------------------------------------------
+    # Planning and execution
+    # ------------------------------------------------------------------
+    def explain(self, query: SelectQuery, obey_hints: bool = True) -> PhysicalPlan:
+        """Plan a query without executing it (no randomness involved)."""
+        return self._optimizer.plan(query, obey_hints=obey_hints)
+
+    @property
+    def planning_ms(self) -> float:
+        """Virtual cost of producing one physical plan."""
+        return self.cost_model.planning_ms
+
+    def execute(self, query: SelectQuery) -> ExecutionResult:
+        """Plan and run a query, with profile noise/caching effects applied."""
+        obeyed = True
+        if query.hints is not None and self.profile.hint_ignore_prob > 0:
+            obeyed = self._rng.random() >= self.profile.hint_ignore_prob
+        plan = self._optimizer.plan(query, obey_hints=obeyed)
+        counters, row_ids, bins = self._executor.run(plan, query)
+        base_ms = self.cost_model.time_ms(counters)
+        execution_ms = self._apply_profile_effects(base_ms, plan)
+        return ExecutionResult(
+            plan=plan,
+            counters=counters,
+            base_ms=base_ms,
+            execution_ms=execution_ms,
+            row_ids=row_ids,
+            bins=bins,
+            obeyed_hints=obeyed,
+        )
+
+    def true_execution_time_ms(self, query: SelectQuery) -> float:
+        """Noiseless execution time of the (hint-obeying) plan for ``query``.
+
+        This is the oracle quantity behind the paper's Accurate-QTE and its
+        "number of viable plans" difficulty metric. Memoized per query.
+        """
+        key = query.key()
+        cached = self._true_time_cache.get(key)
+        if cached is not None:
+            return cached
+        plan = self._optimizer.plan(query, obey_hints=True)
+        counters, _, _ = self._executor.run(plan, query)
+        time_ms = self.cost_model.time_ms(counters)
+        self._true_time_cache[key] = time_ms
+        return time_ms
+
+    def true_result(self, query: SelectQuery) -> ExecutionResult:
+        """Noiseless execution (used offline, e.g. for quality rewards)."""
+        plan = self._optimizer.plan(query, obey_hints=True)
+        counters, row_ids, bins = self._executor.run(plan, query)
+        base_ms = self.cost_model.time_ms(counters)
+        return ExecutionResult(
+            plan=plan,
+            counters=counters,
+            base_ms=base_ms,
+            execution_ms=base_ms,
+            row_ids=row_ids,
+            bins=bins,
+        )
+
+    def _apply_profile_effects(self, base_ms: float, plan: PhysicalPlan) -> float:
+        profile = self.profile
+        time_ms = base_ms
+        if profile.buffer_cache:
+            touched = self._touched_structures(plan)
+            if touched:
+                warm = sum(1 for s in touched if s in self._warm_structures)
+                warm_fraction = warm / len(touched)
+                factor = 1.0 - (1.0 - profile.cache_hit_factor) * warm_fraction
+                time_ms *= factor
+            for structure in touched:
+                self._warm_structures[structure] = True
+                self._warm_structures.move_to_end(structure)
+            while len(self._warm_structures) > 8:
+                self._warm_structures.popitem(last=False)
+        if profile.instability_prob > 0 and self._rng.random() < profile.instability_prob:
+            time_ms *= profile.instability_factor
+        if profile.noise_sigma > 0:
+            time_ms *= float(np.exp(profile.noise_sigma * self._rng.standard_normal()))
+        return time_ms
+
+    def _touched_structures(self, plan: PhysicalPlan) -> list[tuple[str, str]]:
+        touched = [
+            (plan.scan.table, path.predicate.column) for path in plan.scan.access
+        ]
+        if plan.scan.is_full_scan:
+            touched.append((plan.scan.table, "<heap>"))
+        if plan.join is not None:
+            touched.append((plan.join.inner_table, plan.join.right_column))
+        return touched
+
+    # ------------------------------------------------------------------
+    # Matching services (memoized, index-accelerated)
+    # ------------------------------------------------------------------
+    def match_ids(self, table_name: str, predicate: Predicate) -> np.ndarray:
+        """Exact sorted row ids matching ``predicate`` on ``table_name``."""
+        key = (table_name, predicate.key())
+        cached = self._match_cache.get(key)
+        if cached is not None:
+            return cached
+        index = self.index(table_name, predicate.column)
+        if index is not None and index.supports(predicate):
+            ids = index.lookup(predicate).row_ids
+        else:
+            ids = predicate.matching_ids(self.table(table_name))
+        self._match_cache.put(key, ids)
+        return ids
+
+    def index_lookup(self, table_name: str, predicate: Predicate) -> IndexLookup:
+        """Index probe for ``predicate`` (requires a supporting index)."""
+        key = (table_name, predicate.key())
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
+        index = self.index(table_name, predicate.column)
+        if index is None or not index.supports(predicate):
+            raise SchemaError(
+                f"no index supports predicate {predicate!r} on {table_name!r}"
+            )
+        lookup = index.lookup(predicate)
+        self._lookup_cache.put(key, lookup)
+        return lookup
+
+    def key_lookup(self, table_name: str, column: str) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted (values, row-id permutation) for equi-join key probing."""
+        key = (table_name, column)
+        if key not in self._key_cache:
+            values = self.table(table_name).numeric(column)
+            order = np.argsort(values, kind="stable")
+            self._key_cache[key] = (values[order], order.astype(np.int64))
+        return self._key_cache[key]
+
+    # ------------------------------------------------------------------
+    # Selectivities and cardinalities
+    # ------------------------------------------------------------------
+    def true_selectivity(self, table_name: str, predicate: Predicate) -> float:
+        table = self.table(table_name)
+        if table.n_rows == 0:
+            return 0.0
+        return len(self.match_ids(table_name, predicate)) / table.n_rows
+
+    def estimated_selectivity(self, table_name: str, predicate: Predicate) -> float:
+        return self.stats(table_name).estimate_selectivity(predicate)
+
+    def estimate_cardinality(self, query: SelectQuery) -> float:
+        """Output cardinality estimate (sizes the paper's LIMIT rules).
+
+        Prefers counting on a registered sample of the query's table (the
+        middleware's sampling-QTE machinery) because the optimizer's own
+        statistics are — by design — unreliable on text and spatial
+        conditions.  Falls back to the statistics estimate when no sample
+        table exists.
+        """
+        rows = self._sample_cardinality(query)
+        if rows is None:
+            rows = self.stats(query.table).estimate_rows(query.predicates)
+        if query.join is not None:
+            inner_stats = self.stats(query.join.table)
+            rows *= inner_stats.estimate_conjunction(query.join.predicates)
+        return rows
+
+    def _sample_cardinality(self, query: SelectQuery) -> float | None:
+        """Conjunction count on the largest registered sample, scaled up."""
+        best: Table | None = None
+        for table in self._tables.values():
+            if table.base_table == query.table and table.sample_fraction:
+                if best is None or table.n_rows > best.n_rows:
+                    best = table
+        if best is None or best.n_rows == 0:
+            return None
+        matched: np.ndarray | None = None
+        for predicate in query.predicates:
+            ids = self.match_ids(best.name, predicate)
+            matched = (
+                ids
+                if matched is None
+                else np.intersect1d(matched, ids, assume_unique=True)
+            )
+        count = best.n_rows if matched is None else len(matched)
+        assert best.sample_fraction is not None
+        return count / best.sample_fraction
+
+    def clear_caches(self) -> None:
+        self._match_cache.clear()
+        self._lookup_cache.clear()
+        self._key_cache.clear()
+        self._true_time_cache.clear()
+        self._warm_structures.clear()

@@ -1,0 +1,22 @@
+"""Secondary index structures for the database substrate.
+
+Three index families mirror the motivating example of the paper:
+
+* :class:`~repro.db.indexes.btree.SortedIndex` — B+-tree equivalent for
+  numeric and timestamp range conditions (``CreateAt on Nov-26-2020``),
+* :class:`~repro.db.indexes.inverted.InvertedIndex` — keyword postings for
+  text conditions (``Content contains "covid"``),
+* :class:`~repro.db.indexes.rtree.GridIndex` — R-tree equivalent for spatial
+  bounding-box conditions (``Location in ((-124.4, 32.5), (-114.1, 42.0))``).
+
+Every index answers a predicate with the *exact* sorted row-id list plus the
+work it performed, so the executor can both produce correct results and
+charge plan-faithful virtual time.
+"""
+
+from .base import Index, IndexLookup
+from .btree import SortedIndex
+from .inverted import InvertedIndex
+from .rtree import GridIndex
+
+__all__ = ["Index", "IndexLookup", "SortedIndex", "InvertedIndex", "GridIndex"]

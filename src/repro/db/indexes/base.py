@@ -1,0 +1,58 @@
+"""Common interface for all index structures."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import QueryError
+from ..predicates import Predicate
+
+
+@dataclass(frozen=True)
+class IndexLookup:
+    """Result of probing an index with one predicate.
+
+    ``row_ids`` is the exact, ascending list of matching rows.
+    ``entries_scanned`` is the number of index entries the lookup had to
+    examine — the quantity the cost model charges for.  For B-tree and
+    inverted indexes this equals ``len(row_ids)``; for the grid index it also
+    counts candidates in boundary cells that were examined and rejected.
+    """
+
+    row_ids: np.ndarray
+    entries_scanned: int
+
+    @property
+    def count(self) -> int:
+        return int(len(self.row_ids))
+
+
+class Index(ABC):
+    """A secondary index over one column of one table."""
+
+    #: Short family name used in plan descriptions ("btree", "inverted", ...).
+    kind: str = "abstract"
+
+    def __init__(self, table_name: str, column: str) -> None:
+        self.table_name = table_name
+        self.column = column
+
+    @abstractmethod
+    def supports(self, predicate: Predicate) -> bool:
+        """Whether this index can answer ``predicate``."""
+
+    @abstractmethod
+    def lookup(self, predicate: Predicate) -> IndexLookup:
+        """Answer ``predicate`` exactly; raises QueryError if unsupported."""
+
+    def _reject(self, predicate: Predicate) -> QueryError:
+        return QueryError(
+            f"{self.kind} index on {self.table_name}.{self.column} "
+            f"cannot answer predicate {predicate!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.table_name}.{self.column})"

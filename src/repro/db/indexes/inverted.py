@@ -1,0 +1,54 @@
+"""Inverted index: keyword -> sorted row-id postings over a TEXT column."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..predicates import KeywordPredicate, Predicate
+from ..table import Table
+from .base import Index, IndexLookup
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class InvertedIndex(Index):
+    """Token postings built from the shared tokenizer."""
+
+    kind = "inverted"
+
+    def __init__(self, table: Table, column: str) -> None:
+        super().__init__(table.name, column)
+        postings: dict[str, list[int]] = {}
+        for row_id, tokens in enumerate(table.token_sets(column)):
+            for token in tokens:
+                postings.setdefault(token, []).append(row_id)
+        self._postings: dict[str, np.ndarray] = {
+            token: np.asarray(ids, dtype=np.int64) for token, ids in postings.items()
+        }
+        self.n_rows = table.n_rows
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def supports(self, predicate: Predicate) -> bool:
+        return isinstance(predicate, KeywordPredicate) and predicate.column == self.column
+
+    def lookup(self, predicate: Predicate) -> IndexLookup:
+        if not self.supports(predicate):
+            raise self._reject(predicate)
+        assert isinstance(predicate, KeywordPredicate)
+        ids = self._postings.get(predicate.keyword, _EMPTY)
+        return IndexLookup(row_ids=ids, entries_scanned=len(ids))
+
+    def document_frequency(self, token: str) -> int:
+        """Number of rows containing ``token`` (0 if absent)."""
+        ids = self._postings.get(token)
+        return 0 if ids is None else int(len(ids))
+
+    def most_common(self, k: int) -> list[tuple[str, int]]:
+        """The ``k`` most frequent tokens with document frequencies."""
+        ranked = sorted(
+            self._postings.items(), key=lambda item: (-len(item[1]), item[0])
+        )
+        return [(token, len(ids)) for token, ids in ranked[:k]]

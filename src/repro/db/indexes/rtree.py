@@ -1,0 +1,102 @@
+"""Grid-bucketed spatial index: the functional equivalent of an R-tree.
+
+Points are assigned to fixed-size grid cells over the data's bounding box.
+A box lookup gathers candidates from all intersecting cells, then filters
+candidates from boundary cells exactly.  ``entries_scanned`` counts every
+candidate examined (interior-cell points are accepted without an exact test,
+boundary-cell points each cost one check) — the same access-path behaviour
+an R-tree range query exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..predicates import Predicate, SpatialPredicate
+from ..table import Table
+from .base import Index, IndexLookup
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class GridIndex(Index):
+    """Spatial index over a POINT column."""
+
+    kind = "rtree"
+
+    def __init__(self, table: Table, column: str, grid_size: int = 64) -> None:
+        super().__init__(table.name, column)
+        if grid_size < 1:
+            raise ValueError("grid_size must be >= 1")
+        self.grid_size = grid_size
+        pts = table.points(column)
+        self._points = pts
+        self.n_entries = len(pts)
+        if self.n_entries == 0:
+            self._min = np.zeros(2)
+            self._span = np.ones(2)
+            self._cells: dict[tuple[int, int], np.ndarray] = {}
+            return
+        self._min = pts.min(axis=0)
+        span = pts.max(axis=0) - self._min
+        # Guard against degenerate (single-point) extents.
+        self._span = np.where(span > 0, span, 1.0)
+        cell_xy = self._cell_of(pts)
+        order = np.lexsort((cell_xy[:, 1], cell_xy[:, 0]))
+        sorted_cells = cell_xy[order]
+        boundaries = np.flatnonzero(
+            np.any(np.diff(sorted_cells, axis=0) != 0, axis=1)
+        )
+        starts = np.concatenate(([0], boundaries + 1))
+        ends = np.concatenate((boundaries + 1, [self.n_entries]))
+        self._cells = {}
+        for start, end in zip(starts, ends):
+            cx, cy = sorted_cells[start]
+            self._cells[(int(cx), int(cy))] = np.sort(order[start:end]).astype(np.int64)
+
+    def _cell_of(self, pts: np.ndarray) -> np.ndarray:
+        scaled = (pts - self._min) / self._span * self.grid_size
+        # Clip in float space first: query corners far outside the data
+        # extent can overflow an int64 cast (inf -> garbage).
+        scaled = np.clip(scaled, 0.0, self.grid_size - 1)
+        return scaled.astype(np.int64)
+
+    def supports(self, predicate: Predicate) -> bool:
+        return isinstance(predicate, SpatialPredicate) and predicate.column == self.column
+
+    def lookup(self, predicate: Predicate) -> IndexLookup:
+        if not self.supports(predicate):
+            raise self._reject(predicate)
+        assert isinstance(predicate, SpatialPredicate)
+        box = predicate.box
+        if self.n_entries == 0:
+            return IndexLookup(row_ids=_EMPTY, entries_scanned=0)
+
+        corners = np.array([[box.min_x, box.min_y], [box.max_x, box.max_y]])
+        cells = self._cell_of(corners)
+        (cx0, cy0), (cx1, cy1) = cells
+        accepted: list[np.ndarray] = []
+        entries_scanned = 0
+        for cx in range(cx0, cx1 + 1):
+            for cy in range(cy0, cy1 + 1):
+                candidates = self._cells.get((cx, cy))
+                if candidates is None:
+                    continue
+                entries_scanned += len(candidates)
+                interior = cx0 < cx < cx1 and cy0 < cy < cy1
+                if interior:
+                    accepted.append(candidates)
+                    continue
+                pts = self._points[candidates]
+                mask = (
+                    (pts[:, 0] >= box.min_x)
+                    & (pts[:, 0] <= box.max_x)
+                    & (pts[:, 1] >= box.min_y)
+                    & (pts[:, 1] <= box.max_y)
+                )
+                accepted.append(candidates[mask])
+        if accepted:
+            ids = np.sort(np.concatenate(accepted))
+        else:
+            ids = _EMPTY
+        return IndexLookup(row_ids=ids, entries_scanned=entries_scanned)

@@ -1,0 +1,139 @@
+"""Physical plan representation.
+
+A plan is the executor-facing description of *how* a query will run:
+
+* a :class:`ScanPlan` over the main table — either a full sequential scan or
+  an index scan intersecting one or more index lookups, with the remaining
+  predicates applied as residual filters;
+* optionally a :class:`JoinStep` (nest-loop with inner key probes, hash with
+  an inner build side, or sort-merge);
+* optionally BIN_ID aggregation and/or a LIMIT.
+
+Plans carry the optimizer's cost and cardinality estimates so learned
+comparators (our Bao baseline) can featurize them the way the real Bao
+featurizes PostgreSQL plan trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .predicates import Predicate
+from .query import BinGroupBy, JOIN_METHODS
+from ..errors import PlanningError
+
+
+@dataclass(frozen=True)
+class AccessPath:
+    """One index used as an access path, answering one predicate."""
+
+    predicate: Predicate
+    index_kind: str
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Scan of the main table: full scan if ``access`` is empty."""
+
+    table: str
+    access: tuple[AccessPath, ...]
+    residual: tuple[Predicate, ...]
+
+    @property
+    def is_full_scan(self) -> bool:
+        return not self.access
+
+    def describe(self) -> str:
+        if self.is_full_scan:
+            return f"SeqScan({self.table})"
+        paths = ", ".join(
+            f"{a.index_kind}:{a.predicate.column}" for a in self.access
+        )
+        return f"IndexScan({self.table}; {paths}; residual={len(self.residual)})"
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """Equi-join with a second table using a specific physical method."""
+
+    method: str
+    inner_table: str
+    left_column: str
+    right_column: str
+    inner_predicates: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if self.method not in JOIN_METHODS:
+            raise PlanningError(f"unknown join method {self.method!r}")
+
+    def describe(self) -> str:
+        return (
+            f"{self.method.title()}Join({self.inner_table} "
+            f"ON {self.left_column}={self.right_column}, "
+            f"inner_filters={len(self.inner_predicates)})"
+        )
+
+
+@dataclass
+class PhysicalPlan:
+    """A full physical plan plus the optimizer's estimates for it."""
+
+    scan: ScanPlan
+    join: JoinStep | None = None
+    group_by: BinGroupBy | None = None
+    limit: int | None = None
+    estimated_cost_ms: float = math.nan
+    estimated_rows: float = math.nan
+    #: Per-access-path estimated selectivities (parallel to ``scan.access``),
+    #: exposed for plan featurization.
+    estimated_access_selectivities: tuple[float, ...] = field(default=())
+
+    def describe(self) -> str:
+        parts = [self.scan.describe()]
+        if self.join is not None:
+            parts.append(self.join.describe())
+        if self.group_by is not None:
+            parts.append(f"GroupBy(BIN_ID({self.group_by.column}))")
+        if self.limit is not None:
+            parts.append(f"Limit({self.limit})")
+        return " -> ".join(parts)
+
+    def feature_names(self) -> list[str]:  # pragma: no cover - thin helper
+        return sorted(self.features().keys())
+
+    def features(self) -> dict[str, float]:
+        """Featurize the plan the way Bao featurizes optimizer plan trees.
+
+        All features derive from the *plan structure* and the *optimizer's
+        estimates* — never from true cardinalities — so a learned model on
+        top of them inherits the optimizer's estimation errors, exactly as
+        the paper observes for Bao on text/spatial conditions.
+        """
+        access_kinds = [a.index_kind for a in self.scan.access]
+        est_rows = self.estimated_rows if math.isfinite(self.estimated_rows) else 0.0
+        est_cost = (
+            self.estimated_cost_ms if math.isfinite(self.estimated_cost_ms) else 0.0
+        )
+        features: dict[str, float] = {
+            "est_cost_log": math.log1p(max(est_cost, 0.0)),
+            "est_rows_log": math.log1p(max(est_rows, 0.0)),
+            "n_index_scans": float(len(self.scan.access)),
+            "n_residual": float(len(self.scan.residual)),
+            "full_scan": 1.0 if self.scan.is_full_scan else 0.0,
+            "uses_btree": float(access_kinds.count("btree")),
+            "uses_inverted": float(access_kinds.count("inverted")),
+            "uses_rtree": float(access_kinds.count("rtree")),
+            "has_join": 0.0 if self.join is None else 1.0,
+            "join_nestloop": 0.0,
+            "join_hash": 0.0,
+            "join_merge": 0.0,
+            "has_group": 0.0 if self.group_by is None else 1.0,
+            "has_limit": 0.0 if self.limit is None else 1.0,
+        }
+        if self.join is not None:
+            features[f"join_{self.join.method}"] = 1.0
+        sels = list(self.estimated_access_selectivities) or [1.0]
+        features["min_access_sel_log"] = math.log1p(min(sels) * 1e6)
+        features["max_access_sel_log"] = math.log1p(max(sels) * 1e6)
+        return features

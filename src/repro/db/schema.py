@@ -1,0 +1,81 @@
+"""Table schemas: typed columns, primary keys, and foreign keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchemaError
+from .types import ColumnKind
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    kind: ColumnKind
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key reference ``column -> referenced_table.referenced_column``."""
+
+    column: str
+    referenced_table: str
+    referenced_column: str
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one table: ordered columns plus key metadata."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+    foreign_keys: tuple[ForeignKey, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid table name: {self.name!r}")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise SchemaError(
+                    f"foreign key column {fk.column!r} is not a column of {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name, raising :class:`SchemaError` if missing."""
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def kind_of(self, name: str) -> ColumnKind:
+        return self.column(name).kind
+
+    def renamed(self, new_name: str) -> "TableSchema":
+        """Return a copy of this schema under a different table name."""
+        return TableSchema(
+            name=new_name,
+            columns=self.columns,
+            primary_key=self.primary_key,
+            foreign_keys=self.foreign_keys,
+        )

@@ -1,0 +1,264 @@
+"""Parsing the middleware's SQL dialect back into :class:`SelectQuery`.
+
+The paper's middleware *emits* SQL strings of a very regular shape (see its
+Figures 1–3); this module accepts that same dialect so the library can sit
+behind interfaces that speak SQL text.  Supported grammar (case-insensitive
+keywords, one statement):
+
+.. code-block:: sql
+
+    [/*+ hint, hint, ... */]
+    SELECT col, col | SELECT BIN_ID(col), COUNT(*)
+    FROM table [, join_table]
+    WHERE cond [AND cond]...
+    [GROUP BY BIN_ID(col)]
+    [LIMIT n];
+
+with conditions::
+
+    col CONTAINS 'keyword'
+    col BETWEEN low AND high          -- bounds may be -inf / +inf
+    col IN ((min_x, min_y), (max_x, max_y))
+    col = value
+    t1.col = t2.col                   -- the equi-join condition
+
+and hints ``Index-Scan(col)``, ``Seq-Scan``, ``Nestloop-Join`` /
+``Hash-Join`` / ``Merge-Join``.  The parser round-trips everything
+:meth:`SelectQuery.to_sql` produces; `parse_sql(q.to_sql()) == q` up to
+hint normalization.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import QueryError
+from .predicates import (
+    EqualsPredicate,
+    KeywordPredicate,
+    Predicate,
+    RangePredicate,
+    SpatialPredicate,
+)
+from .query import BinGroupBy, HintSet, JoinSpec, SelectQuery
+from .types import BoundingBox
+
+_HINT_BLOCK_RE = re.compile(r"^\s*/\*\+(?P<body>.*?)\*/", re.DOTALL)
+_BIN_SELECT_RE = re.compile(
+    r"BIN_ID\(\s*(?P<col>\w+)\s*\)\s*,\s*COUNT\(\*\)", re.IGNORECASE
+)
+_NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?|[-+]?inf"
+
+_CONTAINS_RE = re.compile(
+    r"^(?P<col>[\w.]+)\s+CONTAINS\s+'(?P<kw>[^']*)'$", re.IGNORECASE
+)
+_BETWEEN_RE = re.compile(
+    rf"^(?P<col>[\w.]+)\s+BETWEEN\s+(?P<low>{_NUMBER})\s+AND\s+(?P<high>{_NUMBER})$",
+    re.IGNORECASE,
+)
+_BOX_RE = re.compile(
+    rf"^(?P<col>[\w.]+)\s+IN\s+\(\(\s*(?P<x0>{_NUMBER})\s*,\s*(?P<y0>{_NUMBER})\s*\)\s*,"
+    rf"\s*\(\s*(?P<x1>{_NUMBER})\s*,\s*(?P<y1>{_NUMBER})\s*\)\)$",
+    re.IGNORECASE,
+)
+_EQUALS_RE = re.compile(
+    rf"^(?P<col>[\w.]+)\s*=\s*(?P<value>{_NUMBER})$", re.IGNORECASE
+)
+_JOIN_COND_RE = re.compile(
+    r"^(?P<lt>\w+)\.(?P<lc>\w+)\s*=\s*(?P<rt>\w+)\.(?P<rc>\w+)$"
+)
+
+_JOIN_HINTS = {
+    "nestloop-join": "nestloop",
+    "nest-loop-join": "nestloop",
+    "hash-join": "hash",
+    "merge-join": "merge",
+}
+
+
+def _strip_qualifier(name: str) -> str:
+    return name.split(".")[-1]
+
+
+def _parse_number(text: str) -> float | None:
+    lowered = text.strip().lower()
+    if lowered in ("-inf", "inf", "+inf"):
+        return None
+    return float(text)
+
+
+def _parse_hints(body: str) -> HintSet:
+    index_on: set[str] = set()
+    join_method: str | None = None
+    for raw in body.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        lowered = token.lower()
+        if lowered == "seq-scan":
+            continue
+        match = re.match(r"index-scan\(\s*(\w+)\s*\)", lowered)
+        if match:
+            index_on.add(match.group(1))
+            continue
+        if lowered in _JOIN_HINTS:
+            join_method = _JOIN_HINTS[lowered]
+            continue
+        raise QueryError(f"unsupported hint: {token!r}")
+    return HintSet(index_on=frozenset(index_on), join_method=join_method)
+
+
+def _parse_condition(text: str) -> Predicate | tuple[str, str, str, str]:
+    """One WHERE conjunct: a predicate, or the 4-tuple of a join condition."""
+    condition = text.strip()
+    join = _JOIN_COND_RE.match(condition)
+    if join:
+        return (join["lt"], join["lc"], join["rt"], join["rc"])
+    contains = _CONTAINS_RE.match(condition)
+    if contains:
+        return KeywordPredicate(_strip_qualifier(contains["col"]), contains["kw"])
+    between = _BETWEEN_RE.match(condition)
+    if between:
+        return RangePredicate(
+            _strip_qualifier(between["col"]),
+            _parse_number(between["low"]),
+            _parse_number(between["high"]),
+        )
+    box = _BOX_RE.match(condition)
+    if box:
+        return SpatialPredicate(
+            _strip_qualifier(box["col"]),
+            BoundingBox(
+                float(box["x0"]), float(box["y0"]), float(box["x1"]), float(box["y1"])
+            ),
+        )
+    equals = _EQUALS_RE.match(condition)
+    if equals:
+        return EqualsPredicate(
+            _strip_qualifier(equals["col"]), float(equals["value"])
+        )
+    raise QueryError(f"cannot parse condition: {condition!r}")
+
+
+def _split_conjuncts(where_body: str) -> list[str]:
+    """Split on top-level ANDs (BETWEEN swallows its own AND)."""
+    parts: list[str] = []
+    tokens = re.split(r"\bAND\b", where_body, flags=re.IGNORECASE)
+    i = 0
+    while i < len(tokens):
+        part = tokens[i]
+        # A BETWEEN conjunct was split in half; stitch it back together.
+        if re.search(r"\bBETWEEN\s*$", part, re.IGNORECASE) or re.search(
+            r"\bBETWEEN\b(?!.*\bAND\b)", part, re.IGNORECASE
+        ):
+            if i + 1 >= len(tokens):
+                raise QueryError(f"dangling BETWEEN in: {where_body!r}")
+            part = part + " AND " + tokens[i + 1]
+            i += 1
+        parts.append(part.strip())
+        i += 1
+    return [p for p in parts if p]
+
+
+def parse_sql(sql: str, default_cell: float = 0.5) -> SelectQuery:
+    """Parse one middleware SQL statement into a :class:`SelectQuery`.
+
+    ``default_cell`` is the BIN_ID cell size, which the SQL text does not
+    carry (the middleware tracks it out of band).
+    """
+    text = sql.strip().rstrip(";").strip()
+
+    hints: HintSet | None = None
+    hint_match = _HINT_BLOCK_RE.match(text)
+    if hint_match:
+        hints = _parse_hints(hint_match["body"])
+        text = text[hint_match.end() :].strip()
+
+    # Clause splitting (the dialect has a fixed clause order).
+    pattern = re.compile(
+        r"^SELECT\s+(?P<select>.*?)\s+FROM\s+(?P<from>.*?)"
+        r"(?:\s+WHERE\s+(?P<where>.*?))?"
+        r"(?:\s+GROUP\s+BY\s+(?P<group>.*?))?"
+        r"(?:\s+LIMIT\s+(?P<limit>\d+))?$",
+        re.IGNORECASE | re.DOTALL,
+    )
+    match = pattern.match(text)
+    if not match:
+        raise QueryError(f"cannot parse SQL statement: {sql!r}")
+
+    tables = [t.strip() for t in match["from"].split(",")]
+    if not 1 <= len(tables) <= 2:
+        raise QueryError("FROM must name one table or one join pair")
+    main_table = tables[0]
+
+    predicates: list[Predicate] = []
+    inner_predicates: list[Predicate] = []
+    join_condition: tuple[str, str, str, str] | None = None
+    if match["where"]:
+        for conjunct in _split_conjuncts(match["where"]):
+            parsed = _parse_condition(conjunct)
+            if isinstance(parsed, tuple):
+                if join_condition is not None:
+                    raise QueryError("only one equi-join condition is supported")
+                join_condition = parsed
+            else:
+                qualifier = conjunct.split()[0]
+                if "." in qualifier and len(tables) == 2:
+                    table_name = qualifier.split(".")[0]
+                    target = (
+                        inner_predicates if table_name == tables[1] else predicates
+                    )
+                    target.append(parsed)
+                else:
+                    predicates.append(parsed)
+
+    join: JoinSpec | None = None
+    if len(tables) == 2:
+        if join_condition is None:
+            raise QueryError("a two-table FROM requires an equi-join condition")
+        left_table, left_col, right_table, right_col = join_condition
+        if left_table != main_table:
+            # Normalize direction: main table on the left.
+            left_table, left_col, right_table, right_col = (
+                right_table,
+                right_col,
+                left_table,
+                left_col,
+            )
+        if left_table != main_table or right_table != tables[1]:
+            raise QueryError("join condition does not reference the FROM tables")
+        join = JoinSpec(
+            table=tables[1],
+            left_column=left_col,
+            right_column=right_col,
+            predicates=tuple(inner_predicates),
+        )
+    elif inner_predicates:  # pragma: no cover - unreachable by construction
+        raise QueryError("qualified predicates without a join")
+
+    select_body = match["select"].strip()
+    group_by: BinGroupBy | None = None
+    output: tuple[str, ...] = ()
+    bin_select = _BIN_SELECT_RE.match(select_body)
+    if bin_select:
+        if not match["group"]:
+            raise QueryError("BIN_ID select requires GROUP BY BIN_ID")
+        group_by = BinGroupBy(bin_select["col"], default_cell, default_cell)
+    else:
+        if match["group"]:
+            raise QueryError("GROUP BY requires a BIN_ID select list")
+        output = tuple(
+            _strip_qualifier(col.strip()) for col in select_body.split(",")
+        )
+
+    limit = int(match["limit"]) if match["limit"] else None
+    query = SelectQuery(
+        table=main_table,
+        predicates=tuple(predicates),
+        output=output,
+        group_by=group_by,
+        join=join,
+        limit=limit,
+        hints=hints,
+    )
+    return query

@@ -1,0 +1,140 @@
+"""Value types shared across the database substrate.
+
+The engine supports four logical column kinds:
+
+* ``INT`` / ``FLOAT`` — scalar numerics (stored as numpy arrays),
+* ``TEXT`` — free text (stored as a list of strings, tokenized on demand),
+* ``TIMESTAMP`` — seconds since an arbitrary epoch (stored as float64),
+* ``POINT`` — 2-D geographic points (stored as an ``(n, 2)`` float64 array,
+  column 0 = x/longitude, column 1 = y/latitude).
+
+Helpers here are deliberately tiny and dependency-free; they are used by the
+schema, predicates, statistics, and dataset generators alike.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+SECONDS_PER_DAY = 86_400.0
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+
+#: Tokens that the workload generator never picks as keyword conditions
+#: (mirrors the paper's "random non-stop word" selection).
+STOP_WORDS = frozenset(
+    """a an and are as at be but by for from has he in is it its of on or
+    that the this to was we were will with you your i me my so not no do
+    don't just can all out up what when how https http t co rt amp
+    """.split()
+)
+
+
+class ColumnKind(enum.Enum):
+    """Logical kind of a table column."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    TIMESTAMP = "timestamp"
+    POINT = "point"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnKind.INT, ColumnKind.FLOAT, ColumnKind.TIMESTAMP)
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    This is the single tokenizer used everywhere (storage, inverted index,
+    workload generation) so keyword semantics stay consistent.
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed numeric interval ``[low, high]``; ``None`` means unbounded."""
+
+    low: float | None
+    high: float | None
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None and self.low > self.high:
+            raise ValueError(f"Interval low {self.low} > high {self.high}")
+
+    def contains(self, value: float) -> bool:
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def length(self) -> float:
+        if self.low is None or self.high is None:
+            return float("inf")
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned spatial rectangle (closed on all sides)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(f"Degenerate bounding box: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersection(self, other: "BoundingBox") -> "BoundingBox | None":
+        if not self.intersects(other):
+            return None
+        return BoundingBox(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def scaled(self, factor_x: float, factor_y: float | None = None) -> "BoundingBox":
+        """Return a box with the same center whose extents are scaled."""
+        if factor_y is None:
+            factor_y = factor_x
+        cx = (self.min_x + self.max_x) / 2.0
+        cy = (self.min_y + self.max_y) / 2.0
+        half_w = self.width * factor_x / 2.0
+        half_h = self.height * factor_y / 2.0
+        return BoundingBox(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+
+def days(n: float) -> float:
+    """Convert days to engine timestamp units (seconds)."""
+    return n * SECONDS_PER_DAY

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Maliva reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers embedding the middleware can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or index reference does not match the catalog."""
+
+
+class QueryError(ReproError):
+    """A query object is malformed (bad predicate, unknown output column...)."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not build a physical plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed while executing."""
+
+
+class EstimationError(ReproError):
+    """A query-time estimator was used before being fitted, or failed."""
+
+
+class TrainingError(ReproError):
+    """The MDP agent training loop was misconfigured or diverged."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for something the dataset cannot give."""

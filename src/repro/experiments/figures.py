@@ -1,0 +1,740 @@
+"""Drivers regenerating every table and figure of the paper's Section 7.
+
+Each ``run_*`` function reproduces one experiment and returns a result
+object with ``render()`` (the same rows/series the paper reports) and
+``to_dict()``.  Results are cached per configuration inside the process, so
+figure pairs that share runs (12/13, 14/15, 16/17) compute once.
+
+Figure index (see DESIGN.md §3): Table 1-3, Figures 12-21.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import BaoApproach, BaselineApproach, NaiveApproach
+from ..core import (
+    DQNTrainer,
+    Maliva,
+    RewriteOptionSpace,
+    TrainingConfig,
+    TwoStageRewriter,
+    build_one_stage,
+)
+from ..db import LimitRule
+from ..viz.quality import JaccardQuality, VASQuality
+from ..workloads import (
+    Bucket,
+    TwitterWorkloadGenerator,
+    bucketize,
+    single_buckets,
+    split_workload,
+    width_buckets,
+)
+from .config import ExperimentScale, get_scale
+from .harness import (
+    Approach,
+    ExperimentResult,
+    MalivaApproach,
+    TwoStageApproach,
+    run_bucketed_comparison,
+)
+from .setups import (
+    DatasetSetup,
+    TWITTER_ATTRS_3,
+    TWITTER_ATTRS_4,
+    TWITTER_ATTRS_5,
+    accurate_qte,
+    dataset_setup,
+    sampling_qte,
+    twitter_setup,
+)
+
+#: LIMIT fractions of Section 7.7 (percent of estimated cardinality).
+QUALITY_LIMIT_FRACTIONS = (0.00032, 0.0016, 0.008, 0.04, 0.2)
+
+_RESULT_CACHE: dict[tuple, object] = {}
+
+
+def clear_result_cache() -> None:
+    _RESULT_CACHE.clear()
+
+
+def _cached(key: tuple, builder: Callable[[], object]):
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = builder()
+    return _RESULT_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# Approach factories
+# ----------------------------------------------------------------------
+def _training_config(setup: DatasetSetup, seed_offset: int = 5) -> TrainingConfig:
+    return TrainingConfig(
+        max_epochs=setup.scale.max_epochs, seed=setup.seed + seed_offset
+    )
+
+
+def _mdp_accurate(setup: DatasetSetup, unit_cost_ms: float = 40.0) -> MalivaApproach:
+    maliva = Maliva(
+        setup.database,
+        setup.space,
+        accurate_qte(setup, unit_cost_ms=unit_cost_ms),
+        setup.tau_ms,
+        config=_training_config(setup, seed_offset=5),
+    )
+    return MalivaApproach(
+        maliva, "MDP (Accurate-QTE)", n_candidates=setup.scale.n_candidates
+    )
+
+
+def _mdp_sampling(setup: DatasetSetup) -> MalivaApproach:
+    maliva = Maliva(
+        setup.database,
+        setup.space,
+        sampling_qte(setup),
+        setup.tau_ms,
+        config=_training_config(setup, seed_offset=6),
+    )
+    return MalivaApproach(
+        maliva, "MDP (Approximate-QTE)", n_candidates=setup.scale.n_candidates
+    )
+
+
+def _bao(setup: DatasetSetup) -> BaoApproach:
+    return BaoApproach(
+        setup.database,
+        setup.space,
+        setup.tau_ms,
+        training_epochs=setup.scale.bao_epochs,
+        seed=setup.seed + 7,
+    )
+
+
+def _baseline(setup: DatasetSetup) -> BaselineApproach:
+    return BaselineApproach(setup.database, setup.tau_ms)
+
+
+def _naive_sampling(setup: DatasetSetup) -> NaiveApproach:
+    return NaiveApproach(
+        setup.database, setup.space, sampling_qte(setup), setup.tau_ms
+    )
+
+
+def _compare(
+    setup: DatasetSetup,
+    approaches: Sequence[Approach],
+    buckets: tuple[Bucket, ...],
+    experiment_id: str,
+    title: str,
+    quality_fn=None,
+    evaluation_queries: Sequence | None = None,
+    bucket_space: RewriteOptionSpace | None = None,
+) -> ExperimentResult:
+    """Prepare approaches, bucket the evaluation workload, run everything."""
+    for approach in approaches:
+        approach.prepare(list(setup.split.train), list(setup.split.validation))
+    bucketed = bucketize(
+        setup.database,
+        list(evaluation_queries or setup.split.evaluation),
+        bucket_space or setup.space,
+        setup.tau_ms,
+        buckets,
+    )
+    rows = run_bucketed_comparison(
+        approaches,
+        bucketed,
+        quality_fn=quality_fn,
+        database=setup.database if quality_fn is not None else None,
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        metadata={
+            "dataset": setup.dataset,
+            "tau_ms": setup.tau_ms,
+            "n_options": len(setup.space),
+            "scale": setup.scale.name,
+            "n_evaluation_queries": bucketed.total(),
+        },
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1: dataset inventory
+# ----------------------------------------------------------------------
+@dataclass
+class Table1Result:
+    """The dataset inventory of the paper's Table 1."""
+
+    rows: list[dict]
+
+    def render(self) -> str:
+        lines = ["Table 1: Datasets", ""]
+        header = f"{'dataset':<10} {'records':>10} {'filter attributes':<60}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                f"{row['dataset']:<10} {row['records']:>10} "
+                f"{', '.join(row['filter_attributes']):<60}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"experiment_id": "table1", "rows": self.rows}
+
+
+def run_table1(scale: str | ExperimentScale = "small", seed: int = 0) -> Table1Result:
+    resolved = get_scale(scale)
+
+    def build() -> Table1Result:
+        rows = []
+        for name, tau in (("twitter", 500.0), ("taxi", 1_000.0), ("tpch", 500.0)):
+            setup = dataset_setup(name, resolved, seed=seed, tau_ms=tau)
+            main_table = setup.database.table(
+                {"twitter": "tweets", "taxi": "trips", "tpch": "lineitem"}[name]
+            )
+            rows.append(
+                {
+                    "dataset": name,
+                    "records": main_table.n_rows,
+                    "filter_attributes": list(setup.attributes),
+                    "tau_ms": setup.tau_ms,
+                }
+            )
+        return Table1Result(rows)
+
+    return _cached(("table1", resolved.name, seed), build)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3: workload difficulty inventories
+# ----------------------------------------------------------------------
+@dataclass
+class DifficultyTableResult:
+    """Queries per viable-plan bucket (paper Tables 2 and 3)."""
+
+    title: str
+    rows: dict[str, dict[str, int]]
+    bucket_labels: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [self.title, ""]
+        header = ["workload"] + self.bucket_labels
+        widths = [max(10, len(h)) for h in header]
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for workload, counts in self.rows.items():
+            cells = [workload] + [
+                str(counts.get(label, 0)) for label in self.bucket_labels
+            ]
+            lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"title": self.title, "rows": self.rows}
+
+
+def run_table2(
+    scale: str | ExperimentScale = "small", seed: int = 0
+) -> DifficultyTableResult:
+    """Evaluation-workload difficulty for the three datasets (8 hint sets)."""
+    resolved = get_scale(scale)
+
+    def build() -> DifficultyTableResult:
+        buckets = single_buckets(4)
+        rows: dict[str, dict[str, int]] = {}
+        for name, tau in (("twitter", 500.0), ("taxi", 1_000.0), ("tpch", 500.0)):
+            setup = dataset_setup(name, resolved, seed=seed, tau_ms=tau)
+            bucketed = bucketize(
+                setup.database,
+                list(setup.split.evaluation),
+                setup.space,
+                setup.tau_ms,
+                buckets,
+            )
+            rows[name] = bucketed.counts
+        return DifficultyTableResult(
+            title="Table 2: number of queries per viable-plan count",
+            rows=rows,
+            bucket_labels=[b.label for b in buckets],
+        )
+
+    return _cached(("table2", resolved.name, seed), build)  # type: ignore[return-value]
+
+
+def run_table3(
+    scale: str | ExperimentScale = "small", seed: int = 0
+) -> DifficultyTableResult:
+    """Difficulty inventories for the 16- and 32-option workloads."""
+    resolved = get_scale(scale)
+
+    def build() -> DifficultyTableResult:
+        rows: dict[str, dict[str, int]] = {}
+        labels: list[str] = []
+        for n_attrs, width in ((4, 2), (5, 4)):
+            setup = twitter_setup(resolved, n_attributes=n_attrs, seed=seed)
+            buckets = (Bucket("0", 0, 0),) + width_buckets(width, 4)
+            bucketed = bucketize(
+                setup.database,
+                list(setup.split.evaluation),
+                setup.space,
+                setup.tau_ms,
+                buckets,
+            )
+            rows[f"{len(setup.space)} options"] = bucketed.counts
+            labels = [b.label for b in buckets]
+        return DifficultyTableResult(
+            title="Table 3: workloads with 16 and 32 rewrite options",
+            rows=rows,
+            bucket_labels=labels,
+        )
+
+    return _cached(("table3", resolved.name, seed), build)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Figures 12 & 13: main comparison on three datasets
+# ----------------------------------------------------------------------
+def _main_comparison(
+    dataset: str, scale: ExperimentScale, seed: int
+) -> ExperimentResult:
+    tau = {"twitter": 500.0, "taxi": 1_000.0, "tpch": 500.0}[dataset]
+    setup = dataset_setup(dataset, scale, seed=seed, tau_ms=tau)
+    approaches = [
+        _mdp_accurate(setup),
+        _mdp_sampling(setup),
+        _bao(setup),
+        _baseline(setup),
+    ]
+    return _compare(
+        setup,
+        approaches,
+        single_buckets(4),
+        experiment_id=f"fig12_13-{dataset}",
+        title=f"{dataset} (tau={tau:g}ms): VQP and AQRT vs number of viable plans",
+    )
+
+
+def run_fig12(
+    dataset: str = "twitter", scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 12: viable query percentage on Twitter/NYC Taxi/TPC-H."""
+    resolved = get_scale(scale)
+    return _cached(  # type: ignore[return-value]
+        ("fig12_13", dataset, resolved.name, seed),
+        lambda: _main_comparison(dataset, resolved, seed),
+    )
+
+
+def run_fig13(
+    dataset: str = "twitter", scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 13: average query response time (same runs as Figure 12)."""
+    return run_fig12(dataset, scale, seed)
+
+
+# ----------------------------------------------------------------------
+# Figures 14 & 15: effect of the number of rewrite options
+# ----------------------------------------------------------------------
+def _options_comparison(
+    n_options: int, scale: ExperimentScale, seed: int
+) -> ExperimentResult:
+    if n_options == 16:
+        n_attrs, width = 4, 2
+    elif n_options == 32:
+        n_attrs, width = 5, 4
+    else:
+        raise ValueError("the paper evaluates 16 or 32 rewrite options")
+    setup = twitter_setup(scale, n_attributes=n_attrs, seed=seed)
+    approaches: list[Approach] = [
+        _mdp_accurate(setup),
+        _mdp_sampling(setup),
+    ]
+    if n_options == 16:
+        approaches.append(_naive_sampling(setup))
+    approaches.extend([_bao(setup), _baseline(setup)])
+    buckets = (Bucket("0", 0, 0),) + width_buckets(width, 4)
+    return _compare(
+        setup,
+        approaches,
+        buckets,
+        experiment_id=f"fig14_15-{n_options}options",
+        title=f"Twitter with {n_options} rewrite options (tau=500ms)",
+    )
+
+
+def run_fig14(
+    n_options: int = 16, scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 14: VQP for 16 and 32 rewrite options."""
+    resolved = get_scale(scale)
+    return _cached(  # type: ignore[return-value]
+        ("fig14_15", n_options, resolved.name, seed),
+        lambda: _options_comparison(n_options, resolved, seed),
+    )
+
+
+def run_fig15(
+    n_options: int = 16, scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 15: AQRT for 16 and 32 rewrite options (same runs)."""
+    return run_fig14(n_options, scale, seed)
+
+
+# ----------------------------------------------------------------------
+# Figures 16 & 17: effect of the time budget
+# ----------------------------------------------------------------------
+def _budget_comparison(
+    tau_ms: float, scale: ExperimentScale, seed: int
+) -> ExperimentResult:
+    setup = twitter_setup(scale, tau_ms=tau_ms, seed=seed)
+    approaches = [
+        _mdp_accurate(setup),
+        _mdp_sampling(setup),
+        _bao(setup),
+        _baseline(setup),
+    ]
+    return _compare(
+        setup,
+        approaches,
+        single_buckets(4),
+        experiment_id=f"fig16_17-tau{int(tau_ms)}ms",
+        title=f"Twitter with time budget tau={tau_ms:g}ms",
+    )
+
+
+def run_fig16(
+    tau_ms: float = 250.0, scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 16: VQP for time budgets 0.25s / 0.75s / 1.0s."""
+    resolved = get_scale(scale)
+    return _cached(  # type: ignore[return-value]
+        ("fig16_17", tau_ms, resolved.name, seed),
+        lambda: _budget_comparison(tau_ms, resolved, seed),
+    )
+
+
+def run_fig17(
+    tau_ms: float = 250.0, scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 17: AQRT for the same budgets (same runs as Figure 16)."""
+    return run_fig16(tau_ms, scale, seed)
+
+
+# ----------------------------------------------------------------------
+# Figure 18: join queries (21 rewrite options)
+# ----------------------------------------------------------------------
+def run_fig18(
+    scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 18: VQP and AQRT for tweets ⋈ users workloads."""
+    resolved = get_scale(scale)
+
+    def build() -> ExperimentResult:
+        setup = twitter_setup(resolved, join=True, seed=seed)
+        approaches = [
+            _mdp_accurate(setup),
+            _mdp_sampling(setup),
+            _bao(setup),
+            _baseline(setup),
+        ]
+        buckets = (Bucket("0", 0, 0),) + width_buckets(2, 5)
+        return _compare(
+            setup,
+            approaches,
+            buckets,
+            experiment_id="fig18-joins",
+            title="Join queries on Twitter (21 rewrite options, tau=500ms)",
+        )
+
+    return _cached(("fig18", resolved.name, seed), build)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Figure 19: generalization (unseen query shapes, commercial database)
+# ----------------------------------------------------------------------
+def run_fig19a(
+    scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 19a: train on single-table queries, evaluate on join queries."""
+    resolved = get_scale(scale)
+
+    def build() -> ExperimentResult:
+        setup = twitter_setup(resolved, join=True, seed=seed)
+        # Training workload with a *different shape*: single-table queries on
+        # the same database, same three filter attributes.
+        train_generator = TwitterWorkloadGenerator(
+            setup.database, attributes=TWITTER_ATTRS_3, seed=seed + 31,
+            zoom_decay=0.75,
+        )
+        train_split = split_workload(
+            train_generator.generate(resolved.n_queries // 2), seed=seed + 32
+        )
+        hint_space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS_3)
+        shaped = DatasetSetup(
+            dataset="twitter-unseen",
+            database=setup.database,
+            tau_ms=500.0,
+            attributes=TWITTER_ATTRS_3,
+            space=hint_space,
+            split=train_split,
+            qte_sample_table=setup.qte_sample_table,
+            scale=resolved,
+            seed=seed,
+        )
+        approaches = [
+            _mdp_accurate(shaped),
+            _mdp_sampling(shaped),
+            _baseline(shaped),
+        ]
+        return _compare(
+            shaped,
+            approaches,
+            single_buckets(4),
+            experiment_id="fig19a-unseen",
+            title="Unseen join queries, agent trained on single-table queries",
+            evaluation_queries=list(setup.split.evaluation),
+            bucket_space=hint_space,
+        )
+
+    return _cached(("fig19a", resolved.name, seed), build)  # type: ignore[return-value]
+
+
+def run_fig19b(
+    scale: str | ExperimentScale = "small", seed: int = 0
+) -> ExperimentResult:
+    """Figure 19b: commercial database profile, smaller table, tau=250ms."""
+    resolved = get_scale(scale)
+
+    def build() -> ExperimentResult:
+        setup = twitter_setup(
+            resolved,
+            tau_ms=250.0,
+            profile="commercial",
+            rows_override=max(10_000, resolved.twitter_rows // 4),
+            seed=seed,
+        )
+        approaches = [
+            _mdp_accurate(setup),
+            _mdp_sampling(setup),
+            _baseline(setup),
+        ]
+        buckets = (Bucket("0", 0, 0),) + width_buckets(2, 4)
+        return _compare(
+            setup,
+            approaches,
+            buckets,
+            experiment_id="fig19b-commercial",
+            title="Commercial-profile database (tau=250ms)",
+        )
+
+    return _cached(("fig19b", resolved.name, seed), build)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Figure 20: quality-aware rewriting
+# ----------------------------------------------------------------------
+def run_fig20(
+    scale: str | ExperimentScale = "small", seed: int = 0, beta: float = 0.3
+) -> ExperimentResult:
+    """Figure 20: one-stage vs two-stage quality-aware rewriting.
+
+    Approximate options are hint-set × LIMIT-rule products (the paper's
+    Figure 11 construction): pairing a LIMIT with the right index hint is
+    what makes large, high-quality limits affordable.  ``beta`` weights
+    efficiency vs quality in Equation 2 (the paper does not report its
+    value; 0.3 reproduces the reported quality levels).
+    """
+    resolved = get_scale(scale)
+
+    def build() -> ExperimentResult:
+        setup = twitter_setup(resolved, seed=seed)
+        hint_space = setup.space
+        rule_sets = [(LimitRule(f),) for f in QUALITY_LIMIT_FRACTIONS]
+        all_hints = [option.hint_set for option in hint_space]
+        combined = RewriteOptionSpace.with_rules(
+            hint_space, rule_sets, hint_sets=all_hints
+        )
+        approx_only = RewriteOptionSpace.approximation_only(
+            setup.attributes, rule_sets, hint_sets=all_hints
+        )
+        config = _training_config(setup)
+        # Quality is measured on the *visualization*: Jaccard over occupied
+        # screen cells for scatterplots (VAS-style), bins for heatmaps.
+        # Row-level Jaccard would give LIMIT rules almost no quality
+        # gradient and push every agent to the tiniest limit.
+        quality_fn = VASQuality(cell_degrees=0.5)
+
+        one_stage = build_one_stage(
+            setup.database,
+            combined,
+            accurate_qte(setup),
+            setup.tau_ms,
+            beta=beta,
+            quality_fn=quality_fn,
+            config=config,
+        )
+        two_stage = TwoStageRewriter(
+            setup.database,
+            hint_space,
+            approx_only,
+            accurate_qte(setup),
+            setup.tau_ms,
+            beta=beta,
+            quality_fn=quality_fn,
+            config=config,
+        )
+        approaches: list[Approach] = [
+            MalivaApproach(one_stage, "1-stage MDP (Accurate-QTE)"),
+            TwoStageApproach(two_stage, "2-stage MDP (Accurate-QTE)"),
+            _mdp_accurate(setup),
+            _baseline(setup),
+        ]
+        return _compare(
+            setup,
+            approaches,
+            single_buckets(4),
+            experiment_id="fig20-quality",
+            title=f"Quality-aware rewriting (beta={beta}, tau=500ms)",
+            quality_fn=quality_fn,
+            bucket_space=hint_space,
+        )
+
+    return _cached(("fig20", resolved.name, seed, beta), build)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Figure 21: learning curves and training time
+# ----------------------------------------------------------------------
+@dataclass
+class LearningCurvePoint:
+    """Mean/std of train/validation VQP and training time at one size."""
+
+    n_options: int
+    n_train_queries: int
+    train_vqp_mean: float
+    train_vqp_std: float
+    validation_vqp_mean: float
+    validation_vqp_std: float
+    seconds_mean: float
+    seconds_std: float
+
+
+@dataclass
+class LearningCurveResult:
+    """Figure 21's learning and training-time curves."""
+
+    points: list[LearningCurvePoint]
+
+    def curve(self, n_options: int) -> list[LearningCurvePoint]:
+        return [p for p in self.points if p.n_options == n_options]
+
+    def render(self) -> str:
+        lines = [
+            "Figure 21: learning curves and training time",
+            "",
+            f"{'options':>7} {'train queries':>14} {'train VQP':>16} "
+            f"{'validation VQP':>16} {'train seconds':>16}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.n_options:>7} {p.n_train_queries:>14} "
+                f"{p.train_vqp_mean:>8.1f}±{p.train_vqp_std:<6.1f} "
+                f"{p.validation_vqp_mean:>8.1f}±{p.validation_vqp_std:<6.1f} "
+                f"{p.seconds_mean:>9.2f}±{p.seconds_std:<5.2f}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment_id": "fig21",
+            "points": [vars(p) for p in self.points],
+        }
+
+
+#: Paper Section 7.8: unit costs used for the 8/16/32-option workloads.
+FIG21_UNIT_COSTS = {8: 100.0, 16: 60.0, 32: 50.0}
+
+
+def run_fig21(
+    scale: str | ExperimentScale = "small",
+    seed: int = 0,
+    option_counts: Sequence[int] = (8, 16, 32),
+) -> LearningCurveResult:
+    """Figure 21: vary the number of training queries, report VQP curves
+    (8 and 32 options) and training-time curves (8, 16, 32 options)."""
+    resolved = get_scale(scale)
+
+    def build() -> LearningCurveResult:
+        rng = np.random.default_rng(seed + 77)
+        points: list[LearningCurvePoint] = []
+        for n_options in option_counts:
+            n_attrs = {8: 3, 16: 4, 32: 5}[n_options]
+            setup = twitter_setup(resolved, n_attributes=n_attrs, seed=seed)
+            pool = list(setup.split.train) + list(setup.split.validation)
+            validation = list(setup.split.evaluation)[: max(20, len(pool) // 3)]
+            sizes = [s for s in _curve_sizes(resolved) if s <= len(pool)]
+            qte = accurate_qte(setup, unit_cost_ms=FIG21_UNIT_COSTS[n_options])
+            for size in sizes:
+                train_vqps, val_vqps, seconds = [], [], []
+                for repeat in range(resolved.learning_curve_repeats):
+                    subset = [
+                        pool[i]
+                        for i in rng.choice(len(pool), size=size, replace=False)
+                    ]
+                    trainer = DQNTrainer(
+                        setup.database,
+                        qte,
+                        setup.space,
+                        setup.tau_ms,
+                        config=TrainingConfig(
+                            max_epochs=resolved.max_epochs,
+                            seed=seed + 101 * repeat + size,
+                        ),
+                    )
+                    history = trainer.train(subset)
+                    train_vqps.append(100.0 * _greedy_vqp(trainer, subset))
+                    val_vqps.append(100.0 * _greedy_vqp(trainer, validation))
+                    seconds.append(history.training_seconds)
+                points.append(
+                    LearningCurvePoint(
+                        n_options=n_options,
+                        n_train_queries=size,
+                        train_vqp_mean=float(np.mean(train_vqps)),
+                        train_vqp_std=float(np.std(train_vqps)),
+                        validation_vqp_mean=float(np.mean(val_vqps)),
+                        validation_vqp_std=float(np.std(val_vqps)),
+                        seconds_mean=float(np.mean(seconds)),
+                        seconds_std=float(np.std(seconds)),
+                    )
+                )
+        return LearningCurveResult(points)
+
+    return _cached(  # type: ignore[return-value]
+        ("fig21", resolved.name, seed, tuple(option_counts)), build
+    )
+
+
+def _curve_sizes(scale: ExperimentScale) -> list[int]:
+    if scale.name == "tiny":
+        return [10, 20, 30]
+    if scale.name == "small":
+        return [25, 50, 100, 150]
+    return [50, 100, 150, 300]
+
+
+def _greedy_vqp(trainer: DQNTrainer, queries: Sequence) -> float:
+    if not queries:
+        return 0.0
+    viable = 0
+    for query in queries:
+        _, was_viable = trainer.run_episode(query, epsilon=0.0, learn=False)
+        viable += int(was_viable)
+    return viable / len(queries)

@@ -1,0 +1,78 @@
+"""Rendering and persisting experiment results.
+
+Each reproduced figure/table is printed as ASCII tables (one per metric, the
+same rows/series the paper plots) and can be saved as JSON under
+``results/`` for later comparison against the paper's numbers in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .harness import ExperimentResult
+
+_METRIC_LABELS = {
+    "vqp": "Viable query percentage (%)",
+    "aqrt_ms": "Average query response time (ms)",
+    "avg_planning_ms": "Average planning time (ms)",
+    "avg_execution_ms": "Average execution time (ms)",
+    "avg_quality": "Average visualization quality",
+}
+
+
+def _format_cell(value: float | None, metric: str) -> str:
+    if value is None:
+        return "-"
+    if metric == "vqp":
+        return f"{value:.1f}"
+    if metric == "avg_quality":
+        return f"{value:.3f}"
+    return f"{value:.0f}"
+
+
+def render_metric_table(result: ExperimentResult, metric: str) -> str:
+    """One ASCII table: buckets as rows, approaches as columns."""
+    approaches = result.approaches()
+    header = ["viable plans", "n"] + approaches
+    rows: list[list[str]] = []
+    for row in result.rows:
+        cells = [row.bucket, str(row.n_queries)]
+        for name in approaches:
+            summary = row.summaries.get(name)
+            value = None if summary is None else getattr(summary, metric)
+            cells.append(_format_cell(value, metric))
+        rows.append(cells)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        f"{result.experiment_id}: {result.title}",
+        f"metric: {_METRIC_LABELS.get(metric, metric)}",
+        "  ".join(h.rjust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_experiment(
+    result: ExperimentResult, metrics: Sequence[str] = ("vqp", "aqrt_ms")
+) -> str:
+    """All requested metric tables for one experiment."""
+    blocks = [render_metric_table(result, metric) for metric in metrics]
+    return "\n\n".join(blocks)
+
+
+def save_json(result: ExperimentResult, directory: str | Path = "results") -> Path:
+    """Persist a result as ``results/<experiment_id>.json``."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.experiment_id}.json"
+    with open(path, "w") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+    return path

@@ -1,0 +1,247 @@
+"""Dataset/workload/QTE assembly shared by every experiment driver.
+
+A :class:`DatasetSetup` bundles a wired database, the paper's option space,
+a generated and split workload, and the sample table the approximate QTE
+counts on.  Setups are cached per configuration so that related figures
+(e.g. 12 and 13, which share the same runs) never rebuild datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.options import RewriteOptionSpace
+from ..datasets import (
+    TaxiConfig,
+    TpchConfig,
+    TwitterConfig,
+    build_taxi_database,
+    build_tpch_database,
+    build_twitter_database,
+)
+from ..db import Database, EngineProfile
+from ..errors import WorkloadError
+from ..qte import AccurateQTE, SamplingQTE
+from ..workloads import (
+    TaxiWorkloadGenerator,
+    TpchWorkloadGenerator,
+    TwitterJoinWorkloadGenerator,
+    TwitterWorkloadGenerator,
+    WorkloadSplit,
+    split_workload,
+)
+from .config import ExperimentScale, get_scale
+
+#: Canonical Twitter filter attributes, extended for 16/32-option workloads.
+TWITTER_ATTRS_3 = ("text", "created_at", "coordinates")
+TWITTER_ATTRS_4 = TWITTER_ATTRS_3 + ("users_statues_count",)
+TWITTER_ATTRS_5 = TWITTER_ATTRS_4 + ("users_followers_count",)
+
+#: Zoom decay used by all experiment workloads (see generator docs).
+EXPERIMENT_ZOOM_DECAY = 0.75
+#: Fraction of the base table used for the approximate QTE's sample counts.
+QTE_SAMPLE_FRACTION = 0.01
+
+
+@dataclass
+class DatasetSetup:
+    """Everything a figure driver needs about one dataset configuration."""
+
+    dataset: str
+    database: Database
+    tau_ms: float
+    attributes: tuple[str, ...]
+    space: RewriteOptionSpace
+    split: WorkloadSplit
+    qte_sample_table: str
+    scale: ExperimentScale
+    seed: int
+
+
+_SETUP_CACHE: dict[tuple, DatasetSetup] = {}
+
+
+def clear_setup_cache() -> None:
+    """Drop cached setups (tests use this to control memory)."""
+    _SETUP_CACHE.clear()
+
+
+def twitter_setup(
+    scale: str | ExperimentScale = "small",
+    tau_ms: float = 500.0,
+    n_attributes: int = 3,
+    join: bool = False,
+    profile: str = "postgres",
+    seed: int = 0,
+    rows_override: int | None = None,
+) -> DatasetSetup:
+    """Twitter dataset + workload for the requested configuration."""
+    resolved = get_scale(scale)
+    key = (
+        "twitter",
+        resolved.name,
+        tau_ms,
+        n_attributes,
+        join,
+        profile,
+        seed,
+        rows_override,
+    )
+    if key in _SETUP_CACHE:
+        return _SETUP_CACHE[key]
+
+    if n_attributes == 3:
+        attributes = TWITTER_ATTRS_3
+    elif n_attributes == 4:
+        attributes = TWITTER_ATTRS_4
+    elif n_attributes == 5:
+        attributes = TWITTER_ATTRS_5
+    else:
+        raise WorkloadError("Twitter workloads use 3, 4, or 5 attributes")
+
+    engine_profile = (
+        EngineProfile.commercial() if profile == "commercial" else EngineProfile.postgres()
+    )
+    n_rows = rows_override or resolved.twitter_rows
+    config = TwitterConfig(
+        n_tweets=n_rows,
+        n_users=max(200, resolved.twitter_users * n_rows // resolved.twitter_rows),
+        seed=seed + 1,
+        indexed_attributes=TWITTER_ATTRS_5,
+    )
+    database = build_twitter_database(config, profile=engine_profile, seed=seed)
+    database.create_sample_table(
+        "tweets", QTE_SAMPLE_FRACTION, name="tweets_qte_sample", seed=seed + 11
+    )
+
+    if join:
+        generator = TwitterJoinWorkloadGenerator(
+            database,
+            attributes=attributes,
+            seed=seed + 2,
+            zoom_decay=EXPERIMENT_ZOOM_DECAY,
+        )
+        space = RewriteOptionSpace.join_space(attributes)
+    else:
+        generator = TwitterWorkloadGenerator(
+            database,
+            attributes=attributes,
+            seed=seed + 2,
+            zoom_decay=EXPERIMENT_ZOOM_DECAY,
+        )
+        space = RewriteOptionSpace.hint_subsets(attributes)
+
+    queries = generator.generate(resolved.n_queries)
+    split = split_workload(queries, seed=seed + 3)
+    setup = DatasetSetup(
+        dataset="twitter",
+        database=database,
+        tau_ms=tau_ms,
+        attributes=attributes,
+        space=space,
+        split=split,
+        qte_sample_table="tweets_qte_sample",
+        scale=resolved,
+        seed=seed,
+    )
+    _SETUP_CACHE[key] = setup
+    return setup
+
+
+def taxi_setup(
+    scale: str | ExperimentScale = "small", tau_ms: float = 1_000.0, seed: int = 0
+) -> DatasetSetup:
+    resolved = get_scale(scale)
+    key = ("taxi", resolved.name, tau_ms, seed)
+    if key in _SETUP_CACHE:
+        return _SETUP_CACHE[key]
+    database = build_taxi_database(
+        TaxiConfig(n_trips=resolved.taxi_rows, seed=seed + 1), seed=seed
+    )
+    database.create_sample_table(
+        "trips", QTE_SAMPLE_FRACTION, name="trips_qte_sample", seed=seed + 11
+    )
+    generator = TaxiWorkloadGenerator(
+        database, seed=seed + 2, zoom_decay=EXPERIMENT_ZOOM_DECAY
+    )
+    queries = generator.generate(resolved.n_queries)
+    attributes = ("pickup_datetime", "trip_distance", "pickup_coordinates")
+    setup = DatasetSetup(
+        dataset="taxi",
+        database=database,
+        tau_ms=tau_ms,
+        attributes=attributes,
+        space=RewriteOptionSpace.hint_subsets(attributes),
+        split=split_workload(queries, seed=seed + 3),
+        qte_sample_table="trips_qte_sample",
+        scale=resolved,
+        seed=seed,
+    )
+    _SETUP_CACHE[key] = setup
+    return setup
+
+
+def tpch_setup(
+    scale: str | ExperimentScale = "small", tau_ms: float = 500.0, seed: int = 0
+) -> DatasetSetup:
+    resolved = get_scale(scale)
+    key = ("tpch", resolved.name, tau_ms, seed)
+    if key in _SETUP_CACHE:
+        return _SETUP_CACHE[key]
+    database = build_tpch_database(
+        TpchConfig(n_rows=resolved.tpch_rows, seed=seed + 1), seed=seed
+    )
+    database.create_sample_table(
+        "lineitem", QTE_SAMPLE_FRACTION, name="lineitem_qte_sample", seed=seed + 11
+    )
+    generator = TpchWorkloadGenerator(
+        database, seed=seed + 2, zoom_decay=EXPERIMENT_ZOOM_DECAY
+    )
+    queries = generator.generate(resolved.n_queries)
+    attributes = ("extended_price", "ship_date", "receipt_date")
+    setup = DatasetSetup(
+        dataset="tpch",
+        database=database,
+        tau_ms=tau_ms,
+        attributes=attributes,
+        space=RewriteOptionSpace.hint_subsets(attributes),
+        split=split_workload(queries, seed=seed + 3),
+        qte_sample_table="lineitem_qte_sample",
+        scale=resolved,
+        seed=seed,
+    )
+    _SETUP_CACHE[key] = setup
+    return setup
+
+
+def dataset_setup(name: str, scale: str | ExperimentScale, **kwargs) -> DatasetSetup:
+    """Dispatch helper used by drivers that loop over datasets."""
+    builders = {"twitter": twitter_setup, "taxi": taxi_setup, "tpch": tpch_setup}
+    if name not in builders:
+        raise WorkloadError(f"unknown dataset {name!r}; choose from {sorted(builders)}")
+    return builders[name](scale=scale, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# QTE construction
+# ----------------------------------------------------------------------
+def accurate_qte(setup: DatasetSetup, unit_cost_ms: float = 40.0) -> AccurateQTE:
+    return AccurateQTE(setup.database, unit_cost_ms=unit_cost_ms)
+
+
+def sampling_qte(
+    setup: DatasetSetup, space: RewriteOptionSpace | None = None
+) -> SamplingQTE:
+    """Build and fit the approximate QTE on the setup's training queries."""
+    target_space = space or setup.space
+    qte = SamplingQTE(
+        setup.database, target_space.attributes, setup.qte_sample_table
+    )
+    fit_queries = setup.split.train[: setup.scale.qte_fit_queries]
+    rewritten = [
+        target_space.build(query, setup.database, index)
+        for query in fit_queries
+        for index in range(len(target_space))
+    ]
+    qte.fit(rewritten)
+    return qte

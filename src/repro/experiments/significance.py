@@ -1,0 +1,107 @@
+"""Bootstrap uncertainty for experiment metrics.
+
+Bucketed VQP comparisons rest on a few dozen queries per bucket; this module
+quantifies how solid a "MDP beats Bao by 8 points" claim is.  Percentile
+bootstrap over per-query outcomes gives confidence intervals for VQP and
+AQRT, and a paired bootstrap gives the probability that one approach truly
+dominates another on the same queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.middleware import RequestOutcome
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def render(self) -> str:
+        return f"{self.estimate:.1f} [{self.low:.1f}, {self.high:.1f}]"
+
+
+def _bootstrap_statistic(
+    values: np.ndarray,
+    statistic,
+    n_resamples: int,
+    confidence: float,
+    seed: int,
+) -> ConfidenceInterval:
+    if len(values) == 0:
+        raise WorkloadError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples)
+    n = len(values)
+    for i in range(n_resamples):
+        resample = values[rng.integers(0, n, size=n)]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(statistic(values)),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def vqp_interval(
+    outcomes: Sequence[RequestOutcome],
+    n_resamples: int = 2_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the viable-query percentage (in percent)."""
+    values = np.array([100.0 * o.viable for o in outcomes])
+    return _bootstrap_statistic(values, np.mean, n_resamples, confidence, seed)
+
+
+def aqrt_interval(
+    outcomes: Sequence[RequestOutcome],
+    n_resamples: int = 2_000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap CI for the average query response time (ms)."""
+    values = np.array([o.total_ms for o in outcomes])
+    return _bootstrap_statistic(values, np.mean, n_resamples, confidence, seed)
+
+
+def paired_dominance(
+    outcomes_a: Sequence[RequestOutcome],
+    outcomes_b: Sequence[RequestOutcome],
+    n_resamples: int = 2_000,
+    seed: int = 0,
+) -> float:
+    """Paired-bootstrap probability that A's VQP >= B's VQP.
+
+    ``outcomes_a`` and ``outcomes_b`` must answer the *same* queries in the
+    same order (the harness guarantees this within a bucket).
+    """
+    if len(outcomes_a) != len(outcomes_b):
+        raise WorkloadError("paired comparison needs equally long outcome lists")
+    if not outcomes_a:
+        raise WorkloadError("cannot compare empty outcome lists")
+    a = np.array([float(o.viable) for o in outcomes_a])
+    b = np.array([float(o.viable) for o in outcomes_b])
+    rng = np.random.default_rng(seed)
+    n = len(a)
+    wins = 0
+    for _ in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        if a[idx].mean() >= b[idx].mean():
+            wins += 1
+    return wins / n_resamples

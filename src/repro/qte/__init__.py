@@ -1,0 +1,17 @@
+"""Query time estimators (QTEs) used by the rewriters."""
+
+from .accurate import AccurateQTE
+from .base import EstimationOutcome, QueryTimeEstimator, required_attributes
+from .plan_cost import PlanCostQTE
+from .sampling import SamplingQTE
+from .selectivity import SelectivityCache
+
+__all__ = [
+    "AccurateQTE",
+    "EstimationOutcome",
+    "PlanCostQTE",
+    "QueryTimeEstimator",
+    "SamplingQTE",
+    "SelectivityCache",
+    "required_attributes",
+]

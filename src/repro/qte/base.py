@@ -1,0 +1,63 @@
+"""Query-time-estimator (QTE) protocol.
+
+A QTE estimates the execution time of a rewritten query.  Estimation is not
+free: collecting each filter condition's selectivity costs virtual time, and
+those costs shrink as the per-request :class:`~repro.qte.selectivity.
+SelectivityCache` fills up — the mechanism behind the paper's state
+transitions (estimating RQ1 makes estimating RQ5 cheaper because they share
+the Location selectivity).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..db import SelectQuery
+from .selectivity import SelectivityCache
+
+
+@dataclass(frozen=True)
+class EstimationOutcome:
+    """What one QTE call produced and what it cost."""
+
+    estimated_ms: float
+    cost_ms: float
+
+
+def required_attributes(rewritten: SelectQuery) -> frozenset[str]:
+    """Filter attributes whose selectivity the QTE must collect for ``rewritten``.
+
+    These are the attributes whose index the hint set instructs the engine
+    to use: an index-scan's cost is driven by its access-path
+    selectivities.  A full-scan rewritten query needs none (its cost follows
+    from the table size alone).
+    """
+    if rewritten.hints is None:
+        return frozenset()
+    present = {p.column for p in rewritten.predicates}
+    return frozenset(rewritten.hints.index_on & present)
+
+
+class QueryTimeEstimator(ABC):
+    """Estimates rewritten-query execution times at a virtual-time cost."""
+
+    name: str = "qte"
+
+    @abstractmethod
+    def predict_cost_ms(self, rewritten: SelectQuery, cache: SelectivityCache) -> float:
+        """Predicted cost of estimating ``rewritten`` given what is cached.
+
+        Used to fill the MDP state's estimation-cost entries C_i; must not
+        mutate the cache.
+        """
+
+    @abstractmethod
+    def estimate(
+        self, rewritten: SelectQuery, cache: SelectivityCache
+    ) -> EstimationOutcome:
+        """Estimate the execution time, collecting selectivities as needed.
+
+        Mutates ``cache`` with newly collected selectivities and returns
+        both the estimate and the actual cost incurred.
+        """

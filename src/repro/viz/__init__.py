@@ -1,0 +1,40 @@
+"""Visualization layer: requests, binning, and quality functions."""
+
+from ..db.binning import bin_center, bin_counts, compute_bin_ids
+from .quality import (
+    DistributionPrecisionQuality,
+    JaccardQuality,
+    QualityContext,
+    QualityFunction,
+    VASQuality,
+    evaluate_quality,
+    jaccard,
+)
+from .render import render_heatmap, render_scatter
+from .requests import (
+    TAXI_TRANSLATOR,
+    TWITTER_TRANSLATOR,
+    RequestTranslator,
+    VisualizationKind,
+    VisualizationRequest,
+)
+
+__all__ = [
+    "DistributionPrecisionQuality",
+    "JaccardQuality",
+    "QualityContext",
+    "QualityFunction",
+    "RequestTranslator",
+    "TAXI_TRANSLATOR",
+    "TWITTER_TRANSLATOR",
+    "VASQuality",
+    "VisualizationKind",
+    "VisualizationRequest",
+    "bin_center",
+    "bin_counts",
+    "compute_bin_ids",
+    "evaluate_quality",
+    "jaccard",
+    "render_heatmap",
+    "render_scatter",
+]

@@ -1,0 +1,186 @@
+"""Visualization quality functions ``F(r(Q), r(RQ))`` (paper Section 6).
+
+The paper leaves the quality function pluggable ("Maliva does not have
+restrictions on quality functions") and uses a Jaccard-based function in its
+experiments, citing VAS [44] for scatterplots and distribution precision
+[11] for pie charts as alternatives.  All three are implemented:
+
+* :class:`JaccardQuality` — |A ∩ B| / |A ∪ B| over result row ids (scatter)
+  or bin ids (heatmaps).  The paper's Figure 9 metric.
+* :class:`DistributionPrecisionQuality` — 1 − ½·Σ|p_i − q_i| over normalized
+  group counts (Sample+Seek's distribution precision).
+* :class:`VASQuality` — perceptual scatterplot proxy: Jaccard over occupied
+  fine-grained screen cells, since points closer than a pixel are
+  indistinguishable (the intuition behind VAS's loss).
+
+Every function returns a score in [0, 1], with 1 meaning "exact result".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db import BinGroupBy, Database, ExecutionResult, SelectQuery
+from ..db.binning import compute_bin_ids
+from ..errors import QueryError
+
+
+def jaccard(a: set, b: set) -> float:
+    """Plain Jaccard similarity of two sets; empty sets are identical."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+@dataclass(frozen=True)
+class QualityContext:
+    """What a quality function may consult besides the two results."""
+
+    database: Database
+    original_query: SelectQuery
+    rewritten_query: SelectQuery
+
+
+class QualityFunction(ABC):
+    """Protocol for visualization quality functions."""
+
+    name: str = "quality"
+
+    @abstractmethod
+    def evaluate(
+        self,
+        original: ExecutionResult,
+        rewritten: ExecutionResult,
+        context: QualityContext,
+    ) -> float:
+        """Score ``rewritten``'s visualization against ``original``'s."""
+
+
+class JaccardQuality(QualityFunction):
+    """Jaccard similarity over result identity (row ids or bin ids)."""
+
+    name = "jaccard"
+
+    def evaluate(
+        self,
+        original: ExecutionResult,
+        rewritten: ExecutionResult,
+        context: QualityContext,
+    ) -> float:
+        if original.kind != rewritten.kind:
+            raise QueryError("cannot compare results of different kinds")
+        if original.kind == "bins":
+            assert original.bins is not None and rewritten.bins is not None
+            return jaccard(set(original.bins), set(rewritten.bins))
+        assert original.row_ids is not None and rewritten.row_ids is not None
+        return jaccard(
+            set(map(int, original.row_ids)), set(map(int, rewritten.row_ids))
+        )
+
+
+class DistributionPrecisionQuality(QualityFunction):
+    """1 − total-variation distance between normalized bin distributions."""
+
+    name = "distribution_precision"
+
+    def evaluate(
+        self,
+        original: ExecutionResult,
+        rewritten: ExecutionResult,
+        context: QualityContext,
+    ) -> float:
+        if original.kind != "bins" or rewritten.kind != "bins":
+            # The metric is defined over grouped results; fall back to
+            # identity Jaccard for plain row results.
+            return JaccardQuality().evaluate(original, rewritten, context)
+        assert original.bins is not None and rewritten.bins is not None
+        total_p = sum(original.bins.values())
+        total_q = sum(rewritten.bins.values())
+        if total_p == 0 and total_q == 0:
+            return 1.0
+        if total_p == 0 or total_q == 0:
+            return 0.0
+        keys = set(original.bins) | set(rewritten.bins)
+        tv = 0.5 * sum(
+            abs(
+                original.bins.get(k, 0.0) / total_p
+                - rewritten.bins.get(k, 0.0) / total_q
+            )
+            for k in keys
+        )
+        return float(np.clip(1.0 - tv, 0.0, 1.0))
+
+
+@dataclass
+class VASQuality(QualityFunction):
+    """Perceptual scatterplot quality: Jaccard over occupied screen cells.
+
+    ``cell_degrees`` approximates one screen pixel at the visualization's
+    zoom level; two results that light up the same cells look identical.
+    """
+
+    cell_degrees: float = 0.25
+    name: str = "vas"
+
+    def evaluate(
+        self,
+        original: ExecutionResult,
+        rewritten: ExecutionResult,
+        context: QualityContext,
+    ) -> float:
+        if original.kind == "bins":
+            return JaccardQuality().evaluate(original, rewritten, context)
+        point_column = self._point_column(context.original_query, context.database)
+        if point_column is None:
+            return JaccardQuality().evaluate(original, rewritten, context)
+        base_table = self._base_table(context, context.original_query.table)
+        points = context.database.table(base_table).points(point_column)
+        group = BinGroupBy(point_column, self.cell_degrees, self.cell_degrees)
+        assert original.row_ids is not None and rewritten.row_ids is not None
+        cells_a = (
+            set(map(int, compute_bin_ids(points[original.row_ids], group)))
+            if len(original.row_ids)
+            else set()
+        )
+        cells_b = (
+            set(map(int, compute_bin_ids(points[rewritten.row_ids], group)))
+            if len(rewritten.row_ids)
+            else set()
+        )
+        return jaccard(cells_a, cells_b)
+
+    @staticmethod
+    def _point_column(query: SelectQuery, database: Database) -> str | None:
+        schema = database.table(query.table).schema
+        for name in query.output:
+            if schema.has_column(name) and schema.kind_of(name).name == "POINT":
+                return name
+        return None
+
+    @staticmethod
+    def _base_table(context: QualityContext, table_name: str) -> str:
+        table = context.database.table(table_name)
+        return table.base_table or table_name
+
+
+def evaluate_quality(
+    database: Database,
+    original_query: SelectQuery,
+    rewritten_query: SelectQuery,
+    rewritten_result: ExecutionResult,
+    quality_fn: QualityFunction,
+) -> float:
+    """Convenience wrapper computing ``F(r(Q), r(RQ))`` with an exact r(Q).
+
+    Runs the original query noiselessly (offline cost, as in the paper's
+    training phase) and compares.
+    """
+    original_result = database.true_result(original_query.without_hints())
+    context = QualityContext(database, original_query, rewritten_query)
+    return quality_fn.evaluate(original_result, rewritten_result, context)

@@ -1,0 +1,90 @@
+"""Terminal rendering of visualization results.
+
+The frontend of the paper's architecture draws heatmaps and scatterplots;
+this module provides a dependency-free equivalent so the examples can show
+*what the user sees*, not just latencies.  Density is mapped onto a ramp of
+unicode shades; both renderers accept the structures the executor returns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db import BinGroupBy
+from ..db.binning import bin_center
+from ..db.types import BoundingBox
+
+#: Light-to-dark density ramp.
+_RAMP = " .:-=+*#%@"
+
+
+def _shade(value: float, max_value: float) -> str:
+    if max_value <= 0 or value <= 0:
+        return _RAMP[0]
+    level = int(round((len(_RAMP) - 1) * min(1.0, value / max_value)))
+    return _RAMP[max(1, level)]
+
+
+def render_heatmap(
+    bins: dict[int, float],
+    group_by: BinGroupBy,
+    width: int = 64,
+    height: int = 20,
+    extent: BoundingBox | None = None,
+) -> str:
+    """Render BIN_ID -> count results as an ASCII density map.
+
+    ``extent`` defaults to the bounding box of the occupied bins.
+    """
+    if not bins:
+        return "(empty heatmap)"
+    centers = np.array([bin_center(b, group_by) for b in bins])
+    counts = np.array(list(bins.values()), dtype=float)
+    if extent is None:
+        extent = BoundingBox(
+            float(centers[:, 0].min()),
+            float(centers[:, 1].min()),
+            float(centers[:, 0].max()) + 1e-9,
+            float(centers[:, 1].max()) + 1e-9,
+        )
+    grid = np.zeros((height, width))
+    span_x = max(extent.width, 1e-9)
+    span_y = max(extent.height, 1e-9)
+    for (x, y), count in zip(centers, counts):
+        col = int((x - extent.min_x) / span_x * (width - 1))
+        row = int((extent.max_y - y) / span_y * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row, col] += count
+    top = grid.max()
+    lines = ["".join(_shade(v, top) for v in row) for row in grid]
+    frame = "+" + "-" * width + "+"
+    return "\n".join([frame] + ["|" + line + "|" for line in lines] + [frame])
+
+
+def render_scatter(
+    points: np.ndarray,
+    width: int = 64,
+    height: int = 20,
+    extent: BoundingBox | None = None,
+) -> str:
+    """Render an ``(n, 2)`` point array as an ASCII scatterplot."""
+    if len(points) == 0:
+        return "(empty scatterplot)"
+    if extent is None:
+        extent = BoundingBox(
+            float(points[:, 0].min()),
+            float(points[:, 1].min()),
+            float(points[:, 0].max()) + 1e-9,
+            float(points[:, 1].max()) + 1e-9,
+        )
+    grid = np.zeros((height, width))
+    span_x = max(extent.width, 1e-9)
+    span_y = max(extent.height, 1e-9)
+    cols = ((points[:, 0] - extent.min_x) / span_x * (width - 1)).astype(int)
+    rows = ((extent.max_y - points[:, 1]) / span_y * (height - 1)).astype(int)
+    inside = (cols >= 0) & (cols < width) & (rows >= 0) & (rows < height)
+    np.add.at(grid, (rows[inside], cols[inside]), 1.0)
+    top = grid.max()
+    lines = ["".join(_shade(v, top) for v in row) for row in grid]
+    frame = "+" + "-" * width + "+"
+    return "\n".join([frame] + ["|" + line + "|" for line in lines] + [frame])

@@ -1,0 +1,114 @@
+"""Frontend visualization requests and their translation to SQL.
+
+The paper's architecture has the middleware translate each frontend request
+(map viewport + keyword + time range) into a SQL query.  This module models
+that translation step so the examples can exercise a realistic
+frontend → middleware → database pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..db import (
+    BinGroupBy,
+    BoundingBox,
+    KeywordPredicate,
+    Predicate,
+    RangePredicate,
+    SelectQuery,
+    SpatialPredicate,
+)
+from ..errors import QueryError
+
+
+class VisualizationKind(enum.Enum):
+    """Supported frontend visualization types."""
+
+    SCATTERPLOT = "scatterplot"
+    HEATMAP = "heatmap"
+
+
+@dataclass(frozen=True)
+class VisualizationRequest:
+    """A frontend request: what to draw, where, and when.
+
+    ``extra_ranges`` carries any additional numeric filters the UI exposes
+    (e.g. a followers-count slider), as ``{attribute: (low, high)}``.
+    """
+
+    kind: VisualizationKind
+    keyword: str | None = None
+    region: BoundingBox | None = None
+    time_range: tuple[float, float] | None = None
+    extra_ranges: tuple[tuple[str, tuple[float | None, float | None]], ...] = ()
+    heatmap_cell_degrees: float = 0.5
+
+
+@dataclass(frozen=True)
+class RequestTranslator:
+    """Maps request fields onto a dataset's schema (the middleware's job)."""
+
+    table: str
+    id_column: str
+    text_column: str | None
+    time_column: str | None
+    point_column: str | None
+
+    def to_query(self, request: VisualizationRequest) -> SelectQuery:
+        """Translate a frontend request into the original SQL query ``Q``."""
+        predicates: list[Predicate] = []
+        if request.keyword is not None:
+            if self.text_column is None:
+                raise QueryError("dataset has no text column for keyword filters")
+            predicates.append(KeywordPredicate(self.text_column, request.keyword))
+        if request.time_range is not None:
+            if self.time_column is None:
+                raise QueryError("dataset has no time column for time filters")
+            low, high = request.time_range
+            predicates.append(RangePredicate(self.time_column, low, high))
+        if request.region is not None:
+            if self.point_column is None:
+                raise QueryError("dataset has no point column for region filters")
+            predicates.append(SpatialPredicate(self.point_column, request.region))
+        for attribute, (low, high) in request.extra_ranges:
+            predicates.append(RangePredicate(attribute, low, high))
+        if not predicates:
+            raise QueryError("a visualization request needs at least one filter")
+
+        if request.kind is VisualizationKind.HEATMAP:
+            if self.point_column is None:
+                raise QueryError("heatmaps require a point column")
+            return SelectQuery(
+                table=self.table,
+                predicates=tuple(predicates),
+                group_by=BinGroupBy(
+                    self.point_column,
+                    request.heatmap_cell_degrees,
+                    request.heatmap_cell_degrees,
+                ),
+            )
+        output = (self.id_column,)
+        if self.point_column is not None:
+            output = (self.id_column, self.point_column)
+        return SelectQuery(
+            table=self.table, predicates=tuple(predicates), output=output
+        )
+
+
+TWITTER_TRANSLATOR = RequestTranslator(
+    table="tweets",
+    id_column="id",
+    text_column="text",
+    time_column="created_at",
+    point_column="coordinates",
+)
+
+TAXI_TRANSLATOR = RequestTranslator(
+    table="trips",
+    id_column="id",
+    text_column=None,
+    time_column="pickup_datetime",
+    point_column="pickup_coordinates",
+)

@@ -1,0 +1,50 @@
+"""Workload generation and difficulty bucketing (paper Section 7.1)."""
+
+from .difficulty import (
+    Bucket,
+    BucketedWorkload,
+    bucketize,
+    pair_buckets,
+    single_buckets,
+    viable_plan_count,
+    width_buckets,
+)
+from .generator import (
+    QueryWorkloadGenerator,
+    TaxiWorkloadGenerator,
+    TpchWorkloadGenerator,
+    TwitterJoinWorkloadGenerator,
+    TwitterWorkloadGenerator,
+    WorkloadSplit,
+    split_workload,
+)
+from .serialization import (
+    load_workload,
+    query_from_dict,
+    query_to_dict,
+    save_workload,
+)
+from .sessions import ExplorationSessionGenerator, SessionStep
+
+__all__ = [
+    "Bucket",
+    "BucketedWorkload",
+    "ExplorationSessionGenerator",
+    "SessionStep",
+    "QueryWorkloadGenerator",
+    "TaxiWorkloadGenerator",
+    "TpchWorkloadGenerator",
+    "TwitterJoinWorkloadGenerator",
+    "TwitterWorkloadGenerator",
+    "WorkloadSplit",
+    "bucketize",
+    "load_workload",
+    "pair_buckets",
+    "query_from_dict",
+    "query_to_dict",
+    "save_workload",
+    "single_buckets",
+    "split_workload",
+    "viable_plan_count",
+    "width_buckets",
+]

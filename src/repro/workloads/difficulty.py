@@ -1,0 +1,108 @@
+"""Query difficulty: the paper's "number of viable plans" metric.
+
+Given a time budget tau, a query's number of viable plans is
+``sum_i [T(P_i) <= tau]`` over all physical plans P_i reachable through the
+candidate query hints (Section 7.1).  Every evaluation figure groups queries
+by this difficulty, so the bucketing schemes used by each figure live here
+too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..db import Database, SelectQuery
+from ..core.options import RewriteOptionSpace
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One difficulty bucket: ``lo <= viable plans <= hi`` (hi None = +inf)."""
+
+    label: str
+    lo: int
+    hi: int | None
+
+    def contains(self, count: int) -> bool:
+        if count < self.lo:
+            return False
+        return self.hi is None or count <= self.hi
+
+
+def single_buckets(max_count: int = 4) -> tuple[Bucket, ...]:
+    """Buckets 0, 1, 2, ..., max, >=max+1 (Figures 12/13/16/17/20)."""
+    buckets = [Bucket(str(i), i, i) for i in range(max_count + 1)]
+    buckets.append(Bucket(f">={max_count + 1}", max_count + 1, None))
+    return tuple(buckets)
+
+
+def pair_buckets(n_pairs: int = 4, start: int = 1) -> tuple[Bucket, ...]:
+    """Buckets 1-2, 3-4, ... (Figures 14a/15a/18) or 1-4, 5-8, ... via width."""
+    return width_buckets(width=2, n_buckets=n_pairs, start=start)
+
+
+def width_buckets(width: int, n_buckets: int, start: int = 1) -> tuple[Bucket, ...]:
+    """Fixed-width buckets starting at ``start`` plus a trailing open bucket."""
+    buckets = []
+    lo = start
+    for _ in range(n_buckets):
+        hi = lo + width - 1
+        label = f"{lo}" if width == 1 else f"{lo}-{hi}"
+        buckets.append(Bucket(label, lo, hi))
+        lo = hi + 1
+    buckets.append(Bucket(f">={lo}", lo, None))
+    return tuple(buckets)
+
+
+def viable_plan_count(
+    database: Database,
+    query: SelectQuery,
+    space: RewriteOptionSpace,
+    tau_ms: float,
+) -> int:
+    """Number of hint-only plans whose true execution time fits the budget."""
+    count = 0
+    for index in space.hint_only_indices:
+        rewritten = space.build(query, database, index)
+        if database.true_execution_time_ms(rewritten) <= tau_ms:
+            count += 1
+    return count
+
+
+@dataclass
+class BucketedWorkload:
+    """Evaluation queries grouped by difficulty."""
+
+    buckets: tuple[Bucket, ...]
+    queries: dict[str, list[SelectQuery]]
+    counts: dict[str, int]
+
+    def non_empty(self) -> list[str]:
+        return [b.label for b in self.buckets if self.counts.get(b.label)]
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+def bucketize(
+    database: Database,
+    queries: Sequence[SelectQuery],
+    space: RewriteOptionSpace,
+    tau_ms: float,
+    buckets: tuple[Bucket, ...] | None = None,
+) -> BucketedWorkload:
+    """Group queries by viable-plan count (paper Tables 2 and 3)."""
+    scheme = buckets or single_buckets()
+    grouped: dict[str, list[SelectQuery]] = {b.label: [] for b in scheme}
+    for query in queries:
+        count = viable_plan_count(database, query, space, tau_ms)
+        for bucket in scheme:
+            if bucket.contains(count):
+                grouped[bucket.label].append(query)
+                break
+    counts = {label: len(qs) for label, qs in grouped.items()}
+    if sum(counts.values()) != len(queries):
+        raise WorkloadError("bucket scheme does not cover all viable-plan counts")
+    return BucketedWorkload(buckets=scheme, queries=grouped, counts=counts)

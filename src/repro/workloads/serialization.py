@@ -1,0 +1,147 @@
+"""Workload serialization: queries to/from JSON.
+
+Generated workloads drive every experiment; persisting them lets a run be
+reproduced (or inspected) without regenerating the dataset, and lets
+external tools inject their own query logs.  The format is a plain JSON
+list of query objects mirroring the :class:`~repro.db.SelectQuery` AST.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..db import (
+    BinGroupBy,
+    BoundingBox,
+    EqualsPredicate,
+    HintSet,
+    JoinSpec,
+    KeywordPredicate,
+    Predicate,
+    RangePredicate,
+    SelectQuery,
+    SpatialPredicate,
+)
+from ..errors import WorkloadError
+
+
+def predicate_to_dict(predicate: Predicate) -> dict:
+    if isinstance(predicate, KeywordPredicate):
+        return {"kind": "keyword", "column": predicate.column, "keyword": predicate.keyword}
+    if isinstance(predicate, RangePredicate):
+        return {
+            "kind": "range",
+            "column": predicate.column,
+            "low": predicate.low,
+            "high": predicate.high,
+        }
+    if isinstance(predicate, SpatialPredicate):
+        return {
+            "kind": "spatial",
+            "column": predicate.column,
+            "box": [
+                predicate.box.min_x,
+                predicate.box.min_y,
+                predicate.box.max_x,
+                predicate.box.max_y,
+            ],
+        }
+    if isinstance(predicate, EqualsPredicate):
+        return {"kind": "equals", "column": predicate.column, "value": predicate.value}
+    raise WorkloadError(f"cannot serialize predicate type {type(predicate).__name__}")
+
+
+def predicate_from_dict(payload: dict) -> Predicate:
+    kind = payload.get("kind")
+    if kind == "keyword":
+        return KeywordPredicate(payload["column"], payload["keyword"])
+    if kind == "range":
+        return RangePredicate(payload["column"], payload["low"], payload["high"])
+    if kind == "spatial":
+        x0, y0, x1, y1 = payload["box"]
+        return SpatialPredicate(payload["column"], BoundingBox(x0, y0, x1, y1))
+    if kind == "equals":
+        return EqualsPredicate(payload["column"], payload["value"])
+    raise WorkloadError(f"unknown predicate kind {kind!r}")
+
+
+def query_to_dict(query: SelectQuery) -> dict:
+    payload: dict = {
+        "table": query.table,
+        "predicates": [predicate_to_dict(p) for p in query.predicates],
+        "output": list(query.output),
+    }
+    if query.group_by is not None:
+        payload["group_by"] = {
+            "column": query.group_by.column,
+            "cell_x": query.group_by.cell_x,
+            "cell_y": query.group_by.cell_y,
+        }
+    if query.join is not None:
+        payload["join"] = {
+            "table": query.join.table,
+            "left_column": query.join.left_column,
+            "right_column": query.join.right_column,
+            "predicates": [predicate_to_dict(p) for p in query.join.predicates],
+        }
+    if query.limit is not None:
+        payload["limit"] = query.limit
+    if query.hints is not None:
+        payload["hints"] = {
+            "index_on": sorted(query.hints.index_on),
+            "join_method": query.hints.join_method,
+        }
+    return payload
+
+
+def query_from_dict(payload: dict) -> SelectQuery:
+    group_by = None
+    if "group_by" in payload:
+        group = payload["group_by"]
+        group_by = BinGroupBy(group["column"], group["cell_x"], group["cell_y"])
+    join = None
+    if "join" in payload:
+        join_payload = payload["join"]
+        join = JoinSpec(
+            table=join_payload["table"],
+            left_column=join_payload["left_column"],
+            right_column=join_payload["right_column"],
+            predicates=tuple(
+                predicate_from_dict(p) for p in join_payload["predicates"]
+            ),
+        )
+    hints = None
+    if "hints" in payload:
+        hints_payload = payload["hints"]
+        hints = HintSet(
+            index_on=frozenset(hints_payload["index_on"]),
+            join_method=hints_payload.get("join_method"),
+        )
+    return SelectQuery(
+        table=payload["table"],
+        predicates=tuple(predicate_from_dict(p) for p in payload["predicates"]),
+        output=tuple(payload.get("output", ())),
+        group_by=group_by,
+        join=join,
+        limit=payload.get("limit"),
+        hints=hints,
+    )
+
+
+def save_workload(queries: Sequence[SelectQuery], path: str | Path) -> Path:
+    """Write a workload as a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [query_to_dict(query) for query in queries]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_workload(path: str | Path) -> list[SelectQuery]:
+    """Read a workload previously written by :func:`save_workload`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise WorkloadError(f"workload file {path} does not contain a list")
+    return [query_from_dict(item) for item in payload]

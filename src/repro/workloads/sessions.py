@@ -1,0 +1,151 @@
+"""Coherent interactive exploration sessions.
+
+The paper's motivation is a *user* exploring a map: each request is related
+to the previous one (zoom in, pan, tighten the time window, switch topic).
+This generator produces such trajectories — useful both for demos and for
+evaluating the middleware under realistic request streams, where the
+engine's buffer-cache profile and the selectivity structure evolve smoothly
+instead of i.i.d. like the training workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db import Database
+from ..db.types import BoundingBox
+from ..errors import WorkloadError
+from ..viz.requests import VisualizationKind, VisualizationRequest
+
+
+@dataclass(frozen=True)
+class SessionStep:
+    """One user interaction plus a human-readable description."""
+
+    description: str
+    request: VisualizationRequest
+
+
+class ExplorationSessionGenerator:
+    """Generates pan/zoom/search trajectories over a tweet-like table."""
+
+    def __init__(
+        self,
+        database: Database,
+        table: str = "tweets",
+        text_column: str = "text",
+        time_column: str = "created_at",
+        point_column: str = "coordinates",
+        seed: int = 0,
+    ) -> None:
+        self.database = database
+        self.table = table
+        self.text_column = text_column
+        self.time_column = time_column
+        self.point_column = point_column
+        self.rng = np.random.default_rng(seed)
+        storage = database.table(table)
+        points = storage.points(point_column)
+        self.extent = BoundingBox(
+            float(points[:, 0].min()),
+            float(points[:, 1].min()),
+            float(points[:, 0].max()),
+            float(points[:, 1].max()),
+        )
+        stamps = storage.numeric(time_column)
+        self.time_lo = float(stamps.min())
+        self.time_hi = float(stamps.max())
+        index = database.index(table, text_column)
+        if index is None or not hasattr(index, "most_common"):
+            raise WorkloadError(
+                f"session generation needs an inverted index on "
+                f"{table}.{text_column}"
+            )
+        # Users search popular topics: draw keywords from the head.
+        self._keywords = [token for token, _ in index.most_common(40)]
+
+    def generate(self, n_steps: int = 8) -> list[SessionStep]:
+        """One session: search wide, then zoom/pan/narrow step by step."""
+        if n_steps < 1:
+            raise WorkloadError("a session needs at least one step")
+        keyword = self._pick_keyword()
+        region = self.extent
+        window = self._initial_window()
+        steps = [
+            SessionStep(
+                description=f"search '{keyword}' over the full map",
+                request=self._request(keyword, region, window),
+            )
+        ]
+        while len(steps) < n_steps:
+            move = self.rng.choice(
+                ["zoom_in", "pan", "narrow_time", "new_topic", "zoom_out"],
+                p=[0.35, 0.25, 0.2, 0.1, 0.1],
+            )
+            if move == "zoom_in":
+                region = self._zoom(region, 0.5)
+                description = "zoom in"
+            elif move == "pan":
+                region = self._pan(region)
+                description = "pan the viewport"
+            elif move == "narrow_time":
+                window = self._narrow(window)
+                description = "narrow the time window"
+            elif move == "zoom_out":
+                region = self._zoom(region, 2.0)
+                description = "zoom out"
+            else:
+                keyword = self._pick_keyword()
+                description = f"switch topic to '{keyword}'"
+            steps.append(
+                SessionStep(
+                    description=description,
+                    request=self._request(keyword, region, window),
+                )
+            )
+        return steps
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, keyword: str, region: BoundingBox, window: tuple[float, float]
+    ) -> VisualizationRequest:
+        kind = (
+            VisualizationKind.HEATMAP
+            if region.area() > self.extent.area() / 16
+            else VisualizationKind.SCATTERPLOT
+        )
+        return VisualizationRequest(
+            kind=kind, keyword=keyword, region=region, time_range=window
+        )
+
+    def _pick_keyword(self) -> str:
+        return self._keywords[int(self.rng.integers(0, len(self._keywords)))]
+
+    def _initial_window(self) -> tuple[float, float]:
+        span = self.time_hi - self.time_lo
+        start = self.time_lo + self.rng.uniform(0.0, span / 2)
+        return (start, start + span / 4)
+
+    def _narrow(self, window: tuple[float, float]) -> tuple[float, float]:
+        low, high = window
+        center = (low + high) / 2
+        quarter = (high - low) / 4
+        return (center - quarter, center + quarter)
+
+    def _zoom(self, region: BoundingBox, factor: float) -> BoundingBox:
+        scaled = region.scaled(factor)
+        clipped = scaled.intersection(self.extent)
+        return clipped if clipped is not None else self.extent
+
+    def _pan(self, region: BoundingBox) -> BoundingBox:
+        dx = region.width * self.rng.uniform(-0.4, 0.4)
+        dy = region.height * self.rng.uniform(-0.4, 0.4)
+        min_x = max(self.extent.min_x, region.min_x + dx)
+        min_y = max(self.extent.min_y, region.min_y + dy)
+        max_x = min(self.extent.max_x, region.max_x + dx)
+        max_y = min(self.extent.max_y, region.max_y + dy)
+        if min_x >= max_x or min_y >= max_y:
+            return region
+        return BoundingBox(min_x, min_y, max_x, max_y)

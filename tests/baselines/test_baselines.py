@@ -1,0 +1,129 @@
+"""Baseline / Naive / Bao comparator tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaoApproach,
+    BaselineApproach,
+    BayesianLinearModel,
+    NaiveApproach,
+)
+from repro.errors import EstimationError
+from repro.qte import AccurateQTE
+
+from ..conftest import TEST_TAU_MS
+
+
+class TestBaseline:
+    def test_outcome_structure(self, twitter_db, twitter_queries):
+        baseline = BaselineApproach(twitter_db, TEST_TAU_MS)
+        outcome = baseline.answer(twitter_queries[0])
+        assert outcome.option_label == "original"
+        assert outcome.planning_ms == twitter_db.planning_ms
+        assert outcome.rewritten.hints is None
+        assert outcome.total_ms == pytest.approx(
+            outcome.planning_ms + outcome.execution_ms
+        )
+
+    def test_prepare_is_noop(self, twitter_db, twitter_queries):
+        baseline = BaselineApproach(twitter_db, TEST_TAU_MS)
+        baseline.prepare(list(twitter_queries))  # must not raise
+
+
+class TestNaive:
+    def test_estimates_every_option(self, twitter_db, hint_space, twitter_queries):
+        qte = AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0)
+        naive = NaiveApproach(twitter_db, hint_space, qte, TEST_TAU_MS)
+        outcome = naive.answer(twitter_queries[0])
+        # 8 estimates, 3 selectivities collected once: 8 * 1 + 3 * 5 = 23.
+        assert outcome.planning_ms == pytest.approx(23.0)
+
+    def test_picks_minimum_estimated_time(self, twitter_db, hint_space, twitter_queries):
+        qte = AccurateQTE(twitter_db, unit_cost_ms=0.0, overhead_ms=0.0)
+        naive = NaiveApproach(twitter_db, hint_space, qte, TEST_TAU_MS)
+        query = twitter_queries[1]
+        outcome = naive.answer(query)
+        times = [
+            twitter_db.true_execution_time_ms(hint_space.build(query, twitter_db, i))
+            for i in range(len(hint_space))
+        ]
+        best = hint_space.option(int(np.argmin(times))).label()
+        assert outcome.option_label == best
+
+    def test_name_mentions_qte(self, twitter_db, hint_space):
+        qte = AccurateQTE(twitter_db)
+        naive = NaiveApproach(twitter_db, hint_space, qte, TEST_TAU_MS)
+        assert "accurate" in naive.name
+
+
+class TestBayesianLinearModel:
+    def test_recovers_linear_function(self):
+        rng = np.random.default_rng(7)
+        true_weights = np.array([2.0, -1.0, 0.5])
+        model = BayesianLinearModel(3, noise_var=0.01)
+        for _ in range(300):
+            x = rng.standard_normal(3)
+            model.update(x, float(x @ true_weights) + rng.normal(0, 0.05))
+        assert np.allclose(model.mean, true_weights, atol=0.1)
+
+    def test_posterior_sampling_concentrates(self):
+        rng = np.random.default_rng(8)
+        model = BayesianLinearModel(2, noise_var=0.01)
+        for _ in range(500):
+            x = rng.standard_normal(2)
+            model.update(x, float(x @ np.array([1.0, 1.0])))
+        samples = np.stack([model.sample(rng) for _ in range(50)])
+        assert np.allclose(samples.mean(axis=0), [1.0, 1.0], atol=0.15)
+        assert samples.std(axis=0).max() < 0.2
+
+    def test_prior_sample_is_diffuse(self):
+        rng = np.random.default_rng(9)
+        model = BayesianLinearModel(2, prior_scale=4.0)
+        samples = np.stack([model.sample(rng) for _ in range(200)])
+        assert samples.std(axis=0).min() > 0.5
+
+
+class TestBao:
+    @pytest.fixture(scope="class")
+    def prepared(self, request):
+        twitter_db = request.getfixturevalue("twitter_db")
+        hint_space = request.getfixturevalue("hint_space")
+        twitter_queries = request.getfixturevalue("twitter_queries")
+        bao = BaoApproach(
+            twitter_db, hint_space, TEST_TAU_MS, training_epochs=1, seed=5
+        )
+        bao.prepare(list(twitter_queries[:10]))
+        return bao
+
+    def test_answer_before_prepare_raises(self, twitter_db, hint_space, twitter_queries):
+        bao = BaoApproach(twitter_db, hint_space, TEST_TAU_MS)
+        with pytest.raises(EstimationError):
+            bao.answer(twitter_queries[0])
+
+    def test_prepare_on_empty_raises(self, twitter_db, hint_space):
+        bao = BaoApproach(twitter_db, hint_space, TEST_TAU_MS)
+        with pytest.raises(EstimationError):
+            bao.prepare([])
+
+    def test_planning_cost_is_brute_force(self, prepared, hint_space, twitter_queries):
+        outcome = prepared.answer(twitter_queries[11])
+        expected = prepared.plan_ms_per_option * len(hint_space) + prepared.model_ms
+        assert outcome.planning_ms == pytest.approx(expected)
+
+    def test_chooses_argmin_of_model(self, prepared, twitter_db, hint_space, twitter_queries):
+        query = twitter_queries[12]
+        mean = prepared._model.mean
+        scores = []
+        for index in range(len(hint_space)):
+            rewritten = hint_space.build(query, twitter_db, index)
+            scores.append(float(prepared._features(rewritten) @ mean))
+        expected_label = hint_space.option(int(np.argmin(scores))).label()
+        assert prepared.answer(query).option_label == expected_label
+
+    def test_training_observations_are_log_times(self, prepared):
+        # The posterior must have seen finite targets (log1p of times).
+        assert np.all(np.isfinite(prepared._model.mean))
+        assert math.isfinite(float(prepared._model.mean @ prepared._model.mean))

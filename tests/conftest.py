@@ -1,0 +1,93 @@
+"""Shared fixtures for the test suite.
+
+The session-scoped Twitter database uses the *deterministic* engine profile
+(no execution noise, hints always honoured) so tests can assert exact
+virtual times without ordering effects; tests exercising noise or
+hint-ignoring build their own databases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RewriteOptionSpace
+from repro.datasets import TwitterConfig, build_twitter_database
+from repro.db import (
+    Column,
+    ColumnKind,
+    Database,
+    EngineProfile,
+    Table,
+    TableSchema,
+)
+from repro.workloads import TwitterWorkloadGenerator
+
+TWITTER_ATTRS = ("text", "created_at", "coordinates")
+
+#: A tight budget for the 6k-row test dataset: selective single-index plans
+#: fit, unselective ones do not (mirrors the paper's regime).
+TEST_TAU_MS = 60.0
+
+
+@pytest.fixture(scope="session")
+def twitter_db() -> Database:
+    config = TwitterConfig(n_tweets=6_000, n_users=300, seed=9)
+    database = build_twitter_database(
+        config, profile=EngineProfile.deterministic(), seed=0
+    )
+    database.create_sample_table(
+        "tweets", 0.02, name="tweets_qte_sample", seed=17
+    )
+    return database
+
+
+@pytest.fixture(scope="session")
+def twitter_queries(twitter_db):
+    generator = TwitterWorkloadGenerator(twitter_db, seed=21)
+    return generator.generate(30)
+
+
+@pytest.fixture(scope="session")
+def hint_space() -> RewriteOptionSpace:
+    return RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+
+
+@pytest.fixture()
+def small_table() -> Table:
+    """A deterministic 200-row table with every column kind."""
+    rng = np.random.default_rng(5)
+    n = 200
+    schema = TableSchema(
+        name="rows",
+        columns=(
+            Column("id", ColumnKind.INT),
+            Column("value", ColumnKind.FLOAT),
+            Column("stamp", ColumnKind.TIMESTAMP),
+            Column("note", ColumnKind.TEXT),
+            Column("spot", ColumnKind.POINT),
+        ),
+        primary_key="id",
+    )
+    words = ["alpha", "beta", "gamma", "delta", "epsilon"]
+    return Table(
+        schema,
+        {
+            "id": np.arange(n),
+            "value": rng.uniform(0.0, 100.0, n),
+            "stamp": rng.uniform(0.0, 1_000.0, n),
+            "note": [
+                " ".join(rng.choice(words, size=3, replace=False)) for _ in range(n)
+            ],
+            "spot": rng.uniform(-10.0, 10.0, (n, 2)),
+        },
+    )
+
+
+@pytest.fixture()
+def small_db(small_table) -> Database:
+    database = Database(profile=EngineProfile.deterministic())
+    database.add_table(small_table)
+    for column in ("value", "stamp", "note", "spot"):
+        database.create_index("rows", column)
+    return database

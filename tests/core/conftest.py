@@ -1,0 +1,27 @@
+"""Fixtures shared by the MDP-core tests: a trained tiny agent."""
+
+import pytest
+
+from repro.core import Maliva, TrainingConfig
+from repro.qte import AccurateQTE
+
+from ..conftest import TEST_TAU_MS
+
+
+@pytest.fixture(scope="session")
+def fast_qte(twitter_db) -> AccurateQTE:
+    """An oracle QTE cheap enough for the 60 ms test budget."""
+    return AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0)
+
+
+@pytest.fixture(scope="session")
+def trained_maliva(twitter_db, twitter_queries, hint_space, fast_qte) -> Maliva:
+    maliva = Maliva(
+        twitter_db,
+        hint_space,
+        fast_qte,
+        TEST_TAU_MS,
+        config=TrainingConfig(max_epochs=6, seed=13),
+    )
+    maliva.train(list(twitter_queries[:20]))
+    return maliva

@@ -1,0 +1,104 @@
+"""Numerical verification of the hand-rolled backpropagation.
+
+The q-network's gradients are computed manually (no autograd in this
+environment), so we check them against central finite differences — the
+strongest correctness guarantee available for the training stack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdamParams, QNetwork
+
+
+def loss_of(network: QNetwork, states, actions, targets) -> float:
+    q = network.predict(states)
+    selected = q[np.arange(len(states)), actions]
+    return float(np.mean((selected - targets) ** 2))
+
+
+def analytic_gradients(network, states, actions, targets):
+    """Recompute the gradients exactly as train_batch does (no update)."""
+    x = np.atleast_2d(states).astype(np.float64)
+    batch = len(x)
+    q, (x, z1, a1, z2, a2) = network._forward(x)
+    selected = q[np.arange(batch), actions]
+    errors = selected - targets
+    grad_q = np.zeros_like(q)
+    grad_q[np.arange(batch), actions] = 2.0 * errors / batch
+    grad_w3 = a2.T @ grad_q
+    grad_a2 = grad_q @ network._weights[2].T
+    grad_z2 = grad_a2 * (z2 > 0)
+    grad_w2 = a1.T @ grad_z2
+    grad_a1 = grad_z2 @ network._weights[1].T
+    grad_z1 = grad_a1 * (z1 > 0)
+    grad_w1 = x.T @ grad_z1
+    grad_b = [grad_z1.sum(axis=0), grad_z2.sum(axis=0), grad_q.sum(axis=0)]
+    return [grad_w1, grad_w2, grad_w3], grad_b
+
+
+class TestGradientCheck:
+    @pytest.fixture()
+    def problem(self):
+        rng = np.random.default_rng(42)
+        network = QNetwork(input_dim=5, n_actions=3, hidden_dims=(6, 6), seed=7)
+        # Zero-initialized biases can leave a pre-activation exactly on the
+        # ReLU kink (a fully dead layer gives z == 0), where the analytic
+        # subgradient and a finite difference legitimately disagree.  Nudge
+        # the biases off the kink.
+        weights = network.get_weights()
+        for key in ("b0", "b1", "b2"):
+            weights[key] = weights[key] + rng.uniform(0.05, 0.15, weights[key].shape)
+        network.set_weights(weights)
+        states = rng.standard_normal((8, 5))
+        actions = rng.integers(0, 3, 8)
+        targets = rng.standard_normal(8)
+        q, (x, z1, a1, z2, a2) = network._forward(states)
+        assert min(np.abs(z1).min(), np.abs(z2).min()) > 1e-4
+        return network, states, actions, targets
+
+    def test_weight_gradients_match_finite_differences(self, problem):
+        network, states, actions, targets = problem
+        grads_w, _ = analytic_gradients(network, states, actions, targets)
+        eps = 1e-6
+        rng = np.random.default_rng(3)
+        for layer in range(3):
+            weights = network._weights[layer]
+            # Spot-check a handful of coordinates per layer.
+            for _ in range(6):
+                i = int(rng.integers(0, weights.shape[0]))
+                j = int(rng.integers(0, weights.shape[1]))
+                original = weights[i, j]
+                weights[i, j] = original + eps
+                plus = loss_of(network, states, actions, targets)
+                weights[i, j] = original - eps
+                minus = loss_of(network, states, actions, targets)
+                weights[i, j] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert numeric == pytest.approx(
+                    grads_w[layer][i, j], rel=1e-4, abs=1e-7
+                ), f"layer {layer} weight ({i},{j})"
+
+    def test_bias_gradients_match_finite_differences(self, problem):
+        network, states, actions, targets = problem
+        _, grads_b = analytic_gradients(network, states, actions, targets)
+        eps = 1e-6
+        for layer in range(3):
+            biases = network._biases[layer]
+            for j in range(min(4, len(biases))):
+                original = biases[j]
+                biases[j] = original + eps
+                plus = loss_of(network, states, actions, targets)
+                biases[j] = original - eps
+                minus = loss_of(network, states, actions, targets)
+                biases[j] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert numeric == pytest.approx(
+                    grads_b[layer][j], rel=1e-4, abs=1e-7
+                ), f"layer {layer} bias {j}"
+
+    def test_train_batch_agrees_with_analytic_loss(self, problem):
+        network, states, actions, targets = problem
+        expected = loss_of(network, states, actions, targets)
+        reported = network.train_batch(states, actions, targets)
+        assert reported == pytest.approx(expected)

@@ -1,0 +1,46 @@
+"""Agent persistence tests: save/load round trips and space validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import RewriteOptionSpace, load_agent, save_agent
+from repro.errors import TrainingError
+
+from ..conftest import TWITTER_ATTRS
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_policy(self, trained_maliva, tmp_path):
+        agent = trained_maliva.agent
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        loaded = load_agent(path, agent.space)
+        rng = np.random.default_rng(0)
+        states = rng.random((5, agent.network.input_dim)).astype(np.float32)
+        assert np.allclose(agent.network.predict(states), loaded.network.predict(states))
+        assert loaded.tau_ms == agent.tau_ms
+
+    def test_loaded_agent_answers(self, trained_maliva, twitter_db, fast_qte, tmp_path, twitter_queries):
+        from repro.core import Maliva
+
+        path = tmp_path / "agent.npz"
+        save_agent(trained_maliva.agent, path)
+        loaded = load_agent(path, trained_maliva.agent.space)
+        fresh = Maliva(
+            twitter_db, trained_maliva.agent.space, fast_qte, loaded.tau_ms
+        )
+        fresh.adopt_agent(loaded)
+        outcome = fresh.answer(twitter_queries[22])
+        assert outcome.total_ms > 0
+
+    def test_mismatched_space_raises(self, trained_maliva, tmp_path):
+        path = tmp_path / "agent.npz"
+        save_agent(trained_maliva.agent, path)
+        other_space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS[:2])
+        with pytest.raises(TrainingError):
+            load_agent(path, other_space)
+
+    def test_creates_parent_directories(self, trained_maliva, tmp_path):
+        path = tmp_path / "deep" / "nested" / "agent.npz"
+        save_agent(trained_maliva.agent, path)
+        assert path.exists()

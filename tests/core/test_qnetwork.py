@@ -1,0 +1,79 @@
+"""Q-network tests: shapes, learning, cloning, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdamParams, QNetwork
+
+
+class TestShapes:
+    def test_default_hidden_sizes_match_input(self):
+        network = QNetwork(input_dim=17, n_actions=8)
+        assert network.hidden_dims == (17, 17)
+
+    def test_predict_shapes(self):
+        network = QNetwork(input_dim=5, n_actions=3, seed=1)
+        batch = np.random.default_rng(0).standard_normal((7, 5))
+        assert network.predict(batch).shape == (7, 3)
+        assert network.q_values(batch[0]).shape == (3,)
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            QNetwork(0, 3)
+        with pytest.raises(ValueError):
+            QNetwork(3, 0)
+
+
+class TestLearning:
+    def test_loss_decreases_on_fixed_target(self):
+        rng = np.random.default_rng(2)
+        network = QNetwork(input_dim=6, n_actions=4, seed=3, adam=AdamParams(lr=5e-3))
+        states = rng.standard_normal((64, 6))
+        actions = rng.integers(0, 4, 64)
+        targets = rng.standard_normal(64)
+        first_loss = network.train_batch(states, actions, targets)
+        for _ in range(200):
+            last_loss = network.train_batch(states, actions, targets)
+        assert last_loss < first_loss * 0.5
+
+    def test_only_selected_action_is_fit(self):
+        """Training on action 0 must not drag the other outputs around much."""
+        rng = np.random.default_rng(4)
+        network = QNetwork(input_dim=4, n_actions=2, seed=5, adam=AdamParams(lr=1e-2))
+        states = rng.standard_normal((32, 4))
+        before = network.predict(states)
+        for _ in range(50):
+            network.train_batch(states, np.zeros(32, dtype=int), np.full(32, 3.0))
+        after = network.predict(states)
+        moved_0 = np.abs(after[:, 0] - before[:, 0]).mean()
+        assert moved_0 > 0.5
+        assert np.abs(after[:, 0] - 3.0).mean() < np.abs(before[:, 0] - 3.0).mean()
+
+
+class TestCloneAndPersistence:
+    def test_clone_predicts_identically_but_is_frozen(self):
+        rng = np.random.default_rng(6)
+        network = QNetwork(input_dim=4, n_actions=3, seed=7)
+        twin = network.clone()
+        states = rng.standard_normal((5, 4))
+        assert np.allclose(network.predict(states), twin.predict(states))
+        network.train_batch(
+            states, np.zeros(5, dtype=int), np.ones(5)
+        )
+        assert not np.allclose(network.predict(states), twin.predict(states))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(8)
+        network = QNetwork(input_dim=4, n_actions=3, seed=9)
+        path = str(tmp_path / "weights.npz")
+        network.save(path)
+        loaded = QNetwork.load(path)
+        states = rng.standard_normal((6, 4))
+        assert np.allclose(network.predict(states), loaded.predict(states))
+
+    def test_set_weights(self):
+        a = QNetwork(input_dim=4, n_actions=3, seed=10)
+        b = QNetwork(input_dim=4, n_actions=3, seed=11)
+        b.set_weights(a.get_weights())
+        states = np.random.default_rng(12).standard_normal((5, 4))
+        assert np.allclose(a.predict(states), b.predict(states))

@@ -1,0 +1,123 @@
+"""Quality-aware rewriter tests: one-stage and two-stage (Section 6.2)."""
+
+import pytest
+
+from repro.core import (
+    RewriteOptionSpace,
+    TrainingConfig,
+    TwoStageRewriter,
+    build_one_stage,
+)
+from repro.db import LimitRule
+from repro.errors import TrainingError
+from repro.viz import JaccardQuality
+
+from ..conftest import TEST_TAU_MS, TWITTER_ATTRS
+
+RULE_SETS = [(LimitRule(f),) for f in (0.01, 0.1)]
+
+
+@pytest.fixture(scope="module")
+def spaces():
+    hint_space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+    combined = RewriteOptionSpace.with_rules(hint_space, RULE_SETS)
+    approx_only = RewriteOptionSpace.approximation_only(TWITTER_ATTRS, RULE_SETS)
+    return hint_space, combined, approx_only
+
+
+class TestOneStage:
+    def test_builder_wires_quality_reward(self, twitter_db, fast_qte, spaces):
+        _, combined, _ = spaces
+        maliva = build_one_stage(
+            twitter_db,
+            combined,
+            fast_qte,
+            TEST_TAU_MS,
+            beta=0.7,
+            config=TrainingConfig(max_epochs=2, seed=1),
+        )
+        assert maliva.reward is not None
+        assert maliva.reward.beta == 0.7
+        assert len(maliva.space) == 10
+
+    def test_one_stage_trains_and_answers(
+        self, twitter_db, fast_qte, spaces, twitter_queries
+    ):
+        _, combined, _ = spaces
+        maliva = build_one_stage(
+            twitter_db,
+            combined,
+            fast_qte,
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=3, seed=2),
+        )
+        maliva.train(list(twitter_queries[:12]))
+        outcome = maliva.answer(twitter_queries[20], quality_fn=JaccardQuality())
+        assert 0.0 <= outcome.quality <= 1.0
+
+
+class TestTwoStage:
+    @pytest.fixture(scope="class")
+    def trained_two_stage(self, request, spaces):
+        twitter_db = request.getfixturevalue("twitter_db")
+        fast_qte = request.getfixturevalue("fast_qte")
+        twitter_queries = request.getfixturevalue("twitter_queries")
+        hint_space, _, approx_only = spaces
+        rewriter = TwoStageRewriter(
+            twitter_db,
+            hint_space,
+            approx_only,
+            fast_qte,
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=3, seed=3),
+        )
+        rewriter.train(list(twitter_queries[:15]))
+        return rewriter
+
+    def test_approximate_stage_one_space_rejected(self, twitter_db, fast_qte, spaces):
+        _, combined, approx_only = spaces
+        with pytest.raises(TrainingError):
+            TwoStageRewriter(
+                twitter_db, combined, approx_only, fast_qte, TEST_TAU_MS
+            )
+
+    def test_answer_before_train_raises(self, twitter_db, fast_qte, spaces):
+        hint_space, _, approx_only = spaces
+        rewriter = TwoStageRewriter(
+            twitter_db, hint_space, approx_only, fast_qte, TEST_TAU_MS
+        )
+        with pytest.raises(TrainingError):
+            rewriter.answer(None)
+
+    def test_history_records_stage_two_fraction(self, trained_two_stage):
+        history = trained_two_stage.history
+        assert history is not None
+        assert 0.0 <= history.stage_two_fraction <= 1.0
+        assert history.stage_one.epochs_run >= 1
+
+    def test_answers_report_quality(self, trained_two_stage, twitter_queries):
+        for query in twitter_queries[20:26]:
+            outcome = trained_two_stage.answer(query)
+            assert outcome.quality is not None
+            assert 0.0 <= outcome.quality <= 1.0
+            # Approximate rewrites are only used when stage one exhausted
+            # its exact options: an exact rewrite must score 1.
+            if outcome.rewritten.limit is None:
+                assert outcome.quality == pytest.approx(1.0)
+
+    def test_two_stage_prefers_exact_rewrites(
+        self, trained_two_stage, twitter_db, twitter_queries, spaces
+    ):
+        """If any hint-only rewrite is viable, stage two must not be used."""
+        hint_space, _, _ = spaces
+        for query in twitter_queries[20:26]:
+            has_viable_exact = any(
+                twitter_db.true_execution_time_ms(
+                    hint_space.build(query, twitter_db, index)
+                )
+                <= TEST_TAU_MS
+                for index in range(len(hint_space))
+            )
+            outcome = trained_two_stage.answer(query)
+            if has_viable_exact and outcome.reason == "viable":
+                assert outcome.rewritten.limit is None

@@ -1,0 +1,57 @@
+"""Replay memory tests: FIFO bounds and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReplayMemory, Transition
+from repro.errors import TrainingError
+
+
+def make_transition(tag: int) -> Transition:
+    return Transition(
+        state=np.array([float(tag)]),
+        action=tag,
+        reward=0.0,
+        next_state=np.array([float(tag)]),
+        next_mask=np.array([True]),
+        terminal=False,
+    )
+
+
+class TestReplayMemory:
+    def test_capacity_fifo(self):
+        memory = ReplayMemory(capacity=3)
+        for tag in range(5):
+            memory.push(make_transition(tag))
+        assert len(memory) == 3
+        rng = np.random.default_rng(0)
+        actions = {t.action for t in memory.sample(3, rng)}
+        assert actions == {2, 3, 4}  # the oldest two were evicted
+
+    def test_sample_without_replacement(self):
+        memory = ReplayMemory(capacity=10)
+        for tag in range(10):
+            memory.push(make_transition(tag))
+        rng = np.random.default_rng(1)
+        sample = memory.sample(10, rng)
+        assert len({t.action for t in sample}) == 10
+
+    def test_sample_more_than_available(self):
+        memory = ReplayMemory(capacity=10)
+        memory.push(make_transition(0))
+        rng = np.random.default_rng(2)
+        assert len(memory.sample(5, rng)) == 1
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(TrainingError):
+            ReplayMemory(5).sample(1, np.random.default_rng(0))
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(TrainingError):
+            ReplayMemory(0)
+
+    def test_clear(self):
+        memory = ReplayMemory(capacity=5)
+        memory.push(make_transition(0))
+        memory.clear()
+        assert len(memory) == 0

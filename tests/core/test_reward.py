@@ -1,0 +1,82 @@
+"""Reward function tests: Equation 1 and Equation 2."""
+
+import pytest
+
+from repro.core import EfficiencyReward, EpisodeOutcome, QualityAwareReward
+from repro.db import RangePredicate, SelectQuery
+from repro.viz import JaccardQuality
+
+
+def outcome_for(db, tau_ms, elapsed_ms, query, rewritten):
+    result = db.execute(rewritten)
+    return EpisodeOutcome(
+        tau_ms=tau_ms,
+        elapsed_ms=elapsed_ms,
+        execution_ms=result.execution_ms,
+        original_query=query,
+        rewritten_query=rewritten,
+        rewritten_result=result,
+    )
+
+
+@pytest.fixture()
+def sample_query() -> SelectQuery:
+    return SelectQuery(
+        table="tweets",
+        predicates=(RangePredicate("created_at", 0.0, 1e7),),
+        output=("id", "coordinates"),
+    )
+
+
+class TestEfficiencyReward:
+    def test_equation_one(self, twitter_db, sample_query):
+        outcome = outcome_for(twitter_db, 500.0, 100.0, sample_query, sample_query)
+        expected = (500.0 - 100.0 - outcome.execution_ms) / 500.0
+        assert EfficiencyReward().final_reward(outcome) == pytest.approx(expected)
+
+    def test_positive_iff_viable(self, twitter_db, sample_query):
+        reward = EfficiencyReward()
+        fast = outcome_for(twitter_db, 1e9, 0.0, sample_query, sample_query)
+        assert reward.final_reward(fast) > 0
+        assert fast.viable
+        slow = outcome_for(twitter_db, 1.0, 10.0, sample_query, sample_query)
+        assert reward.final_reward(slow) < 0
+        assert not slow.viable
+
+    def test_intermediate_reward_is_zero(self):
+        assert EfficiencyReward().intermediate_reward() == 0.0
+
+    def test_faster_query_earns_more(self, twitter_db, sample_query):
+        reward = EfficiencyReward()
+        early = outcome_for(twitter_db, 500.0, 10.0, sample_query, sample_query)
+        late = outcome_for(twitter_db, 500.0, 400.0, sample_query, sample_query)
+        assert reward.final_reward(early) > reward.final_reward(late)
+
+
+class TestQualityAwareReward:
+    def test_equation_two_blend(self, twitter_db, sample_query):
+        quality_reward = QualityAwareReward(twitter_db, JaccardQuality(), beta=0.5)
+        outcome = outcome_for(twitter_db, 500.0, 50.0, sample_query, sample_query)
+        efficiency = (500.0 - outcome.total_ms) / 500.0
+        quality = quality_reward.quality(outcome)
+        assert quality == pytest.approx(1.0)  # exact rewrite
+        expected = 0.5 * efficiency + 0.5 * quality
+        assert quality_reward.final_reward(outcome) == pytest.approx(expected)
+
+    def test_beta_one_equals_efficiency(self, twitter_db, sample_query):
+        quality_reward = QualityAwareReward(twitter_db, JaccardQuality(), beta=1.0)
+        outcome = outcome_for(twitter_db, 500.0, 50.0, sample_query, sample_query)
+        assert quality_reward.final_reward(outcome) == pytest.approx(
+            EfficiencyReward().final_reward(outcome)
+        )
+
+    def test_approximate_rewrite_scores_lower(self, twitter_db, sample_query):
+        quality_reward = QualityAwareReward(twitter_db, JaccardQuality(), beta=0.0)
+        sampled = sample_query.with_table("tweets_qte_sample")
+        exact = outcome_for(twitter_db, 500.0, 50.0, sample_query, sample_query)
+        approx = outcome_for(twitter_db, 500.0, 50.0, sample_query, sampled)
+        assert quality_reward.final_reward(approx) < quality_reward.final_reward(exact)
+
+    def test_invalid_beta_raises(self, twitter_db):
+        with pytest.raises(ValueError):
+            QualityAwareReward(twitter_db, JaccardQuality(), beta=1.5)

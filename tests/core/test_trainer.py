@@ -1,0 +1,141 @@
+"""Trainer tests: Algorithm 1 mechanics and hold-out validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DQNTrainer,
+    EfficiencyReward,
+    TrainingConfig,
+    train_validated,
+)
+from repro.errors import TrainingError
+
+from ..conftest import TEST_TAU_MS
+
+
+@pytest.fixture()
+def trainer(twitter_db, hint_space, fast_qte) -> DQNTrainer:
+    return DQNTrainer(
+        twitter_db,
+        fast_qte,
+        hint_space,
+        TEST_TAU_MS,
+        reward=EfficiencyReward(),
+        config=TrainingConfig(max_epochs=4, seed=3),
+    )
+
+
+class TestEpisodes:
+    def test_episode_returns_reward_and_viability(self, trainer, twitter_queries):
+        reward, viable = trainer.run_episode(twitter_queries[0], epsilon=0.5)
+        assert isinstance(viable, bool) or viable in (True, False)
+        assert -100.0 < reward < 1.0
+
+    def test_episode_fills_replay_memory(self, trainer, twitter_queries):
+        assert len(trainer.memory) == 0
+        trainer.run_episode(twitter_queries[0], epsilon=1.0)
+        assert len(trainer.memory) >= 1
+
+    def test_greedy_episode_is_deterministic_in_choices(
+        self, trainer, twitter_queries
+    ):
+        """With epsilon=0 and no learning, the explored set must repeat."""
+        query = twitter_queries[1]
+        _, first = trainer.run_episode(query, epsilon=0.0, learn=False)
+        _, second = trainer.run_episode(query, epsilon=0.0, learn=False)
+        assert first == second
+
+
+class TestTraining:
+    def test_history_is_populated(self, trainer, twitter_queries):
+        history = trainer.train(list(twitter_queries[:10]))
+        assert history.epochs_run >= 1
+        assert len(history.epoch_rewards) == history.epochs_run
+        assert len(history.epoch_viable_fraction) == history.epochs_run
+        assert history.training_seconds > 0.0
+        assert all(0.0 <= v <= 1.0 for v in history.epoch_viable_fraction)
+
+    def test_empty_workload_raises(self, trainer):
+        with pytest.raises(TrainingError):
+            trainer.train([])
+
+    def test_epsilon_schedule(self, trainer):
+        config = trainer.config
+        assert trainer._epsilon_at(0) == pytest.approx(config.epsilon_start)
+        assert trainer._epsilon_at(config.epsilon_decay_epochs) == pytest.approx(
+            config.epsilon_end
+        )
+        mid = trainer._epsilon_at(config.epsilon_decay_epochs // 2)
+        assert config.epsilon_end < mid < config.epsilon_start
+
+    def test_trained_agent_beats_untrained(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        """Training must improve the chance of finding viable rewrites."""
+
+        def vqp_of(trainer, queries):
+            viable = 0
+            for query in queries:
+                _, ok = trainer.run_episode(query, epsilon=0.0, learn=False)
+                viable += int(ok)
+            return viable / len(queries)
+
+        queries = list(twitter_queries[:20])
+        fresh = DQNTrainer(
+            twitter_db,
+            fast_qte,
+            hint_space,
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=8, seed=4),
+        )
+        untrained_vqp = vqp_of(fresh, queries)
+        fresh.train(queries)
+        trained_vqp = vqp_of(fresh, queries)
+        assert trained_vqp >= untrained_vqp
+
+
+class TestValidation:
+    def test_single_candidate_short_circuits(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        agent, history = train_validated(
+            twitter_db,
+            fast_qte,
+            hint_space,
+            TEST_TAU_MS,
+            list(twitter_queries[:8]),
+            list(twitter_queries[8:12]),
+            n_candidates=1,
+            config=TrainingConfig(max_epochs=2, seed=5),
+        )
+        assert agent.tau_ms == TEST_TAU_MS
+        assert history.epochs_run >= 1
+
+    def test_multiple_candidates_pick_one(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        agent, _ = train_validated(
+            twitter_db,
+            fast_qte,
+            hint_space,
+            TEST_TAU_MS,
+            list(twitter_queries[:8]),
+            list(twitter_queries[8:12]),
+            n_candidates=2,
+            config=TrainingConfig(max_epochs=2, seed=6),
+        )
+        assert agent.network.n_actions == len(hint_space)
+
+    def test_zero_candidates_raises(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        with pytest.raises(TrainingError):
+            train_validated(
+                twitter_db,
+                fast_qte,
+                hint_space,
+                TEST_TAU_MS,
+                list(twitter_queries[:4]),
+                n_candidates=0,
+            )

@@ -1,0 +1,143 @@
+"""Dataset generator tests: schemas, determinism, and skew properties."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    HEAD_WORDS,
+    NYC_MODEL,
+    TaxiConfig,
+    TpchConfig,
+    TwitterConfig,
+    US_MODEL,
+    ZipfVocabulary,
+    build_lineitem_table,
+    build_taxi_database,
+    build_taxi_table,
+    build_tpch_database,
+    build_twitter_database,
+    build_twitter_tables,
+    generate_texts,
+)
+from repro.db.types import days
+
+
+class TestZipfVocabulary:
+    def test_head_words_named(self):
+        vocab = ZipfVocabulary(size=500)
+        assert vocab.words[: len(HEAD_WORDS)] == list(HEAD_WORDS)
+
+    def test_probabilities_normalized_and_decreasing(self):
+        vocab = ZipfVocabulary(size=500)
+        assert vocab.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(vocab.probabilities) <= 0)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(size=3)
+
+    def test_generate_texts_skew(self):
+        rng = np.random.default_rng(1)
+        texts = generate_texts(2_000, rng, ZipfVocabulary(size=1_000, seed=2))
+        head = sum(HEAD_WORDS[0] in t.split() for t in texts)
+        tail = sum("term800" in t.split() for t in texts)
+        assert head > 20 * max(tail, 1)
+
+
+class TestClusterModels:
+    def test_points_within_extent(self):
+        rng = np.random.default_rng(2)
+        for model in (US_MODEL, NYC_MODEL):
+            pts = model.sample(500, rng)
+            assert pts.shape == (500, 2)
+            assert np.all(pts[:, 0] >= model.extent.min_x)
+            assert np.all(pts[:, 0] <= model.extent.max_x)
+            assert np.all(pts[:, 1] >= model.extent.min_y)
+            assert np.all(pts[:, 1] <= model.extent.max_y)
+
+    def test_clustering_is_strong(self):
+        rng = np.random.default_rng(3)
+        pts = US_MODEL.sample(3_000, rng)
+        # Density near New York must far exceed the uniform expectation.
+        near_nyc = np.sum(
+            (np.abs(pts[:, 0] - (-74.0)) < 2.0) & (np.abs(pts[:, 1] - 40.7) < 2.0)
+        )
+        area_fraction = (4.0 * 4.0) / US_MODEL.extent.area()
+        assert near_nyc / 3_000 > 5 * area_fraction
+
+
+class TestTwitter:
+    def test_tables_shapes_and_fk(self):
+        config = TwitterConfig(n_tweets=2_000, n_users=100, seed=4)
+        tweets, users = build_twitter_tables(config)
+        assert tweets.n_rows == 2_000
+        assert users.n_rows == 100
+        assert set(tweets.numeric("user_id")).issubset(set(users.numeric("id")))
+
+    def test_deterministic_by_seed(self):
+        config = TwitterConfig(n_tweets=500, n_users=50, seed=7)
+        a, _ = build_twitter_tables(config)
+        b, _ = build_twitter_tables(config)
+        assert np.array_equal(a.numeric("created_at"), b.numeric("created_at"))
+        assert a.texts("text") == b.texts("text")
+
+    def test_timestamps_in_span(self):
+        config = TwitterConfig(n_tweets=500, n_users=50, seed=7, time_span_days=100)
+        tweets, _ = build_twitter_tables(config)
+        stamps = tweets.numeric("created_at")
+        assert stamps.min() >= 0
+        assert stamps.max() <= days(100)
+
+    def test_database_wiring(self):
+        database = build_twitter_database(
+            TwitterConfig(n_tweets=500, n_users=50, seed=5, sample_fractions=(0.2,))
+        )
+        assert set(database.table_names) == {"tweets", "users", "tweets_sample20"}
+        assert database.index("tweets", "text") is not None
+        assert database.index("users", "id") is not None
+        assert database.table("tweets_sample20").n_rows == 100
+
+
+class TestTaxi:
+    def test_table_shape_and_ranges(self):
+        table = build_taxi_table(TaxiConfig(n_trips=1_000, seed=6))
+        assert table.n_rows == 1_000
+        distances = table.numeric("trip_distance")
+        assert distances.min() >= 0.1
+        assert distances.max() <= 60.0
+
+    def test_airport_bump_creates_long_tail(self):
+        table = build_taxi_table(TaxiConfig(n_trips=5_000, seed=6))
+        distances = table.numeric("trip_distance")
+        assert np.mean(distances > 8.0) > 0.03
+
+    def test_database_wiring(self):
+        database = build_taxi_database(TaxiConfig(n_trips=500, seed=6))
+        assert set(database.indexes_for("trips")) == {
+            "pickup_datetime",
+            "trip_distance",
+            "pickup_coordinates",
+        }
+
+
+class TestTpch:
+    def test_receipt_after_ship(self):
+        table = build_lineitem_table(TpchConfig(n_rows=1_000, seed=8))
+        ship = table.numeric("ship_date")
+        receipt = table.numeric("receipt_date")
+        assert np.all(receipt > ship)
+
+    def test_quantity_discount_ranges(self):
+        table = build_lineitem_table(TpchConfig(n_rows=1_000, seed=8))
+        quantity = table.numeric("quantity")
+        discount = table.numeric("discount")
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        assert discount.min() >= 0.0 and discount.max() <= 0.1
+
+    def test_database_wiring(self):
+        database = build_tpch_database(TpchConfig(n_rows=500, seed=8))
+        assert set(database.indexes_for("lineitem")) == {
+            "extended_price",
+            "ship_date",
+            "receipt_date",
+        }

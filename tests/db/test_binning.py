@@ -1,0 +1,56 @@
+"""Spatial binning tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import BinGroupBy, bin_center, bin_counts, compute_bin_ids
+
+
+GROUP = BinGroupBy("coordinates", 1.0, 1.0)
+
+
+class TestComputeBinIds:
+    def test_points_in_same_cell_share_id(self):
+        points = np.array([[0.1, 0.1], [0.9, 0.9]])
+        ids = compute_bin_ids(points, GROUP)
+        assert ids[0] == ids[1]
+
+    def test_points_in_different_cells_differ(self):
+        points = np.array([[0.5, 0.5], [1.5, 0.5], [0.5, 1.5]])
+        ids = compute_bin_ids(points, GROUP)
+        assert len(set(ids.tolist())) == 3
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            compute_bin_ids(np.zeros(3), GROUP)
+
+    @given(
+        st.floats(-170, 170),
+        st.floats(-80, 80),
+        st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_center_roundtrip(self, x, y, cell):
+        group = BinGroupBy("c", cell, cell)
+        bin_id = int(compute_bin_ids(np.array([[x, y]]), group)[0])
+        cx, cy = bin_center(bin_id, group)
+        assert abs(cx - x) <= cell / 2 + 1e-9
+        assert abs(cy - y) <= cell / 2 + 1e-9
+
+
+class TestBinCounts:
+    def test_counts_sum_to_rows(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(-10, 10, (200, 2))
+        counts = bin_counts(points, GROUP)
+        assert sum(counts.values()) == 200
+
+    def test_weighting(self):
+        points = np.array([[0.5, 0.5], [0.6, 0.6]])
+        counts = bin_counts(points, GROUP, weight=5.0)
+        assert list(counts.values()) == [10.0]
+
+    def test_empty(self):
+        assert bin_counts(np.zeros((0, 2)), GROUP) == {}

@@ -1,0 +1,48 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.db import Stopwatch, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ms == 0.0
+
+    def test_advance_accumulates_and_returns(self):
+        clock = VirtualClock()
+        assert clock.advance(10.0) == 10.0
+        assert clock.advance(2.5) == 12.5
+        assert clock.now_ms == 12.5
+
+    def test_negative_advance_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock(5.0)
+        clock.advance(10.0)
+        clock.reset()
+        assert clock.now_ms == 0.0
+
+    def test_negative_start_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+        with pytest.raises(ValueError):
+            VirtualClock().reset(-2.0)
+
+
+class TestStopwatch:
+    def test_measures_span(self):
+        clock = VirtualClock()
+        clock.advance(100.0)
+        with Stopwatch(clock) as watch:
+            clock.advance(12.5)
+            clock.advance(7.5)
+        assert watch.elapsed_ms == pytest.approx(20.0)
+
+    def test_zero_span(self):
+        clock = VirtualClock()
+        with Stopwatch(clock) as watch:
+            pass
+        assert watch.elapsed_ms == 0.0

@@ -1,0 +1,73 @@
+"""Unit and property tests for work counters and the cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import CostModel, WorkCounters
+
+nonneg = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def counters(**kwargs) -> WorkCounters:
+    return WorkCounters(**kwargs)
+
+
+class TestWorkCounters:
+    def test_addition_fieldwise(self):
+        a = counters(seq_rows=10, fetched_rows=5)
+        b = counters(seq_rows=1, output_rows=2)
+        c = a + b
+        assert c.seq_rows == 11
+        assert c.fetched_rows == 5
+        assert c.output_rows == 2
+
+    def test_scaled(self):
+        assert counters(seq_rows=10).scaled(0.5).seq_rows == 5
+        with pytest.raises(ValueError):
+            counters().scaled(-1.0)
+
+    def test_total_ops(self):
+        assert counters(seq_rows=3, index_probes=2).total_ops() == 5
+
+    @given(nonneg, nonneg, st.floats(0.0, 2.0))
+    def test_scaling_is_linear(self, rows, fetched, factor):
+        base = counters(seq_rows=rows, fetched_rows=fetched)
+        scaled = base.scaled(factor)
+        assert scaled.seq_rows == pytest.approx(rows * factor)
+        assert scaled.fetched_rows == pytest.approx(fetched * factor)
+
+
+class TestCostModel:
+    def test_zero_counters_cost_nothing(self):
+        assert CostModel().time_ms(WorkCounters()) == 0.0
+
+    def test_time_is_dot_product(self):
+        model = CostModel()
+        work = counters(seq_rows=100, fetched_rows=10, index_probes=2)
+        expected = (
+            100 * model.seq_row_ms
+            + 10 * model.fetched_row_ms
+            + 2 * model.index_probe_ms
+        )
+        assert model.time_ms(work) == pytest.approx(expected)
+
+    def test_scaled_model(self):
+        model = CostModel()
+        double = model.scaled(2.0)
+        work = counters(seq_rows=50, group_rows=10)
+        assert double.time_ms(work) == pytest.approx(2.0 * model.time_ms(work))
+        assert double.planning_ms == pytest.approx(2.0 * model.planning_ms)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CostModel().scaled(0.0)
+
+    @given(nonneg, nonneg)
+    def test_additivity(self, a_rows, b_rows):
+        model = CostModel()
+        a = counters(seq_rows=a_rows)
+        b = counters(seq_rows=b_rows)
+        assert model.time_ms(a + b) == pytest.approx(
+            model.time_ms(a) + model.time_ms(b)
+        )

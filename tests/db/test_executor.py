@@ -1,0 +1,196 @@
+"""Executor tests: result correctness across all plans, work accounting,
+joins, limits, aggregation, and sample-table scaling."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    BinGroupBy,
+    BoundingBox,
+    HintSet,
+    JoinSpec,
+    KeywordPredicate,
+    RangePredicate,
+    SelectQuery,
+    SpatialPredicate,
+    apply_hints,
+    bin_counts,
+)
+
+
+def rows_query(**kwargs) -> SelectQuery:
+    defaults = dict(
+        table="rows",
+        predicates=(
+            KeywordPredicate("note", "alpha"),
+            RangePredicate("value", 10.0, 60.0),
+            SpatialPredicate("spot", BoundingBox(-5, -5, 5, 5)),
+        ),
+        output=("id",),
+    )
+    defaults.update(kwargs)
+    return SelectQuery(**defaults)
+
+
+def reference_ids(table, predicates) -> np.ndarray:
+    mask = np.ones(table.n_rows, dtype=bool)
+    for predicate in predicates:
+        mask &= predicate.mask(table)
+    return np.flatnonzero(mask)
+
+
+class TestPlanEquivalence:
+    def test_all_hint_sets_return_same_rows(self, small_db):
+        """The core hint guarantee: hints change the plan, never the answer."""
+        query = rows_query()
+        expected = reference_ids(small_db.table("rows"), query.predicates)
+        for r in range(4):
+            for subset in itertools.combinations(("note", "value", "spot"), r):
+                hinted = apply_hints(query, HintSet(frozenset(subset)))
+                result = small_db.execute(hinted)
+                assert np.array_equal(result.row_ids, expected), subset
+
+    def test_hinted_plans_have_different_costs(self, small_db):
+        query = rows_query()
+        times = {
+            subset: small_db.true_execution_time_ms(
+                apply_hints(query, HintSet(frozenset(subset)))
+            )
+            for subset in [(), ("value",), ("note", "value", "spot")]
+        }
+        assert len(set(round(t, 6) for t in times.values())) > 1
+
+    def test_full_scan_charges_every_row(self, small_db):
+        result = small_db.execute(apply_hints(rows_query(), HintSet()))
+        assert result.counters.seq_rows == small_db.table("rows").n_rows
+        assert result.counters.index_probes == 0
+
+    def test_index_scan_charges_entries(self, small_db):
+        query = apply_hints(rows_query(), HintSet(frozenset({"value"})))
+        result = small_db.execute(query)
+        predicate = query.predicates[1]
+        matches = len(small_db.match_ids("rows", predicate))
+        assert result.counters.index_entries == matches
+        assert result.counters.fetched_rows == matches
+        # Two residual predicates checked per fetched row.
+        assert result.counters.residual_checks == matches * 2
+
+
+class TestAggregation:
+    def test_bin_counts_match_reference(self, small_db):
+        group = BinGroupBy("spot", 2.0, 2.0)
+        query = rows_query(output=(), group_by=group)
+        result = small_db.execute(query)
+        table = small_db.table("rows")
+        ids = reference_ids(table, query.predicates)
+        expected = bin_counts(table.points("spot")[ids], group)
+        assert result.bins == expected
+        assert result.kind == "bins"
+        assert result.row_ids is None
+
+    def test_group_counters(self, small_db):
+        group = BinGroupBy("spot", 2.0, 2.0)
+        query = rows_query(output=(), group_by=group)
+        result = small_db.execute(query)
+        table = small_db.table("rows")
+        n_matching = len(reference_ids(table, query.predicates))
+        assert result.counters.group_rows == n_matching
+
+
+class TestLimit:
+    def test_limit_truncates_and_scales(self, small_db):
+        query = rows_query(predicates=(RangePredicate("value", 0.0, 100.0),))
+        full = small_db.execute(query)
+        limited = small_db.execute(query.with_limit(10))
+        assert limited.result_size == 10
+        assert np.array_equal(limited.row_ids, full.row_ids[:10])
+        factor = 10 / full.result_size
+        assert limited.counters.seq_rows == pytest.approx(
+            full.counters.seq_rows * factor
+        )
+        assert limited.base_ms < full.base_ms
+
+    def test_limit_larger_than_result_is_noop(self, small_db):
+        query = rows_query(predicates=(RangePredicate("value", 0.0, 100.0),))
+        full = small_db.execute(query)
+        limited = small_db.execute(query.with_limit(100_000))
+        assert limited.result_size == full.result_size
+
+
+class TestSampleTables:
+    def test_sample_rows_are_subset_in_base_ids(self, twitter_db):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(RangePredicate("created_at", 0.0, 1e9),),
+            output=("id",),
+        )
+        base_result = twitter_db.execute(query)
+        sample_result = twitter_db.execute(query.with_table("tweets_qte_sample"))
+        assert set(sample_result.row_ids).issubset(set(base_result.row_ids))
+
+    def test_sample_bin_counts_are_scaled(self, twitter_db):
+        group = BinGroupBy("coordinates", 5.0, 5.0)
+        query = SelectQuery(
+            table="tweets_qte_sample",
+            predicates=(RangePredicate("created_at", 0.0, 1e9),),
+            group_by=group,
+        )
+        result = twitter_db.execute(query)
+        fraction = twitter_db.table("tweets_qte_sample").sample_fraction
+        for count in result.bins.values():
+            # Scaled counts are multiples of 1 / fraction.
+            assert count * fraction == pytest.approx(round(count * fraction))
+
+
+class TestJoins:
+    @pytest.fixture()
+    def join_query(self) -> SelectQuery:
+        return SelectQuery(
+            table="tweets",
+            predicates=(RangePredicate("created_at", 0.0, 5e6),),
+            output=("id",),
+            join=JoinSpec(
+                "users", "user_id", "id", (RangePredicate("tweet_cnt", 50, 5_000),)
+            ),
+        )
+
+    def _reference(self, db, query) -> np.ndarray:
+        tweets = db.table("tweets")
+        users = db.table("users")
+        outer = reference_ids(tweets, query.predicates)
+        keep = np.ones(users.n_rows, dtype=bool)
+        for predicate in query.join.predicates:
+            keep &= predicate.mask(users)
+        ok_users = set(users.numeric("id")[keep].tolist())
+        fk = tweets.numeric("user_id")[outer]
+        return outer[np.fromiter((v in ok_users for v in fk), bool, len(fk))]
+
+    def test_all_join_methods_agree_with_reference(self, twitter_db, join_query):
+        expected = self._reference(twitter_db, join_query)
+        for method in ("nestloop", "hash", "merge"):
+            hinted = apply_hints(join_query, HintSet(frozenset(), method))
+            result = twitter_db.execute(hinted)
+            assert np.array_equal(result.row_ids, expected), method
+
+    def test_join_methods_cost_differently(self, twitter_db, join_query):
+        times = {
+            method: twitter_db.true_execution_time_ms(
+                apply_hints(join_query, HintSet(frozenset(), method))
+            )
+            for method in ("nestloop", "hash", "merge")
+        }
+        assert len(set(round(t, 3) for t in times.values())) == 3
+
+    def test_join_without_inner_filters(self, twitter_db):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(RangePredicate("created_at", 0.0, 5e6),),
+            output=("id",),
+            join=JoinSpec("users", "user_id", "id", ()),
+        )
+        result = twitter_db.execute(query)
+        # Every tweet has a valid author, so the join keeps all outer rows.
+        outer = reference_ids(twitter_db.table("tweets"), query.predicates)
+        assert np.array_equal(result.row_ids, outer)

@@ -1,0 +1,185 @@
+"""Index correctness: every index must agree with the predicate's own mask.
+
+Includes property-based tests over random data and query parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    BoundingBox,
+    Column,
+    ColumnKind,
+    EqualsPredicate,
+    GridIndex,
+    InvertedIndex,
+    KeywordPredicate,
+    RangePredicate,
+    SortedIndex,
+    SpatialPredicate,
+    Table,
+    TableSchema,
+)
+from repro.errors import QueryError
+
+
+def numeric_table(values) -> Table:
+    schema = TableSchema("t", (Column("v", ColumnKind.FLOAT),))
+    return Table(schema, {"v": np.asarray(values, dtype=float)})
+
+
+def text_table(texts) -> Table:
+    schema = TableSchema("t", (Column("txt", ColumnKind.TEXT),))
+    return Table(schema, {"txt": list(texts)})
+
+
+def point_table(points) -> Table:
+    schema = TableSchema("t", (Column("p", ColumnKind.POINT),))
+    return Table(schema, {"p": np.asarray(points, dtype=float)})
+
+
+class TestSortedIndex:
+    def test_range_matches_mask(self, small_table):
+        index = SortedIndex(small_table, "value")
+        predicate = RangePredicate("value", 20.0, 60.0)
+        lookup = index.lookup(predicate)
+        assert np.array_equal(lookup.row_ids, predicate.matching_ids(small_table))
+        assert lookup.entries_scanned == lookup.count
+
+    def test_equals_lookup(self, small_table):
+        index = SortedIndex(small_table, "id")
+        lookup = index.lookup(EqualsPredicate("id", 42))
+        assert list(lookup.row_ids) == [42]
+
+    def test_count_range(self):
+        table = numeric_table([1.0, 2.0, 2.0, 3.0, 5.0])
+        index = SortedIndex(table, "v")
+        assert index.count_range(2.0, 3.0) == 3
+        assert index.count_range(None, None) == 5
+        assert index.count_range(10.0, 20.0) == 0
+
+    def test_rejects_foreign_predicate(self, small_table):
+        index = SortedIndex(small_table, "value")
+        assert not index.supports(RangePredicate("stamp", 0.0, 1.0))
+        with pytest.raises(QueryError):
+            index.lookup(RangePredicate("stamp", 0.0, 1.0))
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=80),
+        st.floats(-1e3, 1e3),
+        st.floats(0.0, 500.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_range_agrees_with_mask(self, values, low, width):
+        table = numeric_table(values)
+        index = SortedIndex(table, "v")
+        predicate = RangePredicate("v", low, low + width)
+        assert np.array_equal(
+            index.lookup(predicate).row_ids, predicate.matching_ids(table)
+        )
+
+
+class TestInvertedIndex:
+    def test_lookup_matches_mask(self, small_table):
+        index = InvertedIndex(small_table, "note")
+        predicate = KeywordPredicate("note", "gamma")
+        assert np.array_equal(
+            index.lookup(predicate).row_ids, predicate.matching_ids(small_table)
+        )
+
+    def test_missing_token_empty(self):
+        index = InvertedIndex(text_table(["a b", "b c"]), "txt")
+        lookup = index.lookup(KeywordPredicate("txt", "zzz"))
+        assert lookup.count == 0
+        assert lookup.entries_scanned == 0
+
+    def test_document_frequency(self):
+        index = InvertedIndex(text_table(["a b", "b c", "b"]), "txt")
+        assert index.document_frequency("b") == 3
+        assert index.document_frequency("a") == 1
+        assert index.document_frequency("nope") == 0
+
+    def test_most_common_ordering(self):
+        index = InvertedIndex(text_table(["a b", "b c", "b a"]), "txt")
+        ranked = index.most_common(2)
+        assert ranked[0] == ("b", 3)
+        assert ranked[1] == ("a", 2)
+
+    def test_duplicate_tokens_count_once_per_row(self):
+        index = InvertedIndex(text_table(["dog dog dog"]), "txt")
+        assert index.document_frequency("dog") == 1
+
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["red", "green", "blue", "cyan"]),
+                min_size=0,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sampled_from(["red", "green", "blue", "cyan", "absent"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_postings_agree_with_mask(self, token_lists, keyword):
+        table = text_table([" ".join(tokens) for tokens in token_lists])
+        index = InvertedIndex(table, "txt")
+        predicate = KeywordPredicate("txt", keyword)
+        assert np.array_equal(
+            index.lookup(predicate).row_ids, predicate.matching_ids(table)
+        )
+
+
+class TestGridIndex:
+    def test_lookup_matches_mask(self, small_table):
+        index = GridIndex(small_table, "spot", grid_size=8)
+        predicate = SpatialPredicate("spot", BoundingBox(-3.0, -3.0, 4.0, 4.0))
+        assert np.array_equal(
+            index.lookup(predicate).row_ids, predicate.matching_ids(small_table)
+        )
+
+    def test_entries_scanned_at_least_matches(self, small_table):
+        index = GridIndex(small_table, "spot", grid_size=8)
+        predicate = SpatialPredicate("spot", BoundingBox(-3.0, -3.0, 4.0, 4.0))
+        lookup = index.lookup(predicate)
+        assert lookup.entries_scanned >= lookup.count
+
+    def test_empty_table(self):
+        index = GridIndex(point_table(np.zeros((0, 2))), "p")
+        lookup = index.lookup(SpatialPredicate("p", BoundingBox(0, 0, 1, 1)))
+        assert lookup.count == 0
+
+    def test_single_point_degenerate_extent(self):
+        index = GridIndex(point_table([[1.0, 1.0]]), "p")
+        hit = index.lookup(SpatialPredicate("p", BoundingBox(0, 0, 2, 2)))
+        assert list(hit.row_ids) == [0]
+        miss = index.lookup(SpatialPredicate("p", BoundingBox(5, 5, 6, 6)))
+        assert miss.count == 0
+
+    def test_invalid_grid_size(self, small_table):
+        with pytest.raises(ValueError):
+            GridIndex(small_table, "spot", grid_size=0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-50, 50), st.floats(-50, 50)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(-60, 60),
+        st.floats(-60, 60),
+        st.floats(0.0, 80.0),
+        st.floats(0.0, 80.0),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_grid_agrees_with_mask(self, pts, x, y, w, h, grid):
+        table = point_table(pts)
+        index = GridIndex(table, "p", grid_size=grid)
+        predicate = SpatialPredicate("p", BoundingBox(x, y, x + w, y + h))
+        assert np.array_equal(
+            index.lookup(predicate).row_ids, predicate.matching_ids(table)
+        )

@@ -1,0 +1,153 @@
+"""Unit tests for the query AST, hints, and approximation rules."""
+
+import pytest
+
+from repro.db import (
+    BinGroupBy,
+    BoundingBox,
+    HintSet,
+    JoinSpec,
+    KeywordPredicate,
+    LimitRule,
+    RangePredicate,
+    SampleTableRule,
+    SelectQuery,
+    SpatialPredicate,
+    apply_hints,
+)
+from repro.errors import QueryError
+
+
+def tweet_query(**kwargs) -> SelectQuery:
+    defaults = dict(
+        table="tweets",
+        predicates=(
+            KeywordPredicate("text", "covid"),
+            RangePredicate("created_at", 0.0, 86_400.0),
+            SpatialPredicate("coordinates", BoundingBox(-124.4, 32.5, -114.1, 42.0)),
+        ),
+        output=("id", "coordinates"),
+    )
+    defaults.update(kwargs)
+    return SelectQuery(**defaults)
+
+
+class TestHintSet:
+    def test_label(self):
+        assert HintSet().label() == "idx[no-index]"
+        assert "created_at" in HintSet(frozenset({"created_at"})).label()
+        assert HintSet(frozenset(), "hash").label().endswith("/hash")
+
+    def test_unknown_join_method_raises(self):
+        with pytest.raises(QueryError):
+            HintSet(join_method="zigzag")
+
+    def test_render_sql(self):
+        sql = HintSet(frozenset({"text"}), "nestloop").render_sql()
+        assert sql.startswith("/*+") and "Index-Scan(text)" in sql
+        assert "Nestloop-Join" in sql
+        assert HintSet().render_sql() == "/*+ Seq-Scan */"
+
+
+class TestSelectQuery:
+    def test_requires_predicates_or_join(self):
+        with pytest.raises(QueryError):
+            SelectQuery(table="t", predicates=(), output=("id",))
+
+    def test_requires_output_or_group(self):
+        with pytest.raises(QueryError):
+            SelectQuery(
+                table="t", predicates=(RangePredicate("a", 0, 1),), output=()
+            )
+
+    def test_group_by_allows_empty_output(self):
+        query = tweet_query(output=(), group_by=BinGroupBy("coordinates", 1.0, 1.0))
+        assert query.group_by is not None
+
+    def test_invalid_limit_raises(self):
+        with pytest.raises(QueryError):
+            tweet_query(limit=0)
+
+    def test_bad_bin_cell_raises(self):
+        with pytest.raises(QueryError):
+            BinGroupBy("coordinates", 0.0, 1.0)
+
+    def test_key_stable_and_distinct(self):
+        assert tweet_query().key() == tweet_query().key()
+        assert tweet_query().key() != tweet_query(limit=10).key()
+        hinted = tweet_query().with_hints(HintSet(frozenset({"text"})))
+        assert hinted.key() != tweet_query().key()
+
+    def test_to_sql_mentions_everything(self):
+        query = tweet_query(
+            join=JoinSpec("users", "user_id", "id", (RangePredicate("tweet_cnt", 1, 9),)),
+            limit=50,
+        ).with_hints(HintSet(frozenset({"text"}), "hash"))
+        sql = query.to_sql()
+        for fragment in (
+            "SELECT id, coordinates",
+            "FROM tweets, users",
+            "CONTAINS 'covid'",
+            "tweets.user_id = users.id",
+            "LIMIT 50",
+            "Index-Scan(text)",
+        ):
+            assert fragment in sql
+
+    def test_to_sql_group_by(self):
+        query = tweet_query(output=(), group_by=BinGroupBy("coordinates", 1.0, 1.0))
+        assert "GROUP BY BIN_ID(coordinates)" in query.to_sql()
+        assert "COUNT(*)" in query.to_sql()
+
+    def test_filter_attributes(self):
+        assert tweet_query().filter_attributes == ("text", "created_at", "coordinates")
+
+
+class TestApplyHints:
+    def test_valid_hint(self):
+        hinted = apply_hints(tweet_query(), HintSet(frozenset({"text"})))
+        assert hinted.hints is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(QueryError):
+            apply_hints(tweet_query(), HintSet(frozenset({"missing"})))
+
+    def test_join_method_on_plain_query_raises(self):
+        with pytest.raises(QueryError):
+            apply_hints(tweet_query(), HintSet(join_method="hash"))
+
+    def test_without_hints_roundtrip(self):
+        hinted = apply_hints(tweet_query(), HintSet(frozenset({"text"})))
+        assert hinted.without_hints().hints is None
+
+
+class TestApproximationRules:
+    def test_sample_rule_substitutes_table(self, twitter_db):
+        rule = SampleTableRule("tweets_qte_sample", 0.02)
+        query = tweet_query()
+        rewritten = rule.apply(query, twitter_db)
+        assert rewritten.table == "tweets_qte_sample"
+
+    def test_sample_rule_wrong_base_raises(self, twitter_db):
+        rule = SampleTableRule("tweets_qte_sample", 0.02)
+        query = tweet_query(table="users", predicates=(RangePredicate("tweet_cnt", 0, 9),), output=("id",))
+        with pytest.raises(QueryError):
+            rule.apply(query, twitter_db)
+
+    def test_limit_rule_uses_estimated_cardinality(self, twitter_db):
+        query = tweet_query()
+        estimated = twitter_db.estimate_cardinality(query)
+        rewritten = LimitRule(0.1).apply(query, twitter_db)
+        assert rewritten.limit == max(1, int(round(estimated * 0.1)))
+
+    def test_limit_rule_validates_fraction(self):
+        with pytest.raises(QueryError):
+            LimitRule(0.0)
+        with pytest.raises(QueryError):
+            LimitRule(1.5)
+
+    def test_rule_identity(self):
+        assert LimitRule(0.1) == LimitRule(0.1)
+        assert LimitRule(0.1) != LimitRule(0.2)
+        assert SampleTableRule("s", 0.2) != LimitRule(0.2)
+        assert LimitRule(0.1).label() == "limit10%"

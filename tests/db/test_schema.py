@@ -1,0 +1,66 @@
+"""Unit tests for schemas and their validation."""
+
+import pytest
+
+from repro.db import Column, ColumnKind, ForeignKey, TableSchema
+from repro.errors import SchemaError
+
+
+def make_schema(**kwargs) -> TableSchema:
+    defaults = dict(
+        name="t",
+        columns=(
+            Column("id", ColumnKind.INT),
+            Column("name", ColumnKind.TEXT),
+        ),
+        primary_key="id",
+    )
+    defaults.update(kwargs)
+    return TableSchema(**defaults)
+
+
+class TestColumn:
+    def test_invalid_name_raises(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", ColumnKind.INT)
+
+    def test_numeric_kinds(self):
+        assert ColumnKind.INT.is_numeric
+        assert ColumnKind.TIMESTAMP.is_numeric
+        assert not ColumnKind.TEXT.is_numeric
+        assert not ColumnKind.POINT.is_numeric
+
+
+class TestTableSchema:
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(SchemaError):
+            make_schema(
+                columns=(Column("id", ColumnKind.INT), Column("id", ColumnKind.INT))
+            )
+
+    def test_unknown_primary_key_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key="missing")
+
+    def test_unknown_fk_column_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema(foreign_keys=(ForeignKey("missing", "u", "id"),))
+
+    def test_lookup(self):
+        schema = make_schema()
+        assert schema.column("id").kind is ColumnKind.INT
+        assert schema.kind_of("name") is ColumnKind.TEXT
+        assert schema.has_column("name")
+        assert not schema.has_column("other")
+        with pytest.raises(SchemaError):
+            schema.column("other")
+
+    def test_renamed_keeps_columns(self):
+        schema = make_schema()
+        renamed = schema.renamed("t2")
+        assert renamed.name == "t2"
+        assert renamed.columns == schema.columns
+        assert renamed.primary_key == "id"
+
+    def test_column_names_ordered(self):
+        assert make_schema().column_names == ("id", "name")

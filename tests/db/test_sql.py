@@ -1,0 +1,179 @@
+"""SQL parser tests: the dialect round-trips through to_sql/parse_sql."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    BinGroupBy,
+    BoundingBox,
+    HintSet,
+    JoinSpec,
+    KeywordPredicate,
+    RangePredicate,
+    SelectQuery,
+    SpatialPredicate,
+)
+from repro.db.sql import parse_sql
+from repro.errors import QueryError
+
+
+def tweet_query(**kwargs) -> SelectQuery:
+    defaults = dict(
+        table="tweets",
+        predicates=(
+            KeywordPredicate("text", "covid"),
+            RangePredicate("created_at", 0.0, 86_400.0),
+            SpatialPredicate("coordinates", BoundingBox(-124.4, 32.5, -114.1, 42.0)),
+        ),
+        output=("id", "coordinates"),
+    )
+    defaults.update(kwargs)
+    return SelectQuery(**defaults)
+
+
+class TestBasicParsing:
+    def test_simple_select(self):
+        query = parse_sql(
+            "SELECT id, coordinates FROM tweets "
+            "WHERE text CONTAINS 'covid' AND created_at BETWEEN 0 AND 86400;"
+        )
+        assert query.table == "tweets"
+        assert query.output == ("id", "coordinates")
+        assert len(query.predicates) == 2
+        assert isinstance(query.predicates[0], KeywordPredicate)
+
+    def test_spatial_condition(self):
+        query = parse_sql(
+            "SELECT id FROM tweets "
+            "WHERE coordinates IN ((-124.4, 32.5), (-114.1, 42.0));"
+        )
+        predicate = query.predicates[0]
+        assert isinstance(predicate, SpatialPredicate)
+        assert predicate.box.min_x == -124.4
+
+    def test_open_range_bounds(self):
+        query = parse_sql(
+            "SELECT id FROM tweets WHERE created_at BETWEEN -inf AND 100;"
+        )
+        predicate = query.predicates[0]
+        assert predicate.low is None
+        assert predicate.high == 100.0
+
+    def test_limit(self):
+        query = parse_sql(
+            "SELECT id FROM tweets WHERE text CONTAINS 'x' LIMIT 50;"
+        )
+        assert query.limit == 50
+
+    def test_heatmap_group_by(self):
+        query = parse_sql(
+            "SELECT BIN_ID(coordinates), COUNT(*) FROM tweets "
+            "WHERE text CONTAINS 'covid' GROUP BY BIN_ID(coordinates);",
+            default_cell=1.5,
+        )
+        assert query.group_by == BinGroupBy("coordinates", 1.5, 1.5)
+        assert query.output == ()
+
+    def test_hints_parsed(self):
+        query = parse_sql(
+            "/*+ Index-Scan(created_at), Index-Scan(text) */ "
+            "SELECT id FROM tweets WHERE text CONTAINS 'covid' "
+            "AND created_at BETWEEN 0 AND 10;"
+        )
+        assert query.hints == HintSet(frozenset({"created_at", "text"}))
+
+    def test_seq_scan_hint(self):
+        query = parse_sql(
+            "/*+ Seq-Scan */ SELECT id FROM tweets WHERE text CONTAINS 'x';"
+        )
+        assert query.hints == HintSet()
+
+    def test_join_parsing(self):
+        query = parse_sql(
+            "SELECT id FROM tweets, users "
+            "WHERE tweets.text CONTAINS 'covid' "
+            "AND users.tweet_cnt BETWEEN 100 AND 5000 "
+            "AND tweets.user_id = users.id;"
+        )
+        assert query.join == JoinSpec(
+            "users", "user_id", "id", (RangePredicate("tweet_cnt", 100.0, 5000.0),)
+        )
+        assert [p.column for p in query.predicates] == ["text"]
+
+    def test_join_hint(self):
+        query = parse_sql(
+            "/*+ Index-Scan(text), Hash-Join */ SELECT id FROM tweets, users "
+            "WHERE tweets.text CONTAINS 'covid' AND tweets.user_id = users.id;"
+        )
+        assert query.hints.join_method == "hash"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "DELETE FROM tweets",
+            "SELECT id FROM tweets WHERE text LIKE 'x'",
+            "SELECT id FROM a, b, c WHERE a.x = b.y",
+            "SELECT id FROM tweets, users WHERE tweets.text CONTAINS 'x'",
+            "SELECT BIN_ID(c), COUNT(*) FROM tweets WHERE c = 1",
+            "/*+ Banana-Scan(x) */ SELECT id FROM t WHERE a = 1",
+            "SELECT id FROM tweets WHERE created_at BETWEEN 5",
+        ],
+    )
+    def test_rejects_malformed(self, sql):
+        with pytest.raises(QueryError):
+            parse_sql(sql)
+
+
+class TestRoundTrip:
+    def test_scatter_round_trip(self):
+        query = tweet_query()
+        assert parse_sql(query.to_sql()) == query
+
+    def test_hinted_round_trip(self):
+        query = tweet_query().with_hints(HintSet(frozenset({"text", "coordinates"})))
+        assert parse_sql(query.to_sql()) == query
+
+    def test_heatmap_round_trip(self):
+        query = tweet_query(output=(), group_by=BinGroupBy("coordinates", 0.5, 0.5))
+        assert parse_sql(query.to_sql(), default_cell=0.5) == query
+
+    def test_join_round_trip(self):
+        query = tweet_query(
+            join=JoinSpec(
+                "users", "user_id", "id", (RangePredicate("tweet_cnt", 1, 9),)
+            ),
+            limit=25,
+        ).with_hints(HintSet(frozenset({"text"}), "merge"))
+        assert parse_sql(query.to_sql()) == query
+
+    def test_parsed_query_executes(self, twitter_db):
+        query = parse_sql(
+            "SELECT id, coordinates FROM tweets "
+            "WHERE created_at BETWEEN 0 AND 2000000;"
+        )
+        result = twitter_db.execute(query)
+        assert result.execution_ms > 0
+
+    @given(
+        keyword=st.sampled_from(["covid", "rain", "music"]),
+        low=st.floats(0, 1e6),
+        width=st.floats(1.0, 1e6),
+        hinted=st.booleans(),
+        limit=st.one_of(st.none(), st.integers(1, 1000)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_round_trip(self, keyword, low, width, hinted, limit):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(
+                KeywordPredicate("text", keyword),
+                RangePredicate("created_at", low, low + width),
+            ),
+            output=("id",),
+            limit=limit,
+            hints=HintSet(frozenset({"text"})) if hinted else None,
+        )
+        assert parse_sql(query.to_sql()) == query

@@ -1,0 +1,101 @@
+"""Unit tests for value types: intervals, bounding boxes, tokenization."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db.types import (
+    SECONDS_PER_DAY,
+    BoundingBox,
+    Interval,
+    days,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert tokenize("don't stop 2day") == ["don't", "stop", "2day"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_punctuation_only(self):
+        assert tokenize("!!! ... ###") == []
+
+
+class TestInterval:
+    def test_contains_inclusive(self):
+        interval = Interval(1.0, 2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(2.0)
+        assert not interval.contains(0.999)
+
+    def test_unbounded_sides(self):
+        assert Interval(None, 5.0).contains(-1e9)
+        assert Interval(5.0, None).contains(1e9)
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_length(self):
+        assert Interval(1.0, 4.0).length() == 3.0
+        assert Interval(None, 4.0).length() == float("inf")
+
+
+class TestBoundingBox:
+    def test_contains_point_on_boundary(self):
+        box = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        assert box.contains_point(0.0, 2.0)
+        assert not box.contains_point(2.0001, 1.0)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 2.0)
+
+    def test_area_and_dims(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.area() == 8.0
+
+    def test_intersection(self):
+        a = BoundingBox(0.0, 0.0, 2.0, 2.0)
+        b = BoundingBox(1.0, 1.0, 3.0, 3.0)
+        overlap = a.intersection(b)
+        assert overlap == BoundingBox(1.0, 1.0, 2.0, 2.0)
+
+    def test_disjoint_intersection_is_none(self):
+        a = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        b = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert a.intersection(b) is None
+        assert not a.intersects(b)
+
+    def test_scaled_preserves_center(self):
+        box = BoundingBox(0.0, 0.0, 4.0, 2.0)
+        half = box.scaled(0.5)
+        assert half.width == pytest.approx(2.0)
+        assert half.height == pytest.approx(1.0)
+        assert (half.min_x + half.max_x) / 2 == pytest.approx(2.0)
+
+    @given(
+        st.floats(-100, 100),
+        st.floats(-100, 100),
+        st.floats(0.1, 50),
+        st.floats(0.1, 50),
+    )
+    def test_intersection_is_contained(self, x, y, w, h):
+        a = BoundingBox(x, y, x + w, y + h)
+        b = BoundingBox(x + w / 3, y + h / 3, x + w + 1, y + h + 1)
+        overlap = a.intersection(b)
+        assert overlap is not None
+        assert overlap.min_x >= a.min_x and overlap.max_x <= a.max_x
+        assert overlap.area() <= min(a.area(), b.area()) + 1e-9
+
+
+def test_days_converts_to_seconds():
+    assert days(2) == 2 * SECONDS_PER_DAY

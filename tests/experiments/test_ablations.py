@@ -1,0 +1,40 @@
+"""Ablation driver tests (tiny scale)."""
+
+import pytest
+
+from repro.experiments import (
+    TINY,
+    run_ablation_cost_updates,
+    run_ablation_exploration,
+    run_ablation_unit_cost,
+)
+
+
+class TestAblations:
+    @pytest.mark.parametrize(
+        "runner, n_variants",
+        [
+            (run_ablation_cost_updates, 2),
+            (run_ablation_exploration, 2),
+        ],
+    )
+    def test_two_variant_ablations(self, runner, n_variants):
+        result = runner(TINY, seed=0)
+        assert len(result.rows) == n_variants
+        for row in result.rows:
+            assert 0.0 <= row.vqp <= 100.0
+            assert row.avg_total_ms > 0.0
+        rendered = result.render()
+        assert "Ablation" in rendered
+        payload = result.to_dict()
+        assert len(payload["rows"]) == n_variants
+
+    def test_unit_cost_sweep(self):
+        result = run_ablation_unit_cost(TINY, seed=0, unit_costs_ms=(10.0, 200.0))
+        assert [row.variant for row in result.rows] == [
+            "unit cost 10 ms",
+            "unit cost 200 ms",
+        ]
+        cheap, expensive = result.rows
+        # More expensive estimation can never help: planning eats budget.
+        assert cheap.avg_total_ms <= expensive.avg_total_ms + 1e-6

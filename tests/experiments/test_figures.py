@@ -1,0 +1,123 @@
+"""End-to-end smoke tests of the figure drivers at tiny scale.
+
+These assert structure and internal consistency, not absolute numbers —
+EXPERIMENTS.md records the measured-vs-paper comparison at larger scales.
+"""
+
+import pytest
+
+from repro.experiments import (
+    TINY,
+    run_fig12,
+    run_fig13,
+    run_fig16,
+    run_fig20,
+    run_fig21,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+
+class TestTables:
+    def test_table1_inventory(self):
+        result = run_table1(TINY, seed=0)
+        assert {row["dataset"] for row in result.rows} == {"twitter", "taxi", "tpch"}
+        for row in result.rows:
+            assert row["records"] > 0
+            assert len(row["filter_attributes"]) == 3
+        assert "Table 1" in result.render()
+
+    def test_table2_counts_cover_evaluation(self):
+        result = run_table2(TINY, seed=0)
+        assert set(result.rows) == {"twitter", "taxi", "tpch"}
+        for counts in result.rows.values():
+            assert sum(counts.values()) == TINY.n_queries // 2
+        rendered = result.render()
+        assert "twitter" in rendered and ">=5" in rendered
+
+    def test_table3_option_workloads(self):
+        result = run_table3(TINY, seed=0)
+        assert set(result.rows) == {"16 options", "32 options"}
+        for counts in result.rows.values():
+            assert sum(counts.values()) == TINY.n_queries // 2
+
+
+class TestMainFigures:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return run_fig12("twitter", TINY, seed=0)
+
+    def test_structure(self, fig12):
+        names = fig12.approaches()
+        assert "MDP (Accurate-QTE)" in names
+        assert "MDP (Approximate-QTE)" in names
+        assert "Bao" in names
+        assert "Baseline" in names
+        assert fig12.metadata["n_options"] == 8
+
+    def test_vqp_within_bounds(self, fig12):
+        for row in fig12.rows:
+            for summary in row.summaries.values():
+                assert 0.0 <= summary.vqp <= 100.0
+                assert summary.aqrt_ms > 0.0
+                assert summary.aqrt_ms == pytest.approx(
+                    summary.avg_planning_ms + summary.avg_execution_ms
+                )
+
+    def test_zero_bucket_has_zero_vqp(self, fig12):
+        for row in fig12.rows:
+            if row.bucket == "0":
+                for summary in row.summaries.values():
+                    assert summary.vqp == 0.0
+
+    def test_fig13_shares_runs(self, fig12):
+        assert run_fig13("twitter", TINY, seed=0) is fig12
+
+    def test_result_is_cached(self, fig12):
+        assert run_fig12("twitter", TINY, seed=0) is fig12
+
+
+class TestBudgetFigure:
+    def test_fig16_metadata(self):
+        result = run_fig16(tau_ms=250.0, scale=TINY, seed=0)
+        assert result.metadata["tau_ms"] == 250.0
+        assert result.rows
+
+
+class TestQualityFigure:
+    @pytest.fixture(scope="class")
+    def fig20(self):
+        return run_fig20(TINY, seed=0)
+
+    def test_approaches_present(self, fig20):
+        names = fig20.approaches()
+        assert "1-stage MDP (Accurate-QTE)" in names
+        assert "2-stage MDP (Accurate-QTE)" in names
+        assert "Baseline" in names
+
+    def test_quality_reported_and_bounded(self, fig20):
+        for row in fig20.rows:
+            for summary in row.summaries.values():
+                assert summary.avg_quality is not None
+                assert 0.0 <= summary.avg_quality <= 1.0
+
+    def test_exact_approaches_have_full_quality(self, fig20):
+        for row in fig20.rows:
+            assert row.summaries["Baseline"].avg_quality == pytest.approx(1.0)
+            assert row.summaries["MDP (Accurate-QTE)"].avg_quality == pytest.approx(
+                1.0
+            )
+
+
+class TestLearningCurves:
+    def test_fig21_structure(self):
+        result = run_fig21(TINY, seed=0, option_counts=(8,))
+        assert result.points
+        curve = result.curve(8)
+        sizes = [p.n_train_queries for p in curve]
+        assert sizes == sorted(sizes)
+        for point in curve:
+            assert 0.0 <= point.validation_vqp_mean <= 100.0
+            assert point.seconds_mean > 0.0
+        assert "Figure 21" in result.render()

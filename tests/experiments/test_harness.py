@@ -1,0 +1,142 @@
+"""Harness tests: metric aggregation, result serialization, rendering."""
+
+import json
+
+import pytest
+
+from repro.baselines import BaselineApproach
+from repro.core import RequestOutcome
+from repro.db import RangePredicate, SelectQuery
+from repro.experiments import (
+    ApproachSummary,
+    BucketRow,
+    ExperimentResult,
+    render_experiment,
+    render_metric_table,
+    run_bucketed_comparison,
+    save_json,
+    summarize,
+)
+from repro.viz import JaccardQuality
+from repro.workloads import bucketize, single_buckets
+
+from ..conftest import TEST_TAU_MS, TWITTER_ATTRS
+
+
+def fake_outcome(twitter_db, query, planning_ms, execution_ms, quality=None):
+    result = twitter_db.execute(query)
+    return RequestOutcome(
+        original=query,
+        rewritten=query,
+        option_label="original",
+        reason="test",
+        planning_ms=planning_ms,
+        execution_ms=execution_ms,
+        result=result,
+        tau_ms=TEST_TAU_MS,
+        quality=quality,
+    )
+
+
+@pytest.fixture()
+def sample_query():
+    return SelectQuery(
+        table="tweets",
+        predicates=(RangePredicate("created_at", 0.0, 1e7),),
+        output=("id",),
+    )
+
+
+class TestSummarize:
+    def test_metrics_math(self, twitter_db, sample_query):
+        outcomes = [
+            fake_outcome(twitter_db, sample_query, 10.0, 20.0, quality=1.0),
+            fake_outcome(twitter_db, sample_query, 10.0, 100.0, quality=0.5),
+        ]
+        summary = summarize("x", outcomes)
+        assert summary.n_queries == 2
+        assert summary.vqp == pytest.approx(50.0)  # 30 <= 60 < 110
+        assert summary.aqrt_ms == pytest.approx((30.0 + 110.0) / 2)
+        assert summary.avg_planning_ms == pytest.approx(10.0)
+        assert summary.avg_quality == pytest.approx(0.75)
+
+    def test_empty_outcomes(self):
+        summary = summarize("x", [])
+        assert summary.n_queries == 0
+        assert summary.avg_quality is None
+
+    def test_quality_none_when_unreported(self, twitter_db, sample_query):
+        outcomes = [fake_outcome(twitter_db, sample_query, 1.0, 2.0)]
+        assert summarize("x", outcomes).avg_quality is None
+
+
+class TestExperimentResult:
+    def _result(self) -> ExperimentResult:
+        summary = ApproachSummary("A", 5, 80.0, 120.0, 20.0, 100.0, None)
+        row = BucketRow(bucket="1", n_queries=5, summaries={"A": summary})
+        return ExperimentResult("exp-test", "a title", {"k": 1}, [row])
+
+    def test_series(self):
+        result = self._result()
+        assert result.series("A", "vqp") == [("1", 80.0)]
+        assert result.series("missing", "vqp") == [("1", None)]
+
+    def test_to_dict_roundtrips_json(self):
+        result = self._result()
+        payload = json.dumps(result.to_dict())
+        parsed = json.loads(payload)
+        assert parsed["experiment_id"] == "exp-test"
+        assert parsed["rows"][0]["approaches"]["A"]["vqp"] == 80.0
+
+    def test_save_json(self, tmp_path):
+        path = save_json(self._result(), tmp_path)
+        assert path.exists()
+        assert json.loads(path.read_text())["title"] == "a title"
+
+    def test_render_metric_table(self):
+        table = render_metric_table(self._result(), "vqp")
+        assert "exp-test" in table
+        assert "80.0" in table
+        assert "Viable query percentage" in table
+
+    def test_render_experiment_multiple_metrics(self):
+        text = render_experiment(self._result(), ("vqp", "aqrt_ms"))
+        assert "Viable query percentage" in text
+        assert "Average query response time" in text
+
+
+class TestRunBucketedComparison:
+    def test_baseline_over_buckets(self, twitter_db, twitter_queries, hint_space):
+        bucketed = bucketize(
+            twitter_db,
+            list(twitter_queries[:15]),
+            hint_space,
+            TEST_TAU_MS,
+            single_buckets(2),
+        )
+        baseline = BaselineApproach(twitter_db, TEST_TAU_MS)
+        rows = run_bucketed_comparison([baseline], bucketed)
+        assert rows  # at least one non-empty bucket
+        assert sum(r.n_queries for r in rows) <= 15
+        for row in rows:
+            assert "Baseline" in row.summaries
+
+    def test_quality_backfill(self, twitter_db, twitter_queries, hint_space):
+        bucketed = bucketize(
+            twitter_db,
+            list(twitter_queries[:6]),
+            hint_space,
+            TEST_TAU_MS,
+            (single_buckets(0)[0], single_buckets(0)[1]),
+        )
+        baseline = BaselineApproach(twitter_db, TEST_TAU_MS)
+        rows = run_bucketed_comparison(
+            [baseline],
+            bucketed,
+            quality_fn=JaccardQuality(),
+            database=twitter_db,
+        )
+        for row in rows:
+            summary = row.summaries["Baseline"]
+            # The baseline runs exact queries: backfilled quality is 1.
+            assert summary.avg_quality == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Bootstrap significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import RequestOutcome
+from repro.db import RangePredicate, SelectQuery
+from repro.errors import WorkloadError
+from repro.experiments.significance import (
+    aqrt_interval,
+    paired_dominance,
+    vqp_interval,
+)
+
+from ..conftest import TEST_TAU_MS
+
+
+def outcome(twitter_db, total_ms: float) -> RequestOutcome:
+    query = SelectQuery(
+        table="tweets",
+        predicates=(RangePredicate("created_at", 0.0, 1e7),),
+        output=("id",),
+    )
+    result = twitter_db.execute(query)
+    return RequestOutcome(
+        original=query,
+        rewritten=query,
+        option_label="original",
+        reason="test",
+        planning_ms=0.0,
+        execution_ms=total_ms,
+        result=result,
+        tau_ms=TEST_TAU_MS,
+    )
+
+
+class TestIntervals:
+    def test_vqp_interval_contains_estimate(self, twitter_db):
+        outcomes = [outcome(twitter_db, 10.0)] * 6 + [outcome(twitter_db, 1e5)] * 4
+        interval = vqp_interval(outcomes, n_resamples=500, seed=1)
+        assert interval.estimate == pytest.approx(60.0)
+        assert interval.estimate in interval
+        assert 0.0 <= interval.low <= interval.high <= 100.0
+
+    def test_all_viable_is_degenerate(self, twitter_db):
+        outcomes = [outcome(twitter_db, 1.0)] * 5
+        interval = vqp_interval(outcomes, n_resamples=200, seed=2)
+        assert interval.low == interval.high == 100.0
+
+    def test_aqrt_interval(self, twitter_db):
+        outcomes = [outcome(twitter_db, t) for t in (100.0, 200.0, 300.0)]
+        interval = aqrt_interval(outcomes, n_resamples=500, seed=3)
+        assert interval.estimate == pytest.approx(200.0)
+        assert interval.low <= 200.0 <= interval.high
+
+    def test_interval_narrows_with_samples(self, twitter_db):
+        rng = np.random.default_rng(4)
+        small = [outcome(twitter_db, float(rng.uniform(1, 100))) for _ in range(8)]
+        large = small * 8
+        narrow = aqrt_interval(large, n_resamples=500, seed=5)
+        wide = aqrt_interval(small, n_resamples=500, seed=5)
+        assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+    def test_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            vqp_interval([])
+
+    def test_render(self, twitter_db):
+        interval = vqp_interval([outcome(twitter_db, 1.0)] * 3, n_resamples=100)
+        assert "[" in interval.render()
+
+
+class TestPairedDominance:
+    def test_clear_winner(self, twitter_db):
+        better = [outcome(twitter_db, 1.0)] * 10
+        worse = [outcome(twitter_db, 1e6)] * 10
+        assert paired_dominance(better, worse, n_resamples=300, seed=6) == 1.0
+        assert paired_dominance(worse, better, n_resamples=300, seed=6) < 0.05
+
+    def test_identical_is_certain_tie(self, twitter_db):
+        same = [outcome(twitter_db, 1.0)] * 5
+        assert paired_dominance(same, same, n_resamples=200, seed=7) == 1.0
+
+    def test_length_mismatch_raises(self, twitter_db):
+        a = [outcome(twitter_db, 1.0)]
+        with pytest.raises(WorkloadError):
+            paired_dominance(a, a * 2)
+
+    def test_empty_raises(self):
+        with pytest.raises(WorkloadError):
+            paired_dominance([], [])

@@ -1,0 +1,156 @@
+"""End-to-end integration scenarios crossing every package boundary."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineApproach
+from repro.core import (
+    Maliva,
+    RewriteOptionSpace,
+    TrainingConfig,
+    load_agent,
+    save_agent,
+)
+from repro.db import parse_sql
+from repro.qte import AccurateQTE, SamplingQTE
+from repro.viz import TWITTER_TRANSLATOR, JaccardQuality
+from repro.workloads import (
+    ExplorationSessionGenerator,
+    TwitterWorkloadGenerator,
+    bucketize,
+    load_workload,
+    save_workload,
+    single_buckets,
+    split_workload,
+)
+
+from ..conftest import TEST_TAU_MS, TWITTER_ATTRS
+
+
+class TestFullPipeline:
+    """Generate -> split -> train -> serve, asserting the headline result."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, request):
+        twitter_db = request.getfixturevalue("twitter_db")
+        space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+        queries = TwitterWorkloadGenerator(twitter_db, seed=301).generate(60)
+        split = split_workload(queries, seed=303)
+        maliva = Maliva(
+            twitter_db,
+            space,
+            AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0),
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=8, seed=307),
+        )
+        maliva.train(list(split.train), list(split.validation))
+        return twitter_db, space, split, maliva
+
+    def test_maliva_beats_baseline_on_hard_queries(self, pipeline):
+        twitter_db, space, split, maliva = pipeline
+        bucketed = bucketize(
+            twitter_db, list(split.evaluation), space, TEST_TAU_MS, single_buckets(2)
+        )
+        hard = [
+            q
+            for label in ("1", "2")
+            for q in bucketed.queries[label]
+        ]
+        if len(hard) < 5:
+            pytest.skip("workload too easy at this seed")
+        baseline = BaselineApproach(twitter_db, TEST_TAU_MS)
+        maliva_vqp = np.mean([maliva.answer(q).viable for q in hard])
+        baseline_vqp = np.mean([baseline.answer(q).viable for q in hard])
+        assert maliva_vqp >= baseline_vqp
+
+    def test_zero_viable_queries_stay_zero_without_approximation(self, pipeline):
+        twitter_db, space, split, maliva = pipeline
+        bucketed = bucketize(
+            twitter_db, list(split.evaluation), space, TEST_TAU_MS, single_buckets(1)
+        )
+        for query in bucketed.queries["0"][:5]:
+            assert not maliva.answer(query).viable
+
+    def test_workload_survives_serialization(self, pipeline, tmp_path):
+        twitter_db, space, split, maliva = pipeline
+        path = save_workload(list(split.evaluation), tmp_path / "eval.json")
+        restored = load_workload(path)
+        # Answering a restored query is identical to answering the original
+        # (same rewrite decision; execution noise is zero on this profile).
+        original = maliva.rewrite(split.evaluation[0])
+        replayed = maliva.rewrite(restored[0])
+        assert original.option_label == replayed.option_label
+
+    def test_agent_survives_persistence(self, pipeline, tmp_path):
+        twitter_db, space, split, maliva = pipeline
+        path = tmp_path / "agent.npz"
+        save_agent(maliva.agent, path)
+        clone = Maliva(
+            twitter_db,
+            space,
+            AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0),
+            TEST_TAU_MS,
+        )
+        clone.adopt_agent(load_agent(path, space))
+        for query in split.evaluation[:5]:
+            assert (
+                maliva.rewrite(query).option_index
+                == clone.rewrite(query).option_index
+            )
+
+
+class TestSqlAndSessions:
+    def test_sql_text_through_the_middleware(self, twitter_db):
+        space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+        maliva = Maliva(
+            twitter_db,
+            space,
+            AccurateQTE(twitter_db, unit_cost_ms=5.0),
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=2, seed=311),
+        )
+        queries = TwitterWorkloadGenerator(twitter_db, seed=313).generate(10)
+        maliva.train(queries)
+        sql = queries[0].to_sql()
+        outcome = maliva.answer(parse_sql(sql))
+        assert outcome.total_ms > 0
+
+    def test_session_through_translator_and_middleware(self, twitter_db):
+        space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+        maliva = Maliva(
+            twitter_db,
+            space,
+            AccurateQTE(twitter_db, unit_cost_ms=5.0),
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=2, seed=317),
+        )
+        maliva.train(TwitterWorkloadGenerator(twitter_db, seed=319).generate(10))
+        session = ExplorationSessionGenerator(twitter_db, seed=323).generate(5)
+        for step in session:
+            query = TWITTER_TRANSLATOR.to_query(step.request)
+            outcome = maliva.answer(query, quality_fn=JaccardQuality())
+            assert outcome.quality == pytest.approx(1.0)  # hint-only = exact
+
+    def test_sampling_qte_pipeline(self, twitter_db):
+        """The full approximate-QTE path: fit on RQ executions, then serve."""
+        space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+        qte = SamplingQTE(twitter_db, TWITTER_ATTRS, "tweets_qte_sample")
+        queries = TwitterWorkloadGenerator(twitter_db, seed=331).generate(20)
+        qte.fit(
+            [
+                space.build(q, twitter_db, i)
+                for q in queries[:8]
+                for i in range(len(space))
+            ]
+        )
+        maliva = Maliva(
+            twitter_db,
+            space,
+            qte,
+            TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=3, seed=337),
+        )
+        maliva.train(queries[:12])
+        outcomes = [maliva.answer(q) for q in queries[12:]]
+        assert all(o.total_ms > 0 for o in outcomes)
+        assert any(o.viable for o in outcomes)

@@ -1,0 +1,82 @@
+"""Plan-Cost QTE tests: cheapest estimator, optimizer-inherited errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.qte import AccurateQTE, PlanCostQTE, SamplingQTE, SelectivityCache
+
+from ..conftest import TWITTER_ATTRS
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    twitter_db = request.getfixturevalue("twitter_db")
+    twitter_queries = request.getfixturevalue("twitter_queries")
+    from repro.core import RewriteOptionSpace
+
+    space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+    qte = PlanCostQTE(twitter_db)
+    training = [
+        space.build(query, twitter_db, index)
+        for query in twitter_queries[:10]
+        for index in range(len(space))
+    ]
+    qte.fit(training)
+    return qte, space
+
+
+class TestPlanCostQTE:
+    def test_unfitted_raises(self, twitter_db, twitter_queries):
+        qte = PlanCostQTE(twitter_db)
+        with pytest.raises(EstimationError):
+            qte.estimate(twitter_queries[0], SelectivityCache())
+        with pytest.raises(EstimationError):
+            qte.fit([])
+
+    def test_constant_cheap_cost(self, fitted, twitter_queries):
+        qte, _ = fitted
+        cache = SelectivityCache()
+        assert qte.predict_cost_ms(twitter_queries[0], cache) == 2.0
+        outcome = qte.estimate(twitter_queries[0], cache)
+        assert outcome.cost_ms == 2.0
+        # Plan-cost estimation collects no selectivities.
+        assert len(cache) == 0
+
+    def test_cheapest_of_the_three(self, fitted, twitter_db, twitter_queries):
+        qte, space = fitted
+        accurate = AccurateQTE(twitter_db)
+        sampling = SamplingQTE(twitter_db, TWITTER_ATTRS, "tweets_qte_sample")
+        # Compare on a fully hinted rewrite, where selectivity collection
+        # actually costs something for the other two estimators.
+        triple = next(
+            i for i, o in enumerate(space) if len(o.hint_set.index_on) == 3
+        )
+        rewritten = space.build(twitter_queries[0], twitter_db, triple)
+        assert (
+            qte.predict_cost_ms(rewritten, SelectivityCache())
+            < sampling.predict_cost_ms(rewritten, SelectivityCache())
+            < accurate.predict_cost_ms(rewritten, SelectivityCache())
+        )
+
+    def test_estimates_positive(self, fitted, twitter_db, twitter_queries):
+        qte, space = fitted
+        cache = SelectivityCache()
+        for index in range(len(space)):
+            rq = space.build(twitter_queries[11], twitter_db, index)
+            assert qte.estimate(rq, cache).estimated_ms > 0
+
+    def test_less_accurate_than_oracle_on_text(self, fitted, twitter_db, twitter_queries):
+        """The whole point: optimizer costs inherit text misestimation."""
+        qte, space = fitted
+        errors = []
+        for query in twitter_queries[10:18]:
+            cache = SelectivityCache()
+            for index in range(len(space)):
+                rq = space.build(query, twitter_db, index)
+                estimate = qte.estimate(rq, cache).estimated_ms
+                truth = twitter_db.true_execution_time_ms(rq)
+                errors.append(abs(np.log1p(estimate) - np.log1p(truth)))
+        # Some individual estimates must be far off (the optimizer's
+        # text/spatial blind spots), even though the median scale is fitted.
+        assert max(errors) > 1.0

@@ -1,0 +1,75 @@
+"""CLI tests: listing, running experiments, saving results."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.scale == "small"
+        assert args.seed == 0
+        assert args.experiment == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestExecution:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "table2" in out
+        assert "ablation-unit-cost" in out
+
+    def test_run_table1_tiny(self, capsys, tmp_path):
+        code = main(
+            ["run", "table1", "--scale", "tiny", "--save-dir", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        saved = json.loads((tmp_path / "table1.json").read_text())
+        assert saved["experiment_id"] == "table1"
+
+    def test_run_fig12_tiny_saves_json(self, capsys, tmp_path):
+        code = main(
+            [
+                "run",
+                "fig12",
+                "--scale",
+                "tiny",
+                "--dataset",
+                "twitter",
+                "--save-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Viable query percentage" in out
+        assert (tmp_path / "fig12_13-twitter.json").exists()
+
+    def test_no_save_flag(self, capsys, tmp_path):
+        code = main(
+            [
+                "run",
+                "table1",
+                "--scale",
+                "tiny",
+                "--save-dir",
+                str(tmp_path),
+                "--no-save",
+            ]
+        )
+        assert code == 0
+        assert not list(tmp_path.iterdir())

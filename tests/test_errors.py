@@ -1,0 +1,35 @@
+"""Error-hierarchy tests: one catchable base class."""
+
+import pytest
+
+from repro.errors import (
+    EstimationError,
+    ExecutionError,
+    PlanningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    TrainingError,
+    WorkloadError,
+)
+
+ALL_ERRORS = [
+    SchemaError,
+    QueryError,
+    PlanningError,
+    ExecutionError,
+    EstimationError,
+    TrainingError,
+    WorkloadError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_repro_error(error_type):
+    assert issubclass(error_type, ReproError)
+    with pytest.raises(ReproError):
+        raise error_type("boom")
+
+
+def test_base_is_exception():
+    assert issubclass(ReproError, Exception)

@@ -1,0 +1,160 @@
+"""Quality-function tests: Jaccard, distribution precision, VAS proxy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    KeywordPredicate,
+    LimitRule,
+    RangePredicate,
+    SelectQuery,
+    BinGroupBy,
+)
+from repro.viz import (
+    DistributionPrecisionQuality,
+    JaccardQuality,
+    QualityContext,
+    VASQuality,
+    evaluate_quality,
+    jaccard,
+)
+
+
+class TestJaccardFunction:
+    def test_identity(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_empty_sets_identical(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    @given(
+        st.sets(st.integers(0, 50), max_size=30),
+        st.sets(st.integers(0, 50), max_size=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_bounds_and_symmetry(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(b, a)
+        if a == b:
+            assert value == 1.0
+
+
+def scatter_query(low=0.0, high=1e12) -> SelectQuery:
+    return SelectQuery(
+        table="tweets",
+        predicates=(RangePredicate("created_at", low, high),),
+        output=("id", "coordinates"),
+    )
+
+
+class TestJaccardQuality:
+    def test_exact_rewrite_scores_one(self, twitter_db):
+        query = scatter_query()
+        result = twitter_db.true_result(query)
+        context = QualityContext(twitter_db, query, query)
+        assert JaccardQuality().evaluate(result, result, context) == 1.0
+
+    def test_limit_reduces_quality(self, twitter_db):
+        query = scatter_query()
+        limited = LimitRule(0.05).apply(query, twitter_db)
+        result = twitter_db.execute(limited)
+        quality = evaluate_quality(
+            twitter_db, query, limited, result, JaccardQuality()
+        )
+        assert 0.0 < quality < 0.3
+
+    def test_sample_table_quality_matches_fraction(self, twitter_db):
+        query = scatter_query()
+        sampled = query.with_table("tweets_qte_sample")
+        result = twitter_db.execute(sampled)
+        quality = evaluate_quality(
+            twitter_db, query, sampled, result, JaccardQuality()
+        )
+        # A p-sample of the full result has Jaccard ~ p.
+        assert quality == pytest.approx(0.02, abs=0.02)
+
+    def test_heatmap_bins_compared(self, twitter_db):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(RangePredicate("created_at", 0.0, 1e12),),
+            group_by=BinGroupBy("coordinates", 2.0, 2.0),
+        )
+        sampled = query.with_table("tweets_qte_sample")
+        result = twitter_db.execute(sampled)
+        quality = evaluate_quality(
+            twitter_db, query, sampled, result, JaccardQuality()
+        )
+        # Dense cells survive sampling; bin-level Jaccard is much higher
+        # than the ~0.02 row-level Jaccard of a 2% sample.
+        assert quality > 0.1
+
+
+class TestDistributionPrecision:
+    def test_identical_distributions(self, twitter_db):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(RangePredicate("created_at", 0.0, 1e12),),
+            group_by=BinGroupBy("coordinates", 2.0, 2.0),
+        )
+        result = twitter_db.true_result(query)
+        context = QualityContext(twitter_db, query, query)
+        assert DistributionPrecisionQuality().evaluate(result, result, context) == 1.0
+
+    def test_sampled_distribution_close(self, twitter_db):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(RangePredicate("created_at", 0.0, 1e12),),
+            group_by=BinGroupBy("coordinates", 5.0, 5.0),
+        )
+        sampled = query.with_table("tweets_qte_sample")
+        result = twitter_db.execute(sampled)
+        quality = evaluate_quality(
+            twitter_db, query, sampled, result, DistributionPrecisionQuality()
+        )
+        assert 0.5 < quality <= 1.0
+
+    def test_rows_fall_back_to_jaccard(self, twitter_db):
+        query = scatter_query()
+        result = twitter_db.true_result(query)
+        context = QualityContext(twitter_db, query, query)
+        assert DistributionPrecisionQuality().evaluate(result, result, context) == 1.0
+
+
+class TestVASQuality:
+    def test_exact_is_one(self, twitter_db):
+        query = scatter_query()
+        result = twitter_db.true_result(query)
+        context = QualityContext(twitter_db, query, query)
+        assert VASQuality().evaluate(result, result, context) == 1.0
+
+    def test_sample_scores_above_row_jaccard(self, twitter_db):
+        """Perceptually, a decent sample covers most occupied cells."""
+        query = scatter_query()
+        sampled = query.with_table("tweets_qte_sample")
+        result = twitter_db.execute(sampled)
+        row_quality = evaluate_quality(
+            twitter_db, query, sampled, result, JaccardQuality()
+        )
+        vas_quality = evaluate_quality(
+            twitter_db, query, sampled, result, VASQuality(cell_degrees=2.0)
+        )
+        assert vas_quality > row_quality
+
+    def test_no_point_column_falls_back(self, twitter_db):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(KeywordPredicate("text", "covid"),),
+            output=("id",),
+        )
+        result = twitter_db.true_result(query)
+        context = QualityContext(twitter_db, query, query)
+        assert VASQuality().evaluate(result, result, context) == 1.0

@@ -1,0 +1,54 @@
+"""ASCII renderer tests."""
+
+import numpy as np
+
+from repro.db import BinGroupBy, bin_counts
+from repro.db.types import BoundingBox
+from repro.viz import render_heatmap, render_scatter
+
+
+GROUP = BinGroupBy("coordinates", 1.0, 1.0)
+
+
+class TestRenderHeatmap:
+    def test_empty(self):
+        assert render_heatmap({}, GROUP) == "(empty heatmap)"
+
+    def test_dimensions(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-10, 10, (500, 2))
+        bins = bin_counts(points, GROUP)
+        art = render_heatmap(bins, GROUP, width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 12  # frame + 10 rows + frame
+        assert all(len(line) == 42 for line in lines)
+
+    def test_dense_region_is_darker(self):
+        # 100 points in one cell, 1 point in another.
+        dense = np.tile([[0.5, 0.5]], (100, 1))
+        sparse = np.array([[9.5, 9.5]])
+        bins = bin_counts(np.vstack([dense, sparse]), GROUP)
+        art = render_heatmap(bins, GROUP, width=20, height=5)
+        assert "@" in art  # the dense cell reaches the top of the ramp
+
+    def test_respects_extent(self):
+        bins = bin_counts(np.array([[0.5, 0.5]]), GROUP)
+        extent = BoundingBox(-100.0, -100.0, 100.0, 100.0)
+        art = render_heatmap(bins, GROUP, width=20, height=5, extent=extent)
+        assert art.count("@") <= 1
+
+
+class TestRenderScatter:
+    def test_empty(self):
+        assert render_scatter(np.zeros((0, 2))) == "(empty scatterplot)"
+
+    def test_single_point(self):
+        art = render_scatter(np.array([[1.0, 1.0]]), width=10, height=4)
+        assert sum(c != " " for c in art if c not in "+-|\n") >= 1
+
+    def test_dimensions(self):
+        rng = np.random.default_rng(1)
+        art = render_scatter(rng.uniform(0, 1, (50, 2)), width=30, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 32 for line in lines)

@@ -1,0 +1,90 @@
+"""Request-translation tests: the frontend -> SQL middleware step."""
+
+import pytest
+
+from repro.db import BoundingBox
+from repro.errors import QueryError
+from repro.viz import (
+    TAXI_TRANSLATOR,
+    TWITTER_TRANSLATOR,
+    VisualizationKind,
+    VisualizationRequest,
+)
+
+
+REGION = BoundingBox(-124.4, 32.5, -114.1, 42.0)
+
+
+class TestTwitterTranslation:
+    def test_scatterplot_query(self):
+        request = VisualizationRequest(
+            kind=VisualizationKind.SCATTERPLOT,
+            keyword="covid",
+            region=REGION,
+            time_range=(0.0, 86_400.0),
+        )
+        query = TWITTER_TRANSLATOR.to_query(request)
+        assert query.table == "tweets"
+        assert query.output == ("id", "coordinates")
+        assert len(query.predicates) == 3
+        assert query.group_by is None
+
+    def test_heatmap_query(self):
+        request = VisualizationRequest(
+            kind=VisualizationKind.HEATMAP,
+            keyword="covid",
+            region=REGION,
+            heatmap_cell_degrees=1.5,
+        )
+        query = TWITTER_TRANSLATOR.to_query(request)
+        assert query.group_by is not None
+        assert query.group_by.cell_x == 1.5
+        assert query.output == ()
+
+    def test_extra_ranges(self):
+        request = VisualizationRequest(
+            kind=VisualizationKind.SCATTERPLOT,
+            keyword="covid",
+            extra_ranges=(("users_followers_count", (100.0, None)),),
+        )
+        query = TWITTER_TRANSLATOR.to_query(request)
+        columns = [p.column for p in query.predicates]
+        assert "users_followers_count" in columns
+
+    def test_empty_request_raises(self):
+        with pytest.raises(QueryError):
+            TWITTER_TRANSLATOR.to_query(
+                VisualizationRequest(kind=VisualizationKind.SCATTERPLOT)
+            )
+
+
+class TestTaxiTranslation:
+    def test_no_text_column(self):
+        request = VisualizationRequest(
+            kind=VisualizationKind.SCATTERPLOT, keyword="word"
+        )
+        with pytest.raises(QueryError):
+            TAXI_TRANSLATOR.to_query(request)
+
+    def test_region_and_time(self):
+        request = VisualizationRequest(
+            kind=VisualizationKind.SCATTERPLOT,
+            region=BoundingBox(-74.05, 40.6, -73.9, 40.85),
+            time_range=(0.0, 3_600.0),
+        )
+        query = TAXI_TRANSLATOR.to_query(request)
+        assert query.table == "trips"
+        assert {p.column for p in query.predicates} == {
+            "pickup_coordinates",
+            "pickup_datetime",
+        }
+
+    def test_translated_query_executes(self, twitter_db):
+        request = VisualizationRequest(
+            kind=VisualizationKind.HEATMAP,
+            keyword="covid",
+            region=REGION,
+        )
+        query = TWITTER_TRANSLATOR.to_query(request)
+        result = twitter_db.execute(query)
+        assert result.kind == "bins"

@@ -1,0 +1,108 @@
+"""Difficulty metric and bucketing tests."""
+
+import pytest
+
+from repro.workloads import (
+    Bucket,
+    bucketize,
+    pair_buckets,
+    single_buckets,
+    viable_plan_count,
+    width_buckets,
+)
+
+from ..conftest import TEST_TAU_MS
+
+
+class TestBucketSchemes:
+    def test_single_buckets(self):
+        buckets = single_buckets(4)
+        assert [b.label for b in buckets] == ["0", "1", "2", "3", "4", ">=5"]
+        assert buckets[0].contains(0)
+        assert not buckets[0].contains(1)
+        assert buckets[-1].contains(100)
+
+    def test_pair_buckets(self):
+        buckets = pair_buckets(4)
+        assert [b.label for b in buckets] == ["1-2", "3-4", "5-6", "7-8", ">=9"]
+        assert buckets[0].contains(1) and buckets[0].contains(2)
+        assert not buckets[0].contains(3)
+
+    def test_width_buckets(self):
+        buckets = width_buckets(4, 4)
+        assert [b.label for b in buckets] == [
+            "1-4",
+            "5-8",
+            "9-12",
+            "13-16",
+            ">=17",
+        ]
+
+    def test_width_one(self):
+        buckets = width_buckets(1, 3)
+        assert [b.label for b in buckets] == ["1", "2", "3", ">=4"]
+
+
+class TestViablePlanCount:
+    def test_matches_manual_count(
+        self, twitter_db, twitter_queries, hint_space
+    ):
+        query = twitter_queries[0]
+        expected = sum(
+            twitter_db.true_execution_time_ms(
+                hint_space.build(query, twitter_db, index)
+            )
+            <= TEST_TAU_MS
+            for index in range(len(hint_space))
+        )
+        assert (
+            viable_plan_count(twitter_db, query, hint_space, TEST_TAU_MS) == expected
+        )
+
+    def test_monotone_in_budget(self, twitter_db, twitter_queries, hint_space):
+        query = twitter_queries[1]
+        low = viable_plan_count(twitter_db, query, hint_space, 10.0)
+        high = viable_plan_count(twitter_db, query, hint_space, 10_000.0)
+        assert low <= high
+
+    def test_huge_budget_counts_everything(
+        self, twitter_db, twitter_queries, hint_space
+    ):
+        query = twitter_queries[2]
+        assert viable_plan_count(twitter_db, query, hint_space, 1e12) == len(
+            hint_space
+        )
+
+
+class TestBucketize:
+    def test_partition_covers_workload(self, twitter_db, twitter_queries, hint_space):
+        bucketed = bucketize(
+            twitter_db, twitter_queries, hint_space, TEST_TAU_MS
+        )
+        assert bucketed.total() == len(twitter_queries)
+        assert sum(bucketed.counts.values()) == len(twitter_queries)
+
+    def test_queries_in_right_bucket(self, twitter_db, twitter_queries, hint_space):
+        bucketed = bucketize(
+            twitter_db, twitter_queries, hint_space, TEST_TAU_MS
+        )
+        for bucket in bucketed.buckets:
+            for query in bucketed.queries[bucket.label]:
+                count = viable_plan_count(
+                    twitter_db, query, hint_space, TEST_TAU_MS
+                )
+                assert bucket.contains(count)
+
+    def test_non_empty_listing(self, twitter_db, twitter_queries, hint_space):
+        bucketed = bucketize(
+            twitter_db, twitter_queries, hint_space, TEST_TAU_MS
+        )
+        for label in bucketed.non_empty():
+            assert bucketed.counts[label] > 0
+
+    def test_custom_buckets(self, twitter_db, twitter_queries, hint_space):
+        buckets = (Bucket("any", 0, None),)
+        bucketed = bucketize(
+            twitter_db, twitter_queries, hint_space, TEST_TAU_MS, buckets
+        )
+        assert bucketed.counts["any"] == len(twitter_queries)

@@ -1,0 +1,139 @@
+"""Workload generator tests (Section 7.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.db import KeywordPredicate, RangePredicate, SpatialPredicate
+from repro.db.types import STOP_WORDS
+from repro.errors import WorkloadError
+from repro.workloads import (
+    TwitterJoinWorkloadGenerator,
+    TwitterWorkloadGenerator,
+    split_workload,
+)
+
+
+class TestTwitterGenerator:
+    def test_deterministic_by_seed(self, twitter_db):
+        a = TwitterWorkloadGenerator(twitter_db, seed=3).generate(10)
+        b = TwitterWorkloadGenerator(twitter_db, seed=3).generate(10)
+        assert [q.key() for q in a] == [q.key() for q in b]
+
+    def test_different_seeds_differ(self, twitter_db):
+        a = TwitterWorkloadGenerator(twitter_db, seed=3).generate(10)
+        b = TwitterWorkloadGenerator(twitter_db, seed=4).generate(10)
+        assert [q.key() for q in a] != [q.key() for q in b]
+
+    def test_three_conditions_of_right_types(self, twitter_db):
+        queries = TwitterWorkloadGenerator(twitter_db, seed=5).generate(10)
+        for query in queries:
+            types = {type(p) for p in query.predicates}
+            assert types == {KeywordPredicate, RangePredicate, SpatialPredicate}
+            assert query.output == ("id", "coordinates")
+
+    def test_keywords_are_non_stop_words(self, twitter_db):
+        queries = TwitterWorkloadGenerator(twitter_db, seed=6).generate(20)
+        for query in queries:
+            keyword = next(
+                p for p in query.predicates if isinstance(p, KeywordPredicate)
+            )
+            assert keyword.keyword not in STOP_WORDS
+
+    def test_conditions_match_seed_record(self, twitter_db):
+        """Every generated query must match at least one record (its seed)."""
+        queries = TwitterWorkloadGenerator(twitter_db, seed=7).generate(10)
+        tweets = twitter_db.table("tweets")
+        for query in queries:
+            mask = np.ones(tweets.n_rows, dtype=bool)
+            for predicate in query.predicates:
+                mask &= predicate.mask(tweets)
+            assert mask.any()
+
+    def test_time_condition_left_boundary_is_record_value(self, twitter_db):
+        queries = TwitterWorkloadGenerator(twitter_db, seed=8).generate(10)
+        stamps = set(twitter_db.table("tweets").numeric("created_at").tolist())
+        for query in queries:
+            time_pred = next(
+                p
+                for p in query.predicates
+                if isinstance(p, RangePredicate) and p.column == "created_at"
+            )
+            assert time_pred.low in stamps
+
+    def test_keyword_bias_prefers_popular_words(self, twitter_db):
+        biased = TwitterWorkloadGenerator(
+            twitter_db, seed=9, keyword_frequency_bias=2.0
+        ).generate(40)
+        uniform = TwitterWorkloadGenerator(
+            twitter_db, seed=9, keyword_frequency_bias=0.0
+        ).generate(40)
+        index = twitter_db.index("tweets", "text")
+
+        def mean_df(queries):
+            dfs = []
+            for query in queries:
+                kw = next(
+                    p for p in query.predicates if isinstance(p, KeywordPredicate)
+                )
+                dfs.append(index.document_frequency(kw.keyword))
+            return np.mean(dfs)
+
+        assert mean_df(biased) > mean_df(uniform)
+
+    def test_unknown_attribute_raises(self, twitter_db):
+        with pytest.raises(WorkloadError):
+            TwitterWorkloadGenerator(twitter_db, attributes=("missing",))
+
+    def test_heatmap_fraction(self, twitter_db):
+        generator = TwitterWorkloadGenerator(
+            twitter_db, seed=10, heatmap_fraction=1.0
+        )
+        queries = generator.generate(5)
+        assert all(q.group_by is not None for q in queries)
+
+    def test_invalid_zoom_decay_raises(self, twitter_db):
+        with pytest.raises(WorkloadError):
+            TwitterWorkloadGenerator(twitter_db, zoom_decay=0.0)
+
+
+class TestJoinGenerator:
+    def test_join_spec_structure(self, twitter_db):
+        queries = TwitterJoinWorkloadGenerator(twitter_db, seed=11).generate(8)
+        for query in queries:
+            assert query.join is not None
+            assert query.join.table == "users"
+            assert query.join.left_column == "user_id"
+            assert query.join.right_column == "id"
+            assert len(query.join.predicates) == 1
+            assert query.join.predicates[0].column == "tweet_cnt"
+
+    def test_inner_condition_matches_author(self, twitter_db):
+        """The tweet_cnt range is centered on a real author's activity."""
+        queries = TwitterJoinWorkloadGenerator(twitter_db, seed=12).generate(8)
+        users = twitter_db.table("users")
+        for query in queries:
+            assert query.join.predicates[0].mask(users).any()
+
+
+class TestSplitWorkload:
+    def test_paper_fractions(self, twitter_queries):
+        split = split_workload(twitter_queries, seed=1)
+        n = len(twitter_queries)
+        assert len(split.evaluation) == round(n * 0.5)
+        assert len(split.train) + len(split.validation) == n - len(split.evaluation)
+        assert len(split.validation) == round((n - len(split.evaluation)) / 3)
+
+    def test_partition_is_disjoint_and_complete(self, twitter_queries):
+        split = split_workload(twitter_queries, seed=2)
+        keys = [q.key() for q in twitter_queries]
+        got = (
+            [q.key() for q in split.train]
+            + [q.key() for q in split.validation]
+            + [q.key() for q in split.evaluation]
+        )
+        assert sorted(map(str, got)) == sorted(map(str, keys))
+
+    def test_deterministic_by_seed(self, twitter_queries):
+        a = split_workload(twitter_queries, seed=3)
+        b = split_workload(twitter_queries, seed=3)
+        assert [q.key() for q in a.train] == [q.key() for q in b.train]

@@ -1,0 +1,86 @@
+"""Workload serialization tests: JSON round trips."""
+
+import pytest
+
+from repro.db import (
+    BinGroupBy,
+    BoundingBox,
+    EqualsPredicate,
+    HintSet,
+    JoinSpec,
+    KeywordPredicate,
+    RangePredicate,
+    SelectQuery,
+    SpatialPredicate,
+)
+from repro.errors import WorkloadError
+from repro.workloads import (
+    load_workload,
+    query_from_dict,
+    query_to_dict,
+    save_workload,
+)
+
+
+def full_query() -> SelectQuery:
+    return SelectQuery(
+        table="tweets",
+        predicates=(
+            KeywordPredicate("text", "covid"),
+            RangePredicate("created_at", 100.0, None),
+            SpatialPredicate("coordinates", BoundingBox(-10, -10, 10, 10)),
+            EqualsPredicate("user_id", 7),
+        ),
+        output=("id", "coordinates"),
+        join=JoinSpec(
+            "users", "user_id", "id", (RangePredicate("tweet_cnt", 1, 9),)
+        ),
+        limit=42,
+        hints=HintSet(frozenset({"text"}), "hash"),
+    )
+
+
+class TestQueryDictRoundTrip:
+    def test_full_query(self):
+        query = full_query()
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_heatmap_query(self):
+        query = SelectQuery(
+            table="tweets",
+            predicates=(KeywordPredicate("text", "x"),),
+            group_by=BinGroupBy("coordinates", 0.5, 0.25),
+        )
+        restored = query_from_dict(query_to_dict(query))
+        assert restored == query
+        assert restored.group_by.cell_y == 0.25
+
+    def test_minimal_query(self):
+        query = SelectQuery(
+            table="t", predicates=(RangePredicate("a", 0, 1),), output=("a",)
+        )
+        assert query_from_dict(query_to_dict(query)) == query
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(WorkloadError):
+            query_from_dict(
+                {"table": "t", "predicates": [{"kind": "regex"}], "output": ["a"]}
+            )
+
+
+class TestFileRoundTrip:
+    def test_save_load_workload(self, tmp_path, twitter_queries):
+        path = save_workload(list(twitter_queries), tmp_path / "workload.json")
+        restored = load_workload(path)
+        assert restored == list(twitter_queries)
+
+    def test_generated_workloads_round_trip(self, tmp_path):
+        queries = [full_query()]
+        path = save_workload(queries, tmp_path / "deep" / "w.json")
+        assert load_workload(path) == queries
+
+    def test_non_list_payload_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a list"}')
+        with pytest.raises(WorkloadError):
+            load_workload(path)

@@ -1,0 +1,59 @@
+"""Exploration-session generator tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.viz import TWITTER_TRANSLATOR
+from repro.workloads import ExplorationSessionGenerator
+
+
+class TestSessionGeneration:
+    def test_session_length_and_structure(self, twitter_db):
+        generator = ExplorationSessionGenerator(twitter_db, seed=5)
+        steps = generator.generate(8)
+        assert len(steps) == 8
+        for step in steps:
+            assert step.description
+            assert step.request.keyword is not None
+            assert step.request.region is not None
+            assert step.request.time_range is not None
+
+    def test_first_step_covers_full_extent(self, twitter_db):
+        generator = ExplorationSessionGenerator(twitter_db, seed=6)
+        steps = generator.generate(3)
+        assert steps[0].request.region == generator.extent
+
+    def test_regions_stay_within_extent(self, twitter_db):
+        generator = ExplorationSessionGenerator(twitter_db, seed=7)
+        for step in generator.generate(12):
+            region = step.request.region
+            assert region.min_x >= generator.extent.min_x - 1e-9
+            assert region.max_x <= generator.extent.max_x + 1e-9
+            assert region.min_y >= generator.extent.min_y - 1e-9
+            assert region.max_y <= generator.extent.max_y + 1e-9
+
+    def test_deterministic_by_seed(self, twitter_db):
+        a = ExplorationSessionGenerator(twitter_db, seed=8).generate(6)
+        b = ExplorationSessionGenerator(twitter_db, seed=8).generate(6)
+        assert [s.request for s in a] == [s.request for s in b]
+
+    def test_requests_translate_and_execute(self, twitter_db):
+        generator = ExplorationSessionGenerator(twitter_db, seed=9)
+        for step in generator.generate(5):
+            query = TWITTER_TRANSLATOR.to_query(step.request)
+            result = twitter_db.execute(query)
+            assert result.execution_ms >= 0.0
+
+    def test_zero_steps_raises(self, twitter_db):
+        with pytest.raises(WorkloadError):
+            ExplorationSessionGenerator(twitter_db, seed=1).generate(0)
+
+    def test_requires_inverted_index(self, small_db):
+        with pytest.raises(WorkloadError):
+            ExplorationSessionGenerator(
+                small_db,
+                table="rows",
+                text_column="value",
+                time_column="stamp",
+                point_column="spot",
+            )
