@@ -1,0 +1,109 @@
+"""Serving-layer throughput: cold engine vs warm cross-request caches.
+
+Drives a 100-request interleaved multi-user session workload through
+:class:`repro.serving.MalivaService` twice over one shared engine.  The
+first pass fills the predicate-match / plan / decision caches; the second
+pass rides them.  Virtual (user-facing) response times are bit-identical
+across the two passes — only the middleware host gets faster — and the
+per-request outcomes match sequential ``Maliva.answer()`` calls exactly
+(deterministic engine profile).
+
+Writes ``BENCH_serving.json`` (repo root) with cold/warm queries-per-second
+and the speedup, and asserts the warm pass clears a 1.5x gain.
+"""
+
+import json
+from pathlib import Path
+
+from _bench_utils import SEED, emit
+
+from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
+from repro.datasets import TwitterConfig, build_twitter_database
+from repro.db import EngineProfile
+from repro.qte import AccurateQTE
+from repro.serving import interleave, requests_from_steps
+from repro.viz import TWITTER_TRANSLATOR
+from repro.workloads import ExplorationSessionGenerator, TwitterWorkloadGenerator
+
+N_SESSIONS = 10
+STEPS_PER_SESSION = 10
+TAU_MS = 60.0
+
+
+def _build_service():
+    database = build_twitter_database(
+        TwitterConfig(n_tweets=6_000, n_users=300, seed=SEED + 9),
+        profile=EngineProfile.deterministic(),
+        seed=SEED,
+    )
+    database.create_sample_table("tweets", 0.02, name="tweets_qte_sample", seed=17)
+    space = RewriteOptionSpace.hint_subsets(("text", "created_at", "coordinates"))
+    qte = AccurateQTE(database, unit_cost_ms=5.0, overhead_ms=1.0)
+    maliva = Maliva(
+        database,
+        space,
+        qte,
+        TAU_MS,
+        config=TrainingConfig(max_epochs=6, seed=13),
+    )
+    train_queries = TwitterWorkloadGenerator(database, seed=21).generate(20)
+    maliva.train(list(train_queries))
+    return maliva, maliva.service(translator=TWITTER_TRANSLATOR)
+
+
+def test_serving_throughput_cold_vs_warm(benchmark):
+    maliva, service = _build_service()
+    sessions = ExplorationSessionGenerator(maliva.database, seed=29).generate_many(
+        N_SESSIONS, n_steps=STEPS_PER_SESSION
+    )
+    stream = interleave(
+        requests_from_steps(steps, session_id)
+        for session_id, steps in sessions.items()
+    )
+    assert len(stream) == N_SESSIONS * STEPS_PER_SESSION
+
+    cold_outcomes = service.answer_many(stream)
+    cold = service.stats
+
+    service.reset_stats()
+    warm_outcomes = benchmark.pedantic(
+        lambda: service.answer_many(stream), rounds=1, iterations=1
+    )
+    warm = service.stats
+
+    # Warm serving must not change what any user experiences.
+    assert [o.viable for o in warm_outcomes] == [o.viable for o in cold_outcomes]
+    assert [o.total_ms for o in warm_outcomes] == [o.total_ms for o in cold_outcomes]
+    # ... and must match the one-shot facade request for request.
+    sequential_viability = [
+        maliva.answer(service.resolve(request)[0]).viable for request in stream
+    ]
+    assert [o.viable for o in cold_outcomes] == sequential_viability
+
+    speedup = warm.throughput_qps / cold.throughput_qps
+    report = service.report()
+    payload = {
+        "workload": {
+            "n_requests": len(stream),
+            "n_sessions": N_SESSIONS,
+            "tau_ms": TAU_MS,
+            "profile": "deterministic",
+        },
+        "cold_qps": cold.throughput_qps,
+        "warm_qps": warm.throughput_qps,
+        "speedup": speedup,
+        "identical_viability_vs_sequential": True,
+        "vqp": cold.vqp,
+        "engine_cache_hit_rate": report["engine_hit_rate"],
+        "decision_cache_hits_warm": warm.decision_cache_hits,
+    }
+    Path("BENCH_serving.json").write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        "serving throughput (100-request interleaved session workload)\n"
+        f"  cold engine : {cold.throughput_qps:10.1f} req/s\n"
+        f"  warm caches : {warm.throughput_qps:10.1f} req/s\n"
+        f"  speedup     : {speedup:10.2f}x  "
+        f"(engine cache hit rate {report['engine_hit_rate']:.0%})"
+    )
+    assert speedup > 1.5, f"warm-cache speedup {speedup:.2f}x below the 1.5x bar"

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""A city-operations taxi dashboard with a 1-second interactivity budget.
+"""A city-operations taxi dashboard served through the concurrent layer.
 
-Loads the synthetic NYC Taxi dataset (paper Table 1) and serves a set of
-dashboard widgets — trip heatmaps, airport-run scatter, rush-hour windows —
-through the Maliva middleware with the sampling-based approximate QTE,
-mirroring the paper's NYC Taxi configuration (tau = 1 s).
+Loads the synthetic NYC Taxi dataset (paper Table 1) and serves the
+dashboard's widgets through :class:`repro.serving.MalivaService` — each
+widget is a :class:`VizRequest` with its *own* interactivity deadline (the
+ops wall display tolerates 2 s, the analyst's drill-down wants 600 ms) and
+a session id, so a second refresh of the same dashboard rides the warm
+predicate/plan/decision caches.
 
 Run:  python examples/taxi_dashboard.py
 """
@@ -15,6 +17,7 @@ from repro.datasets import TaxiConfig, build_taxi_database
 from repro.db import BoundingBox
 from repro.db.types import days
 from repro.qte import SamplingQTE
+from repro.serving import VizRequest
 from repro.viz import TAXI_TRANSLATOR, VisualizationKind, VisualizationRequest
 from repro.workloads import TaxiWorkloadGenerator, split_workload
 
@@ -31,6 +34,7 @@ WIDGETS = [
         region=CITY,
         time_range=(days(1_000), days(1_095)),
         heatmap_cell_degrees=0.01,
+        tau_ms=2_000.0,  # wall display: slow refresh is acceptable
     )),
     ("Manhattan pickups, one week (heatmap)", VisualizationRequest(
         kind=VisualizationKind.HEATMAP,
@@ -43,6 +47,7 @@ WIDGETS = [
         region=JFK,
         time_range=(days(1_030), days(1_060)),
         extra_ranges=(("trip_distance", (8.0, 60.0)),),
+        tau_ms=600.0,  # interactive drill-down
     )),
     ("short hops city-wide, two days (scatter)", VisualizationRequest(
         kind=VisualizationKind.SCATTERPLOT,
@@ -78,15 +83,19 @@ def main() -> None:
     )
     maliva.train(list(split.train), list(split.validation))
     baseline = BaselineApproach(database, TAU_MS)
+    service = maliva.service(translator=TAXI_TRANSLATOR)
 
-    print("\nrendering dashboard widgets:\n")
+    requests = [
+        VizRequest(payload=request, session_id="ops-dashboard", request_id=label)
+        for label, request in WIDGETS
+    ]
+
+    print("\nrendering dashboard widgets (first load, cold caches):\n")
     header = f"{'widget':<46} {'Maliva':>12} {'baseline':>12}"
     print(header)
     print("-" * len(header))
-    for label, request in WIDGETS:
-        query = TAXI_TRANSLATOR.to_query(request)
-        ours = maliva.answer(query)
-        theirs = baseline.answer(query)
+    for (label, request), ours in zip(WIDGETS, service.answer_many(requests)):
+        theirs = baseline.answer(TAXI_TRANSLATOR.to_query(request))
         size = ours.result.result_size
         print(
             f"{label:<46} {ours.total_ms:9.0f} ms {theirs.total_ms:9.0f} ms"
@@ -94,12 +103,24 @@ def main() -> None:
         )
         print(
             f"{'':<8}{size} result rows/bins via {ours.option_label} "
-            f"({ours.reason})"
+            f"({ours.reason}, tau={ours.tau_ms:.0f} ms)"
         )
+
+    cold_qps = service.stats.throughput_qps
+    service.reset_stats()
+    service.answer_many(requests)  # the dashboard refreshes
+    report = service.report()
+    print(
+        f"\ndashboard refresh on warm caches: "
+        f"{service.stats.throughput_qps:.0f} req/s vs {cold_qps:.0f} req/s cold "
+        f"(engine cache hit rate {report['engine_hit_rate']:.0%})"
+    )
     print(
         "\nMaliva steers the engine to the selective index for each widget;"
         "\nthe baseline trusts the optimizer's uniform-spatial estimates and"
-        "\npays full price whenever they are wrong."
+        "\npays full price whenever they are wrong.  The serving layer keeps"
+        "\nper-widget deadlines and reuses predicate/plan/decision caches"
+        "\nacross the whole dashboard session."
     )
 
 

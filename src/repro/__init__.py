@@ -17,6 +17,10 @@ Layout
 ``repro.core``
     Maliva itself: the MDP model, DQN training (Algorithm 1), the online
     rewriter (Algorithm 2), and the quality-aware one/two-stage rewriters.
+``repro.serving``
+    The request-serving layer: batches/streams of per-session requests
+    with individual deadlines, scheduled for cache affinity over one
+    shared engine.
 ``repro.baselines``
     The no-rewriting baseline, the brute-force Naive rewriter, and a
     Bao-style learned comparator.
@@ -37,6 +41,7 @@ __all__ = [
     "qte",
     "core",
     "baselines",
+    "serving",
     "workloads",
     "experiments",
     "errors",

@@ -8,9 +8,13 @@ Usage::
     python -m repro.cli run fig16 --tau-ms 750 --scale tiny
     python -m repro.cli run ablation-unit-cost --scale tiny
     python -m repro.cli run all --scale tiny        # everything, in order
+    python -m repro.cli serve --sessions 8 --steps 8 --scale tiny
 
-Results are printed as the paper's tables and saved as JSON under
-``--save-dir`` (default ``results/``).
+``serve`` trains a middleware and then drives interleaved multi-user
+exploration sessions through the :mod:`repro.serving` layer, reporting
+wall-clock throughput, virtual latency, and cache hit rates (cold engine
+vs warm cache).  Results are printed as the paper's tables and saved as
+JSON under ``--save-dir`` (default ``results/``).
 """
 
 from __future__ import annotations
@@ -87,7 +91,91 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tau-ms", type=float, default=250.0)
     run.add_argument("--save-dir", default="results")
     run.add_argument("--no-save", action="store_true")
+
+    serve = commands.add_parser(
+        "serve", help="drive interleaved user sessions through the serving layer"
+    )
+    serve.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--sessions", type=int, default=8)
+    serve.add_argument("--steps", type=int, default=8)
+    serve.add_argument("--tau-ms", type=float, default=500.0)
+    serve.add_argument("--qte", default="accurate", choices=["accurate", "sampling"])
+    serve.add_argument("--save-dir", default="results")
+    serve.add_argument("--no-save", action="store_true")
     return parser
+
+
+def _run_serve(args) -> int:
+    """Train a middleware, then serve interleaved exploration sessions."""
+    from .core import Maliva, TrainingConfig
+    from .experiments.setups import accurate_qte, sampling_qte, twitter_setup
+    from .serving import interleave, requests_from_steps
+    from .viz import TWITTER_TRANSLATOR
+    from .workloads import ExplorationSessionGenerator
+
+    # Validate before paying for dataset build + training.
+    if args.sessions < 1 or args.steps < 1:
+        print("error: --sessions and --steps must be at least 1", file=sys.stderr)
+        return 2
+    if args.tau_ms <= 0:
+        print("error: --tau-ms must be positive", file=sys.stderr)
+        return 2
+
+    setup = twitter_setup(scale=args.scale, tau_ms=args.tau_ms, seed=args.seed)
+    qte = (
+        sampling_qte(setup) if args.qte == "sampling" else accurate_qte(setup)
+    )
+    maliva = Maliva(
+        setup.database,
+        setup.space,
+        qte,
+        args.tau_ms,
+        config=TrainingConfig(max_epochs=10, seed=args.seed + 5),
+    )
+    print(f"training on {len(setup.split.train)} queries ...")
+    maliva.train(list(setup.split.train), list(setup.split.validation))
+
+    generator = ExplorationSessionGenerator(setup.database, seed=args.seed + 7)
+    sessions = generator.generate_many(args.sessions, n_steps=args.steps)
+    stream = interleave(
+        requests_from_steps(steps, session_id) for session_id, steps in sessions.items()
+    )
+    service = maliva.service(translator=TWITTER_TRANSLATOR)
+
+    print(f"serving {len(stream)} requests from {args.sessions} sessions ...")
+    service.answer_many(stream)
+    cold = service.stats.to_dict()
+    service.reset_stats()
+    service.answer_many(stream)
+    warm = service.stats.to_dict()
+
+    header = f"{'':<22} {'cold engine':>14} {'warm cache':>14}"
+    print(f"\n{header}\n" + "-" * len(header))
+    for label, key, fmt in (
+        ("throughput (req/s)", "throughput_qps", "{:14.1f}"),
+        ("VQP", "vqp", "{:14.2f}"),
+        ("mean latency (ms)", "mean_latency_ms", "{:14.1f}"),
+        ("p95 latency (ms)", "p95_latency_ms", "{:14.1f}"),
+    ):
+        print(f"{label:<22} {fmt.format(cold[key])} {fmt.format(warm[key])}")
+    report = service.report()
+    print(f"\nengine cache hit rate: {report['engine_hit_rate']:.1%}")
+    print(f"decision cache hits:   {warm['decision_cache_hits']}/{warm['n_requests']}")
+
+    if not args.no_save:
+        out_dir = Path(args.save_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / "serving_report.json"
+        path.write_text(
+            json.dumps(
+                {"cold": cold, "warm": warm, "report": report},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"\nsaved: {path}")
+    return 0
 
 
 def _emit(result, args) -> None:
@@ -119,6 +207,8 @@ def _emit(result, args) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "list":
         width = max(len(name) for name in _EXPERIMENTS)
         for name, (description, _) in sorted(_EXPERIMENTS.items()):

@@ -36,6 +36,10 @@ class RequestOutcome:
     result: ExecutionResult
     tau_ms: float
     quality: float | None = None
+    #: Engine-cache reuse while executing this request (see ExecutionResult).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    plan_cached: bool = False
 
     @property
     def total_ms(self) -> float:
@@ -111,17 +115,41 @@ class Maliva:
         self._rewriter = MDPQueryRewriter(agent, self.database, self.qte)
 
     # ------------------------------------------------------------------
-    def rewrite(self, query: SelectQuery) -> RewriteDecision:
+    def rewrite(
+        self, query: SelectQuery, tau_ms: float | None = None
+    ) -> RewriteDecision:
         """Plan only (Algorithm 2), without executing the final query."""
         if self._rewriter is None:
             raise TrainingError("Maliva.train() must be called before use")
-        return self._rewriter.rewrite(query)
+        return self._rewriter.rewrite(query, tau_ms=tau_ms)
 
     def answer(
-        self, query: SelectQuery, quality_fn: QualityFunction | None = None
+        self,
+        query: SelectQuery,
+        quality_fn: QualityFunction | None = None,
+        tau_ms: float | None = None,
     ) -> RequestOutcome:
-        """Full middleware loop: rewrite, execute, report."""
-        decision = self.rewrite(query)
+        """Full middleware loop: rewrite, execute, report.
+
+        ``tau_ms`` optionally overrides the middleware's budget for this
+        request only (per-request deadlines in the serving layer).
+        """
+        effective_tau = self.tau_ms if tau_ms is None else tau_ms
+        decision = self.rewrite(query, tau_ms=effective_tau)
+        return self.finish(query, decision, effective_tau, quality_fn)
+
+    def finish(
+        self,
+        query: SelectQuery,
+        decision: RewriteDecision,
+        tau_ms: float,
+        quality_fn: QualityFunction | None = None,
+    ) -> RequestOutcome:
+        """Execute an already-planned decision and assemble the outcome.
+
+        Split out of :meth:`answer` so the serving layer can reuse cached
+        decisions while keeping the execute/report path identical.
+        """
         result = self.database.execute(decision.rewritten)
         quality = None
         if quality_fn is not None:
@@ -136,6 +164,15 @@ class Maliva:
             planning_ms=decision.planning_ms,
             execution_ms=result.execution_ms,
             result=result,
-            tau_ms=self.tau_ms,
+            tau_ms=tau_ms,
             quality=quality,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            plan_cached=result.plan_cached,
         )
+
+    def service(self, **kwargs) -> "object":
+        """Build a :class:`repro.serving.MalivaService` over this middleware."""
+        from ..serving import MalivaService  # deferred: serving imports core
+
+        return MalivaService(self, **kwargs)

@@ -50,19 +50,23 @@ class MDPQueryRewriter:
         query: SelectQuery,
         start_elapsed_ms: float = 0.0,
         cache: SelectivityCache | None = None,
+        tau_ms: float | None = None,
     ) -> tuple[RewriteDecision, RewriteEpisode]:
         """Run the planning loop; returns the decision and the episode.
 
         The episode is exposed so callers (the two-stage rewriter) can chain
         a second planning phase that inherits elapsed time and collected
-        selectivities.
+        selectivities.  ``tau_ms`` overrides the agent's training budget for
+        this request only — the serving layer uses it for per-request
+        deadlines; the agent's value estimates stay normalized to its
+        training budget.
         """
         episode = RewriteEpisode(
             self.database,
             self.qte,
             self.agent.space,
             query,
-            self.agent.tau_ms,
+            self.agent.tau_ms if tau_ms is None else tau_ms,
             start_elapsed_ms=start_elapsed_ms,
             cache=cache,
         )
@@ -84,7 +88,9 @@ class MDPQueryRewriter:
             )
             return decision, episode
 
-    def rewrite(self, query: SelectQuery) -> RewriteDecision:
+    def rewrite(
+        self, query: SelectQuery, tau_ms: float | None = None
+    ) -> RewriteDecision:
         """Algorithm 2: plan and return the chosen rewritten query."""
-        decision, _ = self.plan(query)
+        decision, _ = self.plan(query, tau_ms=tau_ms)
         return decision

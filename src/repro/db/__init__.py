@@ -6,10 +6,12 @@ module inventory.
 """
 
 from .binning import bin_center, bin_counts, compute_bin_ids
+from .caches import CacheStats, CacheStatsReport, InstrumentedCache
 from .clock import Stopwatch, VirtualClock
 from .cost_model import CostModel, WorkCounters
 from .database import Database, EngineProfile
 from .executor import ExecutionResult
+from .rowset import RowSet, intersect_all
 from .indexes import GridIndex, Index, InvertedIndex, SortedIndex
 from .optimizer import Optimizer, derive_counters
 from .plans import AccessPath, JoinStep, PhysicalPlan, ScanPlan
@@ -41,6 +43,8 @@ __all__ = [
     "ApproximationRule",
     "BinGroupBy",
     "BoundingBox",
+    "CacheStats",
+    "CacheStatsReport",
     "Column",
     "ColumnKind",
     "CostModel",
@@ -52,6 +56,7 @@ __all__ = [
     "GridIndex",
     "HintSet",
     "Index",
+    "InstrumentedCache",
     "Interval",
     "InvertedIndex",
     "JoinSpec",
@@ -62,6 +67,7 @@ __all__ = [
     "PhysicalPlan",
     "Predicate",
     "RangePredicate",
+    "RowSet",
     "SampleTableRule",
     "ScanPlan",
     "SelectQuery",
@@ -80,6 +86,7 @@ __all__ = [
     "compute_bin_ids",
     "days",
     "derive_counters",
+    "intersect_all",
     "make_table",
     "parse_sql",
     "tokenize",

@@ -19,12 +19,15 @@ Engine profiles capture the behavioural differences the paper observed:
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from ..errors import SchemaError
+from .caches import CacheStats, CacheStatsReport, InstrumentedCache
 from .cost_model import CostModel
 from .executor import ExecutionResult, Executor
 from .indexes import GridIndex, Index, IndexLookup, InvertedIndex, SortedIndex
@@ -32,6 +35,7 @@ from .optimizer import Optimizer
 from .plans import PhysicalPlan
 from .predicates import Predicate
 from .query import SelectQuery
+from .rowset import RowSet, intersect_all
 from .statistics import StatisticsConfig, TableStatistics
 from .table import Table
 from .types import ColumnKind
@@ -77,32 +81,6 @@ class EngineProfile:
         return EngineProfile(name="deterministic", hint_ignore_prob=0.0, noise_sigma=0.0)
 
 
-class _LruCache:
-    """A tiny LRU cache bounding memory used by row-id memoization."""
-
-    def __init__(self, capacity: int) -> None:
-        self._capacity = capacity
-        self._data: OrderedDict = OrderedDict()
-
-    def get(self, key):
-        if key not in self._data:
-            return None
-        self._data.move_to_end(key)
-        return self._data[key]
-
-    def put(self, key, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self._capacity:
-            self._data.popitem(last=False)
-
-    def clear(self) -> None:
-        self._data.clear()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-
 class Database:
     """In-memory database with a cost-based optimizer and virtual timing."""
 
@@ -125,11 +103,16 @@ class Database:
         self._optimizer = Optimizer(self)
         self._executor = Executor(self)
 
-        self._match_cache = _LruCache(capacity=256)
-        self._lookup_cache = _LruCache(capacity=256)
+        self._match_cache = InstrumentedCache("match", capacity=1024)
+        self._lookup_cache = InstrumentedCache("lookup", capacity=1024)
+        self._plan_cache = InstrumentedCache("plan", capacity=1024)
         self._key_cache: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
-        self._true_time_cache: dict[tuple, float] = {}
+        self._true_time_cache = InstrumentedCache("true_time")
         self._warm_structures: OrderedDict = OrderedDict()
+        #: Callables invoked with the table name whenever a table is
+        #: invalidated, so layers holding derived state the database cannot
+        #: see (QTE memos, serving decision caches) stay coherent.
+        self._invalidation_hooks: list = []
 
     # ------------------------------------------------------------------
     # Catalog
@@ -158,6 +141,9 @@ class Database:
         """(Re)build optimizer statistics for a table."""
         stats = TableStatistics(self.table(table_name), self._stats_config)
         self._stats[table_name] = stats
+        # Fresh statistics can change every plan that reads this table.
+        self._plan_cache.invalidate_tag(table_name)
+        self._true_time_cache.invalidate_tag(table_name)
         return stats
 
     def stats(self, table_name: str) -> TableStatistics:
@@ -171,17 +157,14 @@ class Database:
         if key in self._indexes:
             raise SchemaError(f"index on {table_name}.{column} already exists")
         table = self.table(table_name)
-        kind = table.schema.kind_of(column)
-        index: Index
-        if kind.is_numeric:
-            index = SortedIndex(table, column)
-        elif kind is ColumnKind.TEXT:
-            index = InvertedIndex(table, column)
-        elif kind is ColumnKind.POINT:
-            index = GridIndex(table, column)
-        else:  # pragma: no cover - all kinds covered
-            raise SchemaError(f"cannot index column kind {kind}")
+        index = self._build_index(table, column)
         self._indexes[key] = index
+        # A new access path invalidates cached plans over this table — in
+        # the engine and in any hook-registered layer above (e.g. a serving
+        # decision cache holding decisions planned against the old catalog).
+        self._plan_cache.invalidate_tag(table_name)
+        self._true_time_cache.invalidate_tag(table_name)
+        self._fire_invalidation_hooks(table_name)
         return index
 
     def index(self, table_name: str, column: str) -> Index | None:
@@ -218,7 +201,19 @@ class Database:
     # ------------------------------------------------------------------
     def explain(self, query: SelectQuery, obey_hints: bool = True) -> PhysicalPlan:
         """Plan a query without executing it (no randomness involved)."""
-        return self._optimizer.plan(query, obey_hints=obey_hints)
+        return self._planned(query, obey_hints)
+
+    def _planned(self, query: SelectQuery, obey_hints: bool) -> PhysicalPlan:
+        """Memoized planning: optimization is deterministic per catalog state."""
+        key = (query.key(), obey_hints)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._optimizer.plan(query, obey_hints=obey_hints)
+            tags = [query.table]
+            if query.join is not None:
+                tags.append(query.join.table)
+            self._plan_cache.put(key, plan, tags=tags)
+        return plan
 
     @property
     def planning_ms(self) -> float:
@@ -230,8 +225,11 @@ class Database:
         obeyed = True
         if query.hints is not None and self.profile.hint_ignore_prob > 0:
             obeyed = self._rng.random() >= self.profile.hint_ignore_prob
-        plan = self._optimizer.plan(query, obey_hints=obeyed)
+        before = self._cache_counts()
+        was_planned = (query.key(), obeyed) in self._plan_cache
+        plan = self._planned(query, obeyed)
         counters, row_ids, bins = self._executor.run(plan, query)
+        hits, misses = self._cache_delta(before)
         base_ms = self.cost_model.time_ms(counters)
         execution_ms = self._apply_profile_effects(base_ms, plan)
         return ExecutionResult(
@@ -242,6 +240,9 @@ class Database:
             row_ids=row_ids,
             bins=bins,
             obeyed_hints=obeyed,
+            cache_hits=hits,
+            cache_misses=misses,
+            plan_cached=was_planned,
         )
 
     def true_execution_time_ms(self, query: SelectQuery) -> float:
@@ -254,15 +255,18 @@ class Database:
         cached = self._true_time_cache.get(key)
         if cached is not None:
             return cached
-        plan = self._optimizer.plan(query, obey_hints=True)
+        plan = self._planned(query, obey_hints=True)
         counters, _, _ = self._executor.run(plan, query)
         time_ms = self.cost_model.time_ms(counters)
-        self._true_time_cache[key] = time_ms
+        tags = [query.table]
+        if query.join is not None:
+            tags.append(query.join.table)
+        self._true_time_cache.put(key, time_ms, tags=tags)
         return time_ms
 
     def true_result(self, query: SelectQuery) -> ExecutionResult:
         """Noiseless execution (used offline, e.g. for quality rewards)."""
-        plan = self._optimizer.plan(query, obey_hints=True)
+        plan = self._planned(query, obey_hints=True)
         counters, row_ids, bins = self._executor.run(plan, query)
         base_ms = self.cost_model.time_ms(counters)
         return ExecutionResult(
@@ -308,19 +312,29 @@ class Database:
     # ------------------------------------------------------------------
     # Matching services (memoized, index-accelerated)
     # ------------------------------------------------------------------
-    def match_ids(self, table_name: str, predicate: Predicate) -> np.ndarray:
-        """Exact sorted row ids matching ``predicate`` on ``table_name``."""
+    def match_rowset(self, table_name: str, predicate: Predicate) -> RowSet:
+        """Exact :class:`RowSet` matching ``predicate`` on ``table_name``.
+
+        This is the engine's predicate-match cache: the RowSet (and whichever
+        of its two representations later consumers materialize) is shared
+        across every request that filters on the same condition.
+        """
         key = (table_name, predicate.key())
         cached = self._match_cache.get(key)
         if cached is not None:
             return cached
+        table = self.table(table_name)
         index = self.index(table_name, predicate.column)
         if index is not None and index.supports(predicate):
-            ids = index.lookup(predicate).row_ids
+            rowset = RowSet.from_ids(index.lookup(predicate).row_ids, table.n_rows)
         else:
-            ids = predicate.matching_ids(self.table(table_name))
-        self._match_cache.put(key, ids)
-        return ids
+            rowset = predicate.matching_rowset(table)
+        self._match_cache.put(key, rowset, tags=[table_name])
+        return rowset
+
+    def match_ids(self, table_name: str, predicate: Predicate) -> np.ndarray:
+        """Exact sorted row ids matching ``predicate`` on ``table_name``."""
+        return self.match_rowset(table_name, predicate).ids
 
     def index_lookup(self, table_name: str, predicate: Predicate) -> IndexLookup:
         """Index probe for ``predicate`` (requires a supporting index)."""
@@ -334,7 +348,7 @@ class Database:
                 f"no index supports predicate {predicate!r} on {table_name!r}"
             )
         lookup = index.lookup(predicate)
-        self._lookup_cache.put(key, lookup)
+        self._lookup_cache.put(key, lookup, tags=[table_name])
         return lookup
 
     def key_lookup(self, table_name: str, column: str) -> tuple[np.ndarray, np.ndarray]:
@@ -384,21 +398,107 @@ class Database:
                     best = table
         if best is None or best.n_rows == 0:
             return None
-        matched: np.ndarray | None = None
-        for predicate in query.predicates:
-            ids = self.match_ids(best.name, predicate)
-            matched = (
-                ids
-                if matched is None
-                else np.intersect1d(matched, ids, assume_unique=True)
+        if query.predicates:
+            matched = intersect_all(
+                self.match_rowset(best.name, p) for p in query.predicates
             )
-        count = best.n_rows if matched is None else len(matched)
+            count = len(matched)
+        else:
+            count = best.n_rows
         assert best.sample_fraction is not None
         return count / best.sample_fraction
+
+    # ------------------------------------------------------------------
+    # Mutation and cache management
+    # ------------------------------------------------------------------
+    def append_rows(self, table_name: str, columns: Mapping[str, object]) -> Table:
+        """Append rows to a table, rebuilding its indexes and statistics.
+
+        Every cache entry derived from the table is invalidated; sample
+        tables drawn from it are *not* refreshed (they keep approximating
+        the table as of their creation, like a stale materialized sample).
+        """
+        table = self.table(table_name)
+        table.append_rows(columns)
+        self.invalidate_table(table_name)
+        return table
+
+    def add_invalidation_hook(self, hook) -> None:
+        """Register ``hook(table_name)`` to run on every catalog invalidation
+        (table mutation or index creation).
+
+        Bound methods are held weakly, so registering does not keep the
+        owning object (a serving layer, a QTE) alive; dead hooks are pruned
+        on the next firing.  Plain functions/lambdas are held strongly.
+        """
+        try:
+            self._invalidation_hooks.append(weakref.WeakMethod(hook))
+        except TypeError:
+            self._invalidation_hooks.append(lambda _hook=hook: _hook)
+
+    def _fire_invalidation_hooks(self, table_name: str) -> None:
+        live = []
+        for ref in self._invalidation_hooks:
+            hook = ref()
+            if hook is not None:
+                hook(table_name)
+                live.append(ref)
+        self._invalidation_hooks = live
+
+    def invalidate_table(self, table_name: str) -> None:
+        """Drop caches/indexes/statistics derived from ``table_name``."""
+        table = self.table(table_name)
+        for (tname, column) in list(self._indexes):
+            if tname == table_name:
+                self._indexes[(tname, column)] = self._build_index(table, column)
+        self._match_cache.invalidate_tag(table_name)
+        self._lookup_cache.invalidate_tag(table_name)
+        self._plan_cache.invalidate_tag(table_name)
+        self._true_time_cache.invalidate_tag(table_name)
+        for key in [k for k in self._key_cache if k[0] == table_name]:
+            del self._key_cache[key]
+        self._warm_structures.clear()
+        self.analyze(table_name)
+        self._fire_invalidation_hooks(table_name)
+
+    def _build_index(self, table: Table, column: str) -> Index:
+        kind = table.schema.kind_of(column)
+        if kind.is_numeric:
+            return SortedIndex(table, column)
+        if kind is ColumnKind.TEXT:
+            return InvertedIndex(table, column)
+        if kind is ColumnKind.POINT:
+            return GridIndex(table, column)
+        raise SchemaError(f"cannot index column kind {kind}")
+
+    def _cache_counts(self) -> tuple[int, int]:
+        stats = (s for s in self._engine_caches())
+        hits = misses = 0
+        for s in stats:
+            hits += s.hits
+            misses += s.misses
+        return hits, misses
+
+    def _cache_delta(self, before: tuple[int, int]) -> tuple[int, int]:
+        hits, misses = self._cache_counts()
+        return hits - before[0], misses - before[1]
+
+    def _engine_caches(self) -> tuple[CacheStats, ...]:
+        return (
+            self._match_cache.stats,
+            self._lookup_cache.stats,
+            self._plan_cache.stats,
+            self._true_time_cache.stats,
+        )
+
+    def cache_stats(self) -> CacheStatsReport:
+        """Hit-rate counters of every engine cache (for serving reports)."""
+        return CacheStatsReport(caches=tuple(s.snapshot() for s in self._engine_caches()))
 
     def clear_caches(self) -> None:
         self._match_cache.clear()
         self._lookup_cache.clear()
+        self._plan_cache.clear()
         self._key_cache.clear()
         self._true_time_cache.clear()
         self._warm_structures.clear()

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from functools import reduce
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -22,6 +21,7 @@ from .binning import bin_counts
 from .cost_model import WorkCounters
 from .plans import PhysicalPlan
 from .query import SelectQuery
+from .rowset import RowSet, intersect_all
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import Database
@@ -43,6 +43,12 @@ class ExecutionResult:
     bins: dict[int, float] | None
     #: False when the engine decided to ignore the query's hints.
     obeyed_hints: bool = True
+    #: Engine-cache (match/lookup/plan/true-time) hits while serving this
+    #: query — cross-request reuse surfaced to the serving layer.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: True when the physical plan came from the plan cache.
+    plan_cached: bool = False
 
     @property
     def kind(self) -> str:
@@ -102,33 +108,33 @@ class Executor:
 
         if scan.is_full_scan:
             counters.seq_rows += table.n_rows
-            id_lists = [
-                self._db.match_ids(scan.table, predicate)
+            if not scan.residual:
+                return np.arange(table.n_rows, dtype=np.int64)
+            rowsets = [
+                self._db.match_rowset(scan.table, predicate)
                 for predicate in scan.residual
             ]
-            if not id_lists:
-                return np.arange(table.n_rows, dtype=np.int64)
-            return reduce(
-                lambda a, b: np.intersect1d(a, b, assume_unique=True), id_lists
-            )
+            return intersect_all(rowsets).ids
 
-        access_lists: list[np.ndarray] = []
+        candidates: RowSet | None = None
         for path in scan.access:
             lookup = self._db.index_lookup(scan.table, path.predicate)
             counters.index_probes += 1
             counters.index_entries += lookup.entries_scanned
-            access_lists.append(lookup.row_ids)
-        candidates = access_lists[0]
-        for other in access_lists[1:]:
-            counters.intersect_entries += len(candidates) + len(other)
-            candidates = np.intersect1d(candidates, other, assume_unique=True)
+            rowset = RowSet.from_ids(lookup.row_ids, table.n_rows)
+            if candidates is None:
+                candidates = rowset
+            else:
+                counters.intersect_entries += len(candidates) + len(rowset)
+                candidates = candidates.intersect(rowset)
+        assert candidates is not None
         counters.fetched_rows += len(candidates)
         if scan.residual:
             counters.residual_checks += len(candidates) * len(scan.residual)
             for predicate in scan.residual:
-                matched = self._db.match_ids(scan.table, predicate)
-                candidates = np.intersect1d(candidates, matched, assume_unique=True)
-        return candidates
+                matched = self._db.match_rowset(scan.table, predicate)
+                candidates = candidates.intersect(matched)
+        return candidates.ids
 
     # ------------------------------------------------------------------
     # Join
@@ -154,14 +160,12 @@ class Executor:
         inner_rows = permutation[positions]
 
         if join.inner_predicates:
-            keep_mask = np.ones(inner.n_rows, dtype=bool)
-            for predicate in join.inner_predicates:
-                ids = self._db.match_ids(join.inner_table, predicate)
-                pred_mask = np.zeros(inner.n_rows, dtype=bool)
-                pred_mask[ids] = True
-                keep_mask &= pred_mask
-            matched &= keep_mask[inner_rows]
-            inner_kept = float(keep_mask.sum())
+            kept = intersect_all(
+                self._db.match_rowset(join.inner_table, predicate)
+                for predicate in join.inner_predicates
+            )
+            matched &= kept.mask[inner_rows]
+            inner_kept = float(len(kept))
         else:
             inner_kept = float(inner.n_rows)
 

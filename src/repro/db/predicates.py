@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import QueryError
+from .rowset import RowSet
 from .table import Table
 from .types import BoundingBox, tokenize
 
@@ -39,7 +40,16 @@ class Predicate(ABC):
 
     def matching_ids(self, table: Table) -> np.ndarray:
         """Row ids (sorted, ascending) matching this predicate."""
-        return np.flatnonzero(self.mask(table))
+        return self.matching_rowset(table).ids
+
+    def matching_rowset(self, table: Table) -> RowSet:
+        """Matching rows as a :class:`~repro.db.rowset.RowSet`.
+
+        The default wraps :meth:`mask` directly (the bitmap representation
+        is free here); the id representation materializes lazily only if a
+        consumer needs it.
+        """
+        return RowSet.from_mask(self.mask(table))
 
     def __hash__(self) -> int:
         return hash(self.key())

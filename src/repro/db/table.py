@@ -120,6 +120,42 @@ class Table:
         return self.base_row_ids[row_ids]
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append_rows(self, columns: Mapping[str, object]) -> int:
+        """Append rows (one entry per schema column); returns new row count.
+
+        Mutating a table invalidates anything derived from it — callers
+        should go through :meth:`repro.db.database.Database.append_rows`,
+        which rebuilds indexes/statistics and evicts poisoned cache entries.
+        """
+        if self.is_sample:
+            raise SchemaError(f"cannot append to sample table {self.name!r}")
+        appended: dict[str, object] = {}
+        n_new: int | None = None
+        for col in self.schema.columns:
+            if col.name not in columns:
+                raise SchemaError(f"missing data for column {col.name!r}")
+            data = _normalize_column(col.name, col.kind, columns[col.name])
+            if n_new is None:
+                n_new = len(data)
+            elif n_new != len(data):
+                raise SchemaError(
+                    f"column {col.name!r} has {len(data)} rows, expected {n_new}"
+                )
+            appended[col.name] = data
+        for name, data in appended.items():
+            current = self._columns[name]
+            if isinstance(current, np.ndarray):
+                self._columns[name] = np.concatenate([current, data])
+            else:
+                assert isinstance(current, list) and isinstance(data, list)
+                current.extend(data)
+        self._token_sets = None
+        self.n_rows += int(n_new or 0)
+        return self.n_rows
+
+    # ------------------------------------------------------------------
     # Derivation
     # ------------------------------------------------------------------
     def sample(self, fraction: float, seed: int, name: str) -> "Table":

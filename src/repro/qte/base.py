@@ -61,3 +61,14 @@ class QueryTimeEstimator(ABC):
         Mutates ``cache`` with newly collected selectivities and returns
         both the estimate and the actual cost incurred.
         """
+
+    def invalidate(self) -> None:
+        """Drop any cross-request memoization (no-op for memoless QTEs).
+
+        The serving layer calls this whenever the underlying database
+        mutates, so estimators never serve stale selectivities.
+        """
+
+    def cache_stats(self) -> tuple:
+        """Hit-rate counters of the QTE's cross-request memos (may be empty)."""
+        return ()

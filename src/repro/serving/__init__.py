@@ -1,0 +1,23 @@
+"""Concurrent serving layer: batch/stream request serving on shared caches.
+
+This package is the architectural seam between "a middleware algorithm"
+(``repro.core``) and "a middleware deployment" (many dashboard users, one
+engine).  See DESIGN.md §4 for the cache hierarchy it coordinates.
+"""
+
+from .requests import VizRequest, interleave, requests_from_steps, with_budget
+from .scheduler import FifoScheduler, SessionAffinityScheduler
+from .service import MalivaService
+from .stats import RequestRecord, ServiceStats
+
+__all__ = [
+    "FifoScheduler",
+    "MalivaService",
+    "RequestRecord",
+    "ServiceStats",
+    "SessionAffinityScheduler",
+    "VizRequest",
+    "interleave",
+    "requests_from_steps",
+    "with_budget",
+]

@@ -1,0 +1,95 @@
+"""Serving-layer request envelope.
+
+A :class:`VizRequest` is what a dashboard frontend actually submits to the
+middleware: either an already-translated SQL query or a raw
+:class:`~repro.viz.requests.VisualizationRequest`, plus the serving
+metadata the one-shot facade had no place for — which user session the
+request belongs to (cache-affinity scheduling) and this request's own
+interactivity deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..db import SelectQuery
+from ..viz.requests import VisualizationRequest
+from ..workloads.sessions import SessionStep
+
+
+@dataclass(frozen=True)
+class VizRequest:
+    """One request in a serving batch/stream."""
+
+    #: The work: a SQL query, or a frontend request to translate first.
+    payload: "SelectQuery | VisualizationRequest"
+    #: Session affinity key; same-session requests are served back-to-back.
+    session_id: str | None = None
+    #: Per-request deadline; falls back to the payload's ``tau_ms`` (for
+    #: VisualizationRequest payloads) and then to the service default.
+    tau_ms: float | None = None
+    #: Caller-chosen correlation id echoed back on the outcome record.
+    request_id: int | str | None = None
+
+    @property
+    def is_translated(self) -> bool:
+        return isinstance(self.payload, SelectQuery)
+
+    def effective_session(self) -> str | None:
+        if self.session_id is not None:
+            return self.session_id
+        if isinstance(self.payload, VisualizationRequest):
+            return self.payload.session_id
+        return None
+
+    def effective_tau(self, default_tau_ms: float) -> float:
+        if self.tau_ms is not None:
+            return self.tau_ms
+        if (
+            isinstance(self.payload, VisualizationRequest)
+            and self.payload.tau_ms is not None
+        ):
+            return self.payload.tau_ms
+        return default_tau_ms
+
+
+def requests_from_steps(
+    steps: Sequence[SessionStep],
+    session_id: str,
+    tau_ms: float | None = None,
+) -> list[VizRequest]:
+    """Wrap an exploration session's steps as a service request stream."""
+    return [
+        VizRequest(
+            payload=step.request,
+            session_id=session_id,
+            tau_ms=tau_ms,
+            request_id=f"{session_id}/{index}",
+        )
+        for index, step in enumerate(steps)
+    ]
+
+
+def interleave(batches: Iterable[Sequence[VizRequest]]) -> list[VizRequest]:
+    """Round-robin merge of several sessions' streams.
+
+    Models concurrent dashboard users hitting the middleware: requests from
+    different sessions arrive interleaved, which is exactly the arrival
+    order the session-affinity scheduler has to undo.
+    """
+    queues = [list(batch) for batch in batches if batch]
+    merged: list[VizRequest] = []
+    while queues:
+        still_live = []
+        for queue in queues:
+            merged.append(queue.pop(0))
+            if queue:
+                still_live.append(queue)
+        queues = still_live
+    return merged
+
+
+def with_budget(requests: Sequence[VizRequest], tau_ms: float) -> list[VizRequest]:
+    """Copy a request stream with every deadline overridden to ``tau_ms``."""
+    return [replace(request, tau_ms=tau_ms) for request in requests]

@@ -1,0 +1,198 @@
+"""The request-serving middleware: many users, one engine, shared caches.
+
+:class:`MalivaService` wraps a trained :class:`~repro.core.middleware.
+Maliva` facade and turns it from a one-shot answerer into a serving layer:
+
+* **batches and streams** — :meth:`answer_many` / :meth:`answer_stream`
+  accept :class:`~repro.serving.requests.VizRequest` envelopes carrying
+  per-request deadlines and session ids;
+* **session-affinity scheduling** — batches are reordered so same-session
+  requests run back-to-back and hit the engine's cross-request caches;
+* **decision caching** — the MDP planning loop is deterministic given the
+  database state (fixed q-network, memoized QTE inputs), so repeated
+  (query, deadline) pairs reuse the recorded
+  :class:`~repro.core.rewriter.RewriteDecision` — including its virtual
+  ``planning_ms``, which the user still experiences in full;
+* **observability** — :meth:`report` bundles wall-clock throughput, virtual
+  latency percentiles, and the hit rates of every cache in the stack.
+
+Virtual time is never shortcut: a warm cache makes the middleware *host*
+faster (queries/sec), while each user's reported response time stays
+exactly what a cold sequential :meth:`Maliva.answer` would report — the
+identity ``tests/serving/test_service.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Sequence
+
+from ..core.middleware import Maliva, RequestOutcome
+from ..db import SelectQuery
+from ..db.caches import CacheStatsReport, InstrumentedCache
+from ..errors import QueryError
+from ..viz.quality import QualityFunction
+from ..viz.requests import RequestTranslator, VisualizationRequest
+from .requests import VizRequest
+from .scheduler import SessionAffinityScheduler
+from .stats import RequestRecord, ServiceStats
+
+
+class MalivaService:
+    """Concurrent-dashboard serving layer over a trained Maliva middleware."""
+
+    def __init__(
+        self,
+        maliva: Maliva,
+        translator: RequestTranslator | None = None,
+        default_tau_ms: float | None = None,
+        scheduler: SessionAffinityScheduler | None = None,
+        decision_cache_size: int = 4096,
+        quality_fn: QualityFunction | None = None,
+    ) -> None:
+        self.maliva = maliva
+        self.translator = translator
+        self.default_tau_ms = default_tau_ms if default_tau_ms is not None else maliva.tau_ms
+        self.scheduler = scheduler or SessionAffinityScheduler()
+        self.quality_fn = quality_fn
+        self._decision_cache = InstrumentedCache("decision", capacity=decision_cache_size)
+        self.stats = ServiceStats()
+        # Engine caches are shared with offline work (training warmed them);
+        # reports cover only the window since construction / reset_stats().
+        self._engine_baseline = maliva.database.cache_stats()
+        # Stay coherent under direct Database.append_rows/invalidate_table
+        # calls, not just mutations routed through this service.
+        maliva.database.add_invalidation_hook(self._on_table_invalidated)
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+    def resolve(self, request: VizRequest) -> tuple[SelectQuery, float]:
+        """Translate the payload and resolve the effective deadline."""
+        payload = request.payload
+        if isinstance(payload, SelectQuery):
+            query = payload
+        elif isinstance(payload, VisualizationRequest):
+            if self.translator is None:
+                raise QueryError(
+                    "service has no RequestTranslator; submit SelectQuery "
+                    "payloads or construct MalivaService(translator=...)"
+                )
+            query = self.translator.to_query(payload)
+        else:
+            raise QueryError(f"unsupported request payload {type(payload).__name__}")
+        return query, request.effective_tau(self.default_tau_ms)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def answer_one(self, request: VizRequest) -> RequestOutcome:
+        """Serve a single request through the shared caches."""
+        started = time.perf_counter()
+        query, tau_ms = self.resolve(request)
+        decision_key = (query.key(), tau_ms)
+        decision = self._decision_cache.get(decision_key)
+        decision_cached = decision is not None
+        if decision is None:
+            decision = self.maliva.rewrite(query, tau_ms=tau_ms)
+            self._decision_cache.put(
+                decision_key, decision, tags=self._decision_tags(query)
+            )
+        outcome = self.maliva.finish(query, decision, tau_ms, self.quality_fn)
+        self.stats.record(
+            RequestRecord(
+                request_id=request.request_id,
+                session_id=request.effective_session(),
+                tau_ms=tau_ms,
+                planning_ms=outcome.planning_ms,
+                execution_ms=outcome.execution_ms,
+                viable=outcome.viable,
+                wall_s=time.perf_counter() - started,
+                cache_hits=outcome.cache_hits,
+                cache_misses=outcome.cache_misses,
+                decision_cached=decision_cached,
+            )
+        )
+        return outcome
+
+    def answer_many(self, requests: Sequence[VizRequest]) -> list[RequestOutcome]:
+        """Serve a batch; outcomes are returned in *submission* order.
+
+        Internally the batch runs in the scheduler's session-affinity order
+        so cache locality follows each user's exploration trajectory.
+        """
+        order = self.scheduler.order(requests)
+        if sorted(order) != list(range(len(requests))):
+            raise QueryError("scheduler must produce a permutation of the batch")
+        outcomes: list[RequestOutcome | None] = [None] * len(requests)
+        for index in order:
+            outcomes[index] = self.answer_one(requests[index])
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def answer_stream(
+        self, requests: Iterable[VizRequest]
+    ) -> Iterator[tuple[VizRequest, RequestOutcome]]:
+        """Serve an open-ended stream in arrival order, lazily."""
+        for request in requests:
+            yield request, self.answer_one(request)
+
+    # ------------------------------------------------------------------
+    # Mutation and observability
+    # ------------------------------------------------------------------
+    def append_rows(self, table_name: str, columns) -> None:
+        """Mutate a table; dependent layers invalidate via the engine hook."""
+        self.maliva.database.append_rows(table_name, columns)
+
+    def _on_table_invalidated(self, table_name: str) -> None:
+        """Engine hook: evict the table's cached decisions by tag.
+
+        QTE memos self-invalidate through their own hook (see
+        :class:`repro.qte.sampling.SamplingQTE`).
+        """
+        self._decision_cache.invalidate_tag(table_name)
+
+    def invalidate(self) -> None:
+        """Manually drop the decision cache and the QTE's memos entirely."""
+        self._decision_cache.clear()
+        self.maliva.qte.invalidate()
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window (request stats + engine baseline)."""
+        self.stats = ServiceStats()
+        self._engine_baseline = self.maliva.database.cache_stats()
+
+    def _decision_tags(self, query: SelectQuery) -> list[str]:
+        tags = [query.table]
+        if query.join is not None:
+            tags.append(query.join.table)
+        return tags
+
+    @property
+    def decision_cache_stats(self):
+        return self._decision_cache.stats.snapshot()
+
+    def engine_cache_window(self) -> CacheStatsReport:
+        """Engine-cache counters accumulated in the current window only."""
+        baseline = {stats.name: stats for stats in self._engine_baseline.caches}
+        return CacheStatsReport(
+            caches=tuple(
+                stats.delta(baseline[stats.name]) if stats.name in baseline else stats
+                for stats in self.maliva.database.cache_stats().caches
+            )
+        )
+
+    def report(self) -> dict:
+        """Aggregate serving report: throughput, latency, cache hit rates.
+
+        Engine-cache numbers cover the current measurement window (since
+        construction or :meth:`reset_stats`), so offline traffic such as
+        training does not pollute serving hit rates.
+        """
+        engine = self.engine_cache_window()
+        return {
+            "service": self.stats.to_dict(),
+            "decision_cache": self._decision_cache.stats.to_dict(),
+            "engine_caches": engine.to_dict(),
+            "engine_hit_rate": engine.hit_rate,
+            "qte_caches": {s.name: s.to_dict() for s in self.maliva.qte.cache_stats()},
+        }

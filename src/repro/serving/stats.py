@@ -1,0 +1,107 @@
+"""Serving-side accounting: per-request records and aggregate reports.
+
+The middleware's virtual clock measures what the *user* experiences (the
+paper's VQP / AQRT metrics); the wall clock measures what the *middleware
+host* spends producing those answers.  The serving layer's whole point is to
+shrink the second without touching the first, so the report keeps both,
+alongside the hit rates of every cache doing the shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request, reduced to what throughput reports need."""
+
+    request_id: int | str | None
+    session_id: str | None
+    tau_ms: float
+    planning_ms: float
+    execution_ms: float
+    viable: bool
+    #: Wall-clock seconds the service spent producing the answer.
+    wall_s: float
+    #: Engine-cache hits/misses while executing (cross-request reuse).
+    cache_hits: int
+    cache_misses: int
+    #: Whether the rewrite decision came from the service's decision cache.
+    decision_cached: bool
+
+    @property
+    def total_ms(self) -> float:
+        return self.planning_ms + self.execution_ms
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate statistics over every request a service answered."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def record(self, record: RequestRecord) -> None:
+        self.records.append(record)
+        self.wall_seconds += record.wall_s
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_viable(self) -> int:
+        return sum(1 for r in self.records if r.viable)
+
+    @property
+    def vqp(self) -> float:
+        """Fraction of requests answered within their budget (paper's VQP)."""
+        return self.n_viable / self.n_requests if self.records else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Wall-clock requests per second over everything served so far."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.n_requests / self.wall_seconds
+
+    @property
+    def decision_cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.decision_cached)
+
+    def latency_ms(self, percentile: float = 50.0) -> float:
+        """Virtual response-time percentile (planning + execution)."""
+        if not self.records:
+            return 0.0
+        totals = np.array([r.total_ms for r in self.records])
+        return float(np.percentile(totals, percentile))
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.total_ms for r in self.records]))
+
+    def session_breakdown(self) -> dict[str | None, int]:
+        """Requests served per session id (None groups the sessionless)."""
+        counts: dict[str | None, int] = {}
+        for record in self.records:
+            counts[record.session_id] = counts.get(record.session_id, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_viable": self.n_viable,
+            "vqp": self.vqp,
+            "wall_seconds": self.wall_seconds,
+            "throughput_qps": self.throughput_qps,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p50_latency_ms": self.latency_ms(50.0),
+            "p95_latency_ms": self.latency_ms(95.0),
+            "decision_cache_hits": self.decision_cache_hits,
+        }

@@ -36,6 +36,11 @@ class VisualizationRequest:
 
     ``extra_ranges`` carries any additional numeric filters the UI exposes
     (e.g. a followers-count slider), as ``{attribute: (low, high)}``.
+
+    ``tau_ms`` and ``session_id`` are serving metadata: a frontend may
+    attach its own interactivity deadline (a mobile client wants 500 ms, a
+    wall display tolerates 2 s) and the user session the request belongs
+    to.  The one-shot facade ignores them; ``repro.serving`` honours both.
     """
 
     kind: VisualizationKind
@@ -44,6 +49,8 @@ class VisualizationRequest:
     time_range: tuple[float, float] | None = None
     extra_ranges: tuple[tuple[str, tuple[float | None, float | None]], ...] = ()
     heatmap_cell_degrees: float = 0.5
+    tau_ms: float | None = None
+    session_id: str | None = None
 
 
 @dataclass(frozen=True)

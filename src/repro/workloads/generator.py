@@ -218,9 +218,12 @@ class QueryWorkloadGenerator:
         table = self.database.table(self.table)
         kind = table.schema.kind_of(attribute).name
         if kind == "TEXT":
-            tokens = [
+            # token_sets yields frozensets: sort so the keyword draw does not
+            # depend on the interpreter's hash seed (workloads must be
+            # reproducible from the generator seed alone).
+            tokens = sorted(
                 t for t in table.token_sets(attribute)[row] if t not in STOP_WORDS
-            ]
+            )
             if not tokens:
                 return None
             return KeywordPredicate(attribute, self._pick_keyword(attribute, tokens))

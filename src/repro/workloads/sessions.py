@@ -66,6 +66,22 @@ class ExplorationSessionGenerator:
         # Users search popular topics: draw keywords from the head.
         self._keywords = [token for token, _ in index.most_common(40)]
 
+    def generate_many(
+        self, n_sessions: int, n_steps: int = 8
+    ) -> dict[str, list[SessionStep]]:
+        """Several independent user sessions, keyed by a stable session id.
+
+        This is the serving layer's workload shape: ``repro.serving.
+        interleave`` merges the per-session streams into the interleaved
+        arrival order of concurrent dashboard users.
+        """
+        if n_sessions < 1:
+            raise WorkloadError("need at least one session")
+        return {
+            f"session-{index:03d}": self.generate(n_steps)
+            for index in range(n_sessions)
+        }
+
     def generate(self, n_steps: int = 8) -> list[SessionStep]:
         """One session: search wide, then zoom/pan/narrow step by step."""
         if n_steps < 1:

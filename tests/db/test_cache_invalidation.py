@@ -1,0 +1,195 @@
+"""Cross-request engine caches: hits are exact, mutations invalidate.
+
+The serving layer's speedups all come from the caches exercised here, so
+the contract is strict: a cache hit must return bit-identical results to a
+cold run, and any table mutation must evict exactly the poisoned state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    Database,
+    EngineProfile,
+    EqualsPredicate,
+    HintSet,
+    RangePredicate,
+    SelectQuery,
+)
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def mutable_db(small_table) -> Database:
+    """A private database the test may mutate (small_table is per-test)."""
+    database = Database(profile=EngineProfile.deterministic())
+    database.add_table(small_table)
+    for column in ("value", "stamp", "note", "spot"):
+        database.create_index("rows", column)
+    return database
+
+
+QUERY = SelectQuery(
+    table="rows",
+    predicates=(RangePredicate("value", 10.0, 60.0), RangePredicate("stamp", 0.0, 500.0)),
+    output=("id",),
+    hints=HintSet(index_on=frozenset({"value"})),
+)
+
+
+def test_warm_cache_results_are_bit_identical_to_cold(small_db):
+    cold = small_db.execute(QUERY)
+    warm = small_db.execute(QUERY)
+    np.testing.assert_array_equal(cold.row_ids, warm.row_ids)
+    assert cold.execution_ms == warm.execution_ms
+    assert cold.base_ms == warm.base_ms
+    assert warm.plan_cached, "second execution must reuse the cached plan"
+    assert warm.cache_hits > 0
+
+
+def test_plan_cache_counts_hits(small_db):
+    small_db.clear_caches()
+    small_db.explain(QUERY)
+    before = small_db.cache_stats().to_dict()["plan"]["hits"]
+    small_db.explain(QUERY)
+    after = small_db.cache_stats().to_dict()["plan"]["hits"]
+    assert after == before + 1
+
+
+def test_append_rows_invalidates_match_and_plan_caches(mutable_db):
+    predicate = RangePredicate("value", 40.0, 41.5)
+    baseline_matches = mutable_db.match_ids("rows", predicate)
+    old_rows = mutable_db.table("rows").n_rows
+    old_time = mutable_db.true_execution_time_ms(QUERY)
+
+    # The appended rows match both QUERY predicates, so the hinted plan's
+    # work — and therefore its memoized true time — must change.
+    mutable_db.append_rows(
+        "rows",
+        {
+            "id": np.arange(old_rows, old_rows + 50),
+            "value": np.full(50, 41.0),
+            "stamp": np.linspace(0.0, 400.0, 50),
+            "note": ["alpha beta"] * 50,
+            "spot": np.zeros((50, 2)),
+        },
+    )
+
+    assert mutable_db.table("rows").n_rows == old_rows + 50
+    # The match cache must see the appended rows...
+    np.testing.assert_array_equal(
+        mutable_db.match_ids("rows", predicate),
+        np.concatenate([baseline_matches, np.arange(old_rows, old_rows + 50)]),
+    )
+    # ...through the rebuilt index as well as the raw predicate mask.
+    index = mutable_db.index("rows", "value")
+    assert index is not None and index.supports(predicate)
+    np.testing.assert_array_equal(
+        index.lookup(predicate).row_ids,
+        np.concatenate([baseline_matches, np.arange(old_rows, old_rows + 50)]),
+    )
+    # Statistics and memoized plan costs were rebuilt for the larger table.
+    assert mutable_db.stats("rows").n_rows == old_rows + 50
+    assert mutable_db.true_execution_time_ms(QUERY) != pytest.approx(old_time)
+
+
+def test_append_rows_rejects_schema_mismatch_and_samples(mutable_db):
+    with pytest.raises(SchemaError):
+        mutable_db.append_rows("rows", {"id": np.array([1])})
+    mutable_db.create_sample_table("rows", 0.1, name="rows_sample", seed=1)
+    with pytest.raises(SchemaError):
+        mutable_db.table("rows_sample").append_rows({})
+
+
+def test_invalidation_hooks_fire_on_append(mutable_db):
+    observed: list[str] = []
+    mutable_db.add_invalidation_hook(observed.append)
+    mutable_db.append_rows(
+        "rows",
+        {
+            "id": np.array([10_000]),
+            "value": np.array([1.0]),
+            "stamp": np.array([1.0]),
+            "note": ["alpha"],
+            "spot": np.array([[0.0, 0.0]]),
+        },
+    )
+    assert observed == ["rows"]
+
+
+def test_create_index_fires_hooks(small_table):
+    database = Database(profile=EngineProfile.deterministic())
+    database.add_table(small_table)
+    observed: list[str] = []
+    database.add_invalidation_hook(observed.append)
+    database.create_index("rows", "value")
+    assert observed == ["rows"]
+
+
+def test_dead_bound_method_hooks_are_pruned(mutable_db):
+    import gc
+
+    class Listener:
+        def __init__(self):
+            self.calls = []
+
+        def on_invalidate(self, table_name):
+            self.calls.append(table_name)
+
+    keeper, goner = Listener(), Listener()
+    mutable_db.add_invalidation_hook(keeper.on_invalidate)
+    mutable_db.add_invalidation_hook(goner.on_invalidate)
+    del goner
+    gc.collect()
+    mutable_db.invalidate_table("rows")
+    assert keeper.calls == ["rows"]
+    assert len(mutable_db._invalidation_hooks) == 1
+
+
+def test_sampling_qte_memos_self_invalidate_on_mutation(mutable_db):
+    from repro.qte import SamplingQTE
+
+    mutable_db.create_sample_table("rows", 0.5, name="rows_qs", seed=3)
+    qte = SamplingQTE(mutable_db, ("value",), "rows_qs")
+    qte._sample_selectivity(RangePredicate("value", 0.0, 50.0))
+    assert len(qte._sel_memo) == 1
+    n = mutable_db.table("rows").n_rows
+    mutable_db.append_rows(
+        "rows",
+        {
+            "id": np.array([n]),
+            "value": np.array([25.0]),
+            "stamp": np.array([1.0]),
+            "note": ["alpha"],
+            "spot": np.array([[0.0, 0.0]]),
+        },
+    )
+    assert len(qte._sel_memo) == 0
+
+
+def test_mutation_does_not_leak_into_other_tables(mutable_db):
+    mutable_db.create_sample_table("rows", 0.2, name="rows_frozen", seed=2)
+    frozen_before = mutable_db.table("rows_frozen").n_rows
+    predicate = EqualsPredicate("value", 123.456)
+    mutable_db.match_ids("rows_frozen", predicate)
+    before = mutable_db.cache_stats().to_dict()["match"]["invalidations"]
+    old_rows = mutable_db.table("rows").n_rows
+    mutable_db.append_rows(
+        "rows",
+        {
+            "id": np.array([old_rows]),
+            "value": np.array([123.456]),
+            "stamp": np.array([1.0]),
+            "note": ["gamma delta"],
+            "spot": np.array([[0.0, 0.0]]),
+        },
+    )
+    # The sample table keeps its snapshot; its cache entries survive.
+    assert mutable_db.table("rows_frozen").n_rows == frozen_before
+    assert len(mutable_db.match_ids("rows_frozen", predicate)) == 0
+    after = mutable_db.cache_stats().to_dict()["match"]["invalidations"]
+    assert after >= before  # rows entries evicted; rows_frozen not required to be
+    stats = mutable_db.cache_stats()
+    assert stats.hits + stats.misses > 0

@@ -1,0 +1,105 @@
+"""RowSet: dual-representation consistency and intersection equivalence.
+
+The executor's correctness rests on RowSet intersection being exactly
+``np.intersect1d`` regardless of which representations the operands happen
+to hold — these tests sweep every representation pairing over random id
+sets (property-style) and pin down the edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import RowSet, intersect_all
+
+
+def random_ids(rng: np.random.Generator, universe: int) -> np.ndarray:
+    size = int(rng.integers(0, universe + 1))
+    return np.sort(rng.choice(universe, size=size, replace=False)).astype(np.int64)
+
+
+def as_representation(ids: np.ndarray, universe: int, repr_kind: str) -> RowSet:
+    if repr_kind == "ids":
+        return RowSet.from_ids(ids.copy(), universe)
+    mask = np.zeros(universe, dtype=bool)
+    mask[ids] = True
+    rowset = RowSet.from_mask(mask)
+    if repr_kind == "both":
+        rowset.ids  # materialize the second representation too
+    return rowset
+
+
+@pytest.mark.parametrize("left_kind", ["ids", "mask", "both"])
+@pytest.mark.parametrize("right_kind", ["ids", "mask", "both"])
+def test_intersection_matches_intersect1d_for_every_representation(
+    left_kind, right_kind
+):
+    rng = np.random.default_rng(7)
+    for trial in range(25):
+        universe = int(rng.integers(1, 400))
+        a = random_ids(rng, universe)
+        b = random_ids(rng, universe)
+        expected = np.intersect1d(a, b, assume_unique=True)
+        result = as_representation(a, universe, left_kind).intersect(
+            as_representation(b, universe, right_kind)
+        )
+        np.testing.assert_array_equal(result.ids, expected)
+        assert len(result) == len(expected)
+
+
+def test_mask_and_ids_are_views_of_the_same_set():
+    rng = np.random.default_rng(11)
+    universe = 200
+    ids = random_ids(rng, universe)
+    from_ids = RowSet.from_ids(ids, universe)
+    np.testing.assert_array_equal(np.flatnonzero(from_ids.mask), ids)
+    mask = np.zeros(universe, dtype=bool)
+    mask[ids] = True
+    from_mask = RowSet.from_mask(mask)
+    np.testing.assert_array_equal(from_mask.ids, ids)
+    assert from_mask.universe == universe
+
+
+def test_unsorted_input_is_normalized_on_request():
+    rowset = RowSet.from_ids(np.array([5, 1, 3, 1]), 10, sorted_unique=False)
+    np.testing.assert_array_equal(rowset.ids, [1, 3, 5])
+
+
+def test_full_and_empty():
+    full = RowSet.full(10)
+    empty = RowSet.empty(10)
+    assert len(full) == 10 and bool(full)
+    assert len(empty) == 0 and not bool(empty)
+    np.testing.assert_array_equal(full.intersect(empty).ids, [])
+    np.testing.assert_array_equal(full.intersect(full).ids, np.arange(10))
+
+
+def test_universe_mismatch_is_rejected():
+    with pytest.raises(ValueError):
+        RowSet.full(4).intersect(RowSet.full(5))
+
+
+def test_needs_at_least_one_representation():
+    with pytest.raises(ValueError):
+        RowSet(10)
+
+
+def test_intersect_all_chains_and_matches_reduce():
+    rng = np.random.default_rng(3)
+    universe = 300
+    sets = [random_ids(rng, universe) for _ in range(4)]
+    expected = sets[0]
+    for other in sets[1:]:
+        expected = np.intersect1d(expected, other, assume_unique=True)
+    result = intersect_all(RowSet.from_ids(s, universe) for s in sets)
+    np.testing.assert_array_equal(result.ids, expected)
+    with pytest.raises(ValueError):
+        intersect_all([])
+
+
+def test_contains_is_vectorized_membership():
+    rowset = RowSet.from_ids(np.array([2, 4, 8]), 10)
+    np.testing.assert_array_equal(
+        rowset.contains(np.array([0, 2, 3, 8])), [False, True, False, True]
+    )

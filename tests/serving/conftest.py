@@ -1,0 +1,32 @@
+"""Fixtures for the serving-layer tests: a trained middleware + sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Maliva, TrainingConfig
+from repro.qte import AccurateQTE
+from repro.workloads import ExplorationSessionGenerator
+
+from ..conftest import TEST_TAU_MS
+
+
+@pytest.fixture(scope="session")
+def serving_maliva(twitter_db, twitter_queries, hint_space) -> Maliva:
+    qte = AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0)
+    maliva = Maliva(
+        twitter_db,
+        hint_space,
+        qte,
+        TEST_TAU_MS,
+        config=TrainingConfig(max_epochs=6, seed=13),
+    )
+    maliva.train(list(twitter_queries[:20]))
+    return maliva
+
+
+@pytest.fixture(scope="session")
+def session_steps(twitter_db):
+    """Several coherent exploration sessions over the shared twitter table."""
+    generator = ExplorationSessionGenerator(twitter_db, seed=29)
+    return generator.generate_many(10, n_steps=10)
