@@ -101,6 +101,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--steps", type=int, default=8)
     serve.add_argument("--tau-ms", type=float, default=500.0)
     serve.add_argument("--qte", default="accurate", choices=["accurate", "sampling"])
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="micro-batch size for the staged pipeline (default: whole batch)",
+    )
+    serve.add_argument(
+        "--scheduler",
+        default="affinity",
+        choices=["affinity", "fifo"],
+        help="batch scheduling policy (session affinity vs arrival order)",
+    )
     serve.add_argument("--save-dir", default="results")
     serve.add_argument("--no-save", action="store_true")
     return parser
@@ -110,7 +122,7 @@ def _run_serve(args) -> int:
     """Train a middleware, then serve interleaved exploration sessions."""
     from .core import Maliva, TrainingConfig
     from .experiments.setups import accurate_qte, sampling_qte, twitter_setup
-    from .serving import interleave, requests_from_steps
+    from .serving import FifoScheduler, SessionAffinityScheduler, interleave, requests_from_steps
     from .viz import TWITTER_TRANSLATOR
     from .workloads import ExplorationSessionGenerator
 
@@ -120,6 +132,9 @@ def _run_serve(args) -> int:
         return 2
     if args.tau_ms <= 0:
         print("error: --tau-ms must be positive", file=sys.stderr)
+        return 2
+    if args.batch_size is not None and args.batch_size < 1:
+        print("error: --batch-size must be at least 1", file=sys.stderr)
         return 2
 
     setup = twitter_setup(scale=args.scale, tau_ms=args.tau_ms, seed=args.seed)
@@ -141,14 +156,27 @@ def _run_serve(args) -> int:
     stream = interleave(
         requests_from_steps(steps, session_id) for session_id, steps in sessions.items()
     )
-    service = maliva.service(translator=TWITTER_TRANSLATOR)
+    scheduler = SessionAffinityScheduler() if args.scheduler == "affinity" else FifoScheduler()
+    service = maliva.service(translator=TWITTER_TRANSLATOR, scheduler=scheduler)
 
-    print(f"serving {len(stream)} requests from {args.sessions} sessions ...")
-    service.answer_many(stream)
-    cold = service.stats.to_dict()
-    service.reset_stats()
-    service.answer_many(stream)
-    warm = service.stats.to_dict()
+    def drive(reset_after: bool) -> dict:
+        if args.batch_size is None:
+            service.answer_many(stream)
+        else:
+            for _ in service.answer_stream(iter(stream), stream_batch_size=args.batch_size):
+                pass
+        stats = service.stats.to_dict()
+        if reset_after:
+            service.reset_stats()
+        return stats
+
+    batching = "whole batch" if args.batch_size is None else f"micro-batches of {args.batch_size}"
+    print(
+        f"serving {len(stream)} requests from {args.sessions} sessions "
+        f"({args.scheduler} scheduler, {batching}) ..."
+    )
+    cold = drive(reset_after=True)
+    warm = drive(reset_after=False)
 
     header = f"{'':<22} {'cold engine':>14} {'warm cache':>14}"
     print(f"\n{header}\n" + "-" * len(header))
@@ -159,6 +187,15 @@ def _run_serve(args) -> int:
         ("p95 latency (ms)", "p95_latency_ms", "{:14.1f}"),
     ):
         print(f"{label:<22} {fmt.format(cold[key])} {fmt.format(warm[key])}")
+    print("\npipeline stage breakdown (wall seconds):")
+    for column in ("cold", "warm"):
+        stages = (cold if column == "cold" else warm)["stage_seconds"]
+        total = sum(stages.values()) or 1.0
+        rendered = "  ".join(
+            f"{stage}={seconds:.3f}s ({seconds / total:.0%})"
+            for stage, seconds in stages.items()
+        )
+        print(f"  {column:<5} {rendered}")
     report = service.report()
     print(f"\nengine cache hit rate: {report['engine_hit_rate']:.1%}")
     print(f"decision cache hits:   {warm['decision_cache_hits']}/{warm['n_requests']}")

@@ -1,6 +1,14 @@
-"""The trained MDP agent: a policy over rewrite options."""
+"""The trained MDP agent: a policy over rewrite options.
+
+Action selection goes through :meth:`QNetwork.predict_rows`, whose per-row
+results are independent of the batch size, so :meth:`MalivaAgent.choose_batch`
+(one network call for a whole request frontier) selects bit-identical actions
+to per-request :meth:`MalivaAgent.best_action` calls.
+"""
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -32,7 +40,18 @@ class MalivaAgent:
         self.tau_ms = tau_ms
 
     def q_values(self, state: MDPState) -> np.ndarray:
-        return self.network.q_values(state.vector(self.tau_ms))
+        return self.network.predict_rows(state.vector(self.tau_ms))[0]
+
+    def q_matrix(self, states: Sequence[MDPState]) -> np.ndarray:
+        """Q-values for a frontier of states in one network call.
+
+        Row ``i`` is bit-identical to ``q_values(states[i])`` (row-stable
+        kernel + element-wise state stacking), which is what makes lockstep
+        planning reproduce sequential decisions exactly.
+        """
+        return self.network.predict_rows(
+            MDPState.stack_vectors(states, self.tau_ms)
+        )
 
     def best_action(self, state: MDPState, remaining: np.ndarray) -> int:
         """Highest-q unexplored option (Algorithm 2 line 5)."""
@@ -40,6 +59,33 @@ class MalivaAgent:
             raise TrainingError("no remaining options to choose from")
         q = self.q_values(state)
         return int(remaining[int(np.argmax(q[remaining]))])
+
+    def choose_batch(
+        self,
+        states: Sequence[MDPState],
+        remainings: Sequence[np.ndarray] | None = None,
+        q: np.ndarray | None = None,
+    ) -> list[int]:
+        """Greedy action per state, one q-network call for the whole batch.
+
+        Equivalent to ``[best_action(s, r) for s, r in zip(states,
+        remainings)]`` but with a single forward pass per MDP depth instead
+        of one per request.  Callers that already hold this frontier's
+        q-matrix (the lockstep trainer, which also needs the stacked state
+        vectors for replay transitions) pass it via ``q``.
+        """
+        if not states:
+            return []
+        if remainings is None:
+            remainings = [state.remaining() for state in states]
+        if q is None:
+            q = self.q_matrix(states)
+        actions: list[int] = []
+        for row, remaining in zip(q, remainings):
+            if not len(remaining):
+                raise TrainingError("no remaining options to choose from")
+            actions.append(int(remaining[int(np.argmax(row[remaining]))]))
+        return actions
 
     def epsilon_greedy_action(
         self,

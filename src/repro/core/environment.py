@@ -23,8 +23,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..db import Database, SelectQuery
+from ..db.predicates import Predicate
 from ..errors import TrainingError
-from ..qte import QueryTimeEstimator, SelectivityCache
+from ..qte import QueryTimeEstimator, SelectivityCache, required_attributes
 from .options import RewriteOptionSpace
 from .state import MDPState
 
@@ -62,6 +63,7 @@ class RewriteEpisode:
         start_elapsed_ms: float = 0.0,
         cache: SelectivityCache | None = None,
         update_sibling_costs: bool = True,
+        rewritten_queries: list[SelectQuery] | None = None,
     ) -> None:
         if tau_ms <= 0:
             raise TrainingError("time budget must be positive")
@@ -75,10 +77,14 @@ class RewriteEpisode:
         #: agent loses the paper's Figure 7 shared-selectivity signal.
         self.update_sibling_costs = update_sibling_costs
         self.cache = cache if cache is not None else SelectivityCache()
-        self.rewritten_queries = space.build_all(query, database)
-        costs = np.array(
-            [self.qte.predict_cost_ms(rq, self.cache) for rq in self.rewritten_queries]
+        # Callers holding a cross-request build memo (the rewriter) pass the
+        # candidate RQs in; standalone episodes build their own.
+        self.rewritten_queries = (
+            rewritten_queries
+            if rewritten_queries is not None
+            else space.build_all(query, database)
         )
+        costs = np.array(self.qte.predict_costs(self.rewritten_queries, self.cache))
         self.state = MDPState.initial(costs)
         self.state.elapsed_ms = start_elapsed_ms
 
@@ -89,6 +95,23 @@ class RewriteEpisode:
 
     def remaining(self) -> np.ndarray:
         return self.state.remaining()
+
+    def probes_for(self, action: int) -> list[Predicate]:
+        """Predicates whose selectivity estimating ``action`` would collect.
+
+        The lockstep planner gathers these across a whole request frontier
+        and hands them to :meth:`QueryTimeEstimator.collect_batch` so the
+        underlying sample counts run as one fused pass; the subsequent
+        :meth:`step` then finds every collection memoized.  Virtual costs
+        are unchanged — the per-request cache is still empty, so the QTE
+        charges the same C_i it would charge sequentially.
+        """
+        rewritten = self.rewritten_queries[action]
+        missing = self.cache.missing(required_attributes(rewritten))
+        if not missing:
+            return []
+        by_column = {p.column: p for p in rewritten.predicates}
+        return [by_column[attribute] for attribute in missing]
 
     def step(self, action: int) -> StepResult:
         """Estimate option ``action`` and transition (paper's T function)."""
@@ -105,9 +128,10 @@ class RewriteEpisode:
         # richer cache re-prices every unexplored option.
         state.estimation_costs_ms[action] = outcome.cost_ms
         if self.update_sibling_costs:
-            for index in state.remaining():
-                state.estimation_costs_ms[index] = self.qte.predict_cost_ms(
-                    self.rewritten_queries[index], self.cache
+            remaining = state.remaining()
+            if len(remaining):
+                state.estimation_costs_ms[remaining] = self.qte.predict_costs(
+                    [self.rewritten_queries[index] for index in remaining], self.cache
                 )
 
         decision = self._termination_decision(last_action=action)

@@ -123,6 +123,21 @@ class Maliva:
             raise TrainingError("Maliva.train() must be called before use")
         return self._rewriter.rewrite(query, tau_ms=tau_ms)
 
+    def rewrite_batch(
+        self,
+        queries: Sequence[SelectQuery],
+        tau_ms: float | Sequence[float | None] | None = None,
+    ) -> list[RewriteDecision]:
+        """Plan many requests in lockstep (bit-identical to :meth:`rewrite`).
+
+        One q-network forward pass per MDP depth and one fused selectivity
+        pass per depth serve the whole batch; see
+        :meth:`MDPQueryRewriter.plan_batch`.
+        """
+        if self._rewriter is None:
+            raise TrainingError("Maliva.train() must be called before use")
+        return self._rewriter.rewrite_batch(queries, tau_ms)
+
     def answer(
         self,
         query: SelectQuery,

@@ -87,7 +87,39 @@ class RewriteOptionSpace:
         return self.options[index].build(query, database)
 
     def build_all(self, query: SelectQuery, database: Database) -> list[SelectQuery]:
-        return [option.build(query, database) for option in self.options]
+        """Every option applied to ``query`` (one RQ per option, in order).
+
+        Equivalent to calling :meth:`RewriteOption.build` per option, with
+        the per-query work (filter-attribute set, join check) hoisted out of
+        the loop and the hint attachment constructed directly — hints built
+        by intersection with the present attributes always pass
+        :func:`~repro.db.query.apply_hints` validation, and this runs once
+        per request on the planning hot path.  Options with approximation
+        rules take the generic (validated) path.
+        """
+        present = set(query.filter_attributes)
+        join_method_allowed = query.is_join
+        rewritten_queries = []
+        for option in self.options:
+            if option.rules:
+                rewritten_queries.append(option.build(query, database))
+                continue
+            hints = HintSet(
+                index_on=frozenset(option.hint_set.index_on & present),
+                join_method=option.hint_set.join_method if join_method_allowed else None,
+            )
+            rewritten_queries.append(
+                SelectQuery(
+                    table=query.table,
+                    predicates=query.predicates,
+                    output=query.output,
+                    group_by=query.group_by,
+                    join=query.join,
+                    limit=query.limit,
+                    hints=hints,
+                )
+            )
+        return rewritten_queries
 
     @property
     def hint_only_indices(self) -> tuple[int, ...]:

@@ -73,6 +73,22 @@ class QNetwork:
         """Q-values for a single state vector, shape ``(n_actions,)``."""
         return self.predict(state[None, :])[0]
 
+    def predict_rows(self, states: np.ndarray) -> np.ndarray:
+        """Row-stable batched q-values, shape ``(batch, n_actions)``.
+
+        Unlike :meth:`predict` (BLAS ``@``, whose per-row bits can depend on
+        how many rows share the GEMM call), this path computes every output
+        element as an einsum reduction whose order is independent of the
+        batch size: row ``i`` of ``predict_rows(X)`` is bit-identical to
+        ``predict_rows(X[i:i+1])[0]``.  The batched planning pipeline and
+        the sequential rewriter both select actions through this kernel, so
+        lockstep planning reproduces sequential decisions exactly.
+        """
+        x = np.atleast_2d(states).astype(np.float64)
+        a1 = np.maximum(np.einsum("ij,jk->ik", x, self._weights[0]) + self._biases[0], 0.0)
+        a2 = np.maximum(np.einsum("ij,jk->ik", a1, self._weights[1]) + self._biases[1], 0.0)
+        return np.einsum("ij,jk->ik", a2, self._weights[2]) + self._biases[2]
+
     def _forward(self, x: np.ndarray):
         z1 = x @ self._weights[0] + self._biases[0]
         a1 = np.maximum(z1, 0.0)

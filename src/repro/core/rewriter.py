@@ -5,16 +5,31 @@ the unexplored rewritten query with the highest q-value, asks the QTE for
 its time (paying the cost on the virtual clock), and stops as soon as one of
 the termination conditions fires.  The decided rewritten query and the
 planning time spent finding it are returned to the middleware.
+
+:meth:`MDPQueryRewriter.plan_batch` runs the same algorithm for many
+requests in lockstep: every request still walks its own MDP episode, but
+the per-step work is batched across the active frontier — one q-network
+forward pass per MDP depth (instead of one per request per step) and one
+fused selectivity-collection pass per depth (instead of one sample count
+per probe).  Each request's state only ever sees its own episode, and the
+batched kernels are row-stable, so decisions and virtual planning times are
+bit-identical to per-request :meth:`MDPQueryRewriter.plan` calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..db import Database, SelectQuery
+from ..db.caches import InstrumentedCache
+from ..errors import QueryError
 from ..qte import QueryTimeEstimator, SelectivityCache
 from .agent import MalivaAgent
 from .environment import RewriteEpisode
+from .state import TIME_CLIP_BUDGETS
 
 
 @dataclass(frozen=True)
@@ -44,6 +59,27 @@ class MDPQueryRewriter:
         self.agent = agent
         self.database = database
         self.qte = qte
+        # Cross-request memo of the candidate rewritten queries per original
+        # query: rebuilding all |Ω| RQs (and re-deriving their cache keys)
+        # dominates episode construction for repeated queries.  Approximation
+        # rules read table statistics and sample cardinalities, so ANY
+        # catalog change conservatively drops the whole memo (rebuilds are
+        # cheap; staleness is not).
+        self._build_cache = InstrumentedCache("rq_build", capacity=4096)
+        database.add_invalidation_hook(self._on_table_invalidated)
+
+    def _on_table_invalidated(self, table_name: str) -> None:
+        self._build_cache.clear()
+
+    def candidate_queries(self, query: SelectQuery) -> list[SelectQuery]:
+        """The option space applied to ``query``, memoized across requests."""
+        key = query.key()
+        cached = self._build_cache.get(key)
+        if cached is not None:
+            return cached
+        rewritten = self.agent.space.build_all(query, self.database)
+        self._build_cache.put(key, rewritten)
+        return rewritten
 
     def plan(
         self,
@@ -69,6 +105,7 @@ class MDPQueryRewriter:
             self.agent.tau_ms if tau_ms is None else tau_ms,
             start_elapsed_ms=start_elapsed_ms,
             cache=cache,
+            rewritten_queries=self.candidate_queries(query),
         )
         n_explored = 0
         while True:
@@ -94,3 +131,210 @@ class MDPQueryRewriter:
         """Algorithm 2: plan and return the chosen rewritten query."""
         decision, _ = self.plan(query, tau_ms=tau_ms)
         return decision
+
+    # ------------------------------------------------------------------
+    # Lockstep batch planning
+    # ------------------------------------------------------------------
+    def rewrite_batch(
+        self,
+        queries: Sequence[SelectQuery],
+        tau_ms: float | Sequence[float | None] | None = None,
+    ) -> list[RewriteDecision]:
+        """Batched Algorithm 2: plan many requests in lockstep.
+
+        ``tau_ms`` may be a single override for every request, a per-request
+        sequence (``None`` entries fall back to the agent's budget), or
+        ``None``.  Decisions are positionally aligned with ``queries`` and
+        bit-identical to per-request :meth:`rewrite` calls (the lockstep
+        invariant; see the module docstring).
+
+        Requires a QTE with a declared
+        :meth:`~repro.qte.QueryTimeEstimator.cost_structure`; other
+        estimators fall back to per-request planning.
+        """
+        taus = self._resolve_taus(len(queries), tau_ms)
+        if not queries:
+            return []
+        if self.qte.cost_structure() is None:
+            return [self.plan(q, tau_ms=t)[0] for q, t in zip(queries, taus)]
+        return _LockstepFrontier(self, queries, taus).run()
+
+    def _resolve_taus(
+        self, n: int, tau_ms: float | Sequence[float | None] | None
+    ) -> list[float]:
+        if tau_ms is None:
+            return [self.agent.tau_ms] * n
+        if isinstance(tau_ms, (int, float)):
+            return [float(tau_ms)] * n
+        taus = [self.agent.tau_ms if tau is None else float(tau) for tau in tau_ms]
+        if len(taus) != n:
+            raise QueryError(
+                f"got {len(taus)} budgets for {n} queries in a planning batch"
+            )
+        return taus
+
+
+class _LockstepFrontier:
+    """Vectorized lockstep planner: many MDP episodes as stacked matrices.
+
+    Per-request state lives in matrix rows — ``elapsed`` (E), ``costs``
+    (C), ``times`` (T), ``explored`` — and every per-step transition except
+    the QTE estimate itself runs as one numpy operation over the active
+    frontier:
+
+    * action selection: one row-stable q-network pass + masked argmax;
+    * selectivity collection: one fused :meth:`QueryTimeEstimator.
+      collect_batch` pass over the frontier's uncollected probes;
+    * sibling re-pricing: ``overhead + unit × missing`` counted through a
+      boolean (request, option, column) required-attribute tensor;
+    * termination: vectorized viable/timeout/exhausted checks with a masked
+      argmin for the fallback decision.
+
+    Every element-wise operation mirrors the scalar arithmetic of
+    :class:`~repro.core.environment.RewriteEpisode` exactly, so decisions
+    and virtual times are bit-identical to sequential planning — the
+    property ``tests/serving/test_pipeline_equivalence.py`` pins down.
+    """
+
+    def __init__(
+        self,
+        rewriter: MDPQueryRewriter,
+        queries: Sequence[SelectQuery],
+        taus: Sequence[float],
+    ) -> None:
+        self.rewriter = rewriter
+        self.agent = rewriter.agent
+        self.qte = rewriter.qte
+        space = self.agent.space
+        self.unit_cost_ms, self.overhead_ms = self.qte.cost_structure()
+
+        k = len(queries)
+        n = len(space)
+        self.queries = list(queries)
+        self.taus = np.asarray(taus, dtype=np.float64)
+        self.rewritten = [rewriter.candidate_queries(query) for query in queries]
+        self.caches = [SelectivityCache() for _ in range(k)]
+
+        # Per-request local column indexing (first-occurrence order) and the
+        # required-attribute tensor R[i, j, c]: does option j of request i
+        # need the selectivity of local column c?
+        self.columns: list[list[str]] = []
+        self.predicate_of: list[dict[str, object]] = []
+        for query in queries:
+            columns: list[str] = []
+            by_column: dict[str, object] = {}
+            for predicate in query.predicates:
+                if predicate.column not in by_column:
+                    columns.append(predicate.column)
+                by_column[predicate.column] = predicate
+            self.columns.append(columns)
+            self.predicate_of.append(by_column)
+        m = max((len(cols) for cols in self.columns), default=0)
+        self.required = np.zeros((k, n, max(m, 1)), dtype=bool)
+        for i, rqs in enumerate(self.rewritten):
+            col_index = {c: ci for ci, c in enumerate(self.columns[i])}
+            for j, rq in enumerate(rqs):
+                if rq.hints is None:
+                    continue
+                for column in rq.hints.index_on:
+                    ci = col_index.get(column)
+                    if ci is not None:
+                        self.required[i, j, ci] = True
+
+        self.collected = np.zeros((k, max(m, 1)), dtype=bool)
+        self.elapsed = np.zeros(k, dtype=np.float64)
+        # Initial estimation costs against the empty per-request caches:
+        # C0_ij = overhead + unit × |required attributes of option j|.
+        self.costs = self.overhead_ms + self.unit_cost_ms * self.required.sum(
+            axis=2
+        ).astype(np.float64)
+        self.times = np.zeros((k, n), dtype=np.float64)
+        self.explored = np.zeros((k, n), dtype=bool)
+        self.n_explored = np.zeros(k, dtype=np.int64)
+
+    def run(self) -> list[RewriteDecision]:
+        decisions: list[RewriteDecision | None] = [None] * len(self.queries)
+        active = np.arange(len(self.queries))
+        tau_norm = self.agent.tau_ms
+        while len(active):
+            # -- choose: one forward pass for the whole frontier ----------
+            q = self.agent.network.predict_rows(self._state_matrix(active, tau_norm))
+            actions = np.where(self.explored[active], -np.inf, q).argmax(axis=1)
+
+            # -- collect: one fused pass over the frontier's probes -------
+            missing = self.required[active, actions] & ~self.collected[active]
+            probes = [
+                self.predicate_of[i][self.columns[i][ci]]
+                for i, row in zip(active, missing)
+                for ci in row.nonzero()[0]
+            ]
+            if probes:
+                self.qte.collect_batch(probes)
+
+            # -- estimate: the only remaining per-request step ------------
+            outcomes = [
+                self.qte.estimate(self.rewritten[i][j], self.caches[i])
+                for i, j in zip(active, actions)
+            ]
+            step_costs = np.fromiter(
+                (outcome.cost_ms for outcome in outcomes),
+                dtype=np.float64,
+                count=len(outcomes),
+            )
+
+            # -- transition: vectorized across the frontier ---------------
+            self.elapsed[active] += step_costs
+            self.times[active, actions] = [o.estimated_ms for o in outcomes]
+            self.costs[active, actions] = step_costs
+            self.explored[active, actions] = True
+            self.collected[active] |= self.required[active, actions]
+            self.n_explored[active] += 1
+            counts = (
+                self.required[active] & ~self.collected[active][:, None, :]
+            ).sum(axis=2)
+            self.costs[active] = np.where(
+                self.explored[active],
+                self.costs[active],
+                self.overhead_ms + self.unit_cost_ms * counts,
+            )
+
+            # -- terminate: vectorized Algorithm 2 checks -----------------
+            elapsed = self.elapsed[active]
+            taus = self.taus[active]
+            viable = elapsed + self.times[active, actions] <= taus
+            timeout = elapsed >= taus
+            exhausted = self.explored[active].all(axis=1)
+            finished = viable | timeout | exhausted
+            if finished.any():
+                fallback = np.where(
+                    self.explored[active], self.times[active], np.inf
+                ).argmin(axis=1)
+                for pos in finished.nonzero()[0]:
+                    index = int(active[pos])
+                    if viable[pos]:
+                        option, reason = int(actions[pos]), "viable"
+                    elif timeout[pos]:
+                        option, reason = int(fallback[pos]), "timeout"
+                    else:
+                        option, reason = int(fallback[pos]), "exhausted"
+                    decisions[index] = RewriteDecision(
+                        rewritten=self.rewritten[index][option],
+                        option_index=option,
+                        option_label=self.agent.space.option(option).label(),
+                        planning_ms=float(self.elapsed[index]),
+                        reason=reason,
+                        n_explored=int(self.n_explored[index]),
+                    )
+            active = active[~finished]
+        return [decision for decision in decisions if decision is not None]
+
+    def _state_matrix(self, active: np.ndarray, tau_norm: float) -> np.ndarray:
+        """Stacked network inputs, bit-identical to per-state ``vector()``."""
+        n = self.times.shape[1]
+        out = np.empty((len(active), 1 + 2 * n), dtype=np.float64)
+        out[:, 0] = np.minimum(self.elapsed[active] / tau_norm, TIME_CLIP_BUDGETS)
+        out[:, 1 : 1 + n] = self.costs[active]
+        out[:, 1 + n :] = self.times[active]
+        np.divide(out[:, 1:], tau_norm, out=out[:, 1:])
+        np.clip(out[:, 1:], 0.0, TIME_CLIP_BUDGETS, out=out[:, 1:])
+        return out.astype(np.float32)

@@ -12,6 +12,7 @@ encoding of the same numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -45,10 +46,10 @@ class MDPState:
 
     def remaining(self) -> np.ndarray:
         """Indices of options not explored yet."""
-        return np.flatnonzero(~self.explored)
+        return (~self.explored).nonzero()[0]
 
     def explored_indices(self) -> np.ndarray:
-        return np.flatnonzero(self.explored)
+        return self.explored.nonzero()[0]
 
     def copy(self) -> "MDPState":
         return MDPState(
@@ -62,14 +63,51 @@ class MDPState:
         """Network input: ``[E, C_1..C_n, T_1..T_n] / tau``, clipped."""
         if tau_ms <= 0:
             raise ValueError("time budget must be positive")
-        elapsed = min(self.elapsed_ms / tau_ms, TIME_CLIP_BUDGETS)
-        costs = np.clip(self.estimation_costs_ms / tau_ms, 0.0, TIME_CLIP_BUDGETS)
-        times = np.clip(self.estimated_times_ms / tau_ms, 0.0, TIME_CLIP_BUDGETS)
-        return np.concatenate(([elapsed], costs, times)).astype(np.float32)
+        n = len(self.estimation_costs_ms)
+        out = np.empty(1 + 2 * n, dtype=np.float64)
+        out[0] = min(self.elapsed_ms / tau_ms, TIME_CLIP_BUDGETS)
+        out[1 : 1 + n] = self.estimation_costs_ms
+        out[1 + n :] = self.estimated_times_ms
+        np.divide(out[1:], tau_ms, out=out[1:])
+        np.clip(out[1:], 0.0, TIME_CLIP_BUDGETS, out=out[1:])
+        return out.astype(np.float32)
 
     @staticmethod
     def vector_size(n_options: int) -> int:
         return 1 + 2 * n_options
+
+    @staticmethod
+    def stack_vectors(states: Sequence["MDPState"], tau_ms: float) -> np.ndarray:
+        """Batched :meth:`vector`: one ``(len(states), vector_size)`` matrix.
+
+        Row ``i`` is bit-identical to ``states[i].vector(tau_ms)`` — the
+        same clip/divide operations run element-wise over stacked arrays —
+        so the lockstep planner can feed a whole request frontier to the
+        q-network in a single call.  All states must share one option count.
+        """
+        if tau_ms <= 0:
+            raise ValueError("time budget must be positive")
+        if not states:
+            return np.empty((0, 0), dtype=np.float32)
+        n = states[0].n_options
+        out = np.empty((len(states), 1 + 2 * n), dtype=np.float64)
+        elapsed = np.fromiter(
+            (s.elapsed_ms for s in states), dtype=np.float64, count=len(states)
+        )
+        out[:, 0] = np.minimum(elapsed / tau_ms, TIME_CLIP_BUDGETS)
+        np.clip(
+            np.stack([s.estimation_costs_ms for s in states]) / tau_ms,
+            0.0,
+            TIME_CLIP_BUDGETS,
+            out=out[:, 1 : 1 + n],
+        )
+        np.clip(
+            np.stack([s.estimated_times_ms for s in states]) / tau_ms,
+            0.0,
+            TIME_CLIP_BUDGETS,
+            out=out[:, 1 + n :],
+        )
+        return out.astype(np.float32)
 
     @staticmethod
     def initial(estimation_costs_ms: np.ndarray) -> "MDPState":

@@ -55,6 +55,12 @@ class TrainingConfig:
     convergence_tol: float = 0.01
     convergence_patience: int = 3
     seed: int = 0
+    #: Run each epoch's episodes in lockstep waves (one q-network forward
+    #: pass per MDP depth for the whole epoch, fused selectivity probes).
+    #: Episode semantics per step are unchanged, but the exploration RNG is
+    #: consumed in wave order and gradient updates land at wave boundaries,
+    #: so the training *trajectory* differs from sequential episodes.
+    lockstep: bool = False
 
 
 @dataclass
@@ -122,12 +128,15 @@ class DQNTrainer:
         for epoch in range(config.max_epochs):
             epsilon = self._epsilon_at(epoch)
             self._rng.shuffle(queries)
-            total_reward = 0.0
-            viable = 0
-            for query in queries:
-                episode_reward, episode_viable = self.run_episode(query, epsilon)
-                total_reward += episode_reward
-                viable += int(episode_viable)
+            if config.lockstep:
+                total_reward, viable = self.run_episodes_lockstep(queries, epsilon)
+            else:
+                total_reward = 0.0
+                viable = 0
+                for query in queries:
+                    episode_reward, episode_viable = self.run_episode(query, epsilon)
+                    total_reward += episode_reward
+                    viable += int(episode_viable)
             history.epoch_rewards.append(total_reward)
             history.epoch_viable_fraction.append(viable / len(queries))
             history.epochs_run = epoch + 1
@@ -209,6 +218,95 @@ class DQNTrainer:
             self._learn()
         return final_reward, viable
 
+    def run_episodes_lockstep(
+        self, queries: Sequence[SelectQuery], epsilon: float, learn: bool = True
+    ) -> tuple[float, int]:
+        """Run many episodes in lockstep waves; returns (reward sum, #viable).
+
+        Per wave: one row-stable q-network pass scores the whole frontier
+        (reusing the same kernel as :meth:`MalivaAgent.choose_batch`),
+        epsilon-greedy exploration draws one random number per active
+        episode in frontier order, the frontier's uncollected selectivity
+        probes run as one fused :meth:`collect_batch` pass, and each active
+        episode then takes its step.  Step semantics (transitions, rewards,
+        replay pushes, one :meth:`_learn` per finished episode) are exactly
+        those of :meth:`run_episode`; only the RNG consumption order and
+        the placement of gradient updates differ.
+        """
+        episodes = [self._episode_factory(query) for query in queries]
+        total_reward = 0.0
+        viable_count = 0
+        active = list(range(len(episodes)))
+        while active:
+            states = [episodes[i].state for i in active]
+            matrix = MDPState.stack_vectors(states, self.tau_ms)
+            remainings = [episodes[i].remaining() for i in active]
+            greedy = self.agent.choose_batch(
+                states, remainings, q=self.network.predict_rows(matrix)
+            )
+            actions: list[int] = []
+            for position, index in enumerate(active):
+                if self._rng.random() < epsilon:
+                    actions.append(int(self._rng.choice(remainings[position])))
+                else:
+                    actions.append(greedy[position])
+            probes = [
+                probe
+                for index, action in zip(active, actions)
+                for probe in episodes[index].probes_for(action)
+            ]
+            self.qte.collect_batch(probes)
+
+            still_active: list[int] = []
+            for position, (index, action) in enumerate(zip(active, actions)):
+                episode = episodes[index]
+                # Copy: a row view would pin the whole wave matrix in the
+                # replay memory for the lifetime of its transitions.
+                state_vec = matrix[position].copy()
+                step = episode.step(action)
+                next_vec = episode.state.vector(self.tau_ms)
+                next_mask = ~episode.state.explored.copy()
+                if step.decision is None:
+                    self.memory.push(
+                        Transition(
+                            state=state_vec,
+                            action=action,
+                            reward=self.reward.intermediate_reward(),
+                            next_state=next_vec,
+                            next_mask=next_mask,
+                            terminal=False,
+                        )
+                    )
+                    still_active.append(index)
+                    continue
+                rewritten = episode.rewritten(step.decision.option_index)
+                result = self.database.execute(rewritten)
+                outcome = EpisodeOutcome(
+                    tau_ms=self.tau_ms,
+                    elapsed_ms=episode.state.elapsed_ms,
+                    execution_ms=result.execution_ms,
+                    original_query=queries[index],
+                    rewritten_query=rewritten,
+                    rewritten_result=result,
+                )
+                final_reward = self.reward.final_reward(outcome)
+                total_reward += final_reward
+                viable_count += int(outcome.viable)
+                self.memory.push(
+                    Transition(
+                        state=state_vec,
+                        action=action,
+                        reward=final_reward,
+                        next_state=next_vec,
+                        next_mask=next_mask,
+                        terminal=True,
+                    )
+                )
+                if learn:
+                    self._learn()
+            active = still_active
+        return total_reward, viable_count
+
     # ------------------------------------------------------------------
     # Learning internals
     # ------------------------------------------------------------------
@@ -228,16 +326,29 @@ class DQNTrainer:
             self._episodes_since_sync = 0
 
     def _bellman_targets(self, batch: list[Transition]) -> np.ndarray:
+        """Vectorized Bellman targets: ``r + gamma * max_a' Q_target``.
+
+        The per-transition loop this replaces ran ``updates_per_episode ×
+        batch_size`` times per episode; the masked max over the stacked
+        ``next_mask`` matrix produces bit-identical targets (the max runs
+        over the same legal-action subset, and the scalar arithmetic per
+        element is unchanged).
+        """
         next_states = np.stack([t.next_state for t in batch])
         next_q = self._target.predict(next_states)
-        targets = np.empty(len(batch))
-        for i, transition in enumerate(batch):
-            if transition.terminal or not transition.next_mask.any():
-                targets[i] = transition.reward
-            else:
-                best_next = float(np.max(next_q[i][transition.next_mask]))
-                targets[i] = transition.reward + self.config.gamma * best_next
-        return targets
+        rewards = np.fromiter(
+            (t.reward for t in batch), dtype=np.float64, count=len(batch)
+        )
+        masks = np.stack([t.next_mask for t in batch])
+        terminal = np.fromiter(
+            (t.terminal for t in batch), dtype=bool, count=len(batch)
+        )
+        has_next = masks.any(axis=1) & ~terminal
+        masked_max = np.where(masks, next_q, -np.inf).max(axis=1)
+        # Zero out the -inf placeholder rows before the (discarded) multiply
+        # so gamma = 0 configurations cannot produce NaN warnings.
+        best_next = np.where(has_next, masked_max, 0.0)
+        return np.where(has_next, rewards + self.config.gamma * best_next, rewards)
 
     def _epsilon_at(self, epoch: int) -> float:
         config = self.config

@@ -108,6 +108,10 @@ class Database:
         self._plan_cache = InstrumentedCache("plan", capacity=1024)
         self._key_cache: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
         self._true_time_cache = InstrumentedCache("true_time")
+        # Statistics-based selectivity estimates are pure functions of the
+        # current statistics build; the QTE featurizer asks for the same
+        # (table, predicate) pairs on every estimate of every request.
+        self._estimate_cache = InstrumentedCache("estimate", capacity=4096)
         self._warm_structures: OrderedDict = OrderedDict()
         #: Callables invoked with the table name whenever a table is
         #: invalidated, so layers holding derived state the database cannot
@@ -141,9 +145,11 @@ class Database:
         """(Re)build optimizer statistics for a table."""
         stats = TableStatistics(self.table(table_name), self._stats_config)
         self._stats[table_name] = stats
-        # Fresh statistics can change every plan that reads this table.
+        # Fresh statistics can change every plan that reads this table —
+        # and every memoized selectivity estimate derived from them.
         self._plan_cache.invalidate_tag(table_name)
         self._true_time_cache.invalidate_tag(table_name)
+        self._estimate_cache.invalidate_tag(table_name)
         return stats
 
     def stats(self, table_name: str) -> TableStatistics:
@@ -370,7 +376,13 @@ class Database:
         return len(self.match_ids(table_name, predicate)) / table.n_rows
 
     def estimated_selectivity(self, table_name: str, predicate: Predicate) -> float:
-        return self.stats(table_name).estimate_selectivity(predicate)
+        key = (table_name, predicate.key())
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            return cached
+        estimate = self.stats(table_name).estimate_selectivity(predicate)
+        self._estimate_cache.put(key, estimate, tags=[table_name])
+        return estimate
 
     def estimate_cardinality(self, query: SelectQuery) -> float:
         """Output cardinality estimate (sizes the paper's LIMIT rules).
@@ -455,6 +467,7 @@ class Database:
         self._lookup_cache.invalidate_tag(table_name)
         self._plan_cache.invalidate_tag(table_name)
         self._true_time_cache.invalidate_tag(table_name)
+        self._estimate_cache.invalidate_tag(table_name)
         for key in [k for k in self._key_cache if k[0] == table_name]:
             del self._key_cache[key]
         self._warm_structures.clear()
@@ -489,6 +502,7 @@ class Database:
             self._lookup_cache.stats,
             self._plan_cache.stats,
             self._true_time_cache.stats,
+            self._estimate_cache.stats,
         )
 
     def cache_stats(self) -> CacheStatsReport:
@@ -501,4 +515,5 @@ class Database:
         self._plan_cache.clear()
         self._key_cache.clear()
         self._true_time_cache.clear()
+        self._estimate_cache.clear()
         self._warm_structures.clear()

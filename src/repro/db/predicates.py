@@ -30,9 +30,24 @@ class Predicate(ABC):
     def mask(self, table: Table) -> np.ndarray:
         """Exact boolean mask of matching rows (reference semantics)."""
 
-    @abstractmethod
     def key(self) -> tuple:
-        """Hashable identity of this predicate (used for caching)."""
+        """Hashable identity of this predicate (used for caching).
+
+        Computed once per (immutable) instance: every cache in the stack —
+        match/lookup caches, selectivity memos, statistics estimates — keys
+        on it, several times per MDP step.  Subclasses implement
+        :meth:`_compute_key` (or override ``key`` wholesale).
+        """
+        try:
+            return object.__getattribute__(self, "_cached_key")
+        except AttributeError:
+            pass
+        key = self._compute_key()
+        object.__setattr__(self, "_cached_key", key)
+        return key
+
+    def _compute_key(self) -> tuple:
+        raise NotImplementedError
 
     @abstractmethod
     def render_sql(self) -> str:
@@ -84,7 +99,7 @@ class KeywordPredicate(Predicate):
             count=len(token_sets),
         )
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("keyword", self.column, self.keyword)
 
     def render_sql(self) -> str:
@@ -116,7 +131,7 @@ class RangePredicate(Predicate):
             mask &= values <= self.high
         return mask
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("range", self.column, self.low, self.high)
 
     def render_sql(self) -> str:
@@ -141,7 +156,7 @@ class SpatialPredicate(Predicate):
             & (pts[:, 1] <= self.box.max_y)
         )
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (
             "spatial",
             self.column,
@@ -168,7 +183,7 @@ class EqualsPredicate(Predicate):
     def mask(self, table: Table) -> np.ndarray:
         return table.numeric(self.column) == self.value
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return ("equals", self.column, self.value)
 
     def render_sql(self) -> str:

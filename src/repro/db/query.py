@@ -130,7 +130,21 @@ class SelectQuery:
         return replace(self, hints=None)
 
     def key(self) -> tuple:
-        """Hashable identity (used by memoization layers)."""
+        """Hashable identity (used by memoization layers).
+
+        Computed once and cached on the (immutable) instance: every cache
+        layer in the stack — plan, true-time, decision, QTE feature memos —
+        keys on it, several times per request on the planning hot path.
+        """
+        try:
+            return object.__getattribute__(self, "_cached_key")
+        except AttributeError:
+            pass
+        key = self._compute_key()
+        object.__setattr__(self, "_cached_key", key)
+        return key
+
+    def _compute_key(self) -> tuple:
         return (
             self.table,
             tuple(p.key() for p in self.predicates),

@@ -35,6 +35,9 @@ class AccurateQTE(QueryTimeEstimator):
         missing = cache.missing(required_attributes(rewritten))
         return self.overhead_ms + self.unit_cost_ms * len(missing)
 
+    def cost_structure(self) -> tuple[float, float]:
+        return (self.unit_cost_ms, self.overhead_ms)
+
     def estimate(
         self, rewritten: SelectQuery, cache: SelectivityCache
     ) -> EstimationOutcome:

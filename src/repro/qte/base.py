@@ -12,9 +12,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from ..db import SelectQuery
 from .selectivity import SelectivityCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..db.predicates import Predicate
 
 
 @dataclass(frozen=True)
@@ -23,6 +27,38 @@ class EstimationOutcome:
 
     estimated_ms: float
     cost_ms: float
+
+
+def unit_cost_predictions(
+    rewritten_queries: Sequence[SelectQuery],
+    cache: SelectivityCache,
+    unit_cost_ms: float,
+    overhead_ms: float,
+) -> list[float]:
+    """Fused cost prediction for per-condition estimators.
+
+    Identical arithmetic to ``overhead_ms + unit_cost_ms *
+    len(cache.missing(required_attributes(rq)))`` per query, with the set
+    constructions inlined — this runs for every unexplored option after
+    every MDP step, across the whole planning frontier.
+    """
+    collected = cache.collected_keys
+    costs: list[float] = []
+    for rewritten in rewritten_queries:
+        hints = rewritten.hints
+        if hints is None:
+            costs.append(overhead_ms)
+            continue
+        index_on = hints.index_on
+        missing = 0
+        seen: list[str] = []
+        for predicate in rewritten.predicates:
+            column = predicate.column
+            if column in index_on and column not in collected and column not in seen:
+                missing += 1
+                seen.append(column)
+        costs.append(overhead_ms + unit_cost_ms * missing)
+    return costs
 
 
 def required_attributes(rewritten: SelectQuery) -> frozenset[str]:
@@ -60,6 +96,49 @@ class QueryTimeEstimator(ABC):
 
         Mutates ``cache`` with newly collected selectivities and returns
         both the estimate and the actual cost incurred.
+        """
+
+    def cost_structure(self) -> tuple[float, float] | None:
+        """``(unit_cost_ms, overhead_ms)`` if this estimator's cost is
+        ``overhead + unit × |uncollected required attributes|``, else None.
+
+        The lockstep planner uses this to re-price a whole frontier's
+        unexplored options with vectorized counting instead of per-option
+        :meth:`predict_cost_ms` calls.  Estimators whose cost does not have
+        this shape return None and plan per-request.
+        """
+        return None
+
+    def predict_costs(
+        self, rewritten_queries: Sequence[SelectQuery], cache: SelectivityCache
+    ) -> list[float]:
+        """Batched :meth:`predict_cost_ms` over several rewritten queries.
+
+        The MDP environment re-prices every unexplored option after each
+        step.  Estimators declaring a :meth:`cost_structure` get the fused
+        unit-cost pass; anything else falls back to a per-query loop.
+        Values are identical to per-query :meth:`predict_cost_ms` calls
+        either way.
+        """
+        structure = self.cost_structure()
+        if structure is not None:
+            unit_cost_ms, overhead_ms = structure
+            return unit_cost_predictions(
+                rewritten_queries, cache, unit_cost_ms, overhead_ms
+            )
+        return [self.predict_cost_ms(rq, cache) for rq in rewritten_queries]
+
+    def collect_batch(self, probes: Sequence["Predicate"]) -> None:
+        """Pre-collect many selectivity probes ahead of :meth:`estimate`.
+
+        The lockstep planner gathers the uncollected (attribute, predicate)
+        probes of a whole request frontier and offers them here so an
+        estimator can answer them in fused, vectorized passes and memoize
+        the results; the per-request ``estimate`` calls that follow then hit
+        those memos.  Purely a host-side accelerator: implementations MUST
+        produce bit-identical selectivity values to their sequential path
+        and MUST NOT touch any per-request cache or virtual-cost accounting.
+        The default does nothing (memoless QTEs have nothing to fuse).
         """
 
     def invalidate(self) -> None:

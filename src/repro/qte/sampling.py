@@ -23,6 +23,13 @@ import numpy as np
 
 from ..db import Database, SelectQuery
 from ..db.caches import CacheStats, InstrumentedCache
+from ..db.predicates import (
+    EqualsPredicate,
+    KeywordPredicate,
+    Predicate,
+    RangePredicate,
+    SpatialPredicate,
+)
 from ..errors import EstimationError
 from .base import EstimationOutcome, QueryTimeEstimator, required_attributes
 from .selectivity import SelectivityCache
@@ -57,6 +64,9 @@ class SamplingQTE(QueryTimeEstimator):
         # hardware produces the number.
         self._sel_memo = InstrumentedCache("qte_selectivity", capacity=8192)
         self._feature_memo = InstrumentedCache("qte_feature", capacity=8192)
+        #: table name -> (n_rows, log1p(n_rows) / 12) — recomputed per
+        #: featurization otherwise; dropped with the other memos.
+        self._table_memo: dict[str, tuple[int, float]] = {}
         # Self-invalidate on any catalog change, so even a bare Maliva
         # facade (no serving layer attached) never serves stale memos.
         database.add_invalidation_hook(self._on_table_invalidated)
@@ -68,25 +78,104 @@ class SamplingQTE(QueryTimeEstimator):
         missing = cache.missing(required_attributes(rewritten))
         return self.overhead_ms + self.unit_cost_ms * len(missing)
 
+    def cost_structure(self) -> tuple[float, float]:
+        return (self.unit_cost_ms, self.overhead_ms)
+
     def estimate(
         self, rewritten: SelectQuery, cache: SelectivityCache
     ) -> EstimationOutcome:
         if self._weights is None:
             raise EstimationError("SamplingQTE.estimate called before fit()")
-        needed = required_attributes(rewritten)
-        missing = cache.missing(needed)
-        cost_ms = self.overhead_ms + self.unit_cost_ms * len(missing)
-        by_column = {p.column: p for p in rewritten.predicates}
-        for attribute in missing:
-            cache.put(attribute, self._sample_selectivity(by_column[attribute]))
+        # Inlined required_attributes/missing walk: one pass over the
+        # predicates, collecting as it goes (runs once per MDP step).  When
+        # several predicates share a column, the LAST one is sampled — the
+        # by-column-dict semantics of the prefetch paths (``probes_for``,
+        # the lockstep frontier) and of the original frozenset walk.
+        hints = rewritten.hints
+        collected = cache.collected_keys
+        cost_ms = self.overhead_ms
+        if hints is not None:
+            index_on = hints.index_on
+            by_column: dict[str, object] | None = None
+            for predicate in rewritten.predicates:
+                column = predicate.column
+                if column in index_on and column not in collected:
+                    if by_column is None:
+                        by_column = {p.column: p for p in rewritten.predicates}
+                    cache.put(column, self._sample_selectivity(by_column[column]))
+                    cost_ms += self.unit_cost_ms
         features = self.feature_vector(rewritten, cache)
         predicted_log = float(features @ self._weights)
-        estimated_ms = float(np.clip(math.expm1(min(predicted_log, 25.0)), 0.1, 1e7))
+        estimated_ms = min(max(math.expm1(min(predicted_log, 25.0)), 0.1), 1e7)
         return EstimationOutcome(estimated_ms=estimated_ms, cost_ms=cost_ms)
 
     # ------------------------------------------------------------------
     # Selectivity collection and featurization
     # ------------------------------------------------------------------
+    def collect_batch(self, probes: Sequence[Predicate]) -> None:
+        """Answer many selectivity probes with one fused pass per attribute.
+
+        Deduplicates the frontier's probes against each other and against
+        the cross-request memo, then counts all of an attribute's pending
+        predicates in a single vectorized sweep of the sample table (one
+        broadcast comparison for ranges/boxes, one token-set walk for
+        keywords) instead of one engine round-trip per predicate.  Counts
+        are computed with exactly the predicate-mask comparisons, so the
+        memoized values are bit-identical to :meth:`_sample_selectivity`'s.
+        """
+        pending: dict[tuple, Predicate] = {}
+        for predicate in probes:
+            key = predicate.key()
+            if key not in pending and self._sel_memo.get(key) is None:
+                pending[key] = predicate
+        if not pending:
+            return
+        sample = self._db.table(self.sample_table)
+        if sample.n_rows == 0:
+            # Sequential collection answers 0.0 without memoizing; match it.
+            return
+        n_rows = sample.n_rows
+        groups: dict[tuple[type, str], list[Predicate]] = {}
+        for predicate in pending.values():
+            groups.setdefault((type(predicate), predicate.column), []).append(predicate)
+        for (kind, column), group in groups.items():
+            for predicate, count in zip(group, self._fused_counts(sample, kind, column, group)):
+                self._sel_memo.put(predicate.key(), int(count) / n_rows)
+
+    def _fused_counts(self, sample, kind, column: str, group: list) -> np.ndarray:
+        """Matching-row counts for same-attribute predicates, one table pass."""
+        if kind is RangePredicate:
+            values = sample.numeric(column)
+            lows = np.array([-np.inf if p.low is None else p.low for p in group])
+            highs = np.array([np.inf if p.high is None else p.high for p in group])
+            hit = (values >= lows[:, None]) & (values <= highs[:, None])
+            return hit.sum(axis=1)
+        if kind is EqualsPredicate:
+            values = sample.numeric(column)
+            targets = np.array([p.value for p in group])
+            return (values == targets[:, None]).sum(axis=1)
+        if kind is SpatialPredicate:
+            pts = sample.points(column)
+            boxes = np.array(
+                [(p.box.min_x, p.box.max_x, p.box.min_y, p.box.max_y) for p in group]
+            )
+            hit = (
+                (pts[:, 0] >= boxes[:, 0:1])
+                & (pts[:, 0] <= boxes[:, 1:2])
+                & (pts[:, 1] >= boxes[:, 2:3])
+                & (pts[:, 1] <= boxes[:, 3:4])
+            )
+            return hit.sum(axis=1)
+        if kind is KeywordPredicate:
+            counts = {p.keyword: 0 for p in group}
+            keywords = frozenset(counts)
+            for tokens in sample.token_sets(column):
+                for keyword in keywords & tokens:
+                    counts[keyword] += 1
+            return np.array([counts[p.keyword] for p in group])
+        # Unknown predicate kinds fall back to exact per-predicate masks.
+        return np.array([int(p.mask(sample).sum()) for p in group])
+
     def _sample_selectivity(self, predicate) -> float:
         cached = self._sel_memo.get(predicate.key())
         if cached is not None:
@@ -123,13 +212,9 @@ class SamplingQTE(QueryTimeEstimator):
         session query whose per-request cache collected the same attributes
         reuses the vector bit-identically instead of re-featurizing.
         """
-        query_columns = {p.column for p in rewritten.predicates}
+        query_columns = [p.column for p in rewritten.predicates]
         collected = tuple(
-            sorted(
-                (attr, sel)
-                for attr, sel in cache.collected.items()
-                if attr in query_columns
-            )
+            sorted(item for item in cache.items() if item[0] in query_columns)
         )
         memo_key = (rewritten.key(), collected)
         memoized = self._feature_memo.get(memo_key)
@@ -142,58 +227,77 @@ class SamplingQTE(QueryTimeEstimator):
     def _compute_feature_vector(
         self, rewritten: SelectQuery, cache: SelectivityCache
     ) -> np.ndarray:
-        sels = self._resolved_selectivities(rewritten, cache)
-        n_rows = self._db.table(rewritten.table).n_rows
-        hinted = rewritten.hints.index_on if rewritten.hints is not None else frozenset()
-        access_sels = [
-            sels[p.column] for p in rewritten.predicates if p.column in hinted
-        ]
-        all_sel = 1.0
+        """One feature row.  Runs once per MDP step on the planning hot
+        path, so the selectivity resolution is inlined (single predicate
+        pass) and the per-table log term memoized; the arithmetic — order
+        of multiplications included — matches the original formulation
+        exactly."""
+        log1p = math.log1p
+        table_memo = self._table_memo.get(rewritten.table)
+        if table_memo is None:
+            n_rows = self._db.table(rewritten.table).n_rows
+            table_memo = (n_rows, log1p(n_rows) / 12.0)
+            self._table_memo[rewritten.table] = table_memo
+        n_rows, log_rows = table_memo
+
+        hints = rewritten.hints
+        hinted = hints.index_on if hints is not None else frozenset()
+        collected = cache.collected_keys
+        sels: dict[str, float] = {}
         for predicate in rewritten.predicates:
-            all_sel *= sels[predicate.column]
+            column = predicate.column
+            if column in collected:
+                sels[column] = cache.get(column)
+            else:
+                sels[column] = self._db.estimated_selectivity(rewritten.table, predicate)
+        access_sels: list[float] = []
+        all_sel = 1.0
         access_product = 1.0
-        for sel in access_sels:
-            access_product *= sel
+        for predicate in rewritten.predicates:
+            sel = sels[predicate.column]
+            all_sel *= sel
+            if predicate.column in hinted:
+                access_sels.append(sel)
+                access_product *= sel
 
         full_scan = 0.0 if access_sels else 1.0
-        features = [
-            1.0,
-            math.log1p(n_rows) / 12.0,
-            full_scan,
-            full_scan * math.log1p(n_rows) / 12.0,
-            math.log1p(n_rows * access_product) / 12.0 if access_sels else 0.0,
-            math.log1p(sum(n_rows * s for s in access_sels)) / 12.0,
-            math.log1p(n_rows * all_sel) / 12.0,
-            float(len(access_sels)),
-            float(len(rewritten.predicates) - len(access_sels)),
-        ]
+        features = np.empty(self.n_features, dtype=np.float64)
+        features[0] = 1.0
+        features[1] = log_rows
+        features[2] = full_scan
+        features[3] = full_scan * log_rows
+        features[4] = log1p(n_rows * access_product) / 12.0 if access_sels else 0.0
+        features[5] = log1p(sum(n_rows * s for s in access_sels)) / 12.0
+        features[6] = log1p(n_rows * all_sel) / 12.0
+        features[7] = float(len(access_sels))
+        features[8] = float(len(rewritten.predicates) - len(access_sels))
         # Per canonical attribute: presence, index usage, log selectivity.
+        index = 9
         for attribute in self.attributes:
-            present = attribute in sels
-            features.append(1.0 if present else 0.0)
-            features.append(1.0 if attribute in hinted else 0.0)
-            features.append(
-                -math.log10(max(sels[attribute], 1e-6)) / 6.0 if present else 0.0
+            sel = sels.get(attribute)
+            features[index] = 1.0 if sel is not None else 0.0
+            features[index + 1] = 1.0 if attribute in hinted else 0.0
+            features[index + 2] = (
+                -math.log10(max(sel, 1e-6)) / 6.0 if sel is not None else 0.0
             )
+            index += 3
         # Join method one-hots and inner-filter selectivity estimate.
+        join_method = hints.join_method if hints is not None else None
         for method in ("nestloop", "hash", "merge"):
-            features.append(
-                1.0
-                if rewritten.hints is not None
-                and rewritten.hints.join_method == method
-                else 0.0
-            )
+            features[index] = 1.0 if join_method == method else 0.0
+            index += 1
         if rewritten.join is not None:
             inner_stats = self._db.stats(rewritten.join.table)
             inner_sel = inner_stats.estimate_conjunction(rewritten.join.predicates)
-            features.append(1.0)
-            features.append(math.log1p(inner_stats.n_rows * inner_sel) / 12.0)
+            features[index] = 1.0
+            features[index + 1] = log1p(inner_stats.n_rows * inner_sel) / 12.0
         else:
-            features.extend([0.0, 0.0])
-        features.append(
-            math.log1p(rewritten.limit) / 12.0 if rewritten.limit is not None else 0.0
+            features[index] = 0.0
+            features[index + 1] = 0.0
+        features[index + 2] = (
+            log1p(rewritten.limit) / 12.0 if rewritten.limit is not None else 0.0
         )
-        return np.asarray(features, dtype=np.float64)
+        return features
 
     @property
     def n_features(self) -> int:
@@ -240,6 +344,7 @@ class SamplingQTE(QueryTimeEstimator):
         """Drop the cross-request memos (normally hook-driven, see __init__)."""
         self._sel_memo.clear()
         self._feature_memo.clear()
+        self._table_memo.clear()
 
     def _on_table_invalidated(self, table_name: str) -> None:
         # Features embed base-table statistics and sample counts; clearing

@@ -35,6 +35,20 @@ class SelectivityCache:
     def collected(self) -> dict[str, float]:
         return dict(self._values)
 
+    def items(self):
+        """Live (attribute, selectivity) view — hot-path alternative to
+        copying :attr:`collected`."""
+        return self._values.items()
+
+    @property
+    def collected_keys(self):
+        """Live, read-only view of the collected attribute names.
+
+        Cost predictors probe membership here once per unexplored option per
+        MDP step; the view avoids re-copying the dict on that hot path.
+        """
+        return self._values.keys()
+
     def clear(self) -> None:
         self._values.clear()
 

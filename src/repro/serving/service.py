@@ -6,6 +6,13 @@ Maliva` facade and turns it from a one-shot answerer into a serving layer:
 * **batches and streams** — :meth:`answer_many` / :meth:`answer_stream`
   accept :class:`~repro.serving.requests.VizRequest` envelopes carrying
   per-request deadlines and session ids;
+* **staged planning pipeline** — a batch flows through resolve →
+  schedule → plan → execute stages; decision-cache hits skip the plan
+  stage entirely, and the misses are planned together in one lockstep
+  :meth:`~repro.core.middleware.Maliva.rewrite_batch` call (bit-identical
+  to per-request planning, one q-network pass per MDP depth for the whole
+  batch).  Streams drain through the same pipeline in micro-batches of
+  ``stream_batch_size``;
 * **session-affinity scheduling** — batches are reordered so same-session
   requests run back-to-back and hit the engine's cross-request caches;
 * **decision caching** — the MDP planning loop is deterministic given the
@@ -49,12 +56,16 @@ class MalivaService:
         scheduler: SessionAffinityScheduler | None = None,
         decision_cache_size: int = 4096,
         quality_fn: QualityFunction | None = None,
+        stream_batch_size: int = 8,
     ) -> None:
+        if stream_batch_size < 1:
+            raise QueryError("stream_batch_size must be at least 1")
         self.maliva = maliva
         self.translator = translator
         self.default_tau_ms = default_tau_ms if default_tau_ms is not None else maliva.tau_ms
         self.scheduler = scheduler or SessionAffinityScheduler()
         self.quality_fn = quality_fn
+        self.stream_batch_size = stream_batch_size
         self._decision_cache = InstrumentedCache("decision", capacity=decision_cache_size)
         self.stats = ServiceStats()
         # Engine caches are shared with offline work (training warmed them);
@@ -87,54 +98,117 @@ class MalivaService:
     # Serving
     # ------------------------------------------------------------------
     def answer_one(self, request: VizRequest) -> RequestOutcome:
-        """Serve a single request through the shared caches."""
-        started = time.perf_counter()
-        query, tau_ms = self.resolve(request)
-        decision_key = (query.key(), tau_ms)
-        decision = self._decision_cache.get(decision_key)
-        decision_cached = decision is not None
-        if decision is None:
-            decision = self.maliva.rewrite(query, tau_ms=tau_ms)
-            self._decision_cache.put(
-                decision_key, decision, tags=self._decision_tags(query)
-            )
-        outcome = self.maliva.finish(query, decision, tau_ms, self.quality_fn)
-        self.stats.record(
-            RequestRecord(
-                request_id=request.request_id,
-                session_id=request.effective_session(),
-                tau_ms=tau_ms,
-                planning_ms=outcome.planning_ms,
-                execution_ms=outcome.execution_ms,
-                viable=outcome.viable,
-                wall_s=time.perf_counter() - started,
-                cache_hits=outcome.cache_hits,
-                cache_misses=outcome.cache_misses,
-                decision_cached=decision_cached,
-            )
-        )
-        return outcome
+        """Serve a single request: a one-element pipeline batch."""
+        return self.answer_many([request])[0]
 
     def answer_many(self, requests: Sequence[VizRequest]) -> list[RequestOutcome]:
-        """Serve a batch; outcomes are returned in *submission* order.
+        """Serve a batch through the staged pipeline; outcomes are returned
+        in *submission* order.
 
-        Internally the batch runs in the scheduler's session-affinity order
-        so cache locality follows each user's exploration trajectory.
+        Stages: **resolve** every payload, **schedule** the batch into the
+        scheduler's session-affinity order, **plan** — decision-cache hits
+        skip this stage, the misses (deduplicated on ``(query, tau)``) are
+        planned together in one lockstep ``rewrite_batch`` call — and
+        **execute** in the scheduled order so cache locality follows each
+        user's exploration trajectory.  Per-request virtual times are
+        identical to per-request :meth:`answer_one` calls; only the
+        middleware host gets faster.
         """
+        if not requests:
+            return []
+        batch_started = time.perf_counter()
+        resolved = [self.resolve(request) for request in requests]
+        resolved_at = time.perf_counter()
+
         order = self.scheduler.order(requests)
         if sorted(order) != list(range(len(requests))):
             raise QueryError("scheduler must produce a permutation of the batch")
+        scheduled_at = time.perf_counter()
+
+        decisions: list[object | None] = [None] * len(requests)
+        cached_flags = [False] * len(requests)
+        misses: dict[tuple, list[int]] = {}
+        for index, (query, tau_ms) in enumerate(resolved):
+            key = (query.key(), tau_ms)
+            decision = self._decision_cache.get(key)
+            if decision is not None:
+                decisions[index] = decision
+                cached_flags[index] = True
+            else:
+                misses.setdefault(key, []).append(index)
+        if misses:
+            groups = list(misses.values())
+            planned = self.maliva.rewrite_batch(
+                [resolved[group[0]][0] for group in groups],
+                [resolved[group[0]][1] for group in groups],
+            )
+            for group, decision in zip(groups, planned):
+                query, tau_ms = resolved[group[0]]
+                self._decision_cache.put(
+                    (query.key(), tau_ms), decision, tags=self._decision_tags(query)
+                )
+                for index in group:
+                    decisions[index] = decision
+                    # Later duplicates would have been cache hits sequentially.
+                    cached_flags[index] = index != group[0]
+        planned_at = time.perf_counter()
+
+        # Shared pipeline time is charged evenly across the batch.
+        shared_s = (planned_at - batch_started) / len(requests)
+        self.stats.record_stage("resolve", resolved_at - batch_started)
+        self.stats.record_stage("schedule", scheduled_at - resolved_at)
+        self.stats.record_stage("plan", planned_at - scheduled_at)
+
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
+        execute_started = time.perf_counter()
         for index in order:
-            outcomes[index] = self.answer_one(requests[index])
+            started = time.perf_counter()
+            query, tau_ms = resolved[index]
+            outcome = self.maliva.finish(query, decisions[index], tau_ms, self.quality_fn)
+            outcomes[index] = outcome
+            request = requests[index]
+            self.stats.record(
+                RequestRecord(
+                    request_id=request.request_id,
+                    session_id=request.effective_session(),
+                    tau_ms=tau_ms,
+                    planning_ms=outcome.planning_ms,
+                    execution_ms=outcome.execution_ms,
+                    viable=outcome.viable,
+                    wall_s=(time.perf_counter() - started) + shared_s,
+                    cache_hits=outcome.cache_hits,
+                    cache_misses=outcome.cache_misses,
+                    decision_cached=cached_flags[index],
+                )
+            )
+        self.stats.record_stage("execute", time.perf_counter() - execute_started)
         return [outcome for outcome in outcomes if outcome is not None]
 
     def answer_stream(
-        self, requests: Iterable[VizRequest]
+        self,
+        requests: Iterable[VizRequest],
+        stream_batch_size: int | None = None,
     ) -> Iterator[tuple[VizRequest, RequestOutcome]]:
-        """Serve an open-ended stream in arrival order, lazily."""
+        """Serve an open-ended stream in arrival order, chunk-wise lazily.
+
+        Requests are drained through the :meth:`answer_many` pipeline in
+        micro-batches of ``stream_batch_size`` (service default unless
+        overridden), so streamed traffic gets the same session-affinity
+        scheduling, lockstep planning, and decision-cache reuse as batches.
+        Results for a chunk are yielded, in arrival order, as soon as the
+        chunk completes; a chunk size of 1 reproduces fully lazy serving.
+        """
+        size = self.stream_batch_size if stream_batch_size is None else stream_batch_size
+        if size < 1:
+            raise QueryError("stream_batch_size must be at least 1")
+        chunk: list[VizRequest] = []
         for request in requests:
-            yield request, self.answer_one(request)
+            chunk.append(request)
+            if len(chunk) >= size:
+                yield from zip(chunk, self.answer_many(chunk))
+                chunk = []
+        if chunk:
+            yield from zip(chunk, self.answer_many(chunk))
 
     # ------------------------------------------------------------------
     # Mutation and observability

@@ -43,10 +43,16 @@ class ServiceStats:
 
     records: list[RequestRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Wall-clock seconds per pipeline stage (resolve/schedule/plan/execute).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
         self.wall_seconds += record.wall_s
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time into one pipeline stage's counter."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     # ------------------------------------------------------------------
     @property
@@ -104,4 +110,5 @@ class ServiceStats:
             "p50_latency_ms": self.latency_ms(50.0),
             "p95_latency_ms": self.latency_ms(95.0),
             "decision_cache_hits": self.decision_cache_hits,
+            "stage_seconds": dict(self.stage_seconds),
         }

@@ -1,0 +1,161 @@
+"""Pipeline equivalence: staged/batched serving == per-request serving.
+
+The acceptance property of the batched planning pipeline: for any batch,
+scheduler, seed, and QTE, ``answer_many`` (resolve → schedule → batch-plan
+→ execute) and chunked ``answer_stream`` produce bit-identical option
+labels, ``planning_ms``, and ``total_ms`` to per-request ``answer_one``
+calls on the deterministic engine profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import Maliva, TrainingConfig
+from repro.qte import AccurateQTE, SamplingQTE
+from repro.serving import (
+    FifoScheduler,
+    MalivaService,
+    SessionAffinityScheduler,
+    VizRequest,
+    interleave,
+    requests_from_steps,
+)
+from repro.viz import TWITTER_TRANSLATOR
+
+from ..conftest import TEST_TAU_MS
+
+
+@pytest.fixture(scope="module")
+def sampling_serving_maliva(twitter_db, twitter_queries, hint_space) -> Maliva:
+    qte = SamplingQTE(
+        twitter_db, hint_space.attributes, "tweets_qte_sample", unit_cost_ms=8.0
+    )
+    qte.fit(
+        [
+            hint_space.build(query, twitter_db, index)
+            for query in twitter_queries[:6]
+            for index in range(len(hint_space))
+        ]
+    )
+    maliva = Maliva(
+        twitter_db, hint_space, qte, TEST_TAU_MS,
+        config=TrainingConfig(max_epochs=5, seed=7),
+    )
+    maliva.train(list(twitter_queries[:16]))
+    return maliva
+
+
+def _shuffled_requests(session_steps, seed: int, n: int) -> list[VizRequest]:
+    stream = interleave(
+        requests_from_steps(steps, session_id)
+        for session_id, steps in session_steps.items()
+    )
+    rng = np.random.default_rng(seed)
+    picked = [stream[i] for i in rng.permutation(len(stream))[:n]]
+    # Vary per-request deadlines so the plan stage sees heterogeneous taus.
+    taus = [None, 40.0, TEST_TAU_MS, 90.0]
+    return [
+        replace(request, tau_ms=taus[index % len(taus)])
+        for index, request in enumerate(picked)
+    ]
+
+
+@pytest.mark.parametrize("scheduler_cls", [SessionAffinityScheduler, FifoScheduler])
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("qte_kind", ["accurate", "sampling"])
+def test_answer_many_pipeline_bit_identical_to_answer_one(
+    serving_maliva, sampling_serving_maliva, session_steps, scheduler_cls, seed, qte_kind
+):
+    maliva = serving_maliva if qte_kind == "accurate" else sampling_serving_maliva
+    requests = _shuffled_requests(session_steps, seed, 30)
+    pipelined = MalivaService(
+        maliva, translator=TWITTER_TRANSLATOR, scheduler=scheduler_cls()
+    )
+    sequential = MalivaService(
+        maliva, translator=TWITTER_TRANSLATOR, scheduler=scheduler_cls()
+    )
+    batched = pipelined.answer_many(requests)
+    one_by_one = [sequential.answer_one(request) for request in requests]
+    assert len(batched) == len(requests)
+    for left, right in zip(batched, one_by_one):
+        assert left.option_label == right.option_label
+        assert left.planning_ms == right.planning_ms
+        assert left.execution_ms == right.execution_ms
+        assert left.total_ms == right.total_ms
+        assert left.reason == right.reason
+        assert left.viable == right.viable
+
+
+@pytest.mark.parametrize("chunk", [1, 4, 7, 64])
+def test_answer_stream_micro_batches_preserve_order_and_times(
+    serving_maliva, session_steps, chunk
+):
+    requests = _shuffled_requests(session_steps, 3, 25)
+    streamed = MalivaService(
+        serving_maliva, translator=TWITTER_TRANSLATOR, stream_batch_size=chunk
+    )
+    reference = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
+    served = list(streamed.answer_stream(iter(requests)))
+    assert [request.request_id for request, _ in served] == [
+        request.request_id for request in requests
+    ]
+    expected = [reference.answer_one(request) for request in requests]
+    for (_, outcome), reference_outcome in zip(served, expected):
+        assert outcome.option_label == reference_outcome.option_label
+        assert outcome.total_ms == reference_outcome.total_ms
+
+
+def test_stream_micro_batches_reach_scheduler_and_decision_cache(
+    serving_maliva, session_steps
+):
+    """Streams ride the same pipeline: chunked requests are scheduled for
+    affinity and the second pass over the stream hits the decision cache."""
+    requests = _shuffled_requests(session_steps, 5, 24)
+    service = MalivaService(
+        serving_maliva, translator=TWITTER_TRANSLATOR, stream_batch_size=8
+    )
+    list(service.answer_stream(iter(requests)))
+    assert service.stats.stage_seconds.get("schedule") is not None
+    list(service.answer_stream(iter(requests)))
+    warm = service.stats.records[len(requests):]
+    assert all(record.decision_cached for record in warm)
+
+
+def test_within_batch_duplicates_plan_once_and_mark_cached(
+    serving_maliva, session_steps
+):
+    base = _shuffled_requests(session_steps, 7, 6)
+    duplicated = base + [replace(request) for request in base]
+    service = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
+    outcomes = service.answer_many(duplicated)
+    for first, second in zip(outcomes[: len(base)], outcomes[len(base):]):
+        assert first.total_ms == second.total_ms
+        assert first.option_label == second.option_label
+    # The duplicate half skipped the plan stage.
+    records = {record.request_id: record for record in service.stats.records}
+    assert sum(record.decision_cached for record in service.stats.records) >= len(base)
+
+
+def test_stage_seconds_cover_the_pipeline(serving_maliva, session_steps):
+    requests = _shuffled_requests(session_steps, 11, 16)
+    service = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
+    service.answer_many(requests)
+    stages = service.stats.to_dict()["stage_seconds"]
+    assert set(stages) == {"resolve", "schedule", "plan", "execute"}
+    assert all(seconds >= 0.0 for seconds in stages.values())
+    # Wall accounting stays consistent: per-request walls sum to ~the total.
+    assert service.stats.wall_seconds > 0.0
+
+
+def test_invalid_stream_batch_size_rejected(serving_maliva):
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        MalivaService(serving_maliva, stream_batch_size=0)
+    service = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
+    with pytest.raises(QueryError):
+        list(service.answer_stream(iter([]), stream_batch_size=0))
