@@ -23,16 +23,11 @@ import json
 import time
 from pathlib import Path
 
-from _bench_utils import SCALE, SEED, emit
+from _bench_utils import SCALE, build_twitter_serving_setup, emit
 
-from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
+from repro.core import TrainingConfig
 from repro.core.trainer import DQNTrainer
-from repro.datasets import TwitterConfig, build_twitter_database
-from repro.db import EngineProfile
-from repro.qte import SamplingQTE
-from repro.serving import interleave, requests_from_steps
 from repro.viz import TWITTER_TRANSLATOR
-from repro.workloads import ExplorationSessionGenerator, TwitterWorkloadGenerator
 
 TINY = SCALE.name == "tiny"
 N_TWEETS = 8_000 if TINY else 60_000
@@ -46,40 +41,17 @@ SPEEDUP_BAR = 3.0
 
 
 def _build():
-    database = build_twitter_database(
-        TwitterConfig(n_tweets=N_TWEETS, n_users=N_TWEETS // 40, seed=SEED + 9),
-        profile=EngineProfile.deterministic(),
-        seed=SEED,
+    return build_twitter_serving_setup(
+        n_tweets=N_TWEETS,
+        n_users=N_TWEETS // 40,
+        sample_fraction=SAMPLE_FRACTION,
+        qte="sampling",
+        unit_cost_ms=UNIT_COST_MS,
+        tau_ms=TAU_MS,
+        max_epochs=4,
+        n_sessions=N_SESSIONS,
+        steps_per_session=STEPS_PER_SESSION,
     )
-    database.create_sample_table(
-        "tweets", SAMPLE_FRACTION, name="tweets_qte_sample", seed=17
-    )
-    space = RewriteOptionSpace.hint_subsets(("text", "created_at", "coordinates"))
-    qte = SamplingQTE(
-        database, space.attributes, "tweets_qte_sample", unit_cost_ms=UNIT_COST_MS
-    )
-    train_queries = TwitterWorkloadGenerator(database, seed=21).generate(20)
-    qte.fit(
-        [
-            space.build(query, database, index)
-            for query in train_queries[:10]
-            for index in range(len(space))
-        ]
-    )
-    maliva = Maliva(
-        database, space, qte, TAU_MS, config=TrainingConfig(max_epochs=4, seed=13)
-    )
-    maliva.train(list(train_queries))
-
-    sessions = ExplorationSessionGenerator(database, seed=29).generate_many(
-        N_SESSIONS, n_steps=STEPS_PER_SESSION
-    )
-    stream = interleave(
-        requests_from_steps(steps, session_id)
-        for session_id, steps in sessions.items()
-    )
-    queries = [TWITTER_TRANSLATOR.to_query(request.payload) for request in stream]
-    return maliva, stream, queries, train_queries
 
 
 def _cold(maliva):

@@ -15,15 +15,9 @@ and the speedup, and asserts the warm pass clears a 1.5x gain.
 import json
 from pathlib import Path
 
-from _bench_utils import SEED, emit
+from _bench_utils import build_twitter_serving_setup, emit
 
-from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
-from repro.datasets import TwitterConfig, build_twitter_database
-from repro.db import EngineProfile
-from repro.qte import AccurateQTE
-from repro.serving import interleave, requests_from_steps
 from repro.viz import TWITTER_TRANSLATOR
-from repro.workloads import ExplorationSessionGenerator, TwitterWorkloadGenerator
 
 N_SESSIONS = 10
 STEPS_PER_SESSION = 10
@@ -31,35 +25,22 @@ TAU_MS = 60.0
 
 
 def _build_service():
-    database = build_twitter_database(
-        TwitterConfig(n_tweets=6_000, n_users=300, seed=SEED + 9),
-        profile=EngineProfile.deterministic(),
-        seed=SEED,
+    maliva, stream, _queries, _train = build_twitter_serving_setup(
+        n_tweets=6_000,
+        n_users=300,
+        sample_fraction=0.02,
+        qte="accurate",
+        unit_cost_ms=5.0,
+        tau_ms=TAU_MS,
+        max_epochs=6,
+        n_sessions=N_SESSIONS,
+        steps_per_session=STEPS_PER_SESSION,
     )
-    database.create_sample_table("tweets", 0.02, name="tweets_qte_sample", seed=17)
-    space = RewriteOptionSpace.hint_subsets(("text", "created_at", "coordinates"))
-    qte = AccurateQTE(database, unit_cost_ms=5.0, overhead_ms=1.0)
-    maliva = Maliva(
-        database,
-        space,
-        qte,
-        TAU_MS,
-        config=TrainingConfig(max_epochs=6, seed=13),
-    )
-    train_queries = TwitterWorkloadGenerator(database, seed=21).generate(20)
-    maliva.train(list(train_queries))
-    return maliva, maliva.service(translator=TWITTER_TRANSLATOR)
+    return maliva, maliva.service(translator=TWITTER_TRANSLATOR), stream
 
 
 def test_serving_throughput_cold_vs_warm(benchmark):
-    maliva, service = _build_service()
-    sessions = ExplorationSessionGenerator(maliva.database, seed=29).generate_many(
-        N_SESSIONS, n_steps=STEPS_PER_SESSION
-    )
-    stream = interleave(
-        requests_from_steps(steps, session_id)
-        for session_id, steps in sessions.items()
-    )
+    maliva, service, stream = _build_service()
     assert len(stream) == N_SESSIONS * STEPS_PER_SESSION
 
     cold_outcomes = service.answer_many(stream)

@@ -113,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["affinity", "fifo"],
         help="batch scheduling policy (session affinity vs arrival order)",
     )
+    serve.add_argument(
+        "--execute",
+        default="batched",
+        choices=["batched", "sequential"],
+        help="execute stage: batched shared-work executor vs per-request",
+    )
     serve.add_argument("--save-dir", default="results")
     serve.add_argument("--no-save", action="store_true")
     return parser
@@ -157,7 +163,11 @@ def _run_serve(args) -> int:
         requests_from_steps(steps, session_id) for session_id, steps in sessions.items()
     )
     scheduler = SessionAffinityScheduler() if args.scheduler == "affinity" else FifoScheduler()
-    service = maliva.service(translator=TWITTER_TRANSLATOR, scheduler=scheduler)
+    service = maliva.service(
+        translator=TWITTER_TRANSLATOR,
+        scheduler=scheduler,
+        batch_execute=args.execute == "batched",
+    )
 
     def drive(reset_after: bool) -> dict:
         if args.batch_size is None:
@@ -173,7 +183,7 @@ def _run_serve(args) -> int:
     batching = "whole batch" if args.batch_size is None else f"micro-batches of {args.batch_size}"
     print(
         f"serving {len(stream)} requests from {args.sessions} sessions "
-        f"({args.scheduler} scheduler, {batching}) ..."
+        f"({args.scheduler} scheduler, {batching}, {args.execute} execute) ..."
     )
     cold = drive(reset_after=True)
     warm = drive(reset_after=False)
@@ -199,6 +209,15 @@ def _run_serve(args) -> int:
     report = service.report()
     print(f"\nengine cache hit rate: {report['engine_hit_rate']:.1%}")
     print(f"decision cache hits:   {warm['decision_cache_hits']}/{warm['n_requests']}")
+    sharing = warm["execute_sharing"]
+    if sharing["n_batches"]:
+        print(
+            "execute-stage sharing: "
+            f"{sharing['shared_scans']} scans + {sharing['shared_bins']} histograms "
+            f"reused across {sharing['n_queries']} requests "
+            f"({sharing['n_probe_sweeps']} fused probe sweeps, "
+            f"{sharing['n_bin_sweeps']} fused bin sweeps)"
+        )
 
     if not args.no_save:
         out_dir = Path(args.save_dir)

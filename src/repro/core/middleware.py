@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..db import Database, ExecutionResult, SelectQuery
+from ..db import BatchSharingStats, Database, ExecutionResult, SelectQuery
 from ..errors import TrainingError
 from ..qte import QueryTimeEstimator
 from ..viz.quality import QualityFunction, evaluate_quality
@@ -185,6 +185,45 @@ class Maliva:
             cache_misses=result.cache_misses,
             plan_cached=result.plan_cached,
         )
+
+    def finish_batch(
+        self,
+        queries: Sequence[SelectQuery],
+        decisions: Sequence[RewriteDecision],
+        tau_ms: Sequence[float],
+    ) -> tuple[list[RequestOutcome], BatchSharingStats]:
+        """Execute many planned decisions through the batched executor.
+
+        Outcomes are element-wise identical to :meth:`finish` called per
+        request in the same order (the batch executor's equivalence
+        contract); the returned sharing stats describe how much scan/index/
+        binning work the batch deduplicated.  Quality evaluation is not
+        supported here — it interleaves extra engine work per request, which
+        the serving layer preserves by falling back to sequential
+        :meth:`finish` calls when a quality function is configured.
+        """
+        if not (len(queries) == len(decisions) == len(tau_ms)):
+            raise TrainingError("finish_batch arguments must have equal lengths")
+        results, sharing = self.database.execute_batch(
+            [decision.rewritten for decision in decisions]
+        )
+        outcomes = [
+            RequestOutcome(
+                original=query,
+                rewritten=decision.rewritten,
+                option_label=decision.option_label,
+                reason=decision.reason,
+                planning_ms=decision.planning_ms,
+                execution_ms=result.execution_ms,
+                result=result,
+                tau_ms=tau,
+                cache_hits=result.cache_hits,
+                cache_misses=result.cache_misses,
+                plan_cached=result.plan_cached,
+            )
+            for query, decision, tau, result in zip(queries, decisions, tau_ms, results)
+        ]
+        return outcomes, sharing
 
     def service(self, **kwargs) -> "object":
         """Build a :class:`repro.serving.MalivaService` over this middleware."""

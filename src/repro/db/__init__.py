@@ -5,7 +5,8 @@ paper.  See DESIGN.md §1 for the substitution rationale and §2.1 for the
 module inventory.
 """
 
-from .binning import bin_center, bin_counts, compute_bin_ids
+from .batch_executor import BatchExecutor, BatchSharingStats
+from .binning import BinLayout, bin_center, bin_counts, bin_counts_many, build_bin_layout, compute_bin_ids
 from .caches import CacheStats, CacheStatsReport, InstrumentedCache
 from .clock import Stopwatch, VirtualClock
 from .cost_model import CostModel, WorkCounters
@@ -41,7 +42,10 @@ from .types import BoundingBox, ColumnKind, Interval, days, tokenize
 __all__ = [
     "AccessPath",
     "ApproximationRule",
+    "BatchExecutor",
+    "BatchSharingStats",
     "BinGroupBy",
+    "BinLayout",
     "BoundingBox",
     "CacheStats",
     "CacheStatsReport",
@@ -83,6 +87,8 @@ __all__ = [
     "apply_hints",
     "bin_center",
     "bin_counts",
+    "bin_counts_many",
+    "build_bin_layout",
     "compute_bin_ids",
     "days",
     "derive_counters",

@@ -22,14 +22,17 @@ from __future__ import annotations
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..errors import SchemaError
+from .batch_executor import BatchExecutor, BatchSharingStats
+from .binning import BinLayout, build_bin_layout
 from .caches import CacheStats, CacheStatsReport, InstrumentedCache
 from .cost_model import CostModel
 from .executor import ExecutionResult, Executor
+from .query import BinGroupBy
 from .indexes import GridIndex, Index, IndexLookup, InvertedIndex, SortedIndex
 from .optimizer import Optimizer
 from .plans import PhysicalPlan
@@ -112,6 +115,11 @@ class Database:
         # current statistics build; the QTE featurizer asks for the same
         # (table, predicate) pairs on every estimate of every request.
         self._estimate_cache = InstrumentedCache("estimate", capacity=4096)
+        # Precomputed whole-column BIN_ID layouts shared by aggregate
+        # queries.  Deliberately uninstrumented (like the key cache): both
+        # the sequential and the batched executor may consult it without
+        # perturbing the per-request cache hit/miss accounting.
+        self._bin_layout_cache: dict[tuple, BinLayout] = {}
         self._warm_structures: OrderedDict = OrderedDict()
         #: Callables invoked with the table name whenever a table is
         #: invalidated, so layers holding derived state the database cannot
@@ -250,6 +258,34 @@ class Database:
             cache_misses=misses,
             plan_cached=was_planned,
         )
+
+    def execute_batch(
+        self, queries: Sequence[SelectQuery]
+    ) -> tuple[list[ExecutionResult], BatchSharingStats]:
+        """Execute many queries with cross-request work sharing.
+
+        Observably equivalent to ``[self.execute(q) for q in queries]`` —
+        bit-identical results, work counters, virtual times, per-request
+        cache hit/miss deltas, and post-call cache/RNG state — while each
+        distinct index probe, predicate row set, scan pipeline, and BIN_ID
+        histogram is computed once per batch (see
+        :class:`~repro.db.batch_executor.BatchExecutor`).  Also returns the
+        batch's sharing statistics for serving-layer reports.
+        """
+        return BatchExecutor(self).execute(list(queries))
+
+    def bin_layout(self, table_name: str, group_by: BinGroupBy) -> BinLayout:
+        """Whole-column BIN_ID layout, cached per (table, column, cell size).
+
+        Invalidated with the table's other derived state on mutation.
+        """
+        key = (table_name, group_by.column, group_by.cell_x, group_by.cell_y)
+        layout = self._bin_layout_cache.get(key)
+        if layout is None:
+            points = self.table(table_name).points(group_by.column)
+            layout = build_bin_layout(points, group_by)
+            self._bin_layout_cache[key] = layout
+        return layout
 
     def true_execution_time_ms(self, query: SelectQuery) -> float:
         """Noiseless execution time of the (hint-obeying) plan for ``query``.
@@ -470,6 +506,8 @@ class Database:
         self._estimate_cache.invalidate_tag(table_name)
         for key in [k for k in self._key_cache if k[0] == table_name]:
             del self._key_cache[key]
+        for key in [k for k in self._bin_layout_cache if k[0] == table_name]:
+            del self._bin_layout_cache[key]
         self._warm_structures.clear()
         self.analyze(table_name)
         self._fire_invalidation_hooks(table_name)
@@ -516,4 +554,5 @@ class Database:
         self._key_cache.clear()
         self._true_time_cache.clear()
         self._estimate_cache.clear()
+        self._bin_layout_cache.clear()
         self._warm_structures.clear()

@@ -6,6 +6,14 @@ work according to the plan's semantics — a full-scan plan is charged for
 touching every row even though the answer is assembled from memoized row-id
 sets.  Results are therefore always exact for the table the plan reads, while
 virtual execution time faithfully reflects the plan the database chose.
+
+Execution is split into :meth:`Executor.scan_rows` (scan + join + limit — the
+row-selection phase) and :meth:`Executor.finalize` (aggregation/projection),
+and every engine touch goes through an :class:`EngineAccess` provider.  The
+batch executor (``batch_executor.py``) swaps in a provider that shares
+predicate row sets, index probes, and bin sweeps across a whole batch while
+running the *same* access sequence — which is what keeps batched execution
+bit-identical to this per-request path.
 """
 
 from __future__ import annotations
@@ -20,11 +28,13 @@ from ..errors import ExecutionError
 from .binning import bin_counts
 from .cost_model import WorkCounters
 from .plans import PhysicalPlan
+from .predicates import Predicate
 from .query import SelectQuery
 from .rowset import RowSet, intersect_all
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .database import Database
+    from .indexes import IndexLookup
 
 
 @dataclass
@@ -62,11 +72,39 @@ class ExecutionResult:
         return int(len(self.row_ids))
 
 
+class EngineAccess:
+    """How the executor reaches the engine's shared matching services.
+
+    The default implementation simply delegates to the database's memoized
+    services; the batch executor substitutes one that adds batch-level
+    sharing.  Whatever the provider does internally, it must return values
+    identical to these defaults and drive the instrumented caches through
+    the same get/put sequence — the executor charges work from the returned
+    objects, so identical values mean identical counters.
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._db = database
+
+    def match_rowset(self, table_name: str, predicate: Predicate) -> RowSet:
+        return self._db.match_rowset(table_name, predicate)
+
+    def index_lookup(self, table_name: str, predicate: Predicate) -> "IndexLookup":
+        return self._db.index_lookup(table_name, predicate)
+
+    def access_rowset(
+        self, table_name: str, predicate: Predicate, lookup: "IndexLookup"
+    ) -> RowSet:
+        """RowSet for an access path's lookup (fresh per call by default)."""
+        return RowSet.from_ids(lookup.row_ids, self._db.table(table_name).n_rows)
+
+
 class Executor:
     """Executes physical plans against the database's storage."""
 
     def __init__(self, database: "Database") -> None:
         self._db = database
+        self._access = EngineAccess(database)
 
     def run(self, plan: PhysicalPlan, query: SelectQuery) -> tuple[WorkCounters, np.ndarray | None, dict[int, float] | None]:
         """Execute ``plan`` and return (counters, row_ids, bins).
@@ -74,18 +112,33 @@ class Executor:
         Row ids are returned in base-table space so approximate results read
         from sample tables remain comparable with exact results.
         """
+        counters, result_ids = self.scan_rows(plan)
+        return self.finalize(plan, counters, result_ids)
+
+    def scan_rows(
+        self, plan: PhysicalPlan, access: EngineAccess | None = None
+    ) -> tuple[WorkCounters, np.ndarray]:
+        """Row-selection phase: scan, join, and LIMIT — everything before
+        aggregation/projection.  Returns (counters so far, local row ids)."""
+        access = access or self._access
         counters = WorkCounters()
         table = self._db.table(plan.scan.table)
 
-        result_ids = self._run_scan(plan, counters)
+        result_ids = self._run_scan(plan, counters, access)
         if plan.join is not None:
-            result_ids = self._run_join(plan, table, result_ids, counters)
+            result_ids = self._run_join(plan, table, result_ids, counters, access)
 
         if plan.limit is not None and len(result_ids) > plan.limit:
             factor = plan.limit / len(result_ids)
             counters = counters.scaled(factor)
             result_ids = result_ids[: plan.limit]
+        return counters, result_ids
 
+    def finalize(
+        self, plan: PhysicalPlan, counters: WorkCounters, result_ids: np.ndarray
+    ) -> tuple[WorkCounters, np.ndarray | None, dict[int, float] | None]:
+        """Aggregation/projection phase over the selected rows."""
+        table = self._db.table(plan.scan.table)
         if plan.group_by is not None:
             counters.group_rows += len(result_ids)
             points = table.points(plan.group_by.column)[result_ids]
@@ -102,7 +155,9 @@ class Executor:
     # ------------------------------------------------------------------
     # Scan
     # ------------------------------------------------------------------
-    def _run_scan(self, plan: PhysicalPlan, counters: WorkCounters) -> np.ndarray:
+    def _run_scan(
+        self, plan: PhysicalPlan, counters: WorkCounters, access: EngineAccess
+    ) -> np.ndarray:
         scan = plan.scan
         table = self._db.table(scan.table)
 
@@ -111,17 +166,17 @@ class Executor:
             if not scan.residual:
                 return np.arange(table.n_rows, dtype=np.int64)
             rowsets = [
-                self._db.match_rowset(scan.table, predicate)
+                access.match_rowset(scan.table, predicate)
                 for predicate in scan.residual
             ]
             return intersect_all(rowsets).ids
 
         candidates: RowSet | None = None
         for path in scan.access:
-            lookup = self._db.index_lookup(scan.table, path.predicate)
+            lookup = access.index_lookup(scan.table, path.predicate)
             counters.index_probes += 1
             counters.index_entries += lookup.entries_scanned
-            rowset = RowSet.from_ids(lookup.row_ids, table.n_rows)
+            rowset = access.access_rowset(scan.table, path.predicate, lookup)
             if candidates is None:
                 candidates = rowset
             else:
@@ -132,7 +187,7 @@ class Executor:
         if scan.residual:
             counters.residual_checks += len(candidates) * len(scan.residual)
             for predicate in scan.residual:
-                matched = self._db.match_rowset(scan.table, predicate)
+                matched = access.match_rowset(scan.table, predicate)
                 candidates = candidates.intersect(matched)
         return candidates.ids
 
@@ -145,6 +200,7 @@ class Executor:
         outer_table,
         outer_ids: np.ndarray,
         counters: WorkCounters,
+        access: EngineAccess,
     ) -> np.ndarray:
         join = plan.join
         assert join is not None
@@ -161,7 +217,7 @@ class Executor:
 
         if join.inner_predicates:
             kept = intersect_all(
-                self._db.match_rowset(join.inner_table, predicate)
+                access.match_rowset(join.inner_table, predicate)
                 for predicate in join.inner_predicates
             )
             matched &= kept.mask[inner_rows]

@@ -48,6 +48,17 @@ class Index(ABC):
     def lookup(self, predicate: Predicate) -> IndexLookup:
         """Answer ``predicate`` exactly; raises QueryError if unsupported."""
 
+    def lookup_batch(self, predicates: list[Predicate]) -> list[IndexLookup]:
+        """Answer many predicates at once.
+
+        Results must be element-wise identical to :meth:`lookup` — same
+        ``row_ids`` arrays and ``entries_scanned`` — so the batch executor
+        can substitute a fused sweep for per-predicate probes without
+        perturbing work accounting.  Subclasses override this with a
+        vectorized implementation where the structure allows one.
+        """
+        return [self.lookup(predicate) for predicate in predicates]
+
     def _reject(self, predicate: Predicate) -> QueryError:
         return QueryError(
             f"{self.kind} index on {self.table_name}.{self.column} "

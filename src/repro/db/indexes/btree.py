@@ -41,6 +41,42 @@ class SortedIndex(Index):
             return self._range(predicate.value, predicate.value)
         raise self._reject(predicate)
 
+    def lookup_batch(self, predicates: list[Predicate]) -> list[IndexLookup]:
+        """Batched range probe: both binary-search ends for every predicate
+        in two vectorized ``searchsorted`` calls, then one slice-sort each
+        (the sorted output IS the result, so that part cannot be shared)."""
+        bounds: list[tuple[float | None, float | None]] = []
+        for predicate in predicates:
+            if isinstance(predicate, RangePredicate) and predicate.column == self.column:
+                bounds.append((predicate.low, predicate.high))
+            elif (
+                isinstance(predicate, EqualsPredicate)
+                and predicate.column == self.column
+            ):
+                bounds.append((predicate.value, predicate.value))
+            else:
+                raise self._reject(predicate)
+        if not bounds:
+            return []
+        lows = np.array([0.0 if lo is None else lo for lo, _ in bounds])
+        highs = np.array([0.0 if hi is None else hi for _, hi in bounds])
+        lo_pos = np.where(
+            [lo is None for lo, _ in bounds],
+            0,
+            np.searchsorted(self._sorted_values, lows, side="left"),
+        )
+        hi_pos = np.where(
+            [hi is None for _, hi in bounds],
+            self.n_entries,
+            np.searchsorted(self._sorted_values, highs, side="right"),
+        )
+        return [
+            IndexLookup(
+                row_ids=np.sort(self._row_ids[lo:hi]), entries_scanned=max(0, hi - lo)
+            )
+            for lo, hi in zip(lo_pos.tolist(), hi_pos.tolist())
+        ]
+
     def _range(self, low: float | None, high: float | None) -> IndexLookup:
         lo_pos = (
             0

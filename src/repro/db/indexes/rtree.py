@@ -53,6 +53,34 @@ class GridIndex(Index):
         for start, end in zip(starts, ends):
             cx, cy = sorted_cells[start]
             self._cells[(int(cx), int(cy))] = np.sort(order[start:end]).astype(np.int64)
+        # Batch-sweep accelerators (prefix sums + contiguous axis copies)
+        # are built lazily on the first lookup_batch: per-request-only
+        # deployments never pay their memory or construction cost.
+        self._sweep_state: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def _sweep_accelerators(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(prefix, x, y) for the batched sweep, built on first use.
+
+        ``prefix`` holds 2D inclusive prefix sums of per-cell entry counts,
+        so a batch lookup charges ``entries_scanned`` for a whole cell
+        rectangle in O(1) instead of walking the cells.  ``x``/``y`` are
+        contiguous per-axis copies: the sweep broadcasts compares against
+        them, and strided (n, 2) column views halve the throughput.
+        """
+        if self._sweep_state is None:
+            counts = np.zeros((self.grid_size, self.grid_size), dtype=np.int64)
+            for (cx, cy), ids in self._cells.items():
+                counts[cx, cy] = len(ids)
+            prefix = np.zeros(
+                (self.grid_size + 1, self.grid_size + 1), dtype=np.int64
+            )
+            prefix[1:, 1:] = counts.cumsum(axis=0).cumsum(axis=1)
+            self._sweep_state = (
+                prefix,
+                np.ascontiguousarray(self._points[:, 0]),
+                np.ascontiguousarray(self._points[:, 1]),
+            )
+        return self._sweep_state
 
     def _cell_of(self, pts: np.ndarray) -> np.ndarray:
         scaled = (pts - self._min) / self._span * self.grid_size
@@ -100,3 +128,59 @@ class GridIndex(Index):
         else:
             ids = _EMPTY
         return IndexLookup(row_ids=ids, entries_scanned=entries_scanned)
+
+    def lookup_batch(self, predicates: list[Predicate]) -> list[IndexLookup]:
+        """One vectorized sweep answering many box predicates.
+
+        ``row_ids`` are exact box matches (interior-cell candidates are
+        provably inside the box, boundary cells are filtered exactly — the
+        same invariant :meth:`lookup` relies on), so a broadcast compare of
+        every point against every box reproduces them bit-identically.
+        ``entries_scanned`` — every candidate in the covered cell rectangle
+        — comes from the 2D prefix sums built at construction time.
+        """
+        for predicate in predicates:
+            if not self.supports(predicate):
+                raise self._reject(predicate)
+        if not predicates:
+            return []
+        if self.n_entries == 0:
+            return [IndexLookup(row_ids=_EMPTY, entries_scanned=0)] * len(predicates)
+
+        boxes = np.array(
+            [
+                [p.box.min_x, p.box.min_y, p.box.max_x, p.box.max_y]
+                for p in predicates
+            ]
+        )
+        corners = np.stack([boxes[:, :2], boxes[:, 2:]], axis=1).reshape(-1, 2)
+        cells = self._cell_of(corners).reshape(len(predicates), 2, 2)
+        prefix, x, y = self._sweep_accelerators()
+        lo_x, lo_y = cells[:, 0, 0], cells[:, 0, 1]
+        hi_x, hi_y = cells[:, 1, 0] + 1, cells[:, 1, 1] + 1
+        entries = (
+            prefix[hi_x, hi_y]
+            - prefix[lo_x, hi_y]
+            - prefix[hi_x, lo_y]
+            + prefix[lo_x, lo_y]
+        )
+
+        results: list[IndexLookup] = []
+        chunk = max(1, 4_000_000 // max(self.n_entries, 1))
+        for start in range(0, len(predicates), chunk):
+            part = boxes[start : start + chunk]
+            inside = (
+                (x[None, :] >= part[:, 0, None])
+                & (x[None, :] <= part[:, 2, None])
+                & (y[None, :] >= part[:, 1, None])
+                & (y[None, :] <= part[:, 3, None])
+            )
+            for offset in range(len(part)):
+                ids = np.flatnonzero(inside[offset]).astype(np.int64)
+                results.append(
+                    IndexLookup(
+                        row_ids=ids,
+                        entries_scanned=int(entries[start + offset]),
+                    )
+                )
+        return results

@@ -6,12 +6,17 @@ Maliva` facade and turns it from a one-shot answerer into a serving layer:
 * **batches and streams** — :meth:`answer_many` / :meth:`answer_stream`
   accept :class:`~repro.serving.requests.VizRequest` envelopes carrying
   per-request deadlines and session ids;
-* **staged planning pipeline** — a batch flows through resolve →
-  schedule → plan → execute stages; decision-cache hits skip the plan
-  stage entirely, and the misses are planned together in one lockstep
+* **staged pipeline** — a batch flows through resolve → schedule → plan →
+  execute stages; decision-cache hits skip the plan stage entirely, and
+  the misses are planned together in one lockstep
   :meth:`~repro.core.middleware.Maliva.rewrite_batch` call (bit-identical
   to per-request planning, one q-network pass per MDP depth for the whole
-  batch).  Streams drain through the same pipeline in micro-batches of
+  batch).  The execute stage runs the scheduled batch through the engine's
+  :class:`~repro.db.batch_executor.BatchExecutor`, which computes each
+  distinct index probe, predicate row set, scan pipeline, and BIN_ID
+  histogram once per batch while keeping every request's results, work
+  counters, and virtual times bit-identical to sequential execution.
+  Streams drain through the same pipeline in micro-batches of
   ``stream_batch_size``;
 * **session-affinity scheduling** — batches are reordered so same-session
   requests run back-to-back and hit the engine's cross-request caches;
@@ -57,6 +62,7 @@ class MalivaService:
         decision_cache_size: int = 4096,
         quality_fn: QualityFunction | None = None,
         stream_batch_size: int = 8,
+        batch_execute: bool = True,
     ) -> None:
         if stream_batch_size < 1:
             raise QueryError("stream_batch_size must be at least 1")
@@ -66,6 +72,11 @@ class MalivaService:
         self.scheduler = scheduler or SessionAffinityScheduler()
         self.quality_fn = quality_fn
         self.stream_batch_size = stream_batch_size
+        #: Route the execute stage through the batched executor (shared
+        #: scans / index probes / bin sweeps).  Quality-scored serving
+        #: always executes sequentially: evaluating quality interleaves
+        #: extra engine work per request, which batching would reorder.
+        self.batch_execute = batch_execute
         self._decision_cache = InstrumentedCache("decision", capacity=decision_cache_size)
         self.stats = ServiceStats()
         # Engine caches are shared with offline work (training warmed them);
@@ -161,26 +172,58 @@ class MalivaService:
 
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
         execute_started = time.perf_counter()
-        for index in order:
-            started = time.perf_counter()
-            query, tau_ms = resolved[index]
-            outcome = self.maliva.finish(query, decisions[index], tau_ms, self.quality_fn)
-            outcomes[index] = outcome
-            request = requests[index]
-            self.stats.record(
-                RequestRecord(
-                    request_id=request.request_id,
-                    session_id=request.effective_session(),
-                    tau_ms=tau_ms,
-                    planning_ms=outcome.planning_ms,
-                    execution_ms=outcome.execution_ms,
-                    viable=outcome.viable,
-                    wall_s=(time.perf_counter() - started) + shared_s,
-                    cache_hits=outcome.cache_hits,
-                    cache_misses=outcome.cache_misses,
-                    decision_cached=cached_flags[index],
-                )
+        if self.batch_execute and self.quality_fn is None:
+            # Batched execute stage: one BatchExecutor pass over the
+            # scheduled order shares scans/probes/bin sweeps across the
+            # batch while producing outcomes bit-identical to sequential
+            # finish calls in that order.  Wall time is charged evenly —
+            # per-request attribution inside a fused batch is meaningless.
+            finished, sharing = self.maliva.finish_batch(
+                [resolved[index][0] for index in order],
+                [decisions[index] for index in order],  # type: ignore[misc]
+                [resolved[index][1] for index in order],
             )
+            self.stats.record_sharing(sharing)
+            execute_share = (time.perf_counter() - execute_started) / len(requests)
+            for position, index in enumerate(order):
+                outcome = finished[position]
+                outcomes[index] = outcome
+                request = requests[index]
+                self.stats.record(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        session_id=request.effective_session(),
+                        tau_ms=resolved[index][1],
+                        planning_ms=outcome.planning_ms,
+                        execution_ms=outcome.execution_ms,
+                        viable=outcome.viable,
+                        wall_s=execute_share + shared_s,
+                        cache_hits=outcome.cache_hits,
+                        cache_misses=outcome.cache_misses,
+                        decision_cached=cached_flags[index],
+                    )
+                )
+        else:
+            for index in order:
+                started = time.perf_counter()
+                query, tau_ms = resolved[index]
+                outcome = self.maliva.finish(query, decisions[index], tau_ms, self.quality_fn)
+                outcomes[index] = outcome
+                request = requests[index]
+                self.stats.record(
+                    RequestRecord(
+                        request_id=request.request_id,
+                        session_id=request.effective_session(),
+                        tau_ms=tau_ms,
+                        planning_ms=outcome.planning_ms,
+                        execution_ms=outcome.execution_ms,
+                        viable=outcome.viable,
+                        wall_s=(time.perf_counter() - started) + shared_s,
+                        cache_hits=outcome.cache_hits,
+                        cache_misses=outcome.cache_misses,
+                        decision_cached=cached_flags[index],
+                    )
+                )
         self.stats.record_stage("execute", time.perf_counter() - execute_started)
         return [outcome for outcome in outcomes if outcome is not None]
 

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..db.batch_executor import BatchSharingStats
+
 
 @dataclass(frozen=True)
 class RequestRecord:
@@ -45,6 +47,10 @@ class ServiceStats:
     wall_seconds: float = 0.0
     #: Wall-clock seconds per pipeline stage (resolve/schedule/plan/execute).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Aggregated execute-stage sharing across every batched execution.
+    execute_sharing: BatchSharingStats = field(default_factory=BatchSharingStats)
+    #: How many batched execute calls contributed to ``execute_sharing``.
+    n_execute_batches: int = 0
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -53,6 +59,11 @@ class ServiceStats:
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall time into one pipeline stage's counter."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_sharing(self, sharing: BatchSharingStats) -> None:
+        """Fold one batch's execute-stage sharing stats into the report."""
+        self.execute_sharing.merge(sharing)
+        self.n_execute_batches += 1
 
     # ------------------------------------------------------------------
     @property
@@ -111,4 +122,8 @@ class ServiceStats:
             "p95_latency_ms": self.latency_ms(95.0),
             "decision_cache_hits": self.decision_cache_hits,
             "stage_seconds": dict(self.stage_seconds),
+            "execute_sharing": {
+                **self.execute_sharing.to_dict(),
+                "n_batches": self.n_execute_batches,
+            },
         }

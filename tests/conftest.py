@@ -1,27 +1,40 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and workload builders for the test suite.
 
 The session-scoped Twitter database uses the *deterministic* engine profile
 (no execution noise, hints always honoured) so tests can assert exact
 virtual times without ordering effects; tests exercising noise or
 hint-ignoring build their own databases.
+
+The module-level ``build_*`` helpers are plain functions (no pytest
+dependency beyond this module) shared by the test fixtures *and* the
+benchmark suite (``benchmarks/_bench_utils.py``) — they replace the ad-hoc
+database/middleware/workload builders that used to be copied across
+``tests/core``, ``tests/serving``, and ``benchmarks``.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
-from repro.core import RewriteOptionSpace
+from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
 from repro.datasets import TwitterConfig, build_twitter_database
 from repro.db import (
     Column,
     ColumnKind,
     Database,
     EngineProfile,
+    HintSet,
+    SelectQuery,
     Table,
     TableSchema,
+    apply_hints,
 )
-from repro.workloads import TwitterWorkloadGenerator
+from repro.qte import AccurateQTE, SamplingQTE
+from repro.serving import VizRequest, interleave, requests_from_steps
+from repro.workloads import ExplorationSessionGenerator, TwitterWorkloadGenerator
 
 TWITTER_ATTRS = ("text", "created_at", "coordinates")
 
@@ -29,17 +42,166 @@ TWITTER_ATTRS = ("text", "created_at", "coordinates")
 #: fit, unselective ones do not (mirrors the paper's regime).
 TEST_TAU_MS = 60.0
 
+#: Sample table registered on every test/benchmark twitter database.
+QTE_SAMPLE = "tweets_qte_sample"
 
-@pytest.fixture(scope="session")
-def twitter_db() -> Database:
-    config = TwitterConfig(n_tweets=6_000, n_users=300, seed=9)
+
+# ----------------------------------------------------------------------
+# Shared builders (plain functions; importable from benchmarks)
+# ----------------------------------------------------------------------
+def build_twitter_db(
+    *,
+    n_tweets: int = 6_000,
+    n_users: int | None = None,
+    dataset_seed: int = 9,
+    engine_seed: int = 0,
+    profile: EngineProfile | None = None,
+    sample_fraction: float = 0.02,
+    sample_seed: int = 17,
+) -> Database:
+    """Twitter database + registered QTE sample table, test defaults."""
+    config = TwitterConfig(
+        n_tweets=n_tweets,
+        n_users=n_users if n_users is not None else max(1, n_tweets // 20),
+        seed=dataset_seed,
+    )
     database = build_twitter_database(
-        config, profile=EngineProfile.deterministic(), seed=0
+        config,
+        profile=profile or EngineProfile.deterministic(),
+        seed=engine_seed,
     )
     database.create_sample_table(
-        "tweets", 0.02, name="tweets_qte_sample", seed=17
+        "tweets", sample_fraction, name=QTE_SAMPLE, seed=sample_seed
     )
     return database
+
+
+def build_trained_maliva(
+    database: Database,
+    space: RewriteOptionSpace,
+    train_queries,
+    *,
+    qte: str = "accurate",
+    unit_cost_ms: float | None = None,
+    overhead_ms: float = 1.0,
+    tau_ms: float = TEST_TAU_MS,
+    max_epochs: int = 6,
+    agent_seed: int = 13,
+    n_fit: int = 6,
+    n_train: int = 20,
+    sample_table: str = QTE_SAMPLE,
+) -> Maliva:
+    """Train a middleware the way every suite used to do by hand."""
+    if qte == "accurate":
+        estimator = AccurateQTE(
+            database,
+            unit_cost_ms=unit_cost_ms if unit_cost_ms is not None else 5.0,
+            overhead_ms=overhead_ms,
+        )
+    elif qte == "sampling":
+        estimator = SamplingQTE(
+            database,
+            space.attributes,
+            sample_table,
+            unit_cost_ms=unit_cost_ms if unit_cost_ms is not None else 8.0,
+        )
+        estimator.fit(
+            [
+                space.build(query, database, index)
+                for query in train_queries[:n_fit]
+                for index in range(len(space))
+            ]
+        )
+    else:  # pragma: no cover - caller error
+        raise ValueError(f"unknown qte kind {qte!r}")
+    maliva = Maliva(
+        database,
+        space,
+        estimator,
+        tau_ms,
+        config=TrainingConfig(max_epochs=max_epochs, seed=agent_seed),
+    )
+    maliva.train(list(train_queries[:n_train]))
+    return maliva
+
+
+def build_session_stream(
+    database: Database, *, n_sessions: int, n_steps: int, seed: int = 29
+) -> list[VizRequest]:
+    """Interleaved multi-user exploration stream (the serving workload)."""
+    sessions = ExplorationSessionGenerator(database, seed=seed).generate_many(
+        n_sessions, n_steps=n_steps
+    )
+    return interleave(
+        requests_from_steps(steps, session_id)
+        for session_id, steps in sessions.items()
+    )
+
+
+def shuffled_session_requests(
+    session_steps: dict,
+    seed: int,
+    n: int,
+    taus: tuple[float | None, ...] = (None, 40.0, TEST_TAU_MS, 90.0),
+) -> list[VizRequest]:
+    """A shuffled slice of interleaved sessions with heterogeneous deadlines."""
+    stream = interleave(
+        requests_from_steps(steps, session_id)
+        for session_id, steps in session_steps.items()
+    )
+    rng = np.random.default_rng(seed)
+    picked = [stream[i] for i in rng.permutation(len(stream))[:n]]
+    return [
+        replace(request, tau_ms=taus[index % len(taus)])
+        for index, request in enumerate(picked)
+    ]
+
+
+def random_query_workload(
+    database: Database,
+    *,
+    seed: int,
+    n: int,
+    sample_table: str | None = QTE_SAMPLE,
+    duplicate_fraction: float = 0.2,
+) -> list[SelectQuery]:
+    """Randomized executable workload: the batch-execution property input.
+
+    Mixes aggregate (BIN_ID heatmap) and row queries, random hint subsets,
+    LIMITs, sample-table rewrites, and exact duplicates — predicates overlap
+    naturally because the generator draws correlated conditions.  All
+    queries are directly executable (no planning required), which is what
+    the executor-equivalence suite needs.
+    """
+    generator = TwitterWorkloadGenerator(database, seed=seed, heatmap_fraction=0.6)
+    rng = np.random.default_rng(seed + 1)
+    queries: list[SelectQuery] = []
+    for query in generator.generate(n):
+        if rng.random() < 0.5:
+            attrs = [p.column for p in query.predicates]
+            size = int(rng.integers(1, len(attrs) + 1))
+            picked = rng.choice(attrs, size=size, replace=False).tolist()
+            query = apply_hints(query, HintSet(frozenset(picked)))
+        if query.group_by is not None and rng.random() < 0.3:
+            query = replace(query, group_by=None, output=("id",))
+        if rng.random() < 0.25:
+            query = replace(query, limit=int(rng.integers(1, 200)))
+        if sample_table is not None and rng.random() < 0.2:
+            query = query.with_table(sample_table)
+        queries.append(query)
+    n_duplicates = int(len(queries) * duplicate_fraction)
+    if n_duplicates:
+        for i in rng.integers(0, len(queries), size=n_duplicates).tolist():
+            queries.append(queries[i])
+    return queries
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def twitter_db() -> Database:
+    return build_twitter_db(n_tweets=6_000, n_users=300)
 
 
 @pytest.fixture(scope="session")
@@ -51,6 +213,33 @@ def twitter_queries(twitter_db):
 @pytest.fixture(scope="session")
 def hint_space() -> RewriteOptionSpace:
     return RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+
+
+@pytest.fixture(scope="session")
+def session_steps(twitter_db):
+    """Several coherent exploration sessions over the shared twitter table."""
+    generator = ExplorationSessionGenerator(twitter_db, seed=29)
+    return generator.generate_many(10, n_steps=10)
+
+
+@pytest.fixture(scope="session")
+def make_workload(session_steps):
+    """Factory for serving workloads: ``make_workload(seed, n)`` returns a
+    shuffled interleaved request stream with heterogeneous deadlines.
+
+    Shared by the pipeline-equivalence and service suites (it replaced
+    their per-module copies of the same builder); ``taus`` overrides the
+    deadline rotation.
+    """
+
+    def build(
+        seed: int,
+        n: int,
+        taus: tuple[float | None, ...] = (None, 40.0, TEST_TAU_MS, 90.0),
+    ) -> list[VizRequest]:
+        return shuffled_session_requests(session_steps, seed, n, taus)
+
+    return build
 
 
 @pytest.fixture()

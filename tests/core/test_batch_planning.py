@@ -20,38 +20,23 @@ from repro.core.trainer import DQNTrainer
 from repro.qte import AccurateQTE, SamplingQTE, SelectivityCache
 from repro.workloads import TwitterWorkloadGenerator
 
-from ..conftest import TEST_TAU_MS
+from ..conftest import TEST_TAU_MS, build_trained_maliva
 
 
 @pytest.fixture(scope="module")
 def accurate_maliva(twitter_db, twitter_queries, hint_space) -> Maliva:
-    qte = AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0)
-    maliva = Maliva(
-        twitter_db, hint_space, qte, TEST_TAU_MS,
-        config=TrainingConfig(max_epochs=5, seed=13),
+    return build_trained_maliva(
+        twitter_db, hint_space, twitter_queries,
+        qte="accurate", max_epochs=5, agent_seed=13, n_train=16,
     )
-    maliva.train(list(twitter_queries[:16]))
-    return maliva
 
 
 @pytest.fixture(scope="module")
 def sampling_maliva(twitter_db, twitter_queries, hint_space) -> Maliva:
-    qte = SamplingQTE(
-        twitter_db, hint_space.attributes, "tweets_qte_sample", unit_cost_ms=8.0
+    return build_trained_maliva(
+        twitter_db, hint_space, twitter_queries,
+        qte="sampling", max_epochs=5, agent_seed=7, n_fit=6, n_train=16,
     )
-    qte.fit(
-        [
-            hint_space.build(query, twitter_db, index)
-            for query in twitter_queries[:6]
-            for index in range(len(hint_space))
-        ]
-    )
-    maliva = Maliva(
-        twitter_db, hint_space, qte, TEST_TAU_MS,
-        config=TrainingConfig(max_epochs=5, seed=7),
-    )
-    maliva.train(list(twitter_queries[:16]))
-    return maliva
 
 
 # ----------------------------------------------------------------------

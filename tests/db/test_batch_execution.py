@@ -1,0 +1,234 @@
+"""Batch execution equivalence: ``execute_batch`` == per-request ``execute``.
+
+The tentpole invariant of the batched execution stage: for any workload
+(mixed aggregate/row queries, hint sets, overlapping predicates, LIMITs,
+sample-table rewrites, duplicates), any engine profile, and any cache
+temperature, ``Database.execute_batch`` produces results bit-identical to
+sequential ``Database.execute`` calls in the same order — row ids, bins,
+work counters, ``base_ms``/``execution_ms``, obeyed-hints flags, and the
+per-request engine-cache hit/miss deltas — and leaves the engine caches in
+an identical state.
+
+The property is checked on *twin databases* (same construction seeds): one
+serves the workload sequentially, the other batched, and both the outcomes
+and the post-workload cache counters must agree.  Noisy profiles exercise
+the in-order fallback pipeline (RNG streams must be consumed identically);
+the deterministic profile exercises the phase-separated fused path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    BoundingBox,
+    Database,
+    EngineProfile,
+    KeywordPredicate,
+    RangePredicate,
+    SpatialPredicate,
+    bin_counts,
+    bin_counts_many,
+    build_bin_layout,
+)
+
+from ..conftest import build_twitter_db, random_query_workload
+
+PROFILES = {
+    "deterministic": EngineProfile.deterministic,
+    "postgres": EngineProfile.postgres,
+    "commercial": EngineProfile.commercial,
+}
+
+
+def _twin_dbs(profile_name: str) -> tuple[Database, Database]:
+    build = lambda: build_twitter_db(  # noqa: E731 - tiny local factory
+        n_tweets=2_500,
+        n_users=125,
+        sample_fraction=0.05,
+        profile=PROFILES[profile_name](),
+    )
+    return build(), build()
+
+
+def assert_results_identical(sequential, batched) -> None:
+    assert len(sequential) == len(batched)
+    for index, (left, right) in enumerate(zip(sequential, batched)):
+        context = f"request {index}"
+        assert left.base_ms == right.base_ms, context
+        assert left.execution_ms == right.execution_ms, context
+        assert left.counters.as_dict() == right.counters.as_dict(), context
+        assert left.obeyed_hints == right.obeyed_hints, context
+        assert left.cache_hits == right.cache_hits, context
+        assert left.cache_misses == right.cache_misses, context
+        assert left.plan_cached == right.plan_cached, context
+        assert left.kind == right.kind, context
+        assert left.result_size == right.result_size, context
+        if left.bins is not None:
+            assert right.bins == left.bins, context
+        else:
+            assert np.array_equal(left.row_ids, right.row_ids), context
+
+
+def assert_cache_state_identical(db_a: Database, db_b: Database) -> None:
+    left = {c.name: (c.hits, c.misses, c.invalidations) for c in db_a.cache_stats().caches}
+    right = {c.name: (c.hits, c.misses, c.invalidations) for c in db_b.cache_stats().caches}
+    assert left == right
+
+
+# ----------------------------------------------------------------------
+# The equivalence property
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("profile_name", ["deterministic", "postgres", "commercial"])
+@pytest.mark.parametrize("workload_seed", [0, 1])
+def test_batch_bit_identical_to_sequential(profile_name, workload_seed):
+    db_seq, db_bat = _twin_dbs(profile_name)
+    workload = random_query_workload(db_seq, seed=workload_seed, n=40)
+    sequential = [db_seq.execute(query) for query in workload]
+    batched, sharing = db_bat.execute_batch(workload)
+    assert_results_identical(sequential, batched)
+    assert_cache_state_identical(db_seq, db_bat)
+    assert sharing.n_queries == len(workload)
+    # Duplicates in the workload must have been deduplicated, not re-run.
+    assert sharing.n_distinct_scans < len(workload)
+    assert sharing.shared_scans >= len(workload) - sharing.n_distinct_scans
+
+
+def test_warm_caches_preserve_equivalence():
+    """Second pass over the same workload: every probe is a cache hit on
+    both sides, and per-request hit/miss deltas still agree exactly."""
+    db_seq, db_bat = _twin_dbs("deterministic")
+    workload = random_query_workload(db_seq, seed=3, n=25)
+    for _ in range(2):
+        sequential = [db_seq.execute(query) for query in workload]
+        batched, _ = db_bat.execute_batch(workload)
+        assert_results_identical(sequential, batched)
+    assert_cache_state_identical(db_seq, db_bat)
+    # The warm pass sees hits where the cold pass missed.
+    assert any(result.cache_hits > 0 for result in batched)
+
+
+def test_fused_and_fallback_paths_cover_profiles():
+    """Deterministic profiles take the phase-separated fused path; hinted
+    workloads on hint-ignoring profiles must fall back to the in-order
+    pipeline (the RNG draws interleave per request)."""
+    db_det = build_twitter_db(n_tweets=2_500, n_users=125, sample_fraction=0.05)
+    workload = random_query_workload(db_det, seed=5, n=15)
+    _, sharing = db_det.execute_batch(workload)
+    assert sharing.fused
+    assert sharing.n_probe_sweeps > 0
+
+    db_pg = build_twitter_db(
+        n_tweets=2_500, n_users=125, sample_fraction=0.05,
+        profile=EngineProfile.postgres(),
+    )
+    hinted = [q for q in random_query_workload(db_pg, seed=5, n=15) if q.hints]
+    assert hinted, "workload should contain hinted queries"
+    _, sharing = db_pg.execute_batch(hinted)
+    assert not sharing.fused
+    # An unhinted workload has no obey draws, so it can fuse even here.
+    unhinted = [q.without_hints() for q in hinted]
+    _, sharing = db_pg.execute_batch(unhinted)
+    assert sharing.fused
+
+
+def test_batch_after_mutation_sees_fresh_data():
+    """``append_rows`` between batches must invalidate every shared
+    structure — match/lookup caches, scan memos are per-batch, and the
+    whole-column bin layout — so no stale rows leak into later batches."""
+    db_seq, db_bat = _twin_dbs("deterministic")
+    workload = random_query_workload(db_seq, seed=7, n=20)
+    sequential = [db_seq.execute(query) for query in workload]
+    batched, _ = db_bat.execute_batch(workload)
+    assert_results_identical(sequential, batched)
+
+    tweets = db_seq.table("tweets")
+    new_rows = {
+        "id": np.arange(tweets.n_rows, tweets.n_rows + 50),
+        "text": ["fresh mutation tweet"] * 50,
+        "created_at": np.full(50, float(np.median(tweets.numeric("created_at")))),
+        "coordinates": np.tile(
+            np.median(tweets.points("coordinates"), axis=0), (50, 1)
+        ),
+        "users_statues_count": np.zeros(50, dtype=np.int64),
+        "users_followers_count": np.zeros(50, dtype=np.int64),
+        "user_id": np.zeros(50, dtype=np.int64),
+    }
+    db_seq.append_rows("tweets", new_rows)
+    db_bat.append_rows("tweets", new_rows)
+
+    sequential = [db_seq.execute(query) for query in workload]
+    batched, _ = db_bat.execute_batch(workload)
+    assert_results_identical(sequential, batched)
+    assert_cache_state_identical(db_seq, db_bat)
+    # And nothing serves stale shared state: a batched heatmap over the
+    # inserted keyword must count exactly the 50 new rows.
+    from repro.db import BinGroupBy, SelectQuery
+
+    probe = SelectQuery(
+        table="tweets",
+        predicates=(KeywordPredicate("text", "mutation"),),
+        group_by=BinGroupBy("coordinates", 0.5, 0.5),
+    )
+    probes, _ = db_bat.execute_batch([probe])
+    assert sum(probes[0].bins.values()) == 50.0
+
+
+def test_execute_batch_empty_and_singleton():
+    db_seq, db_bat = _twin_dbs("deterministic")
+    results, sharing = db_bat.execute_batch([])
+    assert results == [] and sharing.n_queries == 0
+    workload = random_query_workload(db_seq, seed=11, n=3)[:1]
+    sequential = [db_seq.execute(workload[0])]
+    batched, sharing = db_bat.execute_batch(workload)
+    assert sharing.n_queries == 1
+    assert_results_identical(sequential, batched)
+
+
+# ----------------------------------------------------------------------
+# Fused building blocks
+# ----------------------------------------------------------------------
+def test_lookup_batch_matches_lookup(small_db):
+    rng = np.random.default_rng(2)
+    spatial = [
+        SpatialPredicate(
+            "spot",
+            BoundingBox(
+                float(x0), float(y0), float(x0 + rng.uniform(0.5, 12)),
+                float(y0 + rng.uniform(0.5, 12)),
+            ),
+        )
+        for x0, y0 in rng.uniform(-12, 8, size=(20, 2))
+    ]
+    ranges = [
+        RangePredicate("value", float(lo), float(lo + rng.uniform(1, 60)))
+        for lo in rng.uniform(0, 80, size=20)
+    ] + [RangePredicate("value", None, 50.0), RangePredicate("value", 50.0, None)]
+    keywords = [KeywordPredicate("note", word) for word in ("alpha", "beta", "zzz")]
+    for column, predicates in (("spot", spatial), ("value", ranges), ("note", keywords)):
+        index = small_db.index("rows", column)
+        fused = index.lookup_batch(predicates)
+        for predicate, batch_lookup in zip(predicates, fused):
+            single = index.lookup(predicate)
+            assert np.array_equal(single.row_ids, batch_lookup.row_ids)
+            assert single.entries_scanned == batch_lookup.entries_scanned
+    assert small_db.index("rows", "spot").lookup_batch([]) == []
+
+
+def test_bin_counts_many_matches_bin_counts(small_db):
+    from repro.db import BinGroupBy
+
+    table = small_db.table("rows")
+    points = table.points("spot")
+    group_by = BinGroupBy("spot", 2.5, 2.5)
+    layout = build_bin_layout(points, group_by)
+    rng = np.random.default_rng(4)
+    selections = [
+        np.sort(rng.choice(table.n_rows, size=size, replace=False)).astype(np.int64)
+        for size in (0, 1, 17, 120, table.n_rows)
+    ]
+    for weight in (1.0, 12.5):
+        fused = bin_counts_many(layout, selections, weight=weight)
+        for ids, bins in zip(selections, fused):
+            assert bins == bin_counts(points[ids], group_by, weight=weight)

@@ -9,16 +9,21 @@ the executor's numbers exactly — this pins the two implementations to the
 same cost semantics.
 """
 
+import numpy as np
 import pytest
 
 from repro.db import (
+    BinGroupBy,
     BoundingBox,
+    Database,
+    EngineProfile,
     HintSet,
     KeywordPredicate,
     RangePredicate,
     SelectQuery,
     SpatialPredicate,
     apply_hints,
+    bin_counts,
 )
 from repro.db.optimizer import derive_counters
 
@@ -104,6 +109,86 @@ class TestSingleAccessConsistency:
         assert actual_out == 0 or abs(actual_out - analytic_out) <= max(
             5.0, 0.5 * max(actual_out, analytic_out)
         )
+
+
+def heatmap_query(hints: HintSet | None = None) -> SelectQuery:
+    query = SelectQuery(
+        table="rows",
+        predicates=(
+            RangePredicate("value", 10.0, 80.0),
+            SpatialPredicate("spot", BoundingBox(-8, -8, 8, 8)),
+        ),
+        group_by=BinGroupBy("spot", 2.0, 2.0),
+    )
+    return query if hints is None else apply_hints(query, hints)
+
+
+class TestAggregateResultAccounting:
+    """`result_size` and engine-cache totals for aggregate queries — the
+    counters no other suite asserted — on both execution paths."""
+
+    def test_result_size_counts_bins_and_matches_reference(self, small_db):
+        result = small_db.execute(heatmap_query())
+        assert result.kind == "bins"
+        assert result.result_size == len(result.bins)
+        assert result.counters.output_rows == len(result.bins)
+        # Reference semantics: exact conjunction, then the shared binning.
+        query = heatmap_query()
+        table = small_db.table("rows")
+        mask = np.ones(table.n_rows, dtype=bool)
+        for predicate in query.predicates:
+            mask &= predicate.mask(table)
+        assert result.counters.group_rows == int(mask.sum())
+        expected = bin_counts(
+            table.points("spot")[np.flatnonzero(mask)], query.group_by
+        )
+        assert result.bins == expected
+        assert result.result_size == len(expected)
+
+    def test_cache_totals_accumulate_like_the_engine_report(self, small_db):
+        queries = [
+            heatmap_query(),
+            heatmap_query(HintSet(frozenset({"value"}))),
+            heatmap_query(),  # repeat: hits where the first execution missed
+        ]
+        before = small_db.cache_stats()
+        results = [small_db.execute(query) for query in queries]
+        after = small_db.cache_stats()
+        assert sum(r.cache_hits for r in results) == after.hits - before.hits
+        assert sum(r.cache_misses for r in results) == after.misses - before.misses
+        assert results[0].cache_misses > 0
+        assert results[2].cache_hits > 0
+        # Cache temperature never changes the answer or its virtual time.
+        assert results[2].bins == results[0].bins
+        assert results[2].base_ms == results[0].base_ms
+
+    def test_batched_path_reports_identical_sizes_and_totals(self, small_table):
+        def build() -> Database:
+            database = Database(profile=EngineProfile.deterministic())
+            database.add_table(small_table)
+            for column in ("value", "stamp", "note", "spot"):
+                database.create_index("rows", column)
+            return database
+
+        queries = [
+            heatmap_query(),
+            heatmap_query(HintSet(frozenset({"value", "spot"}))),
+            heatmap_query(),
+            apply_hints(rows_query(), HintSet(frozenset({"note"}))),
+        ]
+        db_seq, db_bat = build(), build()
+        sequential = [db_seq.execute(query) for query in queries]
+        batched, sharing = db_bat.execute_batch(queries)
+        for left, right in zip(sequential, batched):
+            assert left.result_size == right.result_size
+            assert left.cache_hits == right.cache_hits
+            assert left.cache_misses == right.cache_misses
+            assert left.counters.as_dict() == right.counters.as_dict()
+        assert sum(r.cache_hits for r in batched) == db_bat.cache_stats().hits
+        assert sum(r.cache_misses for r in batched) == db_bat.cache_stats().misses
+        # The duplicate heatmap shared its scan and histogram in the batch.
+        assert sharing.shared_scans >= 1
+        assert sharing.shared_bins >= 1
 
 
 class TestEstimatedPlanCostSanity:

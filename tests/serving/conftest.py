@@ -1,32 +1,27 @@
-"""Fixtures for the serving-layer tests: a trained middleware + sessions."""
+"""Fixtures for the serving-layer tests: a trained middleware.
+
+The exploration-session workload (``session_steps`` / ``make_workload``)
+and the middleware builder live in the top-level ``tests/conftest.py`` so
+the core, serving, and benchmark suites share one implementation.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import Maliva, TrainingConfig
-from repro.qte import AccurateQTE
-from repro.workloads import ExplorationSessionGenerator
+from repro.core import Maliva
 
-from ..conftest import TEST_TAU_MS
+from ..conftest import build_trained_maliva
 
 
 @pytest.fixture(scope="session")
 def serving_maliva(twitter_db, twitter_queries, hint_space) -> Maliva:
-    qte = AccurateQTE(twitter_db, unit_cost_ms=5.0, overhead_ms=1.0)
-    maliva = Maliva(
+    return build_trained_maliva(
         twitter_db,
         hint_space,
-        qte,
-        TEST_TAU_MS,
-        config=TrainingConfig(max_epochs=6, seed=13),
+        twitter_queries,
+        qte="accurate",
+        max_epochs=6,
+        agent_seed=13,
+        n_train=20,
     )
-    maliva.train(list(twitter_queries[:20]))
-    return maliva
-
-
-@pytest.fixture(scope="session")
-def session_steps(twitter_db):
-    """Several coherent exploration sessions over the shared twitter table."""
-    generator = ExplorationSessionGenerator(twitter_db, seed=29)
-    return generator.generate_many(10, n_steps=10)

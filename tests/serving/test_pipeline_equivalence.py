@@ -14,64 +14,39 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.core import Maliva, TrainingConfig
-from repro.qte import AccurateQTE, SamplingQTE
+from repro.core import Maliva
 from repro.serving import (
     FifoScheduler,
     MalivaService,
     SessionAffinityScheduler,
-    VizRequest,
-    interleave,
-    requests_from_steps,
 )
 from repro.viz import TWITTER_TRANSLATOR
 
-from ..conftest import TEST_TAU_MS
+from ..conftest import build_trained_maliva
 
 
 @pytest.fixture(scope="module")
 def sampling_serving_maliva(twitter_db, twitter_queries, hint_space) -> Maliva:
-    qte = SamplingQTE(
-        twitter_db, hint_space.attributes, "tweets_qte_sample", unit_cost_ms=8.0
+    return build_trained_maliva(
+        twitter_db,
+        hint_space,
+        twitter_queries,
+        qte="sampling",
+        max_epochs=5,
+        agent_seed=7,
+        n_fit=6,
+        n_train=16,
     )
-    qte.fit(
-        [
-            hint_space.build(query, twitter_db, index)
-            for query in twitter_queries[:6]
-            for index in range(len(hint_space))
-        ]
-    )
-    maliva = Maliva(
-        twitter_db, hint_space, qte, TEST_TAU_MS,
-        config=TrainingConfig(max_epochs=5, seed=7),
-    )
-    maliva.train(list(twitter_queries[:16]))
-    return maliva
-
-
-def _shuffled_requests(session_steps, seed: int, n: int) -> list[VizRequest]:
-    stream = interleave(
-        requests_from_steps(steps, session_id)
-        for session_id, steps in session_steps.items()
-    )
-    rng = np.random.default_rng(seed)
-    picked = [stream[i] for i in rng.permutation(len(stream))[:n]]
-    # Vary per-request deadlines so the plan stage sees heterogeneous taus.
-    taus = [None, 40.0, TEST_TAU_MS, 90.0]
-    return [
-        replace(request, tau_ms=taus[index % len(taus)])
-        for index, request in enumerate(picked)
-    ]
 
 
 @pytest.mark.parametrize("scheduler_cls", [SessionAffinityScheduler, FifoScheduler])
 @pytest.mark.parametrize("seed", [0, 1])
 @pytest.mark.parametrize("qte_kind", ["accurate", "sampling"])
 def test_answer_many_pipeline_bit_identical_to_answer_one(
-    serving_maliva, sampling_serving_maliva, session_steps, scheduler_cls, seed, qte_kind
+    serving_maliva, sampling_serving_maliva, make_workload, scheduler_cls, seed, qte_kind
 ):
     maliva = serving_maliva if qte_kind == "accurate" else sampling_serving_maliva
-    requests = _shuffled_requests(session_steps, seed, 30)
+    requests = make_workload(seed, 30)
     pipelined = MalivaService(
         maliva, translator=TWITTER_TRANSLATOR, scheduler=scheduler_cls()
     )
@@ -92,9 +67,9 @@ def test_answer_many_pipeline_bit_identical_to_answer_one(
 
 @pytest.mark.parametrize("chunk", [1, 4, 7, 64])
 def test_answer_stream_micro_batches_preserve_order_and_times(
-    serving_maliva, session_steps, chunk
+    serving_maliva, make_workload, chunk
 ):
-    requests = _shuffled_requests(session_steps, 3, 25)
+    requests = make_workload(3, 25)
     streamed = MalivaService(
         serving_maliva, translator=TWITTER_TRANSLATOR, stream_batch_size=chunk
     )
@@ -110,11 +85,11 @@ def test_answer_stream_micro_batches_preserve_order_and_times(
 
 
 def test_stream_micro_batches_reach_scheduler_and_decision_cache(
-    serving_maliva, session_steps
+    serving_maliva, make_workload
 ):
     """Streams ride the same pipeline: chunked requests are scheduled for
     affinity and the second pass over the stream hits the decision cache."""
-    requests = _shuffled_requests(session_steps, 5, 24)
+    requests = make_workload(5, 24)
     service = MalivaService(
         serving_maliva, translator=TWITTER_TRANSLATOR, stream_batch_size=8
     )
@@ -126,9 +101,9 @@ def test_stream_micro_batches_reach_scheduler_and_decision_cache(
 
 
 def test_within_batch_duplicates_plan_once_and_mark_cached(
-    serving_maliva, session_steps
+    serving_maliva, make_workload
 ):
-    base = _shuffled_requests(session_steps, 7, 6)
+    base = make_workload(7, 6)
     duplicated = base + [replace(request) for request in base]
     service = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
     outcomes = service.answer_many(duplicated)
@@ -140,8 +115,8 @@ def test_within_batch_duplicates_plan_once_and_mark_cached(
     assert sum(record.decision_cached for record in service.stats.records) >= len(base)
 
 
-def test_stage_seconds_cover_the_pipeline(serving_maliva, session_steps):
-    requests = _shuffled_requests(session_steps, 11, 16)
+def test_stage_seconds_cover_the_pipeline(serving_maliva, make_workload):
+    requests = make_workload(11, 16)
     service = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
     service.answer_many(requests)
     stages = service.stats.to_dict()["stage_seconds"]
@@ -159,3 +134,129 @@ def test_invalid_stream_batch_size_rejected(serving_maliva):
     service = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
     with pytest.raises(QueryError):
         list(service.answer_stream(iter([]), stream_batch_size=0))
+
+
+# ----------------------------------------------------------------------
+# Batched execute stage
+# ----------------------------------------------------------------------
+def _assert_outcomes_identical(batched, sequential):
+    assert len(batched) == len(sequential)
+    for left, right in zip(batched, sequential):
+        assert left.option_label == right.option_label
+        assert left.planning_ms == right.planning_ms
+        assert left.execution_ms == right.execution_ms
+        assert left.viable == right.viable
+        assert left.result.base_ms == right.result.base_ms
+        assert left.result.counters.as_dict() == right.result.counters.as_dict()
+        assert left.result.result_size == right.result.result_size
+        if left.result.bins is not None:
+            assert left.result.bins == right.result.bins
+        else:
+            assert np.array_equal(left.result.row_ids, right.result.row_ids)
+
+
+@pytest.mark.parametrize("scheduler_cls", [SessionAffinityScheduler, FifoScheduler])
+def test_batched_execute_stage_matches_sequential_execute(
+    serving_maliva, make_workload, scheduler_cls
+):
+    """The execute stage's own equivalence: batch_execute on vs off produce
+    identical outcomes under either scheduler, and only the batched service
+    reports execute-stage sharing."""
+    requests = make_workload(13, 24)
+    batched_service = MalivaService(
+        serving_maliva, translator=TWITTER_TRANSLATOR, scheduler=scheduler_cls()
+    )
+    sequential_service = MalivaService(
+        serving_maliva,
+        translator=TWITTER_TRANSLATOR,
+        scheduler=scheduler_cls(),
+        batch_execute=False,
+    )
+    batched = batched_service.answer_many(requests)
+    sequential = sequential_service.answer_many(requests)
+    _assert_outcomes_identical(batched, sequential)
+    assert batched_service.stats.n_execute_batches == 1
+    assert batched_service.stats.execute_sharing.n_queries == len(requests)
+    assert sequential_service.stats.n_execute_batches == 0
+    report = batched_service.stats.to_dict()
+    assert report["execute_sharing"]["n_batches"] == 1
+
+
+def _mutation_rows(tweets, n_new: int = 40) -> dict:
+    return {
+        "id": np.arange(tweets.n_rows, tweets.n_rows + n_new),
+        "text": ["fresh mutation tweet"] * n_new,
+        "created_at": np.full(
+            n_new, float(np.median(tweets.numeric("created_at")))
+        ),
+        "coordinates": np.tile(
+            np.median(tweets.points("coordinates"), axis=0), (n_new, 1)
+        ),
+        "users_statues_count": np.zeros(n_new, dtype=np.int64),
+        "users_followers_count": np.zeros(n_new, dtype=np.int64),
+        "user_id": np.zeros(n_new, dtype=np.int64),
+    }
+
+
+def test_mutations_mid_stream_do_not_leak_stale_shared_state():
+    """``Table.append_rows`` between stream micro-batches: the batched
+    execute stage must not serve stale shared scans, probes, or bin layouts
+    after the invalidation — outcomes stay identical to a sequential-execute
+    twin receiving the same mutations at the same stream positions."""
+    from repro.core import RewriteOptionSpace
+    from repro.workloads import ExplorationSessionGenerator, TwitterWorkloadGenerator
+
+    from ..conftest import TWITTER_ATTRS, build_trained_maliva, build_twitter_db
+
+    space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+
+    def build_twin():
+        database = build_twitter_db(
+            n_tweets=2_500, n_users=125, sample_fraction=0.05
+        )
+        train = TwitterWorkloadGenerator(database, seed=21).generate(12)
+        maliva = build_trained_maliva(
+            database, space, train, qte="accurate", max_epochs=3, n_train=10
+        )
+        sessions = ExplorationSessionGenerator(database, seed=31).generate_many(
+            4, n_steps=6
+        )
+        from repro.serving import interleave, requests_from_steps
+
+        stream = interleave(
+            requests_from_steps(steps, session_id)
+            for session_id, steps in sessions.items()
+        )
+        return maliva, stream
+
+    def stream_with_mutation(service, requests, mutate_at: int):
+        for position, request in enumerate(requests):
+            if position == mutate_at:
+                tweets = service.maliva.database.table("tweets")
+                service.append_rows("tweets", _mutation_rows(tweets))
+            yield request
+
+    maliva_a, stream_a = build_twin()
+    maliva_b, stream_b = build_twin()
+    assert [r.request_id for r in stream_a] == [r.request_id for r in stream_b]
+    batched = maliva_a.service(translator=TWITTER_TRANSLATOR, stream_batch_size=6)
+    sequential = maliva_b.service(
+        translator=TWITTER_TRANSLATOR, stream_batch_size=6, batch_execute=False
+    )
+    mutate_at = 8  # lands inside the second micro-batch's assembly
+    served_a = [
+        outcome
+        for _, outcome in batched.answer_stream(
+            stream_with_mutation(batched, stream_a, mutate_at)
+        )
+    ]
+    served_b = [
+        outcome
+        for _, outcome in sequential.answer_stream(
+            stream_with_mutation(sequential, stream_b, mutate_at)
+        )
+    ]
+    _assert_outcomes_identical(served_a, served_b)
+    # The mutation really invalidated shared state mid-stream: the batched
+    # service's decision cache took tag invalidations.
+    assert batched.decision_cache_stats.invalidations > 0
