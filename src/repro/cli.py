@@ -8,13 +8,18 @@ Usage::
     python -m repro.cli run fig16 --tau-ms 750 --scale tiny
     python -m repro.cli run ablation-unit-cost --scale tiny
     python -m repro.cli run all --scale tiny        # everything, in order
+    python -m repro.cli train --dataset twitter --scale tiny --lockstep
     python -m repro.cli serve --sessions 8 --steps 8 --scale tiny
 
-``serve`` trains a middleware and then drives interleaved multi-user
-exploration sessions through the :mod:`repro.serving` layer, reporting
-wall-clock throughput, virtual latency, and cache hit rates (cold engine
-vs warm cache).  Results are printed as the paper's tables and saved as
-JSON under ``--save-dir`` (default ``results/``).
+``train`` runs the offline training pipeline on one dataset setup —
+optionally in lockstep wave mode (``--lockstep``) and with hold-out
+candidate selection (``--candidates K``) — and prints the per-epoch
+reward/viability curve plus epochs-per-second.  ``serve`` trains a
+middleware and then drives interleaved multi-user exploration sessions
+through the :mod:`repro.serving` layer, reporting wall-clock throughput,
+virtual latency, and cache hit rates (cold engine vs warm cache).  Results
+are printed as the paper's tables and saved as JSON under ``--save-dir``
+(default ``results/``).
 """
 
 from __future__ import annotations
@@ -92,6 +97,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save-dir", default="results")
     run.add_argument("--no-save", action="store_true")
 
+    train = commands.add_parser(
+        "train", help="train an MDP agent offline and report the learning curve"
+    )
+    train.add_argument("--dataset", default="twitter", choices=["twitter", "taxi", "tpch"])
+    train.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--tau-ms", type=float, default=None,
+                       help="time budget (default: the dataset's canonical budget)")
+    train.add_argument("--qte", default="sampling", choices=["accurate", "sampling"])
+    train.add_argument("--max-epochs", type=int, default=None,
+                       help="epoch cap (default: the scale's setting)")
+    train.add_argument(
+        "--lockstep",
+        action="store_true",
+        help="wave-mode epochs: fused probes, batched terminal execution",
+    )
+    train.add_argument(
+        "--candidates",
+        type=int,
+        default=1,
+        help="hold-out candidates; >1 trains them fused and keeps the best",
+    )
+    train.add_argument("--save-dir", default="results")
+    train.add_argument("--no-save", action="store_true")
+
     serve = commands.add_parser(
         "serve", help="drive interleaved user sessions through the serving layer"
     )
@@ -122,6 +152,96 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--save-dir", default="results")
     serve.add_argument("--no-save", action="store_true")
     return parser
+
+
+def _run_train(args) -> int:
+    """Train an agent offline through the tensorized training subsystem."""
+    import time
+
+    from .core import Maliva, TrainingConfig
+    from .experiments.setups import accurate_qte, dataset_setup, sampling_qte
+
+    if args.candidates < 1:
+        print("error: --candidates must be at least 1", file=sys.stderr)
+        return 2
+    if args.max_epochs is not None and args.max_epochs < 1:
+        print("error: --max-epochs must be at least 1", file=sys.stderr)
+        return 2
+    if args.tau_ms is not None and args.tau_ms <= 0:
+        print("error: --tau-ms must be positive", file=sys.stderr)
+        return 2
+
+    setup_kwargs = {} if args.tau_ms is None else {"tau_ms": args.tau_ms}
+    setup = dataset_setup(args.dataset, args.scale, seed=args.seed, **setup_kwargs)
+    qte = sampling_qte(setup) if args.qte == "sampling" else accurate_qte(setup)
+    config = TrainingConfig(
+        max_epochs=args.max_epochs if args.max_epochs is not None else setup.scale.max_epochs,
+        seed=args.seed + 5,
+        lockstep=args.lockstep,
+    )
+    maliva = Maliva(setup.database, setup.space, qte, setup.tau_ms, config=config)
+
+    # Fused multi-candidate validation trains every candidate in lockstep
+    # wave mode regardless of --lockstep; report the mode actually run.
+    effective_lockstep = args.lockstep or args.candidates > 1
+    if args.candidates > 1:
+        mode = "fused lockstep waves"
+    elif args.lockstep:
+        mode = "lockstep waves"
+    else:
+        mode = "sequential episodes"
+    print(
+        f"training on {len(setup.split.train)} {args.dataset} queries "
+        f"(tau={setup.tau_ms:.0f}ms, {args.qte} QTE, {mode}, "
+        f"{args.candidates} candidate{'s' if args.candidates != 1 else ''}) ..."
+    )
+    started = time.perf_counter()
+    history = maliva.train(
+        list(setup.split.train),
+        list(setup.split.validation),
+        n_candidates=args.candidates,
+    )
+    wall_s = time.perf_counter() - started
+
+    print(f"\n{'epoch':>5} {'total reward':>14} {'viable':>8}")
+    print("-" * 30)
+    for epoch, (reward, viable) in enumerate(
+        zip(history.epoch_rewards, history.epoch_viable_fraction), start=1
+    ):
+        print(f"{epoch:>5} {reward:>14.3f} {viable:>7.0%}")
+    status = "converged" if history.converged else "epoch cap reached"
+    print(
+        f"\n{history.epochs_run} epochs in {wall_s:.2f}s "
+        f"({history.epochs_run / max(wall_s, 1e-9):.2f} epochs/s, {status})"
+    )
+
+    if not args.no_save:
+        out_dir = Path(args.save_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / "training_report.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "dataset": args.dataset,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "tau_ms": setup.tau_ms,
+                    "qte": args.qte,
+                    "lockstep": effective_lockstep,
+                    "n_candidates": args.candidates,
+                    "epoch_rewards": history.epoch_rewards,
+                    "epoch_viable_fraction": history.epoch_viable_fraction,
+                    "epochs_run": history.epochs_run,
+                    "converged": history.converged,
+                    "training_seconds": history.training_seconds,
+                    "wall_seconds": wall_s,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        print(f"\nsaved: {path}")
+    return 0
 
 
 def _run_serve(args) -> int:
@@ -263,6 +383,8 @@ def _emit(result, args) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _run_train(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "list":

@@ -53,11 +53,26 @@ class MalivaAgent:
             MDPState.stack_vectors(states, self.tau_ms)
         )
 
-    def best_action(self, state: MDPState, remaining: np.ndarray) -> int:
-        """Highest-q unexplored option (Algorithm 2 line 5)."""
+    def best_action(
+        self,
+        state: MDPState,
+        remaining: np.ndarray,
+        vector: np.ndarray | None = None,
+    ) -> int:
+        """Highest-q unexplored option (Algorithm 2 line 5).
+
+        ``vector`` optionally supplies the state's already-encoded network
+        input (callers that hold it — the trainer reuses each step's
+        next-state vector); the encoding is deterministic, so passing it is
+        purely a recomputation saving.
+        """
         if not len(remaining):
             raise TrainingError("no remaining options to choose from")
-        q = self.q_values(state)
+        q = (
+            self.q_values(state)
+            if vector is None
+            else self.network.predict_rows(vector)[0]
+        )
         return int(remaining[int(np.argmax(q[remaining]))])
 
     def choose_batch(
@@ -93,13 +108,14 @@ class MalivaAgent:
         remaining: np.ndarray,
         epsilon: float,
         rng: np.random.Generator,
+        vector: np.ndarray | None = None,
     ) -> int:
         """Exploration policy of Algorithm 1 (lines 10-15)."""
         if not len(remaining):
             raise TrainingError("no remaining options to choose from")
         if rng.random() < epsilon:
             return int(rng.choice(remaining))
-        return self.best_action(state, remaining)
+        return self.best_action(state, remaining, vector=vector)
 
     def save(self, path: str) -> None:
         self.network.save(path)

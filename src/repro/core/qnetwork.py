@@ -50,15 +50,39 @@ class QNetwork:
 
         rng = np.random.default_rng(seed)
         dims = [input_dim, hidden_dims[0], hidden_dims[1], n_actions]
+        shapes = [(fan_in, fan_out) for fan_in, fan_out in zip(dims[:-1], dims[1:])]
+
+        # All parameters live in ONE flat buffer; per-layer weight/bias
+        # arrays are reshaped views into it.  The Adam update then runs as a
+        # handful of element-wise operations over the whole parameter vector
+        # instead of a Python loop over six small arrays — bit-identical
+        # per element, since Adam is element-wise.
+        n_params = sum(a * b for a, b in shapes) + sum(b for _, b in shapes)
+        self._theta = np.zeros(n_params, dtype=np.float64)
+        self._grad = np.zeros(n_params, dtype=np.float64)
         self._weights: list[np.ndarray] = []
         self._biases: list[np.ndarray] = []
-        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+        self._grad_weights: list[np.ndarray] = []
+        self._grad_biases: list[np.ndarray] = []
+        offset = 0
+        for fan_in, fan_out in shapes:
+            self._weights.append(
+                self._theta[offset : offset + fan_in * fan_out].reshape(fan_in, fan_out)
+            )
+            self._grad_weights.append(
+                self._grad[offset : offset + fan_in * fan_out].reshape(fan_in, fan_out)
+            )
+            offset += fan_in * fan_out
+        for _, fan_out in shapes:
+            self._biases.append(self._theta[offset : offset + fan_out])
+            self._grad_biases.append(self._grad[offset : offset + fan_out])
+            offset += fan_out
+        for weight, (fan_in, _) in zip(self._weights, shapes):
             scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
-            self._weights.append(rng.standard_normal((fan_in, fan_out)) * scale)
-            self._biases.append(np.zeros(fan_out))
+            weight[...] = rng.standard_normal(weight.shape) * scale
 
-        self._m = [np.zeros_like(w) for w in self._weights + self._biases]
-        self._v = [np.zeros_like(w) for w in self._weights + self._biases]
+        self._m = np.zeros(n_params, dtype=np.float64)
+        self._v = np.zeros(n_params, dtype=np.float64)
         self._t = 0
 
     # ------------------------------------------------------------------
@@ -66,7 +90,7 @@ class QNetwork:
     # ------------------------------------------------------------------
     def predict(self, states: np.ndarray) -> np.ndarray:
         """Q-values for a batch of states, shape ``(batch, n_actions)``."""
-        q, _ = self._forward(np.atleast_2d(states).astype(np.float64))
+        q, _ = self._forward(np.atleast_2d(np.asarray(states, dtype=np.float64)))
         return q
 
     def q_values(self, state: np.ndarray) -> np.ndarray:
@@ -84,7 +108,7 @@ class QNetwork:
         the sequential rewriter both select actions through this kernel, so
         lockstep planning reproduces sequential decisions exactly.
         """
-        x = np.atleast_2d(states).astype(np.float64)
+        x = np.atleast_2d(np.asarray(states, dtype=np.float64))
         a1 = np.maximum(np.einsum("ij,jk->ik", x, self._weights[0]) + self._biases[0], 0.0)
         a2 = np.maximum(np.einsum("ij,jk->ik", a1, self._weights[1]) + self._biases[1], 0.0)
         return np.einsum("ij,jk->ik", a2, self._weights[2]) + self._biases[2]
@@ -103,8 +127,15 @@ class QNetwork:
     def train_batch(
         self, states: np.ndarray, actions: np.ndarray, targets: np.ndarray
     ) -> float:
-        """One Adam step on ``L = mean (Q(s, a) − y)^2``; returns the loss."""
-        states = np.atleast_2d(states).astype(np.float64)
+        """One Adam step on ``L = mean (Q(s, a) − y)^2``; returns the loss.
+
+        The backward pass writes each layer's gradient straight into its
+        view of the flat gradient buffer, and the Adam update is one set of
+        element-wise operations over the flat parameter vector.  Every
+        element sees exactly the arithmetic of the per-parameter update
+        loop this replaces, so trained weights are bit-identical.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
         actions = np.asarray(actions, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.float64)
         batch = len(states)
@@ -117,27 +148,25 @@ class QNetwork:
         grad_q = np.zeros_like(q)
         grad_q[np.arange(batch), actions] = 2.0 * errors / batch
 
-        grad_w3 = a2.T @ grad_q
-        grad_b3 = grad_q.sum(axis=0)
+        np.matmul(a2.T, grad_q, out=self._grad_weights[2])
+        grad_q.sum(axis=0, out=self._grad_biases[2])
         grad_a2 = grad_q @ self._weights[2].T
         grad_z2 = grad_a2 * (z2 > 0)
-        grad_w2 = a1.T @ grad_z2
-        grad_b2 = grad_z2.sum(axis=0)
+        np.matmul(a1.T, grad_z2, out=self._grad_weights[1])
+        grad_z2.sum(axis=0, out=self._grad_biases[1])
         grad_a1 = grad_z2 @ self._weights[1].T
         grad_z1 = grad_a1 * (z1 > 0)
-        grad_w1 = x.T @ grad_z1
-        grad_b1 = grad_z1.sum(axis=0)
+        np.matmul(x.T, grad_z1, out=self._grad_weights[0])
+        grad_z1.sum(axis=0, out=self._grad_biases[0])
 
-        grads = [grad_w1, grad_w2, grad_w3, grad_b1, grad_b2, grad_b3]
-        params = self._weights + self._biases
         self._t += 1
         adam = self.adam
-        for i, (param, grad) in enumerate(zip(params, grads)):
-            self._m[i] = adam.beta1 * self._m[i] + (1 - adam.beta1) * grad
-            self._v[i] = adam.beta2 * self._v[i] + (1 - adam.beta2) * grad**2
-            m_hat = self._m[i] / (1 - adam.beta1**self._t)
-            v_hat = self._v[i] / (1 - adam.beta2**self._t)
-            param -= adam.lr * m_hat / (np.sqrt(v_hat) + adam.eps)
+        grad = self._grad
+        self._m = adam.beta1 * self._m + (1 - adam.beta1) * grad
+        self._v = adam.beta2 * self._v + (1 - adam.beta2) * grad**2
+        m_hat = self._m / (1 - adam.beta1**self._t)
+        v_hat = self._v / (1 - adam.beta2**self._t)
+        self._theta -= adam.lr * m_hat / (np.sqrt(v_hat) + adam.eps)
         return loss
 
     # ------------------------------------------------------------------
@@ -152,9 +181,11 @@ class QNetwork:
         return state
 
     def set_weights(self, state: dict[str, np.ndarray]) -> None:
+        # In-place writes keep the per-layer arrays valid views of the flat
+        # parameter buffer the Adam step operates on.
         for i in range(len(self._weights)):
-            self._weights[i] = state[f"w{i}"].copy()
-            self._biases[i] = state[f"b{i}"].copy()
+            self._weights[i][...] = state[f"w{i}"]
+            self._biases[i][...] = state[f"b{i}"]
 
     def clone(self) -> "QNetwork":
         """A frozen copy (used as the DQN target network)."""

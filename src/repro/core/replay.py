@@ -4,11 +4,28 @@ Experiences are 4-tuples ``(s, a, s', r')`` plus the bookkeeping deep
 q-learning needs: whether ``s'`` is terminal and which actions remain legal
 at ``s'`` (an option cannot be estimated twice).  The memory is bounded and
 replaced FIFO, as the paper specifies.
+
+Storage is a preallocated ring buffer of stacked arrays — one matrix per
+transition field — so a training update samples a whole batch with a single
+fancy-indexed gather per field and feeds the q-network directly, instead of
+materializing ``batch_size`` :class:`Transition` objects and re-stacking
+them on every gradient step.  :class:`Transition` remains the one-experience
+view for pushes and for callers that want object access
+(:meth:`ReplayMemory.sample`, :meth:`ReplayMemory.transitions`).
+
+Sampling semantics (pinned by ``tests/core/test_replay.py``):
+
+* ``batch_size < 1`` raises :class:`~repro.errors.TrainingError` — a
+  non-positive batch is always a caller bug, not a request for an empty
+  sample;
+* ``batch_size > len(memory)`` silently *shrinks* to everything stored
+  (uniform without replacement either way).  Algorithm 1 starts learning
+  before the memory holds a full batch, so the shrink is load-bearing, not
+  an accident.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,28 +46,178 @@ class Transition:
     terminal: bool
 
 
+@dataclass(frozen=True)
+class TransitionBatch:
+    """A sampled batch as stacked arrays, ready for the q-network.
+
+    Row ``i`` across all six arrays is one transition; the row order is
+    exactly the order :meth:`ReplayMemory.sample` would return the same
+    draw as ``Transition`` objects.
+    """
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    next_masks: np.ndarray
+    terminals: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
 class ReplayMemory:
-    """Bounded FIFO experience store with uniform sampling."""
+    """Bounded FIFO experience store with uniform batch sampling.
+
+    The first push fixes the state dimension and option count; the ring
+    buffers are allocated once at that point and never grow.  States are
+    held as float64 (exact for the float32 vectors the MDP state encoder
+    produces), so sampled arrays feed :meth:`QNetwork.train_batch` without
+    further conversion.
+    """
 
     def __init__(self, capacity: int = 2_000) -> None:
         if capacity < 1:
             raise TrainingError("replay capacity must be positive")
         self.capacity = capacity
-        self._buffer: deque[Transition] = deque(maxlen=capacity)
+        self._size = 0
+        #: Ring position of the *oldest* stored transition.
+        self._start = 0
+        self._states: np.ndarray | None = None
+        self._actions: np.ndarray | None = None
+        self._rewards: np.ndarray | None = None
+        self._next_states: np.ndarray | None = None
+        self._next_masks: np.ndarray | None = None
+        self._terminals: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _allocate(self, state_dim: int, mask_dim: int) -> None:
+        capacity = self.capacity
+        self._states = np.empty((capacity, state_dim), dtype=np.float64)
+        self._actions = np.empty(capacity, dtype=np.int64)
+        self._rewards = np.empty(capacity, dtype=np.float64)
+        self._next_states = np.empty((capacity, state_dim), dtype=np.float64)
+        self._next_masks = np.empty((capacity, mask_dim), dtype=bool)
+        self._terminals = np.empty(capacity, dtype=bool)
 
     def push(self, transition: Transition) -> None:
-        self._buffer.append(transition)
+        self.push_values(
+            transition.state,
+            transition.action,
+            transition.reward,
+            transition.next_state,
+            transition.next_mask,
+            transition.terminal,
+        )
+
+    def push_values(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        next_mask: np.ndarray,
+        terminal: bool,
+    ) -> None:
+        """Store one experience without requiring a :class:`Transition`."""
+        state = np.asarray(state)
+        next_state = np.asarray(next_state)
+        next_mask = np.asarray(next_mask)
+        if self._states is None:
+            if state.ndim != 1 or next_state.ndim != 1 or next_mask.ndim != 1:
+                raise TrainingError("replay transitions must hold 1-d vectors")
+            self._allocate(len(state), len(next_mask))
+        if (
+            len(state) != self._states.shape[1]
+            or len(next_state) != self._next_states.shape[1]
+            or len(next_mask) != self._next_masks.shape[1]
+        ):
+            raise TrainingError(
+                "transition shape mismatch: this replay memory stores "
+                f"{self._states.shape[1]}-d states and "
+                f"{self._next_masks.shape[1]}-option masks"
+            )
+        if self._size < self.capacity:
+            slot = (self._start + self._size) % self.capacity
+            self._size += 1
+        else:  # full: overwrite the oldest, FIFO
+            slot = self._start
+            self._start = (self._start + 1) % self.capacity
+        self._states[slot] = state
+        self._actions[slot] = action
+        self._rewards[slot] = reward
+        self._next_states[slot] = next_state
+        self._next_masks[slot] = next_mask
+        self._terminals[slot] = terminal
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _draw(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
+        """Physical row indices of one uniform draw (see module docstring)."""
+        if batch_size < 1:
+            raise TrainingError(f"replay batch size must be >= 1, got {batch_size}")
+        if not self._size:
+            raise TrainingError("cannot sample from an empty replay memory")
+        size = min(batch_size, self._size)
+        indices = rng.choice(self._size, size=size, replace=False)
+        return (self._start + indices) % self.capacity
 
     def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
-        """Uniform sample without replacement (or everything, if smaller)."""
-        if not self._buffer:
-            raise TrainingError("cannot sample from an empty replay memory")
-        size = min(batch_size, len(self._buffer))
-        indices = rng.choice(len(self._buffer), size=size, replace=False)
-        return [self._buffer[i] for i in indices]
+        """Uniform sample without replacement, as :class:`Transition` objects.
+
+        Shrinks to ``len(self)`` when the memory holds fewer transitions
+        than requested; raises :class:`TrainingError` on ``batch_size < 1``
+        or an empty memory.
+        """
+        return [self._transition_at(row) for row in self._draw(batch_size, rng)]
+
+    def sample_arrays(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> TransitionBatch:
+        """The same draw as :meth:`sample`, gathered as stacked arrays.
+
+        One fancy-indexed gather per field — no per-transition objects, no
+        re-stacking — with rows in the exact order the object sample would
+        have.  This is the training hot path: the batch feeds
+        :meth:`~repro.core.qnetwork.QNetwork.train_batch` and the Bellman
+        target computation directly.
+        """
+        rows = self._draw(batch_size, rng)
+        return TransitionBatch(
+            states=self._states[rows],
+            actions=self._actions[rows],
+            rewards=self._rewards[rows],
+            next_states=self._next_states[rows],
+            next_masks=self._next_masks[rows],
+            terminals=self._terminals[rows],
+        )
+
+    # ------------------------------------------------------------------
+    # Views and maintenance
+    # ------------------------------------------------------------------
+    def _transition_at(self, row: int) -> Transition:
+        return Transition(
+            state=self._states[row].copy(),
+            action=int(self._actions[row]),
+            reward=float(self._rewards[row]),
+            next_state=self._next_states[row].copy(),
+            next_mask=self._next_masks[row].copy(),
+            terminal=bool(self._terminals[row]),
+        )
+
+    def transitions(self) -> list[Transition]:
+        """Everything stored, oldest first (determinism tests compare this)."""
+        return [
+            self._transition_at((self._start + i) % self.capacity)
+            for i in range(self._size)
+        ]
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        return self._size
 
     def clear(self) -> None:
-        self._buffer.clear()
+        self._size = 0
+        self._start = 0

@@ -29,7 +29,7 @@ from ..errors import QueryError
 from ..qte import QueryTimeEstimator, SelectivityCache
 from .agent import MalivaAgent
 from .environment import RewriteEpisode
-from .state import TIME_CLIP_BUDGETS
+from .frontier import LockstepFrontier
 
 
 @dataclass(frozen=True)
@@ -175,25 +175,14 @@ class MDPQueryRewriter:
 
 
 class _LockstepFrontier:
-    """Vectorized lockstep planner: many MDP episodes as stacked matrices.
+    """Greedy batch planner over the shared :class:`LockstepFrontier`.
 
-    Per-request state lives in matrix rows — ``elapsed`` (E), ``costs``
-    (C), ``times`` (T), ``explored`` — and every per-step transition except
-    the QTE estimate itself runs as one numpy operation over the active
-    frontier:
-
-    * action selection: one row-stable q-network pass + masked argmax;
-    * selectivity collection: one fused :meth:`QueryTimeEstimator.
-      collect_batch` pass over the frontier's uncollected probes;
-    * sibling re-pricing: ``overhead + unit × missing`` counted through a
-      boolean (request, option, column) required-attribute tensor;
-    * termination: vectorized viable/timeout/exhausted checks with a masked
-      argmin for the fallback decision.
-
-    Every element-wise operation mirrors the scalar arithmetic of
-    :class:`~repro.core.environment.RewriteEpisode` exactly, so decisions
-    and virtual times are bit-identical to sequential planning — the
-    property ``tests/serving/test_pipeline_equivalence.py`` pins down.
+    The vectorized episode math (stacked E/C/T/explored matrices, fused
+    probe collection, sibling re-pricing, termination) lives in
+    :mod:`repro.core.frontier`, shared with the wave-mode trainer; this
+    wrapper composes it into Algorithm 2 — one row-stable q-network pass
+    per MDP depth, decisions bit-identical to sequential planning (the
+    property ``tests/serving/test_pipeline_equivalence.py`` pins down).
     """
 
     def __init__(
@@ -202,139 +191,53 @@ class _LockstepFrontier:
         queries: Sequence[SelectQuery],
         taus: Sequence[float],
     ) -> None:
-        self.rewriter = rewriter
         self.agent = rewriter.agent
-        self.qte = rewriter.qte
-        space = self.agent.space
-        self.unit_cost_ms, self.overhead_ms = self.qte.cost_structure()
-
-        k = len(queries)
-        n = len(space)
-        self.queries = list(queries)
-        self.taus = np.asarray(taus, dtype=np.float64)
-        self.rewritten = [rewriter.candidate_queries(query) for query in queries]
-        self.caches = [SelectivityCache() for _ in range(k)]
-
-        # Per-request local column indexing (first-occurrence order) and the
-        # required-attribute tensor R[i, j, c]: does option j of request i
-        # need the selectivity of local column c?
-        self.columns: list[list[str]] = []
-        self.predicate_of: list[dict[str, object]] = []
-        for query in queries:
-            columns: list[str] = []
-            by_column: dict[str, object] = {}
-            for predicate in query.predicates:
-                if predicate.column not in by_column:
-                    columns.append(predicate.column)
-                by_column[predicate.column] = predicate
-            self.columns.append(columns)
-            self.predicate_of.append(by_column)
-        m = max((len(cols) for cols in self.columns), default=0)
-        self.required = np.zeros((k, n, max(m, 1)), dtype=bool)
-        for i, rqs in enumerate(self.rewritten):
-            col_index = {c: ci for ci, c in enumerate(self.columns[i])}
-            for j, rq in enumerate(rqs):
-                if rq.hints is None:
-                    continue
-                for column in rq.hints.index_on:
-                    ci = col_index.get(column)
-                    if ci is not None:
-                        self.required[i, j, ci] = True
-
-        self.collected = np.zeros((k, max(m, 1)), dtype=bool)
-        self.elapsed = np.zeros(k, dtype=np.float64)
-        # Initial estimation costs against the empty per-request caches:
-        # C0_ij = overhead + unit × |required attributes of option j|.
-        self.costs = self.overhead_ms + self.unit_cost_ms * self.required.sum(
-            axis=2
-        ).astype(np.float64)
-        self.times = np.zeros((k, n), dtype=np.float64)
-        self.explored = np.zeros((k, n), dtype=bool)
-        self.n_explored = np.zeros(k, dtype=np.int64)
+        self.frontier = LockstepFrontier(
+            space=self.agent.space,
+            qte=rewriter.qte,
+            queries=queries,
+            taus=taus,
+            rewritten=[rewriter.candidate_queries(query) for query in queries],
+            tau_norm=self.agent.tau_ms,
+        )
 
     def run(self) -> list[RewriteDecision]:
-        decisions: list[RewriteDecision | None] = [None] * len(self.queries)
-        active = np.arange(len(self.queries))
-        tau_norm = self.agent.tau_ms
+        frontier = self.frontier
+        decisions: list[RewriteDecision | None] = [None] * len(frontier)
+        active = np.arange(len(frontier))
         while len(active):
             # -- choose: one forward pass for the whole frontier ----------
-            q = self.agent.network.predict_rows(self._state_matrix(active, tau_norm))
-            actions = np.where(self.explored[active], -np.inf, q).argmax(axis=1)
+            q = self.agent.network.predict_rows(frontier.state_matrix(active))
+            actions = frontier.greedy_actions(active, q)
 
             # -- collect: one fused pass over the frontier's probes -------
-            missing = self.required[active, actions] & ~self.collected[active]
-            probes = [
-                self.predicate_of[i][self.columns[i][ci]]
-                for i, row in zip(active, missing)
-                for ci in row.nonzero()[0]
-            ]
+            probes = frontier.gather_probes(active, actions)
             if probes:
-                self.qte.collect_batch(probes)
+                frontier.qte.collect_batch(probes)
 
-            # -- estimate: the only remaining per-request step ------------
-            outcomes = [
-                self.qte.estimate(self.rewritten[i][j], self.caches[i])
-                for i, j in zip(active, actions)
-            ]
-            step_costs = np.fromiter(
-                (outcome.cost_ms for outcome in outcomes),
-                dtype=np.float64,
-                count=len(outcomes),
-            )
-
-            # -- transition: vectorized across the frontier ---------------
-            self.elapsed[active] += step_costs
-            self.times[active, actions] = [o.estimated_ms for o in outcomes]
-            self.costs[active, actions] = step_costs
-            self.explored[active, actions] = True
-            self.collected[active] |= self.required[active, actions]
-            self.n_explored[active] += 1
-            counts = (
-                self.required[active] & ~self.collected[active][:, None, :]
-            ).sum(axis=2)
-            self.costs[active] = np.where(
-                self.explored[active],
-                self.costs[active],
-                self.overhead_ms + self.unit_cost_ms * counts,
-            )
+            # -- estimate + transition, vectorized across the frontier ----
+            frontier.transition(active, actions)
 
             # -- terminate: vectorized Algorithm 2 checks -----------------
-            elapsed = self.elapsed[active]
-            taus = self.taus[active]
-            viable = elapsed + self.times[active, actions] <= taus
-            timeout = elapsed >= taus
-            exhausted = self.explored[active].all(axis=1)
+            viable, timeout, exhausted, fallback = frontier.termination(
+                active, actions
+            )
             finished = viable | timeout | exhausted
-            if finished.any():
-                fallback = np.where(
-                    self.explored[active], self.times[active], np.inf
-                ).argmin(axis=1)
-                for pos in finished.nonzero()[0]:
-                    index = int(active[pos])
-                    if viable[pos]:
-                        option, reason = int(actions[pos]), "viable"
-                    elif timeout[pos]:
-                        option, reason = int(fallback[pos]), "timeout"
-                    else:
-                        option, reason = int(fallback[pos]), "exhausted"
-                    decisions[index] = RewriteDecision(
-                        rewritten=self.rewritten[index][option],
-                        option_index=option,
-                        option_label=self.agent.space.option(option).label(),
-                        planning_ms=float(self.elapsed[index]),
-                        reason=reason,
-                        n_explored=int(self.n_explored[index]),
-                    )
+            for pos in finished.nonzero()[0]:
+                index = int(active[pos])
+                if viable[pos]:
+                    option, reason = int(actions[pos]), "viable"
+                elif timeout[pos]:
+                    option, reason = int(fallback[pos]), "timeout"
+                else:
+                    option, reason = int(fallback[pos]), "exhausted"
+                decisions[index] = RewriteDecision(
+                    rewritten=frontier.rewritten[index][option],
+                    option_index=option,
+                    option_label=self.agent.space.option(option).label(),
+                    planning_ms=float(frontier.elapsed[index]),
+                    reason=reason,
+                    n_explored=int(frontier.n_explored[index]),
+                )
             active = active[~finished]
         return [decision for decision in decisions if decision is not None]
-
-    def _state_matrix(self, active: np.ndarray, tau_norm: float) -> np.ndarray:
-        """Stacked network inputs, bit-identical to per-state ``vector()``."""
-        n = self.times.shape[1]
-        out = np.empty((len(active), 1 + 2 * n), dtype=np.float64)
-        out[:, 0] = np.minimum(self.elapsed[active] / tau_norm, TIME_CLIP_BUDGETS)
-        out[:, 1 : 1 + n] = self.costs[active]
-        out[:, 1 + n :] = self.times[active]
-        np.divide(out[:, 1:], tau_norm, out=out[:, 1:])
-        np.clip(out[:, 1:], 0.0, TIME_CLIP_BUDGETS, out=out[:, 1:])
-        return out.astype(np.float32)

@@ -8,16 +8,42 @@ replaying random batches against a periodically synchronized target network
 accumulated reward of an epoch stops improving by more than ~1% (the paper's
 convergence criterion) or when ``max_epochs`` is reached.
 
+The learning hot path is tensorized end to end: the replay memory is a
+preallocated ring buffer sampled as stacked arrays
+(:meth:`~repro.core.replay.ReplayMemory.sample_arrays`), Bellman targets are
+computed over those arrays directly, and the q-network applies one
+vectorized flat-buffer Adam step per update.  Sequential-mode trajectories
+(the default, ``lockstep=False``) are **bit-identical** to the pre-tensor
+per-object implementation — same RNG draw order, same epoch rewards, same
+convergence epoch, same replay contents, same weights — the contract
+``tests/core/test_trainer_determinism.py`` pins against a pinned reference
+trainer (see DESIGN.md §7).
+
+``TrainingConfig(lockstep=True)`` is the throughput mode: an epoch's
+episodes advance in waves over the shared
+:class:`~repro.core.frontier.LockstepFrontier` — one row-stable q-network
+pass per MDP depth for the whole epoch, one fused selectivity-collection
+pass per wave, and each wave's terminal queries executed through the batch
+executor (:meth:`~repro.db.database.Database.execute_batch`, bit-identical
+per-query results).  Step semantics match sequential episodes exactly; only
+the exploration-RNG consumption order and the placement of gradient updates
+differ, so the training *trajectory* legitimately changes.
+
 ``train_validated`` implements the paper's hold-out validation protocol:
 train several candidate agents and keep the one with the best viable-query
-percentage on the validation workload.
+percentage on the validation workload.  With several candidates it defaults
+to **fused** shared-work training: one database/QTE/option-space build,
+candidates advancing wave-synchronized so their selectivity probes pool
+into single ``collect_batch`` sweeps, and validation scored through the
+staged serving pipeline (``MalivaService.answer_many``) instead of
+per-query episodes.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Generator, Sequence
 
 import numpy as np
 
@@ -26,6 +52,7 @@ from ..errors import TrainingError
 from ..qte import QueryTimeEstimator
 from .agent import MalivaAgent
 from .environment import RewriteEpisode
+from .frontier import LockstepFrontier
 from .options import RewriteOptionSpace
 from .qnetwork import AdamParams, QNetwork
 from .replay import ReplayMemory, Transition
@@ -56,10 +83,11 @@ class TrainingConfig:
     convergence_patience: int = 3
     seed: int = 0
     #: Run each epoch's episodes in lockstep waves (one q-network forward
-    #: pass per MDP depth for the whole epoch, fused selectivity probes).
-    #: Episode semantics per step are unchanged, but the exploration RNG is
-    #: consumed in wave order and gradient updates land at wave boundaries,
-    #: so the training *trajectory* differs from sequential episodes.
+    #: pass per MDP depth for the whole epoch, fused selectivity probes,
+    #: batched terminal execution).  Episode semantics per step are
+    #: unchanged, but the exploration RNG is consumed in wave order and
+    #: gradient updates land at wave boundaries, so the training
+    #: *trajectory* differs from sequential episodes.
     lockstep: bool = False
 
 
@@ -72,6 +100,35 @@ class TrainingHistory:
     epochs_run: int = 0
     converged: bool = False
     training_seconds: float = 0.0
+
+
+class _ConvergenceTracker:
+    """Algorithm 1's stopping rule, factored out so the fused multi-
+    candidate trainer applies exactly the epoch bookkeeping of
+    :meth:`DQNTrainer.train`."""
+
+    def __init__(self, config: TrainingConfig) -> None:
+        self.config = config
+        self.stall_epochs = 0
+        self.previous_reward: float | None = None
+
+    def converged(self, epochs_run: int, total_reward: float) -> bool:
+        """Record one epoch's reward; True when training should stop."""
+        config = self.config
+        if self.previous_reward is not None:
+            improvement = total_reward - self.previous_reward
+            threshold = config.convergence_tol * max(1.0, abs(self.previous_reward))
+            if improvement < threshold:
+                self.stall_epochs += 1
+            else:
+                self.stall_epochs = 0
+            if (
+                epochs_run >= config.min_epochs
+                and self.stall_epochs >= config.convergence_patience
+            ):
+                return True
+        self.previous_reward = total_reward
+        return False
 
 
 class DQNTrainer:
@@ -93,6 +150,10 @@ class DQNTrainer:
         self.tau_ms = tau_ms
         self.reward = reward or EfficiencyReward()
         self.config = config or TrainingConfig()
+        #: Custom episode factories (ablations, the two-stage rewriter)
+        #: carry semantics the matrix frontier cannot express; wave mode
+        #: falls back to per-object episodes for them.
+        self._custom_episodes = episode_factory is not None
         self._episode_factory = episode_factory or self._default_episode
         self._rng = np.random.default_rng(self.config.seed)
 
@@ -107,9 +168,24 @@ class DQNTrainer:
         self.memory = ReplayMemory(self.config.replay_capacity)
         self.agent = MalivaAgent(self.network, space, tau_ms)
         self._episodes_since_sync = 0
+        # Candidate-RQ memo for the wave-mode frontier (build_all is
+        # deterministic, so caching it across epochs changes nothing).
+        self._rq_memo: dict[object, list[SelectQuery]] = {}
+        database.add_invalidation_hook(self._on_table_invalidated)
 
     def _default_episode(self, query: SelectQuery) -> RewriteEpisode:
         return RewriteEpisode(self.database, self.qte, self.space, query, self.tau_ms)
+
+    def _on_table_invalidated(self, table_name: str) -> None:
+        self._rq_memo.clear()
+
+    def _candidates(self, query: SelectQuery) -> list[SelectQuery]:
+        key = query.key()
+        cached = self._rq_memo.get(key)
+        if cached is None:
+            cached = self.space.build_all(query, self.database)
+            self._rq_memo[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Public API
@@ -122,8 +198,7 @@ class DQNTrainer:
         history = TrainingHistory()
         start = time.perf_counter()
         queries = list(workload)
-        stall_epochs = 0
-        previous_reward: float | None = None
+        tracker = _ConvergenceTracker(config)
 
         for epoch in range(config.max_epochs):
             epsilon = self._epsilon_at(epoch)
@@ -141,20 +216,9 @@ class DQNTrainer:
             history.epoch_viable_fraction.append(viable / len(queries))
             history.epochs_run = epoch + 1
 
-            if previous_reward is not None:
-                improvement = total_reward - previous_reward
-                threshold = config.convergence_tol * max(1.0, abs(previous_reward))
-                if improvement < threshold:
-                    stall_epochs += 1
-                else:
-                    stall_epochs = 0
-                if (
-                    epoch + 1 >= config.min_epochs
-                    and stall_epochs >= config.convergence_patience
-                ):
-                    history.converged = True
-                    break
-            previous_reward = total_reward
+            if tracker.converged(epoch + 1, total_reward):
+                history.converged = True
+                break
 
         history.training_seconds = time.perf_counter() - start
         return history
@@ -166,27 +230,32 @@ class DQNTrainer:
         episode = self._episode_factory(query)
         final_reward = 0.0
         viable = False
+        # The encoded state is reused as both this step's network input and
+        # the stored transition state, and each step's next-state vector
+        # carries over as the following step's state vector — the state
+        # object does not mutate in between, so the values are identical to
+        # re-encoding (which the pre-tensor trainer did three times per
+        # step).
+        state_vec = episode.state.vector(self.tau_ms)
         while True:
             remaining = episode.remaining()
-            state_vec = episode.state.vector(self.tau_ms)
             action = self.agent.epsilon_greedy_action(
-                episode.state, remaining, epsilon, self._rng
+                episode.state, remaining, epsilon, self._rng, vector=state_vec
             )
             step = episode.step(action)
             next_vec = episode.state.vector(self.tau_ms)
-            next_mask = ~episode.state.explored.copy()
+            next_mask = ~episode.state.explored
 
             if step.decision is None:
-                self.memory.push(
-                    Transition(
-                        state=state_vec,
-                        action=action,
-                        reward=self.reward.intermediate_reward(),
-                        next_state=next_vec,
-                        next_mask=next_mask,
-                        terminal=False,
-                    )
+                self.memory.push_values(
+                    state_vec,
+                    action,
+                    self.reward.intermediate_reward(),
+                    next_vec,
+                    next_mask,
+                    False,
                 )
+                state_vec = next_vec
                 continue
 
             # Terminal: run the decided rewritten query and compute Eq. 1/2.
@@ -202,15 +271,8 @@ class DQNTrainer:
             )
             final_reward = self.reward.final_reward(outcome)
             viable = outcome.viable
-            self.memory.push(
-                Transition(
-                    state=state_vec,
-                    action=action,
-                    reward=final_reward,
-                    next_state=next_vec,
-                    next_mask=next_mask,
-                    terminal=True,
-                )
+            self.memory.push_values(
+                state_vec, action, final_reward, next_vec, next_mask, True
             )
             break
 
@@ -223,16 +285,137 @@ class DQNTrainer:
     ) -> tuple[float, int]:
         """Run many episodes in lockstep waves; returns (reward sum, #viable).
 
-        Per wave: one row-stable q-network pass scores the whole frontier
-        (reusing the same kernel as :meth:`MalivaAgent.choose_batch`),
+        Per wave: one row-stable q-network pass scores the whole frontier,
         epsilon-greedy exploration draws one random number per active
         episode in frontier order, the frontier's uncollected selectivity
-        probes run as one fused :meth:`collect_batch` pass, and each active
-        episode then takes its step.  Step semantics (transitions, rewards,
-        replay pushes, one :meth:`_learn` per finished episode) are exactly
-        those of :meth:`run_episode`; only the RNG consumption order and
-        the placement of gradient updates differ.
+        probes run as one fused :meth:`collect_batch` pass, and the wave's
+        terminal queries execute together through
+        :meth:`Database.execute_batch` (bit-identical per-query results).
+        Step semantics (transitions, rewards, replay pushes, one
+        :meth:`_learn` per finished episode) are exactly those of
+        :meth:`run_episode`; only the RNG consumption order and the
+        placement of gradient updates differ.
         """
+        waves = self._lockstep_waves(list(queries), epsilon, learn)
+        while True:
+            try:
+                probes = next(waves)
+            except StopIteration as stop:
+                return stop.value
+            if probes:
+                self.qte.collect_batch(probes)
+
+    # ------------------------------------------------------------------
+    # Lockstep wave internals
+    # ------------------------------------------------------------------
+    def _lockstep_waves(
+        self, queries: list[SelectQuery], epsilon: float, learn: bool
+    ) -> Generator[list, None, tuple[float, int]]:
+        """Generator form of one lockstep epoch: yields each wave's pooled
+        selectivity probes *before* estimating, so the driver — the solo
+        :meth:`run_episodes_lockstep` loop or the fused multi-candidate
+        trainer — decides how widely to fuse the collection pass.
+        """
+        if self._custom_episodes or self.qte.cost_structure() is None:
+            return (yield from self._object_waves(queries, epsilon, learn))
+        frontier = LockstepFrontier(
+            space=self.space,
+            qte=self.qte,
+            queries=queries,
+            taus=[self.tau_ms] * len(queries),
+            rewritten=[self._candidates(query) for query in queries],
+            tau_norm=self.tau_ms,
+        )
+        total_reward = 0.0
+        viable_count = 0
+        active = np.arange(len(queries))
+        # Each wave's post-transition encoding doubles as the next wave's
+        # state matrix (frontier state is untouched in between), the same
+        # recompute-avoidance run_episode gets from its carried vectors.
+        matrix = frontier.state_matrix(active)
+        while len(active):
+            greedy = frontier.greedy_actions(
+                active, self.network.predict_rows(matrix)
+            )
+            actions = np.empty(len(active), dtype=np.int64)
+            for pos, index in enumerate(active):
+                if self._rng.random() < epsilon:
+                    actions[pos] = int(self._rng.choice(frontier.remaining(index)))
+                else:
+                    actions[pos] = greedy[pos]
+
+            yield frontier.gather_probes(active, actions)
+
+            frontier.transition(active, actions)
+            next_matrix = frontier.state_matrix(active)
+            viable, timeout, exhausted, fallback = frontier.termination(
+                active, actions
+            )
+            finished = viable | timeout | exhausted
+
+            # Batched terminal execution, frontier order: execute_batch is
+            # observably equivalent to per-episode execute calls in the same
+            # order, and the steps above never touch the engine's RNG, so
+            # the wave's trajectory matches interleaved execution exactly.
+            options = np.where(viable, actions, fallback)
+            terminal_queries = [
+                frontier.rewritten[int(active[pos])][int(options[pos])]
+                for pos in finished.nonzero()[0]
+            ]
+            results = (
+                self.database.execute_batch(terminal_queries)[0]
+                if terminal_queries
+                else []
+            )
+
+            terminal_rank = 0
+            for pos in range(len(active)):
+                index = int(active[pos])
+                if not finished[pos]:
+                    self.memory.push_values(
+                        matrix[pos],
+                        int(actions[pos]),
+                        self.reward.intermediate_reward(),
+                        next_matrix[pos],
+                        ~frontier.explored[index],
+                        False,
+                    )
+                    continue
+                rewritten = terminal_queries[terminal_rank]
+                result = results[terminal_rank]
+                terminal_rank += 1
+                outcome = EpisodeOutcome(
+                    tau_ms=self.tau_ms,
+                    elapsed_ms=float(frontier.elapsed[index]),
+                    execution_ms=result.execution_ms,
+                    original_query=frontier.queries[index],
+                    rewritten_query=rewritten,
+                    rewritten_result=result,
+                )
+                final_reward = self.reward.final_reward(outcome)
+                total_reward += final_reward
+                viable_count += int(outcome.viable)
+                self.memory.push_values(
+                    matrix[pos],
+                    int(actions[pos]),
+                    final_reward,
+                    next_matrix[pos],
+                    ~frontier.explored[index],
+                    True,
+                )
+                if learn:
+                    self._learn()
+            active = active[~finished]
+            matrix = next_matrix[~finished]
+        return total_reward, viable_count
+
+    def _object_waves(
+        self, queries: list[SelectQuery], epsilon: float, learn: bool
+    ) -> Generator[list, None, tuple[float, int]]:
+        """Wave loop over :class:`RewriteEpisode` objects — the fallback for
+        custom episode factories (ablations, the two-stage rewriter) and
+        estimators without a unit-cost structure.  Same wave semantics as
+        the matrix path, minus the vectorized transitions."""
         episodes = [self._episode_factory(query) for query in queries]
         total_reward = 0.0
         viable_count = 0
@@ -250,32 +433,26 @@ class DQNTrainer:
                     actions.append(int(self._rng.choice(remainings[position])))
                 else:
                     actions.append(greedy[position])
-            probes = [
+            yield [
                 probe
                 for index, action in zip(active, actions)
                 for probe in episodes[index].probes_for(action)
             ]
-            self.qte.collect_batch(probes)
 
             still_active: list[int] = []
             for position, (index, action) in enumerate(zip(active, actions)):
                 episode = episodes[index]
-                # Copy: a row view would pin the whole wave matrix in the
-                # replay memory for the lifetime of its transitions.
-                state_vec = matrix[position].copy()
                 step = episode.step(action)
                 next_vec = episode.state.vector(self.tau_ms)
-                next_mask = ~episode.state.explored.copy()
+                next_mask = ~episode.state.explored
                 if step.decision is None:
-                    self.memory.push(
-                        Transition(
-                            state=state_vec,
-                            action=action,
-                            reward=self.reward.intermediate_reward(),
-                            next_state=next_vec,
-                            next_mask=next_mask,
-                            terminal=False,
-                        )
+                    self.memory.push_values(
+                        matrix[position],
+                        action,
+                        self.reward.intermediate_reward(),
+                        next_vec,
+                        next_mask,
+                        False,
                     )
                     still_active.append(index)
                     continue
@@ -292,15 +469,8 @@ class DQNTrainer:
                 final_reward = self.reward.final_reward(outcome)
                 total_reward += final_reward
                 viable_count += int(outcome.viable)
-                self.memory.push(
-                    Transition(
-                        state=state_vec,
-                        action=action,
-                        reward=final_reward,
-                        next_state=next_vec,
-                        next_mask=next_mask,
-                        terminal=True,
-                    )
+                self.memory.push_values(
+                    matrix[position], action, final_reward, next_vec, next_mask, True
                 )
                 if learn:
                     self._learn()
@@ -315,40 +485,49 @@ class DQNTrainer:
         if len(self.memory) < config.batch_size:
             return
         for _ in range(config.updates_per_episode):
-            batch = self.memory.sample(config.batch_size, self._rng)
-            states = np.stack([t.state for t in batch])
-            actions = np.array([t.action for t in batch])
-            targets = self._bellman_targets(batch)
-            self.network.train_batch(states, actions, targets)
+            batch = self.memory.sample_arrays(config.batch_size, self._rng)
+            targets = self._bellman_from_arrays(
+                batch.rewards, batch.next_states, batch.next_masks, batch.terminals
+            )
+            self.network.train_batch(batch.states, batch.actions, targets)
         self._episodes_since_sync += 1
         if self._episodes_since_sync >= config.target_sync_episodes:
             self._target.set_weights(self.network.get_weights())
             self._episodes_since_sync = 0
 
-    def _bellman_targets(self, batch: list[Transition]) -> np.ndarray:
+    def _bellman_from_arrays(
+        self,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        masks: np.ndarray,
+        terminal: np.ndarray,
+    ) -> np.ndarray:
         """Vectorized Bellman targets: ``r + gamma * max_a' Q_target``.
 
-        The per-transition loop this replaces ran ``updates_per_episode ×
-        batch_size`` times per episode; the masked max over the stacked
-        ``next_mask`` matrix produces bit-identical targets (the max runs
-        over the same legal-action subset, and the scalar arithmetic per
-        element is unchanged).
+        Operates on the replay ring buffer's stacked arrays directly — the
+        per-update ``Transition`` gather/stack this replaces allocated
+        ``batch_size`` objects and four stacking passes per gradient step.
+        The masked max runs over the same legal-action subset and the
+        scalar arithmetic per element is unchanged, so targets are
+        bit-identical.
         """
-        next_states = np.stack([t.next_state for t in batch])
         next_q = self._target.predict(next_states)
-        rewards = np.fromiter(
-            (t.reward for t in batch), dtype=np.float64, count=len(batch)
-        )
-        masks = np.stack([t.next_mask for t in batch])
-        terminal = np.fromiter(
-            (t.terminal for t in batch), dtype=bool, count=len(batch)
-        )
         has_next = masks.any(axis=1) & ~terminal
         masked_max = np.where(masks, next_q, -np.inf).max(axis=1)
         # Zero out the -inf placeholder rows before the (discarded) multiply
         # so gamma = 0 configurations cannot produce NaN warnings.
         best_next = np.where(has_next, masked_max, 0.0)
         return np.where(has_next, rewards + self.config.gamma * best_next, rewards)
+
+    def _bellman_targets(self, batch: list[Transition]) -> np.ndarray:
+        """Bellman targets for a list of transitions (compatibility view of
+        :meth:`_bellman_from_arrays`; the hot path samples arrays)."""
+        return self._bellman_from_arrays(
+            np.fromiter((t.reward for t in batch), dtype=np.float64, count=len(batch)),
+            np.stack([t.next_state for t in batch]),
+            np.stack([t.next_mask for t in batch]),
+            np.fromiter((t.terminal for t in batch), dtype=bool, count=len(batch)),
+        )
 
     def _epsilon_at(self, epoch: int) -> float:
         config = self.config
@@ -360,6 +539,9 @@ class DQNTrainer:
         )
 
 
+# ----------------------------------------------------------------------
+# Hold-out validation (Section 7.1)
+# ----------------------------------------------------------------------
 def train_validated(
     database: Database,
     qte: QueryTimeEstimator,
@@ -370,37 +552,155 @@ def train_validated(
     n_candidates: int = 1,
     reward: RewardFunction | None = None,
     config: TrainingConfig | None = None,
+    fused: bool = True,
 ) -> tuple[MalivaAgent, TrainingHistory]:
     """Hold-out validation: train ``n_candidates`` agents, keep the best.
 
     "We used a workload to train multiple MDP agents, and used a validation
     workload to choose a best agent" (Section 7.1).  With no validation
-    workload (or a single candidate) the first agent is returned.
+    workload (or a single candidate) the first agent is returned, trained
+    exactly as a bare :meth:`DQNTrainer.train` call would (the bit-identical
+    default path).
+
+    With several candidates and ``fused=True`` (the default), candidates
+    train in **shared-work mode**: all K trainers advance their lockstep
+    epochs wave-synchronized over the one database/QTE/option-space build,
+    pooling every wave's selectivity probes into a single
+    :meth:`collect_batch` sweep across candidates, and validation runs
+    through the staged batch-serving pipeline
+    (:meth:`MalivaService.answer_many`) instead of per-query episodes.
+    Each candidate's trajectory matches what its solo ``lockstep=True``
+    training would produce (probe fusion is value-transparent); pass
+    ``fused=False`` for the fully sequential per-candidate protocol.
     """
     if n_candidates < 1:
         raise TrainingError("need at least one candidate agent")
     base_config = config or TrainingConfig()
-    best: tuple[MalivaAgent, TrainingHistory] | None = None
-    best_score = -np.inf
-    for candidate in range(n_candidates):
-        candidate_config = TrainingConfig(
+
+    def candidate_config(candidate: int) -> TrainingConfig:
+        return TrainingConfig(
             **{
                 **base_config.__dict__,
                 "seed": base_config.seed + candidate * 7_919,
             }
         )
+
+    if validation_queries is None or n_candidates == 1:
         trainer = DQNTrainer(
-            database, qte, space, tau_ms, reward=reward, config=candidate_config
+            database, qte, space, tau_ms, reward=reward, config=candidate_config(0)
         )
         history = trainer.train(train_queries)
-        if validation_queries is None or n_candidates == 1:
-            return trainer.agent, history
+        return trainer.agent, history
+
+    if fused:
+        trainers = [
+            DQNTrainer(
+                database,
+                qte,
+                space,
+                tau_ms,
+                reward=reward,
+                config=replace(candidate_config(candidate), lockstep=True),
+            )
+            for candidate in range(n_candidates)
+        ]
+        histories = _train_candidates_fused(trainers, train_queries)
+        scores = [
+            _validation_vqp_batched(trainer, validation_queries)
+            for trainer in trainers
+        ]
+        best = int(np.argmax(scores))
+        return trainers[best].agent, histories[best]
+
+    best_pair: tuple[MalivaAgent, TrainingHistory] | None = None
+    best_score = -np.inf
+    for candidate in range(n_candidates):
+        trainer = DQNTrainer(
+            database,
+            qte,
+            space,
+            tau_ms,
+            reward=reward,
+            config=candidate_config(candidate),
+        )
+        history = trainer.train(train_queries)
         score = _validation_vqp(trainer, validation_queries)
         if score > best_score:
             best_score = score
-            best = (trainer.agent, history)
-    assert best is not None
-    return best
+            best_pair = (trainer.agent, history)
+    assert best_pair is not None
+    return best_pair
+
+
+def _train_candidates_fused(
+    trainers: Sequence[DQNTrainer], train_queries: Sequence[SelectQuery]
+) -> list[TrainingHistory]:
+    """Train all candidates wave-synchronized with pooled probe collection.
+
+    Every candidate runs the exact epoch loop of :meth:`DQNTrainer.train`
+    (own RNG, own shuffles, own convergence tracking); only the wall-clock
+    schedule changes — per global wave, the probes of every candidate's
+    frontier are collected in one fused pass before any candidate
+    estimates.  Probe fusion is value-transparent (exact counts into the
+    cross-request memo), so per-candidate trajectories are unchanged.
+    """
+    if not train_queries:
+        raise TrainingError("cannot train on an empty workload")
+    started = time.perf_counter()
+    qte = trainers[0].qte
+    histories = [TrainingHistory() for _ in trainers]
+    trackers = [_ConvergenceTracker(trainer.config) for trainer in trainers]
+    queries = [list(train_queries) for _ in trainers]
+    done = [False] * len(trainers)
+
+    while not all(done):
+        waves: list[tuple[int, Generator]] = []
+        for index, trainer in enumerate(trainers):
+            if done[index]:
+                continue
+            epoch = histories[index].epochs_run
+            epsilon = trainer._epsilon_at(epoch)
+            trainer._rng.shuffle(queries[index])
+            waves.append(
+                (index, trainer._lockstep_waves(queries[index], epsilon, True))
+            )
+
+        results: dict[int, tuple[float, int]] = {}
+        current: list[tuple[int, Generator, list]] = []
+        for index, generator in waves:
+            try:
+                current.append((index, generator, next(generator)))
+            except StopIteration as stop:  # pragma: no cover - needs 0 waves
+                results[index] = stop.value
+        while current:
+            pooled = [probe for _, _, probes in current for probe in probes]
+            if pooled:
+                qte.collect_batch(pooled)
+            advanced: list[tuple[int, Generator, list]] = []
+            for index, generator, _ in current:
+                try:
+                    advanced.append((index, generator, next(generator)))
+                except StopIteration as stop:
+                    results[index] = stop.value
+            current = advanced
+
+        for index, (total_reward, viable) in results.items():
+            history = histories[index]
+            history.epoch_rewards.append(total_reward)
+            history.epoch_viable_fraction.append(viable / len(queries[index]))
+            history.epochs_run += 1
+            if trackers[index].converged(history.epochs_run, total_reward):
+                history.converged = True
+                done[index] = True
+            elif history.epochs_run >= trainers[index].config.max_epochs:
+                done[index] = True
+
+    elapsed = time.perf_counter() - started
+    for history in histories:
+        # Wall time is shared across the fused run; each candidate reports
+        # the whole run (the quantity an operator actually waited for).
+        history.training_seconds = elapsed
+    return histories
 
 
 def _validation_vqp(trainer: DQNTrainer, queries: Sequence[SelectQuery]) -> float:
@@ -410,3 +710,27 @@ def _validation_vqp(trainer: DQNTrainer, queries: Sequence[SelectQuery]) -> floa
         _, was_viable = trainer.run_episode(query, epsilon=0.0, learn=False)
         viable += int(was_viable)
     return viable / max(1, len(queries))
+
+
+def _validation_vqp_batched(
+    trainer: DQNTrainer, queries: Sequence[SelectQuery]
+) -> float:
+    """Viable-query percentage through the staged serving pipeline.
+
+    Plans the whole validation workload in one lockstep ``rewrite_batch``
+    and executes it through the batch executor (arrival order, so engine
+    RNG/caches see the sequential schedule).  On a deterministic profile
+    this scores exactly what greedy :meth:`DQNTrainer.run_episode` passes
+    would — planning and execution are bit-identical — while doing the
+    engine work once per distinct probe/scan instead of once per query.
+    """
+    from ..serving import MalivaService  # deferred: serving imports core
+    from ..serving.requests import VizRequest
+    from ..serving.scheduler import FifoScheduler
+    from .middleware import Maliva
+
+    maliva = Maliva(trainer.database, trainer.space, trainer.qte, trainer.tau_ms)
+    maliva.adopt_agent(trainer.agent)
+    service = MalivaService(maliva, scheduler=FifoScheduler(), batch_execute=True)
+    outcomes = service.answer_many([VizRequest(payload=query) for query in queries])
+    return sum(outcome.viable for outcome in outcomes) / max(1, len(queries))

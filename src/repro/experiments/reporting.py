@@ -60,11 +60,31 @@ def render_metric_table(result: ExperimentResult, metric: str) -> str:
     return "\n".join(lines)
 
 
+def render_stage_timings(result: ExperimentResult) -> str:
+    """Per-approach evaluation wall time broken down by pipeline stage."""
+    totals = result.stage_totals()
+    if not totals:
+        return ""
+    lines = ["evaluation stage timings (wall seconds):"]
+    width = max(len(name) for name in totals)
+    for name, stages in totals.items():
+        rendered = "  ".join(
+            f"{stage}={seconds:.3f}s"
+            for stage, seconds in stages.items()
+            if stage != "wall"
+        )
+        lines.append(f"  {name:<{width}}  {rendered}  wall={stages.get('wall', 0.0):.3f}s")
+    return "\n".join(lines)
+
+
 def render_experiment(
     result: ExperimentResult, metrics: Sequence[str] = ("vqp", "aqrt_ms")
 ) -> str:
     """All requested metric tables for one experiment."""
     blocks = [render_metric_table(result, metric) for metric in metrics]
+    timings = render_stage_timings(result)
+    if timings:
+        blocks.append(timings)
     return "\n\n".join(blocks)
 
 

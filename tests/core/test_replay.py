@@ -55,3 +55,101 @@ class TestReplayMemory:
         memory.push(make_transition(0))
         memory.clear()
         assert len(memory) == 0
+
+    def test_clear_then_refill(self):
+        memory = ReplayMemory(capacity=3)
+        for tag in range(3):
+            memory.push(make_transition(tag))
+        memory.clear()
+        for tag in range(5, 9):
+            memory.push(make_transition(tag))
+        assert {t.action for t in memory.transitions()} == {6, 7, 8}
+
+    def test_nonpositive_batch_size_raises(self):
+        """batch_size < 1 is a caller bug, reported as a TrainingError
+        instead of an opaque numpy error (documented edge semantics)."""
+        memory = ReplayMemory(capacity=5)
+        memory.push(make_transition(0))
+        rng = np.random.default_rng(0)
+        for bad in (0, -1):
+            with pytest.raises(TrainingError):
+                memory.sample(bad, rng)
+            with pytest.raises(TrainingError):
+                memory.sample_arrays(bad, rng)
+
+    def test_oversample_shrinks_for_arrays_too(self):
+        """Sampling more than stored shrinks to everything, both views."""
+        memory = ReplayMemory(capacity=10)
+        for tag in range(3):
+            memory.push(make_transition(tag))
+        batch = memory.sample_arrays(8, np.random.default_rng(2))
+        assert len(batch) == 3
+        assert set(batch.actions.tolist()) == {0, 1, 2}
+
+    def test_shape_mismatch_raises(self):
+        memory = ReplayMemory(capacity=5)
+        memory.push(make_transition(0))
+        bad = Transition(
+            state=np.array([1.0, 2.0]),
+            action=1,
+            reward=0.0,
+            next_state=np.array([1.0, 2.0]),
+            next_mask=np.array([True, False]),
+            terminal=False,
+        )
+        with pytest.raises(TrainingError):
+            memory.push(bad)
+
+
+class TestRingBuffer:
+    """The tensorized store must behave exactly like the old deque."""
+
+    def test_fifo_order_across_wraparound(self):
+        memory = ReplayMemory(capacity=4)
+        for tag in range(11):
+            memory.push(make_transition(tag))
+        assert [t.action for t in memory.transitions()] == [7, 8, 9, 10]
+
+    def test_sample_matches_deque_reference(self):
+        """Same RNG draw → the same transitions in the same order as a
+        deque-backed FIFO buffer would return."""
+        from collections import deque
+
+        for capacity, n_pushes, seed in [(8, 5, 0), (8, 8, 1), (8, 23, 2)]:
+            memory = ReplayMemory(capacity=capacity)
+            reference: deque = deque(maxlen=capacity)
+            for tag in range(n_pushes):
+                transition = make_transition(tag)
+                memory.push(transition)
+                reference.append(transition)
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            sampled = memory.sample(4, rng_a)
+            indices = rng_b.choice(len(reference), size=min(4, len(reference)), replace=False)
+            expected = [reference[i] for i in indices]
+            assert [t.action for t in sampled] == [t.action for t in expected]
+
+    def test_sample_arrays_matches_sample(self):
+        """Both views of one draw agree row for row."""
+        memory = ReplayMemory(capacity=6)
+        for tag in range(9):
+            memory.push(
+                Transition(
+                    state=np.array([float(tag), float(tag) + 0.5], dtype=np.float32),
+                    action=tag,
+                    reward=tag / 10.0,
+                    next_state=np.array([float(tag) + 1.0, 0.0], dtype=np.float32),
+                    next_mask=np.array([tag % 2 == 0, True]),
+                    terminal=tag % 3 == 0,
+                )
+            )
+        objects = memory.sample(4, np.random.default_rng(7))
+        arrays = memory.sample_arrays(4, np.random.default_rng(7))
+        assert len(arrays) == len(objects) == 4
+        for row, transition in enumerate(objects):
+            assert np.array_equal(arrays.states[row], transition.state)
+            assert arrays.actions[row] == transition.action
+            assert arrays.rewards[row] == transition.reward
+            assert np.array_equal(arrays.next_states[row], transition.next_state)
+            assert np.array_equal(arrays.next_masks[row], transition.next_mask)
+            assert bool(arrays.terminals[row]) == transition.terminal

@@ -1,0 +1,278 @@
+"""Training-determinism contract (DESIGN.md §7).
+
+The tensorized training subsystem — ring-buffer replay, array-fed Bellman
+targets, flat-buffer Adam, hoisted state encoding — must reproduce the
+pre-tensorization trainer's sequential trajectories **bit for bit**: same
+RNG draw order, same epoch rewards, same convergence epoch, same replay
+contents, same final network weights.  The reference implementation is
+pinned in ``tests/core/_reference.py`` (a faithful copy of the pre-PR
+code), so any numeric drift in the production trainer fails here.
+
+Lockstep wave mode has its own (weaker) contract: the matrix-frontier
+implementation with batched terminal execution must match the pre-batching
+per-object wave loop exactly, and fused multi-candidate training must give
+every candidate its solo-lockstep trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DQNTrainer,
+    EfficiencyReward,
+    QualityAwareReward,
+    TrainingConfig,
+)
+from repro.core.trainer import (
+    _validation_vqp,
+    _validation_vqp_batched,
+    train_validated,
+)
+from repro.viz import JaccardQuality
+
+from ..conftest import TEST_TAU_MS
+from ._reference import ReferenceTrainer
+
+SEEDS = (3, 7, 11)
+
+
+def reward_functions(twitter_db):
+    return {
+        "efficiency": lambda: EfficiencyReward(),
+        "quality": lambda: QualityAwareReward(twitter_db, JaccardQuality(), beta=0.5),
+    }
+
+
+def assert_histories_equal(left, right, context=""):
+    assert left.epoch_rewards == right.epoch_rewards, context
+    assert left.epoch_viable_fraction == right.epoch_viable_fraction, context
+    assert left.epochs_run == right.epochs_run, context
+    assert left.converged == right.converged, context
+
+
+def assert_replay_equal(new_memory, reference_memory, context=""):
+    new_transitions = new_memory.transitions()
+    reference_transitions = reference_memory.transitions()
+    assert len(new_transitions) == len(reference_transitions), context
+    for left, right in zip(new_transitions, reference_transitions):
+        assert np.array_equal(left.state, right.state), context
+        assert left.action == right.action, context
+        assert left.reward == right.reward, context
+        assert np.array_equal(left.next_state, right.next_state), context
+        assert np.array_equal(left.next_mask, right.next_mask), context
+        assert left.terminal == right.terminal, context
+
+
+def assert_weights_equal(new_network, reference_network, context=""):
+    new_weights = new_network.get_weights()
+    reference_weights = reference_network.get_weights()
+    for key in new_weights:
+        assert np.array_equal(new_weights[key], reference_weights[key]), (
+            context,
+            key,
+        )
+
+
+class TestSequentialBitIdentity:
+    """Default-config trajectories are pinned against the reference."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("reward_name", ["efficiency", "quality"])
+    def test_trajectory_matches_reference(
+        self, twitter_db, hint_space, fast_qte, twitter_queries, seed, reward_name
+    ):
+        config = TrainingConfig(max_epochs=3, seed=seed)
+        build_reward = reward_functions(twitter_db)[reward_name]
+        queries = list(twitter_queries[:10])
+
+        new = DQNTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            reward=build_reward(), config=config,
+        )
+        reference = ReferenceTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            reward=build_reward(), config=config,
+        )
+        context = f"seed={seed} reward={reward_name}"
+        assert_histories_equal(new.train(queries), reference.train(queries), context)
+        assert_replay_equal(new.memory, reference.memory, context)
+        assert_weights_equal(new.network, reference.network, context)
+
+    def test_convergence_epoch_matches_reference(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        """A long-enough run exercises the convergence early-exit path."""
+        config = TrainingConfig(max_epochs=12, min_epochs=2, seed=5)
+        queries = list(twitter_queries[:8])
+        new = DQNTrainer(twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config)
+        reference = ReferenceTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config
+        )
+        new_history = new.train(queries)
+        reference_history = reference.train(queries)
+        assert_histories_equal(new_history, reference_history)
+
+
+class TestLockstepWaveEquivalence:
+    """Matrix-frontier waves with batched execution match the pre-batching
+    per-object wave loop exactly (same trajectory, replay, weights)."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lockstep_matches_reference_waves(
+        self, twitter_db, hint_space, fast_qte, twitter_queries, seed
+    ):
+        config = TrainingConfig(max_epochs=3, seed=seed, lockstep=True)
+        queries = list(twitter_queries[:10])
+        new = DQNTrainer(twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config)
+        reference = ReferenceTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config
+        )
+        context = f"seed={seed}"
+        assert_histories_equal(new.train(queries), reference.train(queries), context)
+        assert_replay_equal(new.memory, reference.memory, context)
+        assert_weights_equal(new.network, reference.network, context)
+
+    def test_lockstep_quality_reward_matches_reference(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        config = TrainingConfig(max_epochs=2, seed=7, lockstep=True)
+        queries = list(twitter_queries[:8])
+        reward = QualityAwareReward(twitter_db, JaccardQuality(), beta=0.5)
+        new = DQNTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            reward=reward, config=config,
+        )
+        reference = ReferenceTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            reward=QualityAwareReward(twitter_db, JaccardQuality(), beta=0.5),
+            config=config,
+        )
+        assert_histories_equal(new.train(queries), reference.train(queries))
+        assert_replay_equal(new.memory, reference.memory)
+
+    def test_custom_episode_factory_falls_back_to_object_waves(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        """Ablation-style custom episodes still train in wave mode (the
+        per-object fallback), matching the reference loop."""
+        from repro.core import RewriteEpisode
+
+        def factory_for(trainer):
+            def factory(query):
+                return RewriteEpisode(
+                    trainer.database,
+                    trainer.qte,
+                    trainer.space,
+                    query,
+                    trainer.tau_ms,
+                    update_sibling_costs=False,
+                )
+            return factory
+
+        config = TrainingConfig(max_epochs=2, seed=9, lockstep=True)
+        queries = list(twitter_queries[:8])
+        new = DQNTrainer(twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config)
+        new._custom_episodes = True
+        new._episode_factory = factory_for(new)
+        reference = ReferenceTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config
+        )
+        reference._episode_factory = factory_for(reference)
+        assert_histories_equal(new.train(queries), reference.train(queries))
+        assert_replay_equal(new.memory, reference.memory)
+
+
+class TestFusedValidation:
+    """Shared-work hold-out training: per-candidate trajectories equal the
+    solo lockstep runs, and batched validation scores match sequential."""
+
+    def test_batched_validation_vqp_equals_sequential(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        trainer = DQNTrainer(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            config=TrainingConfig(max_epochs=3, seed=4),
+        )
+        trainer.train(list(twitter_queries[:10]))
+        validation = list(twitter_queries[10:22])
+        assert _validation_vqp_batched(trainer, validation) == _validation_vqp(
+            trainer, validation
+        )
+
+    def test_fused_candidates_match_solo_lockstep_trajectories(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        config = TrainingConfig(max_epochs=3, seed=6)
+        train_queries = list(twitter_queries[:10])
+        validation = list(twitter_queries[10:16])
+
+        agent, history = train_validated(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            train_queries, validation, n_candidates=2, config=config,
+        )
+        # Each fused candidate must have the trajectory of its own solo
+        # lockstep training run; the winner's history is one of those.
+        solo_histories = []
+        for candidate in range(2):
+            solo_config = TrainingConfig(
+                **{
+                    **config.__dict__,
+                    "seed": config.seed + candidate * 7_919,
+                    "lockstep": True,
+                }
+            )
+            solo = DQNTrainer(
+                twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=solo_config
+            )
+            solo_histories.append(solo.train(list(train_queries)))
+        assert any(
+            history.epoch_rewards == solo.epoch_rewards for solo in solo_histories
+        )
+
+    def test_fused_picks_argmax_candidate(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        """The fused protocol keeps the candidate whose batched validation
+        VQP is highest — replicating the selection on solo-trained twins
+        must land on the same agent weights."""
+        config = TrainingConfig(max_epochs=2, seed=8)
+        train_queries = list(twitter_queries[:8])
+        validation = list(twitter_queries[8:14])
+        agent, _ = train_validated(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            train_queries, validation, n_candidates=2, config=config,
+        )
+        scores = []
+        twins = []
+        for candidate in range(2):
+            solo_config = TrainingConfig(
+                **{
+                    **config.__dict__,
+                    "seed": config.seed + candidate * 7_919,
+                    "lockstep": True,
+                }
+            )
+            solo = DQNTrainer(
+                twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=solo_config
+            )
+            solo.train(list(train_queries))
+            twins.append(solo)
+            scores.append(_validation_vqp_batched(solo, validation))
+        winner = twins[int(np.argmax(scores))]
+        assert_weights_equal(agent.network, winner.network)
+
+    def test_single_candidate_short_circuit_is_bit_identical(
+        self, twitter_db, hint_space, fast_qte, twitter_queries
+    ):
+        """n_candidates=1 must stay the plain sequential train() — the
+        default path Maliva.train() takes."""
+        config = TrainingConfig(max_epochs=3, seed=2)
+        queries = list(twitter_queries[:8])
+        agent, history = train_validated(
+            twitter_db, fast_qte, hint_space, TEST_TAU_MS,
+            queries, list(twitter_queries[8:12]), n_candidates=1, config=config,
+        )
+        solo = DQNTrainer(twitter_db, fast_qte, hint_space, TEST_TAU_MS, config=config)
+        solo_history = solo.train(list(queries))
+        assert_histories_equal(history, solo_history)
+        assert_weights_equal(agent.network, solo.network)

@@ -20,7 +20,7 @@ from repro.experiments import (
 from repro.viz import JaccardQuality
 from repro.workloads import bucketize, single_buckets
 
-from ..conftest import TEST_TAU_MS, TWITTER_ATTRS
+from ..conftest import TEST_TAU_MS, TWITTER_ATTRS, build_trained_maliva
 
 
 def fake_outcome(twitter_db, query, planning_ms, execution_ms, quality=None):
@@ -140,3 +140,91 @@ class TestRunBucketedComparison:
             summary = row.summaries["Baseline"]
             # The baseline runs exact queries: backfilled quality is 1.
             assert summary.avg_quality == pytest.approx(1.0)
+
+    def test_stage_seconds_recorded_for_sequential_approach(
+        self, twitter_db, twitter_queries, hint_space
+    ):
+        bucketed = bucketize(
+            twitter_db,
+            list(twitter_queries[:8]),
+            hint_space,
+            TEST_TAU_MS,
+            single_buckets(2),
+        )
+        baseline = BaselineApproach(twitter_db, TEST_TAU_MS)
+        rows = run_bucketed_comparison([baseline], bucketed)
+        for row in rows:
+            stages = row.stage_seconds["Baseline"]
+            assert set(stages) == {"answer", "wall"}
+            assert stages["wall"] >= stages["answer"] >= 0.0
+
+
+class TestBatchedEvaluation:
+    """The batched serve-pipeline path must match sequential answers
+    exactly and report the pipeline's stage timings."""
+
+    @pytest.fixture(scope="class")
+    def trained_maliva(self, twitter_db, twitter_queries, hint_space):
+        return build_trained_maliva(
+            twitter_db, hint_space, twitter_queries, max_epochs=4
+        )
+
+    @pytest.fixture()
+    def bucketed(self, twitter_db, twitter_queries, hint_space):
+        return bucketize(
+            twitter_db,
+            list(twitter_queries[20:30]),
+            hint_space,
+            TEST_TAU_MS,
+            single_buckets(2),
+        )
+
+    def test_maliva_batched_matches_sequential(
+        self, trained_maliva, bucketed
+    ):
+        from repro.experiments import MalivaApproach
+
+        batched_rows = run_bucketed_comparison(
+            [MalivaApproach(trained_maliva, "MDP")], bucketed
+        )
+        sequential_rows = run_bucketed_comparison(
+            [MalivaApproach(trained_maliva, "MDP")], bucketed, batched=False
+        )
+        assert [r.bucket for r in batched_rows] == [r.bucket for r in sequential_rows]
+        for row_b, row_s in zip(batched_rows, sequential_rows):
+            left, right = row_b.summaries["MDP"], row_s.summaries["MDP"]
+            assert left.vqp == right.vqp
+            assert left.aqrt_ms == right.aqrt_ms
+            assert left.avg_planning_ms == right.avg_planning_ms
+            assert left.avg_execution_ms == right.avg_execution_ms
+            # The batched path reports serving pipeline stages.
+            stages = row_b.stage_seconds["MDP"]
+            assert {"resolve", "schedule", "plan", "execute", "wall"} <= set(stages)
+            assert row_s.stage_seconds["MDP"].keys() == {"answer", "wall"}
+
+    def test_quality_fn_falls_back_to_sequential(self, trained_maliva, bucketed):
+        from repro.experiments import MalivaApproach
+
+        approach = MalivaApproach(
+            trained_maliva, "MDP-q", quality_fn=JaccardQuality()
+        )
+        assert approach.answer_batch([]) is None
+        rows = run_bucketed_comparison([approach], bucketed)
+        for row in rows:
+            assert set(row.stage_seconds["MDP-q"]) == {"answer", "wall"}
+            assert row.summaries["MDP-q"].avg_quality is not None
+
+    def test_stage_totals_aggregate(self, trained_maliva, bucketed):
+        from repro.experiments import MalivaApproach
+
+        rows = run_bucketed_comparison(
+            [MalivaApproach(trained_maliva, "MDP")], bucketed
+        )
+        result = ExperimentResult("exp-batched", "t", {}, rows)
+        totals = result.stage_totals()
+        assert "MDP" in totals
+        assert totals["MDP"]["wall"] == pytest.approx(
+            sum(row.stage_seconds["MDP"]["wall"] for row in rows)
+        )
+        rendered = render_experiment(result)
+        assert "evaluation stage timings" in rendered

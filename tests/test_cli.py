@@ -73,3 +73,64 @@ class TestExecution:
         )
         assert code == 0
         assert not list(tmp_path.iterdir())
+
+
+class TestTrainCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.command == "train"
+        assert args.dataset == "twitter"
+        assert args.candidates == 1
+        assert args.lockstep is False
+
+    def test_invalid_candidates_rejected(self, capsys):
+        assert main(["train", "--candidates", "0", "--no-save"]) == 2
+        assert "--candidates" in capsys.readouterr().err
+
+    def test_invalid_tau_rejected(self, capsys):
+        assert main(["train", "--tau-ms", "-5", "--no-save"]) == 2
+        assert "--tau-ms" in capsys.readouterr().err
+
+    def test_train_tiny_prints_curve_and_saves(self, capsys, tmp_path):
+        code = main(
+            [
+                "train",
+                "--scale",
+                "tiny",
+                "--max-epochs",
+                "3",
+                "--save-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total reward" in out
+        assert "epochs/s" in out
+        saved = json.loads((tmp_path / "training_report.json").read_text())
+        assert saved["epochs_run"] >= 1
+        assert len(saved["epoch_rewards"]) == saved["epochs_run"]
+        assert saved["lockstep"] is False
+
+    def test_train_lockstep_candidates(self, capsys, tmp_path):
+        code = main(
+            [
+                "train",
+                "--scale",
+                "tiny",
+                "--max-epochs",
+                "2",
+                "--lockstep",
+                "--candidates",
+                "2",
+                "--save-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lockstep waves" in out
+        assert "2 candidates" in out
+        saved = json.loads((tmp_path / "training_report.json").read_text())
+        assert saved["n_candidates"] == 2
+        assert saved["lockstep"] is True
