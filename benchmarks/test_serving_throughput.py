@@ -15,7 +15,7 @@ and the speedup, and asserts the warm pass clears a 1.5x gain.
 import json
 from pathlib import Path
 
-from _bench_utils import build_twitter_serving_setup, emit
+from _bench_utils import SCALE, build_twitter_serving_setup, emit
 
 from repro.viz import TWITTER_TRANSLATOR
 
@@ -69,6 +69,7 @@ def test_serving_throughput_cold_vs_warm(benchmark):
             "n_sessions": N_SESSIONS,
             "tau_ms": TAU_MS,
             "profile": "deterministic",
+            "scale": SCALE.name,
         },
         "cold_qps": cold.throughput_qps,
         "warm_qps": warm.throughput_qps,

@@ -1,0 +1,174 @@
+"""Sharded serving throughput: scatter/gather across worker processes.
+
+Builds twin trained middlewares from identical seeds and serves the same
+request stream through the single-engine service and through a
+:class:`~repro.serving.ShardedMalivaService` (row-range shards, real
+worker processes).  Outcomes must match the single engine bit for bit —
+viability, virtual times, rows/bins, canonical work counters — which is
+the merged-outcomes-equal-single-engine contract of DESIGN.md §4.3.1.
+
+The stream is *distinct-query heavy* (a randomized executable workload
+with light duplication): that is the regime sharding targets — repeated
+queries are already collapsed by the decision cache and the batch
+executor's scan memo, so the execute stage only dominates, and scatter
+only pays, when fresh scans keep arriving.
+
+Writes the ``sharded`` section of ``BENCH_serving.json`` (cold/warm req/s
+for both deployments plus the speedup).  The >1.5x cold-throughput bar is
+asserted at non-tiny scale on hosts with at least four CPUs (the
+benchmark then runs four shards): scatter wall time is transport +
+max(worker compute), so a single-core host serializes the workers and
+measures pure overhead — the numbers are still recorded, with the host's
+CPU count, and a two-core host splits worker compute only 2-way, which
+the router-side serial fraction (planning + merge) keeps under the bar.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from _bench_utils import SCALE, SEED, build_twitter_serving_setup, emit
+
+from repro.serving import ShardedMalivaService, VizRequest
+from repro.viz import TWITTER_TRANSLATOR
+
+TINY = SCALE.name == "tiny"
+N_TWEETS = 2_500 if TINY else 24_000
+SAMPLE_FRACTION = 0.1
+N_QUERIES = 40 if TINY else 200
+N_SESSIONS = 16
+TAU_MS = 60.0
+CPU_COUNT = os.cpu_count() or 1
+N_SHARDS = 4 if CPU_COUNT >= 4 else 2
+SPEEDUP_BAR = 1.5
+
+
+def _build():
+    maliva, _stream, _queries, _train = build_twitter_serving_setup(
+        n_tweets=N_TWEETS,
+        n_users=N_TWEETS // 40,
+        sample_fraction=SAMPLE_FRACTION,
+        qte="sampling",
+        unit_cost_ms=10.0,
+        tau_ms=TAU_MS,
+        max_epochs=4,
+        n_sessions=4,
+        steps_per_session=4,
+    )
+    return maliva
+
+
+def _request_stream(maliva):
+    from tests.conftest import random_query_workload
+
+    queries = random_query_workload(
+        maliva.database, seed=SEED + 101, n=N_QUERIES, duplicate_fraction=0.1
+    )
+    return [
+        VizRequest(
+            payload=query,
+            session_id=f"session-{index % N_SESSIONS}",
+            request_id=index,
+        )
+        for index, query in enumerate(queries)
+    ]
+
+
+def _signature(outcome):
+    result = outcome.result
+    rows = None if result.row_ids is None else tuple(result.row_ids.tolist())
+    bins = None if result.bins is None else tuple(sorted(result.bins.items()))
+    return (
+        outcome.option_label,
+        outcome.planning_ms,
+        outcome.execution_ms,
+        outcome.viable,
+        tuple(sorted(result.counters.as_dict().items())),
+        rows,
+        bins,
+    )
+
+
+def test_sharded_throughput_vs_single_engine(benchmark):
+    single_maliva = _build()
+    sharded_maliva = _build()
+    stream = _request_stream(single_maliva)
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=N_SHARDS,
+        shard_by="rows",
+        processes=True,
+    )
+    try:
+        single_cold_outcomes = single.answer_many(stream)
+        single_cold = single.stats.throughput_qps
+        single.reset_stats()
+        single.answer_many(stream)
+        single_warm = single.stats.throughput_qps
+
+        sharded_cold_outcomes = benchmark.pedantic(
+            lambda: sharded.answer_many(stream), rounds=1, iterations=1
+        )
+        sharded_cold = sharded.stats.throughput_qps
+        shard_report = sharded.stats.to_dict()["shards"]
+        sharded.reset_stats()
+        sharded_warm_outcomes = sharded.answer_many(stream)
+        sharded_warm = sharded.stats.throughput_qps
+    finally:
+        sharded.close()
+
+    # The equivalence contract, asserted at every scale.
+    assert [_signature(o) for o in sharded_cold_outcomes] == [
+        _signature(o) for o in single_cold_outcomes
+    ]
+    assert [_signature(o) for o in sharded_warm_outcomes] == [
+        _signature(o) for o in single_cold_outcomes
+    ]
+    assert shard_report["n_fallback"] == 0
+    assert shard_report["n_scattered"] == len(stream)
+    assert all(np.isfinite(o.total_ms) for o in sharded_cold_outcomes)
+
+    cold_speedup = sharded_cold / single_cold if single_cold else 0.0
+    warm_speedup = sharded_warm / single_warm if single_warm else 0.0
+
+    bench_path = Path("BENCH_serving.json")
+    payload = (
+        json.loads(bench_path.read_text()) if bench_path.is_file() else {}
+    )
+    payload.setdefault("workload", {}).setdefault("scale", SCALE.name)
+    payload["sharded"] = {
+        "n_shards": N_SHARDS,
+        "shard_by": "rows",
+        "processes": True,
+        "cpu_count": CPU_COUNT,
+        "n_requests": len(stream),
+        "n_tweets": N_TWEETS,
+        "scale": SCALE.name,
+        "cold_qps": sharded_cold,
+        "warm_qps": sharded_warm,
+        "single_cold_qps": single_cold,
+        "single_warm_qps": single_warm,
+        "cold_speedup_vs_single": cold_speedup,
+        "warm_speedup_vs_single": warm_speedup,
+        "identical_outcomes_vs_single_engine": True,
+    }
+    bench_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        f"sharded serving ({len(stream)}-request stream, {N_SHARDS} shards, "
+        f"{CPU_COUNT} cpus)\n"
+        f"  single cold : {single_cold:10.1f} req/s\n"
+        f"  sharded cold: {sharded_cold:10.1f} req/s  ({cold_speedup:.2f}x)\n"
+        f"  single warm : {single_warm:10.1f} req/s\n"
+        f"  sharded warm: {sharded_warm:10.1f} req/s  ({warm_speedup:.2f}x)\n"
+        f"  outcomes    : bit-identical to the single engine"
+    )
+    if not TINY and CPU_COUNT >= 4:
+        assert cold_speedup > SPEEDUP_BAR, (
+            f"sharded cold speedup {cold_speedup:.2f}x below the "
+            f"{SPEEDUP_BAR}x bar on a {CPU_COUNT}-cpu host"
+        )

@@ -3,7 +3,7 @@ Benchmarks the difficulty metric (8 hinted executions per query)."""
 
 from _bench_utils import SCALE, SEED, bench_rounds, emit
 
-from repro.experiments import run_table2, save_json, twitter_setup
+from repro.experiments import run_table2, twitter_setup
 from repro.workloads import viable_plan_count
 
 

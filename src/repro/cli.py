@@ -149,6 +149,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["batched", "sequential"],
         help="execute stage: batched shared-work executor vs per-request",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the execute stage across N worker processes (1 = off)",
+    )
+    serve.add_argument(
+        "--shard-by",
+        default="rows",
+        choices=["rows", "table"],
+        help="partitioning: contiguous row ranges vs whole-table ownership",
+    )
+    serve.add_argument(
+        "--inline-shards",
+        action="store_true",
+        help="run shard engines in-process (debugging / single-core hosts)",
+    )
     serve.add_argument("--save-dir", default="results")
     serve.add_argument("--no-save", action="store_true")
     return parser
@@ -262,6 +279,9 @@ def _run_serve(args) -> int:
     if args.batch_size is not None and args.batch_size < 1:
         print("error: --batch-size must be at least 1", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=sys.stderr)
+        return 2
 
     setup = twitter_setup(scale=args.scale, tau_ms=args.tau_ms, seed=args.seed)
     qte = (
@@ -283,11 +303,24 @@ def _run_serve(args) -> int:
         requests_from_steps(steps, session_id) for session_id, steps in sessions.items()
     )
     scheduler = SessionAffinityScheduler() if args.scheduler == "affinity" else FifoScheduler()
-    service = maliva.service(
-        translator=TWITTER_TRANSLATOR,
-        scheduler=scheduler,
-        batch_execute=args.execute == "batched",
-    )
+    if args.shards > 1:
+        from .serving import ShardedMalivaService
+
+        service = ShardedMalivaService(
+            maliva,
+            translator=TWITTER_TRANSLATOR,
+            scheduler=scheduler,
+            batch_execute=args.execute == "batched",
+            n_shards=args.shards,
+            shard_by=args.shard_by,
+            processes=not args.inline_shards,
+        )
+    else:
+        service = maliva.service(
+            translator=TWITTER_TRANSLATOR,
+            scheduler=scheduler,
+            batch_execute=args.execute == "batched",
+        )
 
     def drive(reset_after: bool) -> dict:
         if args.batch_size is None:
@@ -301,12 +334,19 @@ def _run_serve(args) -> int:
         return stats
 
     batching = "whole batch" if args.batch_size is None else f"micro-batches of {args.batch_size}"
+    sharding = (
+        f", {args.shards} {args.shard_by}-sharded workers" if args.shards > 1 else ""
+    )
     print(
         f"serving {len(stream)} requests from {args.sessions} sessions "
-        f"({args.scheduler} scheduler, {batching}, {args.execute} execute) ..."
+        f"({args.scheduler} scheduler, {batching}, {args.execute} execute{sharding}) ..."
     )
-    cold = drive(reset_after=True)
-    warm = drive(reset_after=False)
+    try:
+        cold = drive(reset_after=True)
+        warm = drive(reset_after=False)
+    except BaseException:
+        service.close()
+        raise
 
     header = f"{'':<22} {'cold engine':>14} {'warm cache':>14}"
     print(f"\n{header}\n" + "-" * len(header))
@@ -327,8 +367,23 @@ def _run_serve(args) -> int:
         )
         print(f"  {column:<5} {rendered}")
     report = service.report()
+    service.close()
     print(f"\nengine cache hit rate: {report['engine_hit_rate']:.1%}")
     print(f"decision cache hits:   {warm['decision_cache_hits']}/{warm['n_requests']}")
+    shards = warm.get("shards")
+    if shards:
+        print(
+            f"shard router:          {shards['n_shards']} shards ({shards['shard_by']}), "
+            f"{shards['n_scattered']} scattered / {shards['n_fallback']} fallback, "
+            f"{shards['n_syncs']} syncs"
+        )
+        for shard_id, window in shards["per_shard"].items():
+            print(
+                f"  shard {shard_id}: {window['n_queries']} queries in "
+                f"{window['n_batches']} batches, {window['wall_s']:.3f}s worker wall, "
+                f"{window['cache_hits']}/{window['cache_hits'] + window['cache_misses']} "
+                f"cache hits"
+            )
     sharing = warm["execute_sharing"]
     if sharing["n_batches"]:
         print(

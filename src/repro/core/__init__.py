@@ -7,7 +7,7 @@ from .options import RewriteOption, RewriteOptionSpace
 from .persistence import load_agent, save_agent
 from .qnetwork import AdamParams, QNetwork
 from .quality_aware import TwoStageHistory, TwoStageRewriter, build_one_stage
-from .replay import ReplayMemory, Transition
+from .replay import ReplayMemory, ReplayOversampleWarning, Transition
 from .reward import (
     EfficiencyReward,
     EpisodeOutcome,
@@ -31,6 +31,7 @@ __all__ = [
     "QNetwork",
     "QualityAwareReward",
     "ReplayMemory",
+    "ReplayOversampleWarning",
     "RequestOutcome",
     "RewardFunction",
     "RewriteDecision",

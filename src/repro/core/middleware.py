@@ -153,6 +153,35 @@ class Maliva:
         decision = self.rewrite(query, tau_ms=effective_tau)
         return self.finish(query, decision, effective_tau, quality_fn)
 
+    def assemble_outcome(
+        self,
+        query: SelectQuery,
+        decision: RewriteDecision,
+        tau_ms: float,
+        result: ExecutionResult,
+        quality: float | None = None,
+    ) -> RequestOutcome:
+        """Wrap an execution result of a planned decision as an outcome.
+
+        The one place outcome assembly happens: :meth:`finish`,
+        :meth:`finish_batch`, and the sharded service's gathered/merged
+        executions all report through it.
+        """
+        return RequestOutcome(
+            original=query,
+            rewritten=decision.rewritten,
+            option_label=decision.option_label,
+            reason=decision.reason,
+            planning_ms=decision.planning_ms,
+            execution_ms=result.execution_ms,
+            result=result,
+            tau_ms=tau_ms,
+            quality=quality,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            plan_cached=result.plan_cached,
+        )
+
     def finish(
         self,
         query: SelectQuery,
@@ -171,20 +200,7 @@ class Maliva:
             quality = evaluate_quality(
                 self.database, query, decision.rewritten, result, quality_fn
             )
-        return RequestOutcome(
-            original=query,
-            rewritten=decision.rewritten,
-            option_label=decision.option_label,
-            reason=decision.reason,
-            planning_ms=decision.planning_ms,
-            execution_ms=result.execution_ms,
-            result=result,
-            tau_ms=tau_ms,
-            quality=quality,
-            cache_hits=result.cache_hits,
-            cache_misses=result.cache_misses,
-            plan_cached=result.plan_cached,
-        )
+        return self.assemble_outcome(query, decision, tau_ms, result, quality)
 
     def finish_batch(
         self,
@@ -208,19 +224,7 @@ class Maliva:
             [decision.rewritten for decision in decisions]
         )
         outcomes = [
-            RequestOutcome(
-                original=query,
-                rewritten=decision.rewritten,
-                option_label=decision.option_label,
-                reason=decision.reason,
-                planning_ms=decision.planning_ms,
-                execution_ms=result.execution_ms,
-                result=result,
-                tau_ms=tau,
-                cache_hits=result.cache_hits,
-                cache_misses=result.cache_misses,
-                plan_cached=result.plan_cached,
-            )
+            self.assemble_outcome(query, decision, tau, result)
             for query, decision, tau, result in zip(queries, decisions, tau_ms, results)
         ]
         return outcomes, sharing

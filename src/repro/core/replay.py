@@ -18,19 +18,26 @@ Sampling semantics (pinned by ``tests/core/test_replay.py``):
 * ``batch_size < 1`` raises :class:`~repro.errors.TrainingError` — a
   non-positive batch is always a caller bug, not a request for an empty
   sample;
-* ``batch_size > len(memory)`` silently *shrinks* to everything stored
-  (uniform without replacement either way).  Algorithm 1 starts learning
-  before the memory holds a full batch, so the shrink is load-bearing, not
-  an accident.
+* ``batch_size > len(memory)`` *shrinks* to everything stored (uniform
+  without replacement either way).  Algorithm 1 starts learning before the
+  memory holds a full batch, so the shrink is load-bearing, not an
+  accident — but because a persistently oversized batch usually means a
+  misconfigured trainer, the first shrink emits one
+  :class:`ReplayOversampleWarning` per memory instance.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import TrainingError
+
+
+class ReplayOversampleWarning(UserWarning):
+    """A sample request exceeded the stored transition count and shrank."""
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,8 @@ class ReplayMemory:
         self._size = 0
         #: Ring position of the *oldest* stored transition.
         self._start = 0
+        #: One oversample warning per memory instance (see module docstring).
+        self._warned_oversample = False
         self._states: np.ndarray | None = None
         self._actions: np.ndarray | None = None
         self._rewards: np.ndarray | None = None
@@ -161,6 +170,17 @@ class ReplayMemory:
             raise TrainingError(f"replay batch size must be >= 1, got {batch_size}")
         if not self._size:
             raise TrainingError("cannot sample from an empty replay memory")
+        if batch_size > self._size and not self._warned_oversample:
+            self._warned_oversample = True
+            warnings.warn(
+                f"replay sample of {batch_size} requested but only "
+                f"{self._size} transitions are stored; shrinking the batch "
+                "(expected while the memory warms up — a persistently "
+                "oversized batch usually means batch_size exceeds what the "
+                "workload can ever store)",
+                ReplayOversampleWarning,
+                stacklevel=3,
+            )
         size = min(batch_size, self._size)
         indices = rng.choice(self._size, size=size, replace=False)
         return (self._start + indices) % self.capacity

@@ -234,16 +234,57 @@ class Database:
         """Virtual cost of producing one physical plan."""
         return self.cost_model.planning_ms
 
-    def execute(self, query: SelectQuery) -> ExecutionResult:
-        """Plan and run a query, with profile noise/caching effects applied."""
+    def seed_plan(
+        self, query: SelectQuery, plan: PhysicalPlan, obey_hints: bool = True
+    ) -> None:
+        """Install an externally produced plan into the plan cache.
+
+        Shard workers execute plans the router chose against the full
+        catalog; seeding them here makes the worker's own execution paths
+        (``execute_batch`` included) pick up the canonical plan instead of
+        re-optimizing against shard-local statistics.
+        """
+        tags = [query.table]
+        if query.join is not None:
+            tags.append(query.join.table)
+        self._plan_cache.put((query.key(), obey_hints), plan, tags=tags)
+
+    def begin_execution(self, query: SelectQuery) -> tuple[PhysicalPlan, bool, bool]:
+        """The planning half of :meth:`execute`: ``(plan, obeyed, was_planned)``.
+
+        Draws the hint-obey decision from the engine RNG and plans the query
+        accordingly — exactly the state transitions :meth:`execute` performs
+        before touching the executor.  The shard router uses this to produce
+        the canonical plan it scatters, so a scattered query consumes the
+        same RNG draw and plan-cache sequence a single-engine execution
+        would.
+        """
         obeyed = True
         if query.hints is not None and self.profile.hint_ignore_prob > 0:
             obeyed = self._rng.random() >= self.profile.hint_ignore_prob
-        before = self._cache_counts()
         was_planned = (query.key(), obeyed) in self._plan_cache
         plan = self._planned(query, obeyed)
-        counters, row_ids, bins = self._executor.run(plan, query)
-        hits, misses = self._cache_delta(before)
+        return plan, obeyed, was_planned
+
+    def complete_execution(
+        self,
+        plan: PhysicalPlan,
+        counters: WorkCounters,
+        row_ids: np.ndarray | None,
+        bins: dict[int, float] | None,
+        *,
+        obeyed: bool = True,
+        was_planned: bool = False,
+        cache_hits: int = 0,
+        cache_misses: int = 0,
+    ) -> ExecutionResult:
+        """The accounting half of :meth:`execute`: counters → timed result.
+
+        Converts work counters to ``base_ms`` and applies this engine's
+        profile effects (buffer-cache warming, instability, noise — and
+        their RNG draws).  The shard router calls this on gathered/merged
+        scatter output so virtual timing is charged by one engine, once.
+        """
         base_ms = self.cost_model.time_ms(counters)
         execution_ms = self._apply_profile_effects(base_ms, plan)
         return ExecutionResult(
@@ -254,9 +295,53 @@ class Database:
             row_ids=row_ids,
             bins=bins,
             obeyed_hints=obeyed,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            plan_cached=was_planned,
+        )
+
+    def execute_planned(
+        self,
+        plan: PhysicalPlan,
+        query: SelectQuery,
+        *,
+        obeyed: bool = True,
+        was_planned: bool = False,
+    ) -> ExecutionResult:
+        """Run an already-produced plan: the executor half of :meth:`execute`.
+
+        The shard router uses this for fallback queries whose plan (and
+        hint-obey draw) :meth:`begin_execution` already consumed.
+        """
+        before = self._cache_counts()
+        counters, row_ids, bins = self._executor.run(plan, query)
+        hits, misses = self._cache_delta(before)
+        return self.complete_execution(
+            plan,
+            counters,
+            row_ids,
+            bins,
+            obeyed=obeyed,
+            was_planned=was_planned,
             cache_hits=hits,
             cache_misses=misses,
-            plan_cached=was_planned,
+        )
+
+    def execute(self, query: SelectQuery) -> ExecutionResult:
+        """Plan and run a query, with profile noise/caching effects applied."""
+        before = self._cache_counts()
+        plan, obeyed, was_planned = self.begin_execution(query)
+        counters, row_ids, bins = self._executor.run(plan, query)
+        hits, misses = self._cache_delta(before)
+        return self.complete_execution(
+            plan,
+            counters,
+            row_ids,
+            bins,
+            obeyed=obeyed,
+            was_planned=was_planned,
+            cache_hits=hits,
+            cache_misses=misses,
         )
 
     def execute_batch(
@@ -469,6 +554,39 @@ class Database:
         table = self.table(table_name)
         table.append_rows(columns)
         self.invalidate_table(table_name)
+        return table
+
+    def replace_table(self, table: Table, analyze: bool = False) -> Table:
+        """Swap in a replacement for an existing table of the same name.
+
+        This is the shard-maintenance path: when the router re-slices a
+        mutated table, each worker receives a fresh slice and installs it
+        here — indexes on the table are rebuilt against the new data and
+        every cache entry derived from the old version is evicted.  No
+        invalidation hooks fire (the router drives worker-side coherence
+        explicitly); statistics are rebuilt only on request unless
+        ``analyze`` is set.
+        """
+        name = table.name
+        if name not in self._tables:
+            raise SchemaError(f"cannot replace unknown table {name!r}")
+        self._tables[name] = table
+        for (tname, column) in list(self._indexes):
+            if tname == name:
+                self._indexes[(tname, column)] = self._build_index(table, column)
+        self._match_cache.invalidate_tag(name)
+        self._lookup_cache.invalidate_tag(name)
+        self._plan_cache.invalidate_tag(name)
+        self._true_time_cache.invalidate_tag(name)
+        self._estimate_cache.invalidate_tag(name)
+        for key in [k for k in self._key_cache if k[0] == name]:
+            del self._key_cache[key]
+        for key in [k for k in self._bin_layout_cache if k[0] == name]:
+            del self._bin_layout_cache[key]
+        self._warm_structures.clear()
+        self._stats.pop(name, None)
+        if analyze:
+            self.analyze(name)
         return table
 
     def add_invalidation_hook(self, hook) -> None:

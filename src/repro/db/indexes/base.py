@@ -59,6 +59,16 @@ class Index(ABC):
         """
         return [self.lookup(predicate) for predicate in predicates]
 
+    def entries_for(self, predicate: Predicate) -> int:
+        """``entries_scanned`` of :meth:`lookup`, without materializing ids.
+
+        The shard router charges canonical (whole-table) index work for a
+        scattered query from its own full indexes; subclasses override this
+        with an O(1)/O(log n) count so that accounting never pays for the
+        row-id gather the shards already performed.
+        """
+        return int(self.lookup(predicate).entries_scanned)
+
     def _reject(self, predicate: Predicate) -> QueryError:
         return QueryError(
             f"{self.kind} index on {self.table_name}.{self.column} "

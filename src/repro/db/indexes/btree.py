@@ -91,6 +91,14 @@ class SortedIndex(Index):
         ids = np.sort(self._row_ids[lo_pos:hi_pos])
         return IndexLookup(row_ids=ids, entries_scanned=len(ids))
 
+    def entries_for(self, predicate: Predicate) -> int:
+        """Entries a :meth:`lookup` would scan (= matches), via two searches."""
+        if isinstance(predicate, RangePredicate) and predicate.column == self.column:
+            return self.count_range(predicate.low, predicate.high)
+        if isinstance(predicate, EqualsPredicate) and predicate.column == self.column:
+            return self.count_range(predicate.value, predicate.value)
+        raise self._reject(predicate)
+
     def count_range(self, low: float | None, high: float | None) -> int:
         """Cardinality of a range without materializing row ids."""
         lo_pos = (

@@ -41,6 +41,13 @@ class InvertedIndex(Index):
         ids = self._postings.get(predicate.keyword, _EMPTY)
         return IndexLookup(row_ids=ids, entries_scanned=len(ids))
 
+    def entries_for(self, predicate: Predicate) -> int:
+        """Entries a :meth:`lookup` would scan: the keyword's posting length."""
+        if not self.supports(predicate):
+            raise self._reject(predicate)
+        assert isinstance(predicate, KeywordPredicate)
+        return self.document_frequency(predicate.keyword)
+
     def document_frequency(self, token: str) -> int:
         """Number of rows containing ``token`` (0 if absent)."""
         ids = self._postings.get(token)

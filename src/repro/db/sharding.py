@@ -1,0 +1,633 @@
+"""Row-range / table partitioning substrate for sharded serving.
+
+The sharded serving layer (``repro.serving.sharded``, DESIGN.md §4.3)
+splits one logical :class:`~repro.db.database.Database` into N *shard
+engines*, each running in its own worker process.  This module owns the
+engine-level halves of that design:
+
+* :class:`ShardSpec` — a pickle-safe description of one shard (sliced or
+  whole tables, the columns to index, profile and cost model) from which a
+  worker process warm-starts its engine;
+* :func:`build_shard_specs` — partition a database by row range
+  (``shard_by="rows"``: every table is sliced into N contiguous ranges) or
+  by table (``shard_by="table"``: whole base tables, with their sample
+  tables, are assigned round-robin);
+* :class:`ShardEngine` — the worker-side executor: runs a batch of
+  (query, canonical plan) entries against the shard's data, with fused
+  index probes and fused BIN_ID histogram sweeps, and reports compact
+  :class:`ShardQueryReport`s;
+* :func:`merge_scatter` — the router-side gather: reconstructs the
+  *canonical single-engine* work counters, result rows, and bins from the
+  per-shard reports.
+
+The scatter/gather merge contract
+---------------------------------
+
+Virtual time must stay a function of the plan and the whole-table data
+(DESIGN.md §3) no matter how many shards physically produced the answer.
+Shards therefore never ship *charged* counters — they ship the stage
+cardinalities the charges derive from:
+
+* per access path: the size of the path's match set on the shard and the
+  size of the running intersection (both partition across row ranges, so
+  their sums are exactly the whole-table sizes);
+* the final candidate count, the global-id result rows (slices are
+  contiguous and ascending, so shard-order concatenation *is* the
+  single-engine row order), and — for aggregates — raw integer bin counts
+  (bin ids come from a fixed global grid origin, so partial histograms sum
+  exactly).
+
+The router then replays the executor's accounting over the summed
+cardinalities: ``index_probes``/``index_entries`` are charged from the
+router's own full indexes via :meth:`~repro.db.indexes.base.Index.
+entries_for` (shard-local grids have shard-local cell geometry, so their
+entry counts are physical, not canonical), LIMIT scaling/truncation is
+applied to the merged result exactly as ``Executor.scan_rows`` would, and
+weighted bins multiply the summed integer counts by the sample weight once
+— bit-for-bit the float the single engine produces.  Queries a scatter
+cannot reproduce canonically (joins; hint-ignoring executions) are routed
+to the full engine instead — the serving layer's fallback path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .binning import bin_counts, bin_counts_many
+from .cost_model import CostModel, WorkCounters
+from .database import Database, EngineProfile
+from .plans import PhysicalPlan
+from .query import SelectQuery
+from .rowset import RowSet, intersect_all
+from .table import Table
+
+#: Execution modes a :class:`ShardEntry` can request.
+PARTIAL = "partial"
+FULL = "full"
+
+
+def scatter_eligible(plan: PhysicalPlan) -> bool:
+    """Whether a plan can be scattered across row-range shards.
+
+    Joins need the whole inner table on every shard to keep the method
+    counters canonical; they run on the router's full engine instead.
+    """
+    return plan.join is None
+
+
+# ----------------------------------------------------------------------
+# Shard specs
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSpec:
+    """Everything a worker process needs to warm-start one shard engine.
+
+    The spec is deliberately plain data — numpy-backed :class:`Table`
+    objects, an :class:`EngineProfile`, a :class:`CostModel`, and index
+    column names — so it pickles across a process boundary regardless of
+    start method.  Workers always run the *deterministic* profile: profile
+    effects (noise, instability, buffer cache) are charged once, by the
+    router engine, on the merged result.
+    """
+
+    shard_id: int
+    n_shards: int
+    shard_by: str
+    tables: list[Table]
+    #: table name -> columns to index (mirrors the router's catalog).
+    indexed_columns: dict[str, tuple[str, ...]]
+    profile: EngineProfile = field(default_factory=EngineProfile.deterministic)
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: Tables this shard owns outright (table mode; empty in rows mode).
+    owned_tables: frozenset[str] = frozenset()
+
+    def build_engine(self) -> Database:
+        """Construct the shard's engine (tables + indexes, no statistics)."""
+        database = Database(profile=self.profile, cost_model=self.cost_model)
+        for table in self.tables:
+            database.add_table(table, analyze=False)
+        for table_name, columns in self.indexed_columns.items():
+            for column in columns:
+                database.create_index(table_name, column)
+        return database
+
+
+def slice_bounds(n_rows: int, n_shards: int) -> list[tuple[int, int]]:
+    """Contiguous, ascending, exhaustive row ranges for ``n_shards`` slices."""
+    return [
+        (shard * n_rows // n_shards, (shard + 1) * n_rows // n_shards)
+        for shard in range(n_shards)
+    ]
+
+
+def slice_table(table: Table, start: int, stop: int) -> Table:
+    """One contiguous row-range slice of a table, keeping its name.
+
+    The slice maps its local rows back to *base-table* row ids (via the
+    sliced ``base_row_ids``), so worker-side results come out directly in
+    the id space the single engine reports.
+    """
+    ids = np.arange(start, stop, dtype=np.int64)
+    return table.select_rows(ids, table.name)
+
+
+def build_shard_specs(
+    database: Database, n_shards: int, shard_by: str = "rows"
+) -> list[ShardSpec]:
+    """Partition a database's catalog into ``n_shards`` shard specs."""
+    if n_shards < 1:
+        raise SchemaError(f"n_shards must be at least 1, got {n_shards}")
+    if shard_by not in ("rows", "table"):
+        raise SchemaError(f"shard_by must be 'rows' or 'table', got {shard_by!r}")
+    names = sorted(database.table_names)
+    indexed = {
+        name: tuple(sorted(database.indexes_for(name))) for name in names
+    }
+    if shard_by == "rows":
+        specs = []
+        for shard in range(n_shards):
+            tables = []
+            for name in names:
+                table = database.table(name)
+                start, stop = slice_bounds(table.n_rows, n_shards)[shard]
+                tables.append(slice_table(table, start, stop))
+            specs.append(
+                ShardSpec(
+                    shard_id=shard,
+                    n_shards=n_shards,
+                    shard_by="rows",
+                    tables=tables,
+                    indexed_columns=dict(indexed),
+                    cost_model=database.cost_model,
+                )
+            )
+        return specs
+
+    # Table mode: whole base tables (plus their samples) round-robin.
+    groups: list[list[str]] = []
+    base_names = [n for n in names if not database.table(n).is_sample]
+    for base in base_names:
+        members = [base] + [
+            n
+            for n in names
+            if database.table(n).is_sample and database.table(n).base_table == base
+        ]
+        groups.append(members)
+    assignments: list[list[str]] = [[] for _ in range(n_shards)]
+    for position, members in enumerate(groups):
+        assignments[position % n_shards].extend(members)
+    specs = []
+    for shard in range(n_shards):
+        owned = assignments[shard]
+        specs.append(
+            ShardSpec(
+                shard_id=shard,
+                n_shards=n_shards,
+                shard_by="table",
+                tables=[database.table(name) for name in owned],
+                indexed_columns={name: indexed[name] for name in owned},
+                cost_model=database.cost_model,
+                owned_tables=frozenset(owned),
+            )
+        )
+    return specs
+
+
+def reslice_for_sync(
+    database: Database, table_name: str, n_shards: int
+) -> list[Table]:
+    """Fresh per-shard row-range slices of one (possibly mutated) table."""
+    table = database.table(table_name)
+    return [
+        slice_table(table, start, stop)
+        for start, stop in slice_bounds(table.n_rows, n_shards)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardEntry:
+    """One unit of scattered work: a query plus its canonical plan."""
+
+    query: SelectQuery
+    plan: PhysicalPlan
+    #: ``PARTIAL`` — row-range scatter (scan the shard's slice, report
+    #: cardinalities); ``FULL`` — the shard owns the whole table and runs
+    #: the complete canonical execution (table mode).
+    mode: str = PARTIAL
+
+
+@dataclass
+class ShardQueryReport:
+    """What one shard reports back for one scattered query."""
+
+    #: Result-candidate count after scan + residual (pre-LIMIT).
+    final_len: int
+    #: Matching rows in *base-table* id space, ascending (None when the
+    #: query aggregates and no LIMIT can truncate it).
+    row_ids: np.ndarray | None = None
+    #: Raw integer bin counts (aggregates without LIMIT).
+    raw_bins: dict[int, int] | None = None
+    #: Per access path: size of the path's match set on this shard.
+    path_rowset_lens: tuple[int, ...] = ()
+    #: Per access path: size of the running intersection after the path.
+    path_cand_lens: tuple[int, ...] = ()
+    #: Full-mode only: the canonical counters of the whole execution.
+    counters: WorkCounters | None = None
+    #: Full-mode only: weighted bins exactly as the single engine computes.
+    bins: dict[int, float] | None = None
+
+
+@dataclass
+class ShardBatchReply:
+    """One shard's answer to one scattered batch."""
+
+    reports: list[ShardQueryReport]
+    #: Physical work this shard actually performed (ShardStats, not virtual
+    #: accounting — shard-local index geometry differs from canonical).
+    physical_counters: WorkCounters
+    cache_hits: int
+    cache_misses: int
+    wall_s: float
+
+
+class ShardEngine:
+    """Worker-side engine: executes scattered batches against shard data."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.database = spec.build_engine()
+
+    # ------------------------------------------------------------------
+    def execute(self, entries: Sequence[ShardEntry]) -> ShardBatchReply:
+        """Run a batch, fusing shared probes/sweeps across its entries."""
+        started = time.perf_counter()
+        database = self.database
+        before = database._cache_counts()
+        physical = WorkCounters()
+        placeholders: list = [None] * len(entries)
+        reports: list[ShardQueryReport] = placeholders
+
+        partial = [
+            (position, entry)
+            for position, entry in enumerate(entries)
+            if entry.mode == PARTIAL
+        ]
+        full = [
+            (position, entry)
+            for position, entry in enumerate(entries)
+            if entry.mode == FULL
+        ]
+
+        if partial:
+            self._warm_match_rowsets([entry for _, entry in partial])
+            shared = self._shared_path_rowsets([entry for _, entry in partial])
+            scans = []
+            # Entries sharing a scan pipeline (same table, access paths,
+            # residuals — serving streams repeat them heavily) compute it
+            # once; physical counters charge the work actually performed.
+            scan_memo: dict[tuple, tuple] = {}
+            for position, entry in partial:
+                scan = entry.plan.scan
+                memo_key = (
+                    scan.table,
+                    tuple(path.predicate.key() for path in scan.access),
+                    tuple(predicate.key() for predicate in scan.residual),
+                )
+                cached_scan = scan_memo.get(memo_key)
+                if cached_scan is None:
+                    cached_scan = self._partial_scan_rows(entry.plan, shared)
+                    scan_memo[memo_key] = cached_scan
+                    physical = physical + cached_scan[0]
+                report, local_ids = self._report_for(entry, cached_scan)
+                reports[position] = report
+                scans.append((position, entry, report, local_ids))
+            self._fused_partial_bins(scans)
+
+        if full:
+            for _, entry in full:
+                self.database.seed_plan(entry.query, entry.plan)
+            results, _sharing = database.execute_batch(
+                [entry.query for _, entry in full]
+            )
+            for (position, entry), result in zip(full, results):
+                physical = physical + result.counters
+                reports[position] = ShardQueryReport(
+                    final_len=result.result_size,
+                    row_ids=result.row_ids,
+                    bins=result.bins,
+                    counters=result.counters,
+                )
+
+        hits, misses = database._cache_delta(before)
+        return ShardBatchReply(
+            reports=reports,
+            physical_counters=physical,
+            cache_hits=hits,
+            cache_misses=misses,
+            wall_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    def sync_table(self, table: Table, indexed_columns: tuple[str, ...]) -> None:
+        """Install a fresh copy/slice of a table shipped by the router.
+
+        The cross-shard coherence path: a catalog invalidation on the
+        router engine re-slices the table and every worker replaces its
+        copy, rebuilds the listed indexes, and drops derived cache state.
+        """
+        database = self.database
+        if not database.has_table(table.name):
+            database.add_table(table, analyze=False)
+        else:
+            database.replace_table(table)
+        existing = database.indexes_for(table.name)
+        for column in indexed_columns:
+            if column not in existing:
+                database.create_index(table.name, column)
+
+    def cache_stats(self):
+        return self.database.cache_stats()
+
+    # ------------------------------------------------------------------
+    def _warm_match_rowsets(self, entries: Sequence[ShardEntry]) -> None:
+        """Pre-fill the match cache for the batch's residual predicates.
+
+        ``match_rowset`` answers an index-supported predicate through a
+        per-predicate ``Index.lookup`` — a python cell walk for the grid
+        index.  Computing the batch's distinct residual matches in one
+        ``lookup_batch`` sweep per (table, column) first (identical values,
+        same RowSet construction) turns the per-entry scan loop's misses
+        into hits.
+        """
+        database = self.database
+        needed: dict[tuple[str, str], dict[tuple, object]] = {}
+        for entry in entries:
+            table_name = entry.plan.scan.table
+            for predicate in entry.plan.scan.residual:
+                index = database.index(table_name, predicate.column)
+                if index is None or not index.supports(predicate):
+                    continue
+                key = (table_name, predicate.key())
+                if database._match_cache.peek(key) is not None:
+                    continue
+                group = needed.setdefault((table_name, predicate.column), {})
+                group.setdefault(predicate.key(), predicate)
+        for (table_name, column), predicates in needed.items():
+            index = database.index(table_name, column)
+            assert index is not None
+            n_rows = database.table(table_name).n_rows
+            lookups = index.lookup_batch(list(predicates.values()))
+            for pred_key, lookup in zip(predicates, lookups):
+                database._match_cache.put(
+                    (table_name, pred_key),
+                    RowSet.from_ids(lookup.row_ids, n_rows),
+                    tags=[table_name],
+                )
+
+    def _shared_path_rowsets(
+        self, entries: Sequence[ShardEntry]
+    ) -> dict[tuple[str, tuple], tuple[RowSet, int]]:
+        """Materialize each distinct access-path match set once per batch.
+
+        Misses are computed in one vectorized ``lookup_batch`` sweep per
+        (table, column); the instrumented lookup cache keeps serving warm
+        repeats across batches.  Bitmaps are materialized so per-entry
+        intersections take the O(rows) strategy.  Values are
+        ``(rowset, entries_scanned)`` — the shard-physical entry count the
+        slice's own index geometry implies.
+        """
+        database = self.database
+        needed: dict[tuple[str, str], dict[tuple, object]] = {}
+        for entry in entries:
+            table_name = entry.plan.scan.table
+            for path in entry.plan.scan.access:
+                group = needed.setdefault((table_name, path.predicate.column), {})
+                group.setdefault(path.predicate.key(), path.predicate)
+
+        shared: dict[tuple[str, tuple], tuple[RowSet, int]] = {}
+        for (table_name, column), predicates in needed.items():
+            n_rows = database.table(table_name).n_rows
+            missing = []
+            for pred_key, predicate in predicates.items():
+                cached = database._lookup_cache.get((table_name, pred_key))
+                if cached is not None:
+                    shared[(table_name, pred_key)] = (
+                        RowSet.from_ids(cached.row_ids, n_rows),
+                        int(cached.entries_scanned),
+                    )
+                else:
+                    missing.append((pred_key, predicate))
+            if missing:
+                index = database.index(table_name, column)
+                assert index is not None, f"no index on {table_name}.{column}"
+                lookups = index.lookup_batch([p for _, p in missing])
+                for (pred_key, _), lookup in zip(missing, lookups):
+                    database._lookup_cache.put(
+                        (table_name, pred_key), lookup, tags=[table_name]
+                    )
+                    shared[(table_name, pred_key)] = (
+                        RowSet.from_ids(lookup.row_ids, n_rows),
+                        int(lookup.entries_scanned),
+                    )
+        for rowset, _entries in shared.values():
+            rowset.mask  # noqa: B018 - materialize the O(rows) intersection form
+        return shared
+
+    def _partial_scan_rows(
+        self,
+        plan: PhysicalPlan,
+        shared: dict[tuple[str, tuple], tuple[RowSet, int]],
+    ) -> tuple[WorkCounters, tuple[int, ...], tuple[int, ...], np.ndarray]:
+        """Scan phase of one pipeline on this shard's slice (no LIMIT/join).
+
+        Mirrors ``Executor._run_scan``'s result semantics over the slice
+        while recording the stage cardinalities the router's canonical
+        accounting needs.  Returns ``(physical counters, per-path match
+        sizes, per-path intersection sizes, local candidate ids)``.
+        """
+        database = self.database
+        scan = plan.scan
+        table = database.table(scan.table)
+        counters = WorkCounters()
+
+        if scan.is_full_scan:
+            counters.seq_rows += table.n_rows
+            if scan.residual:
+                candidates = intersect_all(
+                    database.match_rowset(scan.table, predicate)
+                    for predicate in scan.residual
+                )
+                local_ids = candidates.ids
+            else:
+                local_ids = np.arange(table.n_rows, dtype=np.int64)
+            rowset_lens: tuple[int, ...] = ()
+            cand_lens: tuple[int, ...] = ()
+        else:
+            candidates: RowSet | None = None
+            rowset_len_list: list[int] = []
+            cand_len_list: list[int] = []
+            for path in scan.access:
+                rowset, entries_scanned = shared[(scan.table, path.predicate.key())]
+                counters.index_probes += 1
+                counters.index_entries += entries_scanned
+                rowset_len_list.append(len(rowset))
+                if candidates is None:
+                    candidates = rowset
+                else:
+                    counters.intersect_entries += len(candidates) + len(rowset)
+                    candidates = candidates.intersect(rowset)
+                cand_len_list.append(len(candidates))
+            assert candidates is not None
+            counters.fetched_rows += len(candidates)
+            if scan.residual:
+                counters.residual_checks += len(candidates) * len(scan.residual)
+                for predicate in scan.residual:
+                    matched = database.match_rowset(scan.table, predicate)
+                    candidates = candidates.intersect(matched)
+            local_ids = candidates.ids
+            rowset_lens = tuple(rowset_len_list)
+            cand_lens = tuple(cand_len_list)
+
+        return counters, rowset_lens, cand_lens, local_ids
+
+    def _report_for(
+        self, entry: ShardEntry, scanned: tuple
+    ) -> tuple[ShardQueryReport, np.ndarray]:
+        """Wrap one (possibly memo-shared) scan as this entry's report."""
+        _counters, rowset_lens, cand_lens, local_ids = scanned
+        plan = entry.plan
+        table = self.database.table(plan.scan.table)
+        ship_ids = plan.group_by is None or plan.limit is not None
+        shipped = None
+        if ship_ids:
+            # The merged result keeps at most ``limit`` rows, and shard
+            # concatenation is the canonical order — so no shard ever
+            # contributes more than ``limit`` of its own; don't pay
+            # transport for rows the router would discard.
+            kept = local_ids if plan.limit is None else local_ids[: plan.limit]
+            shipped = table.to_base_ids(kept)
+        report = ShardQueryReport(
+            final_len=int(len(local_ids)),
+            row_ids=shipped,
+            path_rowset_lens=rowset_lens,
+            path_cand_lens=cand_lens,
+        )
+        return report, local_ids
+
+    def _fused_partial_bins(self, scans) -> None:
+        """Raw integer bin counts for un-LIMITed aggregates, one sweep per
+        (table, bin grid) group — the shard-side half of "bin counts sum"."""
+        groups: dict[tuple, tuple[object, list]] = {}
+        for _position, entry, report, local_ids in scans:
+            group_by = entry.plan.group_by
+            if group_by is None or entry.plan.limit is not None:
+                continue
+            key = (
+                entry.plan.scan.table,
+                group_by.column,
+                group_by.cell_x,
+                group_by.cell_y,
+            )
+            _group_by, members = groups.setdefault(key, (group_by, []))
+            members.append((report, local_ids))
+        for (table_name, _column, _cx, _cy), (group_by, members) in groups.items():
+            layout = self.database.bin_layout(table_name, group_by)
+            histograms = bin_counts_many(
+                layout, [ids for _report, ids in members], weight=1.0
+            )
+            for (report, _ids), histogram in zip(members, histograms):
+                report.raw_bins = {
+                    bin_id: int(count) for bin_id, count in histogram.items()
+                }
+
+
+# ----------------------------------------------------------------------
+# Router-side gather
+# ----------------------------------------------------------------------
+def merge_scatter(
+    database: Database,
+    plan: PhysicalPlan,
+    reports: Sequence[ShardQueryReport],
+) -> tuple[WorkCounters, np.ndarray | None, dict[int, float] | None]:
+    """Merge per-shard reports into the canonical single-engine outcome.
+
+    ``database`` is the router's full engine: canonical index work is
+    charged from its whole-table indexes, and LIMIT-truncated aggregates
+    are finalized against its base-table points (bounded by the LIMIT).
+    Returns the exact ``(counters, row_ids, bins)`` the full engine's
+    executor would produce for ``plan`` under the deterministic profile.
+    """
+    assert plan.join is None, "join plans are not scatter-eligible"
+    counters = WorkCounters()
+    table = database.table(plan.scan.table)
+
+    if plan.scan.is_full_scan:
+        counters.seq_rows += table.n_rows
+    else:
+        for position, path in enumerate(plan.scan.access):
+            index = database.index(plan.scan.table, path.predicate.column)
+            assert index is not None, "canonical plan references a missing index"
+            counters.index_probes += 1
+            counters.index_entries += index.entries_for(path.predicate)
+            if position > 0:
+                counters.intersect_entries += sum(
+                    report.path_cand_lens[position - 1] for report in reports
+                ) + sum(report.path_rowset_lens[position] for report in reports)
+        fetched = sum(report.path_cand_lens[-1] for report in reports)
+        counters.fetched_rows += fetched
+        if plan.scan.residual:
+            counters.residual_checks += fetched * len(plan.scan.residual)
+
+    total = sum(report.final_len for report in reports)
+    kept = total
+    if plan.limit is not None and total > plan.limit:
+        counters = counters.scaled(plan.limit / total)
+        kept = plan.limit
+
+    merged_ids: np.ndarray | None = None
+    if plan.group_by is None or plan.limit is not None:
+        parts = [
+            report.row_ids
+            for report in reports
+            if report.row_ids is not None and len(report.row_ids)
+        ]
+        merged_ids = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        merged_ids = merged_ids[:kept]
+
+    if plan.group_by is not None:
+        counters.group_rows += kept
+        weight = 1.0
+        if table.sample_fraction:
+            weight = 1.0 / table.sample_fraction
+        if plan.limit is None:
+            raw: dict[int, int] = {}
+            for report in reports:
+                assert report.raw_bins is not None
+                for bin_id, count in report.raw_bins.items():
+                    raw[bin_id] = raw.get(bin_id, 0) + count
+            bins = {
+                bin_id: float(count) * weight
+                for bin_id, count in sorted(raw.items())
+            }
+        else:
+            # A LIMIT may truncate the grouped rows; re-bin the (bounded by
+            # the LIMIT) kept rows against the base table's points.
+            assert merged_ids is not None
+            base_name = table.base_table or table.name
+            points = database.table(base_name).points(plan.group_by.column)
+            bins = bin_counts(points[merged_ids], plan.group_by, weight=weight)
+        counters.output_rows += len(bins)
+        return counters, None, bins
+
+    counters.output_rows += kept
+    return counters, merged_ids, None

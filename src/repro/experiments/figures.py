@@ -26,7 +26,7 @@ from ..core import (
     build_one_stage,
 )
 from ..db import LimitRule
-from ..viz.quality import JaccardQuality, VASQuality
+from ..viz.quality import VASQuality
 from ..workloads import (
     Bucket,
     TwitterWorkloadGenerator,
@@ -46,8 +46,6 @@ from .harness import (
 from .setups import (
     DatasetSetup,
     TWITTER_ATTRS_3,
-    TWITTER_ATTRS_4,
-    TWITTER_ATTRS_5,
     accurate_qte,
     dataset_setup,
     sampling_qte,

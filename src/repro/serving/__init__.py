@@ -8,7 +8,8 @@ engine).  See DESIGN.md §4 for the cache hierarchy it coordinates.
 from .requests import VizRequest, interleave, requests_from_steps, with_budget
 from .scheduler import FifoScheduler, SessionAffinityScheduler
 from .service import MalivaService
-from .stats import RequestRecord, ServiceStats
+from .sharded import ShardedMalivaService
+from .stats import RequestRecord, ServiceStats, ShardStats, ShardWindow
 
 __all__ = [
     "FifoScheduler",
@@ -16,6 +17,9 @@ __all__ = [
     "RequestRecord",
     "ServiceStats",
     "SessionAffinityScheduler",
+    "ShardStats",
+    "ShardWindow",
+    "ShardedMalivaService",
     "VizRequest",
     "interleave",
     "requests_from_steps",

@@ -170,6 +170,27 @@ class MalivaService:
         self.stats.record_stage("schedule", scheduled_at - resolved_at)
         self.stats.record_stage("plan", planned_at - scheduled_at)
 
+        outcomes = self._execute_stage(
+            requests, resolved, order, decisions, cached_flags, shared_s
+        )
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def _execute_stage(
+        self,
+        requests: Sequence[VizRequest],
+        resolved: list[tuple[SelectQuery, float]],
+        order: list[int],
+        decisions: list[object | None],
+        cached_flags: list[bool],
+        shared_s: float,
+    ) -> list[RequestOutcome | None]:
+        """Execute the scheduled, planned batch and record per-request stats.
+
+        Split out of :meth:`answer_many` so execution backends can be
+        swapped below the shared resolve/schedule/plan stages — the sharded
+        service (``repro.serving.sharded``) overrides exactly this hook to
+        scatter the stage across worker processes.
+        """
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
         execute_started = time.perf_counter()
         if self.batch_execute and self.quality_fn is None:
@@ -225,7 +246,7 @@ class MalivaService:
                     )
                 )
         self.stats.record_stage("execute", time.perf_counter() - execute_started)
-        return [outcome for outcome in outcomes if outcome is not None]
+        return outcomes
 
     def answer_stream(
         self,
@@ -277,6 +298,16 @@ class MalivaService:
         """Start a fresh measurement window (request stats + engine baseline)."""
         self.stats = ServiceStats()
         self._engine_baseline = self.maliva.database.cache_stats()
+
+    def close(self) -> None:
+        """Release serving resources (a no-op for the single-engine service)."""
+
+    def __enter__(self) -> "MalivaService":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
 
     def _decision_tags(self, query: SelectQuery) -> list[str]:
         tags = [query.table]

@@ -1,0 +1,473 @@
+"""Multi-process sharded serving behind a scatter/gather shard router.
+
+:class:`ShardedMalivaService` is the production-scaling layer DESIGN.md
+§4.3 reserves below :class:`~repro.serving.service.MalivaService`: the
+staged resolve → schedule → plan pipeline is inherited unchanged (planning
+needs the *whole-table* statistics, sample tables, and QTE memos, so it
+stays on the router's full engine), and only the execute stage is swapped —
+scattered across N shard engines, each running in its own worker process
+over a row-range slice (or an owned set of whole tables) of every table.
+
+Routing:
+
+* **rows mode** — every scatter-eligible plan (no join) is sent to *all*
+  shards; each worker scans its slice with fused index probes and fused
+  BIN_ID sweeps and reports stage cardinalities, global-id rows, and raw
+  integer bin counts; the router merges them into the canonical
+  single-engine outcome (:func:`repro.db.sharding.merge_scatter`) and
+  charges profile effects once, on its own engine.
+* **table mode** — each query runs wholly on the shard owning its scan
+  table (joins require the inner table to be co-located); the worker's
+  execution *is* canonical because it holds the full tables.
+* **fallback** — joins in rows mode, hint-ignoring draws, and unowned
+  tables execute on the router's full engine, preserving the equivalence
+  contract trivially.
+
+A note on per-request engine-cache deltas: outcomes served by this class
+attribute cache activity from the *execute phase only*.  Scattered queries
+report 0/0 (their physical cache traffic lands in per-shard
+``ShardStats`` windows), and fallback queries report the
+``execute_planned`` window — the classification-stage plan lookup is a
+batch cost, not a per-request one.  The single-engine service folds that
+plan lookup into each request's delta, so the two deployments agree on
+every equivalence-contract field but not on this observability counter.
+
+Coherence: the service registers the same engine invalidation hook as the
+single-engine service; any catalog change on the router database —
+`append_rows`, `create_index`, direct `Database` calls included — re-slices
+the affected table and broadcasts a ``sync_table`` to every worker, which
+replaces its copy, rebuilds its indexes, and evicts derived cache state.
+
+Worker transport is a duplex pipe per shard; the shard spec is pickled
+across it (:class:`~repro.db.sharding.ShardSpec` is deliberately plain
+data), so the design is start-method agnostic.  ``processes=False`` runs
+the same engines inline — bit-identical, handy for tests and for
+single-core hosts where process parallelism cannot pay for its transport.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Sequence
+
+from ..core.middleware import Maliva, RequestOutcome
+from ..db import SelectQuery
+from ..db.sharding import (
+    FULL,
+    PARTIAL,
+    ShardEngine,
+    ShardEntry,
+    build_shard_specs,
+    merge_scatter,
+    reslice_for_sync,
+    scatter_eligible,
+)
+from ..errors import QueryError
+from .requests import VizRequest
+from .service import MalivaService
+from .stats import RequestRecord, ShardStats
+
+
+class InlineShardHandle:
+    """A shard engine driven in-process (no transport, same semantics)."""
+
+    def __init__(self, spec) -> None:
+        self.shard_id = spec.shard_id
+        self.owned_tables = spec.owned_tables
+        self._engine = ShardEngine(spec)
+        self._pending: list[Sequence[ShardEntry]] = []
+
+    def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
+        self._pending.append(entries)
+
+    def collect(self):
+        return self._engine.execute(self._pending.pop(0))
+
+    def sync_table(self, table, indexed_columns) -> None:
+        self._engine.sync_table(table, indexed_columns)
+
+    def cache_stats(self):
+        return self._engine.cache_stats()
+
+    def close(self) -> None:
+        self._pending.clear()
+
+
+def _shard_worker_main(conn) -> None:
+    """Worker-process loop: build the engine from the pickled spec, serve."""
+    engine: ShardEngine | None = None
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:  # pragma: no cover - parent died
+            return
+        try:
+            if op == "init":
+                engine = ShardEngine(payload)
+                conn.send(("ok", None))
+            elif op == "execute":
+                assert engine is not None
+                conn.send(("ok", engine.execute(payload)))
+            elif op == "sync":
+                assert engine is not None
+                table, indexed_columns = payload
+                engine.sync_table(table, indexed_columns)
+                conn.send(("ok", None))
+            elif op == "cache_stats":
+                assert engine is not None
+                conn.send(("ok", engine.cache_stats()))
+            elif op == "stop":
+                conn.send(("ok", None))
+                return
+            else:  # pragma: no cover - protocol bug
+                conn.send(("error", f"unknown op {op!r}"))
+        except Exception:  # noqa: BLE001 - ship the traceback to the router
+            conn.send(("error", traceback.format_exc()))
+
+
+class ProcessShardHandle:
+    """A shard engine in a worker process, driven over a duplex pipe."""
+
+    def __init__(self, spec, start_method: str | None = None) -> None:
+        self.shard_id = spec.shard_id
+        self.owned_tables = spec.owned_tables
+        context = multiprocessing.get_context(start_method)
+        self._conn, worker_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_shard_worker_main,
+            args=(worker_conn,),
+            daemon=True,
+            name=f"maliva-shard-{spec.shard_id}",
+        )
+        self._process.start()
+        worker_conn.close()
+        # Warm start: the spec travels pickled; the worker builds tables
+        # and indexes before the service answers its first request.
+        self._request("init", spec)
+
+    def _send(self, op: str, payload) -> None:
+        self._conn.send((op, payload))
+
+    def _recv(self):
+        status, payload = self._conn.recv()
+        if status != "ok":
+            raise QueryError(
+                f"shard worker {self.shard_id} failed:\n{payload}"
+            )
+        return payload
+
+    def _request(self, op: str, payload):
+        self._send(op, payload)
+        return self._recv()
+
+    def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
+        self._send("execute", list(entries))
+
+    def collect(self):
+        return self._recv()
+
+    def sync_table(self, table, indexed_columns) -> None:
+        self._request("sync", (table, tuple(indexed_columns)))
+
+    def cache_stats(self):
+        return self._request("cache_stats", None)
+
+    def close(self) -> None:
+        if self._process.is_alive():
+            try:
+                self._request("stop", None)
+            except (BrokenPipeError, EOFError, OSError, QueryError):
+                pass
+            self._process.join(timeout=5.0)
+            if self._process.is_alive():  # pragma: no cover - stuck worker
+                self._process.terminate()
+        self._conn.close()
+
+
+class ShardedMalivaService(MalivaService):
+    """Scatter/gather serving over N shard engines in worker processes."""
+
+    def __init__(
+        self,
+        maliva: Maliva,
+        *,
+        n_shards: int = 2,
+        shard_by: str = "rows",
+        processes: bool = True,
+        start_method: str | None = None,
+        worker_batch_size: int | None = None,
+        **kwargs,
+    ) -> None:
+        if n_shards < 1:
+            raise QueryError(f"n_shards must be at least 1, got {n_shards}")
+        if worker_batch_size is not None and worker_batch_size < 1:
+            raise QueryError("worker_batch_size must be at least 1")
+        # The invalidation hook the base constructor registers dispatches to
+        # our override, which broadcasts; make its guards resolvable first.
+        self._handles: list = []
+        self._closed = False
+        super().__init__(maliva, **kwargs)
+        self.n_shards = n_shards
+        self.shard_by = shard_by
+        self.processes = processes
+        #: Cap on entries per worker round-trip; a saturated worker serves
+        #: an oversized batch in successive chunks (outcome-invariant).
+        self.worker_batch_size = worker_batch_size
+        specs = build_shard_specs(maliva.database, n_shards, shard_by)
+        self._table_owner = {
+            name: spec.shard_id for spec in specs for name in spec.owned_tables
+        }
+        self._handles = [
+            ProcessShardHandle(spec, start_method)
+            if processes
+            else InlineShardHandle(spec)
+            for spec in specs
+        ]
+        self.stats.shards = self._new_shard_stats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle and observability
+    # ------------------------------------------------------------------
+    def _new_shard_stats(self) -> ShardStats:
+        return ShardStats(shard_by=self.shard_by, n_shards=self.n_shards)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.stats.shards = self._new_shard_stats()
+
+    def close(self) -> None:
+        """Stop every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            handle.close()
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def report(self) -> dict:
+        report = super().report()
+        if not self._closed:
+            report["shard_caches"] = {
+                str(handle.shard_id): handle.cache_stats().to_dict()
+                for handle in self._handles
+            }
+        return report
+
+    # ------------------------------------------------------------------
+    # Cross-shard coherence
+    # ------------------------------------------------------------------
+    def _on_table_invalidated(self, table_name: str) -> None:
+        super()._on_table_invalidated(table_name)
+        if self._closed or not self._handles:
+            return
+        database = self.maliva.database
+        if not database.has_table(table_name):  # pragma: no cover - dropped
+            return
+        indexed = tuple(sorted(database.indexes_for(table_name)))
+        if self.shard_by == "rows":
+            slices = reslice_for_sync(database, table_name, self.n_shards)
+            for handle, fresh in zip(self._handles, slices):
+                handle.sync_table(fresh, indexed)
+        else:
+            owner = self._table_owner.get(table_name)
+            if owner is None:
+                return  # not owned by any shard: served via router fallback
+            self._handles[owner].sync_table(database.table(table_name), indexed)
+        if self.stats.shards is not None:
+            self.stats.shards.n_syncs += 1
+
+    # ------------------------------------------------------------------
+    # The scattered execute stage
+    # ------------------------------------------------------------------
+    def _execute_stage(
+        self,
+        requests: Sequence[VizRequest],
+        resolved: list[tuple[SelectQuery, float]],
+        order: list[int],
+        decisions: list[object | None],
+        cached_flags: list[bool],
+        shared_s: float,
+    ) -> list[RequestOutcome | None]:
+        if self.quality_fn is not None:
+            # Quality scoring interleaves extra engine work per request;
+            # the sequential single-engine path preserves its semantics.
+            return super()._execute_stage(
+                requests, resolved, order, decisions, cached_flags, shared_s
+            )
+        if self._closed:
+            raise QueryError("sharded service is closed")
+        database = self.maliva.database
+        shard_stats = self.stats.shards
+        execute_started = time.perf_counter()
+
+        # Classify the scheduled batch.  begin_execution consumes the
+        # hint-obey draw and the plan-cache sequence in scheduled order,
+        # exactly as single-engine execution would.
+        jobs = []  # (index, query, tau, decision, plan, obeyed, was_planned)
+        scatter_positions: dict[int, int] = {}  # index -> entry position
+        owner_positions: dict[int, tuple[int, int]] = {}  # index -> (shard, pos)
+        fallback_indexes: list[int] = []
+        entries: list[ShardEntry] = []
+        per_owner_entries: dict[int, list[ShardEntry]] = {}
+        for index in order:
+            query, tau = resolved[index]
+            decision = decisions[index]
+            rewritten = decision.rewritten  # type: ignore[union-attr]
+            plan, obeyed, was_planned = database.begin_execution(rewritten)
+            jobs.append((index, query, tau, decision, plan, obeyed, was_planned))
+            if not obeyed:
+                fallback_indexes.append(index)
+                continue
+            if self.shard_by == "rows":
+                if scatter_eligible(plan):
+                    scatter_positions[index] = len(entries)
+                    entries.append(ShardEntry(rewritten, plan, PARTIAL))
+                else:
+                    fallback_indexes.append(index)
+            else:
+                owner = self._table_owner.get(plan.scan.table)
+                co_located = owner is not None and (
+                    plan.join is None
+                    or self._table_owner.get(plan.join.inner_table) == owner
+                )
+                if co_located:
+                    shard_entries = per_owner_entries.setdefault(owner, [])
+                    owner_positions[index] = (owner, len(shard_entries))
+                    shard_entries.append(ShardEntry(rewritten, plan, FULL))
+                else:
+                    fallback_indexes.append(index)
+
+        # Scatter (workers run while the router handles fallbacks), in
+        # rounds of at most worker_batch_size entries per shard.
+        replies = self._scatter(entries, per_owner_entries)
+        if shard_stats is not None:
+            shard_stats.n_scattered += len(scatter_positions) + len(owner_positions)
+            shard_stats.n_fallback += len(fallback_indexes)
+
+        # Assemble outcomes in scheduled order.
+        outcomes: list[RequestOutcome | None] = [None] * len(requests)
+        fallback_set = set(fallback_indexes)
+        for index, query, tau, decision, plan, obeyed, was_planned in jobs:
+            rewritten = decision.rewritten  # type: ignore[union-attr]
+            if index in fallback_set:
+                result = database.execute_planned(
+                    plan, rewritten, obeyed=obeyed, was_planned=was_planned
+                )
+            elif index in scatter_positions:
+                position = scatter_positions[index]
+                counters, row_ids, bins = merge_scatter(
+                    database,
+                    plan,
+                    [replies[shard][position] for shard in sorted(replies)],
+                )
+                result = database.complete_execution(
+                    plan,
+                    counters,
+                    row_ids,
+                    bins,
+                    obeyed=obeyed,
+                    was_planned=was_planned,
+                )
+            else:
+                shard, position = owner_positions[index]
+                report = replies[shard][position]
+                result = database.complete_execution(
+                    plan,
+                    report.counters,
+                    report.row_ids,
+                    report.bins,
+                    obeyed=obeyed,
+                    was_planned=was_planned,
+                )
+            outcomes[index] = self.maliva.assemble_outcome(
+                query, decision, tau, result
+            )
+
+        execute_share = (time.perf_counter() - execute_started) / len(requests)
+        for index in order:
+            outcome = outcomes[index]
+            assert outcome is not None
+            request = requests[index]
+            self.stats.record(
+                RequestRecord(
+                    request_id=request.request_id,
+                    session_id=request.effective_session(),
+                    tau_ms=resolved[index][1],
+                    planning_ms=outcome.planning_ms,
+                    execution_ms=outcome.execution_ms,
+                    viable=outcome.viable,
+                    wall_s=execute_share + shared_s,
+                    cache_hits=outcome.cache_hits,
+                    cache_misses=outcome.cache_misses,
+                    decision_cached=cached_flags[index],
+                )
+            )
+        self.stats.record_stage("execute", time.perf_counter() - execute_started)
+        return outcomes
+
+    def _scatter(
+        self,
+        entries: list[ShardEntry],
+        per_owner_entries: dict[int, list[ShardEntry]],
+    ) -> dict[int, list]:
+        """Ship entry batches to the shards and gather their reports.
+
+        Rows mode sends the same entry list to every shard; table mode
+        sends each owner its own list.  Batches are chunked to
+        ``worker_batch_size`` per round-trip; every shard's chunk is
+        submitted before any reply is collected, so worker processes run
+        the round concurrently.
+        """
+        shard_stats = self.stats.shards
+        reports: dict[int, list] = {}
+        if self.shard_by == "rows":
+            if not entries:
+                return reports
+            work = {handle.shard_id: entries for handle in self._handles}
+        else:
+            work = dict(per_owner_entries)
+            if not work:
+                return reports
+        chunk = self.worker_batch_size
+        offsets = {shard_id: 0 for shard_id in work}
+        handles = {handle.shard_id: handle for handle in self._handles}
+        while any(offsets[shard] < len(work[shard]) for shard in work):
+            round_shards = []
+            failure: Exception | None = None
+            for shard_id, shard_entries in work.items():
+                offset = offsets[shard_id]
+                if offset >= len(shard_entries):
+                    continue
+                stop = len(shard_entries) if chunk is None else offset + chunk
+                try:
+                    handles[shard_id].submit_execute(shard_entries[offset:stop])
+                except Exception as error:  # noqa: BLE001 - raised after drain
+                    failure = failure or error
+                    break
+                offsets[shard_id] = min(stop, len(shard_entries))
+                round_shards.append(shard_id)
+            for shard_id in round_shards:
+                # Drain every submitted shard even after a failure — an
+                # uncollected reply would desync the pipe protocol for
+                # whatever batch comes next.
+                try:
+                    reply = handles[shard_id].collect()
+                except Exception as error:  # noqa: BLE001 - re-raised below
+                    failure = failure or error
+                    continue
+                reports.setdefault(shard_id, []).extend(reply.reports)
+                if shard_stats is not None:
+                    shard_stats.record_shard(shard_id, reply)
+            if failure is not None:
+                # A crashed worker cannot be trusted to hold coherent shard
+                # state; fail the batch and retire the service.
+                self.close()
+                raise QueryError("shard worker failed; service closed") from failure
+        return reports

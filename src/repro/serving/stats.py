@@ -14,6 +14,72 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..db.batch_executor import BatchSharingStats
+from ..db.cost_model import WorkCounters
+
+
+@dataclass
+class ShardWindow:
+    """Physical work one shard performed in the current stats window."""
+
+    n_batches: int = 0
+    n_queries: int = 0
+    #: Worker-side wall seconds spent executing (excludes transport).
+    wall_s: float = 0.0
+    #: Physical work counters — what the shard's own slice-local indexes
+    #: and scans actually did, *not* the canonical virtual accounting the
+    #: merged results charge (DESIGN.md §4.3).
+    counters: WorkCounters = field(default_factory=WorkCounters)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_batches": self.n_batches,
+            "n_queries": self.n_queries,
+            "wall_s": self.wall_s,
+            "total_ops": self.counters.total_ops(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+@dataclass
+class ShardStats:
+    """Scatter/gather accounting across all shards of a sharded service."""
+
+    shard_by: str = "rows"
+    n_shards: int = 0
+    per_shard: dict[int, ShardWindow] = field(default_factory=dict)
+    #: Queries answered by scatter/gather across shard workers.
+    n_scattered: int = 0
+    #: Queries the router executed on the full engine (joins, ignored
+    #: hints, unowned tables).
+    n_fallback: int = 0
+    #: Table re-slices broadcast to keep shard data/caches coherent.
+    n_syncs: int = 0
+
+    def record_shard(self, shard_id: int, reply) -> None:
+        """Fold one :class:`~repro.db.sharding.ShardBatchReply` in."""
+        window = self.per_shard.setdefault(shard_id, ShardWindow())
+        window.n_batches += 1
+        window.n_queries += len(reply.reports)
+        window.wall_s += reply.wall_s
+        window.counters = window.counters + reply.physical_counters
+        window.cache_hits += reply.cache_hits
+        window.cache_misses += reply.cache_misses
+
+    def to_dict(self) -> dict:
+        return {
+            "shard_by": self.shard_by,
+            "n_shards": self.n_shards,
+            "n_scattered": self.n_scattered,
+            "n_fallback": self.n_fallback,
+            "n_syncs": self.n_syncs,
+            "per_shard": {
+                str(shard_id): window.to_dict()
+                for shard_id, window in sorted(self.per_shard.items())
+            },
+        }
 
 
 @dataclass(frozen=True)
@@ -51,6 +117,8 @@ class ServiceStats:
     execute_sharing: BatchSharingStats = field(default_factory=BatchSharingStats)
     #: How many batched execute calls contributed to ``execute_sharing``.
     n_execute_batches: int = 0
+    #: Scatter/gather accounting (sharded services only; None otherwise).
+    shards: ShardStats | None = None
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -126,4 +194,5 @@ class ServiceStats:
                 **self.execute_sharing.to_dict(),
                 "n_batches": self.n_execute_batches,
             },
+            **({"shards": self.shards.to_dict()} if self.shards is not None else {}),
         }

@@ -23,7 +23,7 @@ the production trainer does.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 

@@ -9,7 +9,6 @@ Whatever order the agent explores options in:
 * under a huge budget the first step always terminates ("viable").
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

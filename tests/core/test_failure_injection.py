@@ -10,7 +10,7 @@ import pytest
 
 from repro.core import Maliva, RewriteOptionSpace, TrainingConfig
 from repro.db import Database, EngineProfile
-from repro.qte import EstimationOutcome, QueryTimeEstimator, SelectivityCache
+from repro.qte import EstimationOutcome, QueryTimeEstimator
 from repro.qte.base import required_attributes
 
 from ..conftest import TEST_TAU_MS, TWITTER_ATTRS

@@ -8,7 +8,7 @@ strongest correctness guarantee available for the training stack.
 import numpy as np
 import pytest
 
-from repro.core import AdamParams, QNetwork
+from repro.core import QNetwork
 
 
 def loss_of(network: QNetwork, states, actions, targets) -> float:

@@ -1,9 +1,12 @@
 """Replay memory tests: FIFO bounds and sampling."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.core import ReplayMemory, Transition
+from repro.core.replay import ReplayOversampleWarning
 from repro.errors import TrainingError
 
 
@@ -40,7 +43,8 @@ class TestReplayMemory:
         memory = ReplayMemory(capacity=10)
         memory.push(make_transition(0))
         rng = np.random.default_rng(2)
-        assert len(memory.sample(5, rng)) == 1
+        with pytest.warns(ReplayOversampleWarning):
+            assert len(memory.sample(5, rng)) == 1
 
     def test_empty_sample_raises(self):
         with pytest.raises(TrainingError):
@@ -82,9 +86,33 @@ class TestReplayMemory:
         memory = ReplayMemory(capacity=10)
         for tag in range(3):
             memory.push(make_transition(tag))
-        batch = memory.sample_arrays(8, np.random.default_rng(2))
+        with pytest.warns(ReplayOversampleWarning):
+            batch = memory.sample_arrays(8, np.random.default_rng(2))
         assert len(batch) == 3
         assert set(batch.actions.tolist()) == {0, 1, 2}
+
+    def test_oversample_warns_exactly_once_per_memory(self):
+        """The shrink stays load-bearing (Algorithm 1 warms up through it),
+        so it warns — once per memory instance — instead of failing."""
+        memory = ReplayMemory(capacity=10)
+        memory.push(make_transition(0))
+        rng = np.random.default_rng(3)
+        with pytest.warns(ReplayOversampleWarning) as captured:
+            first = memory.sample(5, rng)
+        assert len(first) == 1
+        assert len(captured) == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReplayOversampleWarning)
+            # Still shrinking, no longer warning.
+            assert len(memory.sample(5, rng)) == 1
+            assert len(memory.sample_arrays(5, rng)) == 1
+        # An exactly-sized or smaller batch never warned in the first place.
+        fresh = ReplayMemory(capacity=4)
+        for tag in range(3):
+            fresh.push(make_transition(tag))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReplayOversampleWarning)
+            assert len(fresh.sample(3, rng)) == 3
 
     def test_shape_mismatch_raises(self):
         memory = ReplayMemory(capacity=5)

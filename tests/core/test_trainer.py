@@ -1,6 +1,5 @@
 """Trainer tests: Algorithm 1 mechanics and hold-out validation."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

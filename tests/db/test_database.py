@@ -4,18 +4,12 @@ import numpy as np
 import pytest
 
 from repro.db import (
-    BoundingBox,
-    Column,
-    ColumnKind,
     Database,
     EngineProfile,
     HintSet,
     KeywordPredicate,
     RangePredicate,
     SelectQuery,
-    SpatialPredicate,
-    Table,
-    TableSchema,
     apply_hints,
 )
 from repro.errors import SchemaError

@@ -1,0 +1,185 @@
+"""Bench-regression gate tests: comparison, enforcement rules, markdown."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.bench_gate import (
+    DEFAULT_THRESHOLD,
+    compare_dirs,
+    main,
+    render_markdown,
+)
+
+
+def _write(directory, name, payload):
+    (directory / name).write_text(json.dumps(payload))
+
+
+def _serving(cold, warm, scale="small", sharded=None):
+    payload = {
+        "cold_qps": cold,
+        "warm_qps": warm,
+        "workload": {"scale": scale, "n_requests": 100},
+    }
+    if sharded is not None:
+        payload["sharded"] = sharded
+    return payload
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+def test_regression_beyond_threshold_fails(dirs, capsys):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", _serving(600.0, 4900.0))
+    rows = compare_dirs(baseline, current)
+    by_metric = {row.metric: row for row in rows}
+    assert by_metric["cold_qps"].regressed  # -40%
+    assert not by_metric["warm_qps"].regressed  # -2%
+    code = main(["--baseline", str(baseline), "--current", str(current)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert "cold_qps" in out
+
+
+def test_small_drop_passes(dirs):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", _serving(800.0, 4000.0))  # -20%
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_tiny_scale_reports_but_never_fails(dirs):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0, scale="tiny"))
+    _write(current, "BENCH_serving.json", _serving(100.0, 500.0, scale="tiny"))
+    rows = compare_dirs(baseline, current)
+    assert rows and all(not row.enforced for row in rows)
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_mismatched_scales_not_enforced(dirs):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0, scale="small"))
+    _write(current, "BENCH_serving.json", _serving(10.0, 50.0, scale="medium"))
+    rows = compare_dirs(baseline, current)
+    assert all(row.status == "info-only" for row in rows)
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_missing_files_and_metrics_are_tolerated(dirs):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    # No current serving file at all; an unrelated current-only file exists.
+    _write(
+        current,
+        "BENCH_execution.json",
+        {"cold_batched_qps": 3000.0, "workload": {"scale": "small"}},
+    )
+    rows = compare_dirs(baseline, current)
+    statuses = {(row.file, row.status) for row in rows}
+    assert ("BENCH_serving.json", "missing") in statuses
+    assert ("BENCH_execution.json", "missing") in statuses
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_nested_section_scale_overrides_file_scale(dirs):
+    """CI writes the tiny-scale sharded smoke into the small-scale serving
+    report; the sharded metrics must be governed by their own scale."""
+    baseline, current = dirs
+    sharded_base = {"cold_qps": 900.0, "warm_qps": 4500.0, "scale": "small"}
+    sharded_cur = {"cold_qps": 100.0, "warm_qps": 400.0, "scale": "tiny"}
+    _write(
+        baseline, "BENCH_serving.json", _serving(1000.0, 5000.0, sharded=sharded_base)
+    )
+    _write(
+        current, "BENCH_serving.json", _serving(990.0, 5100.0, sharded=sharded_cur)
+    )
+    rows = {row.metric: row for row in compare_dirs(baseline, current)}
+    # File-level metrics stay enforced (small == small) ...
+    assert rows["cold_qps"].enforced
+    # ... but the sharded section's own scales (small vs tiny) differ.
+    assert rows["sharded.cold_qps"].status == "info-only"
+    assert not rows["sharded.cold_qps"].regressed
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_sharded_entries_are_gated(dirs):
+    baseline, current = dirs
+    sharded_base = {"cold_qps": 900.0, "warm_qps": 4500.0}
+    sharded_cur = {"cold_qps": 300.0, "warm_qps": 4400.0}
+    _write(
+        baseline, "BENCH_serving.json", _serving(1000.0, 5000.0, sharded=sharded_base)
+    )
+    _write(
+        current, "BENCH_serving.json", _serving(990.0, 5100.0, sharded=sharded_cur)
+    )
+    rows = {row.metric: row for row in compare_dirs(baseline, current)}
+    assert rows["sharded.cold_qps"].regressed
+    assert not rows["sharded.warm_qps"].regressed
+
+
+def test_markdown_table_and_summary_file(dirs, tmp_path):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", _serving(400.0, 5000.0))
+    rows = compare_dirs(baseline, current)
+    markdown = render_markdown(rows, DEFAULT_THRESHOLD)
+    assert "| file | metric |" in markdown
+    assert "-60.0%" in markdown
+    summary = tmp_path / "summary.md"
+    code = main(
+        [
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            "--summary-path",
+            str(summary),
+        ]
+    )
+    assert code == 1
+    assert "Benchmark regression gate" in summary.read_text()
+
+
+def test_advisory_mode_reports_without_failing(dirs, capsys):
+    """Cross-machine fallback baselines report regressions but exit 0."""
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", _serving(400.0, 4900.0))
+    code = main(
+        ["--baseline", str(baseline), "--current", str(current), "--advisory"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert "Advisory run" in out
+
+
+def test_bad_threshold_rejected(dirs, capsys):
+    baseline, current = dirs
+    assert (
+        main(
+            [
+                "--baseline",
+                str(baseline),
+                "--current",
+                str(current),
+                "--threshold",
+                "1.5",
+            ]
+        )
+        == 2
+    )
+    assert "--threshold" in capsys.readouterr().err

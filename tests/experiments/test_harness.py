@@ -20,7 +20,7 @@ from repro.experiments import (
 from repro.viz import JaccardQuality
 from repro.workloads import bucketize, single_buckets
 
-from ..conftest import TEST_TAU_MS, TWITTER_ATTRS, build_trained_maliva
+from ..conftest import TEST_TAU_MS, build_trained_maliva
 
 
 def fake_outcome(twitter_db, query, planning_ms, execution_ms, quality=None):

@@ -1,0 +1,313 @@
+"""Sharded serving == single-engine serving, bit for bit.
+
+Twin engines are built from identical seeds: one serves through the plain
+:class:`MalivaService`, the other through a :class:`ShardedMalivaService`
+(rows and table modes, inline and real worker processes).  Every user-visible
+outcome — viability, virtual times, result rows/bins, canonical work
+counters — must match exactly under the deterministic profile; that is the
+scatter/gather contract of DESIGN.md §4.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Maliva, RewriteOptionSpace
+from repro.serving import ShardedMalivaService, VizRequest
+from repro.viz import TWITTER_TRANSLATOR
+from repro.workloads import TwitterJoinWorkloadGenerator, TwitterWorkloadGenerator
+
+from tests.conftest import (
+    TWITTER_ATTRS,
+    build_session_stream,
+    build_trained_maliva,
+    build_twitter_db,
+)
+
+
+def _build_maliva(
+    *, n_tweets: int = 1_200, dataset_seed: int = 11, max_epochs: int = 4
+) -> Maliva:
+    database = build_twitter_db(
+        n_tweets=n_tweets, n_users=60, dataset_seed=dataset_seed, engine_seed=2
+    )
+    space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+    queries = TwitterWorkloadGenerator(database, seed=21).generate(20)
+    return build_trained_maliva(
+        database, space, queries, qte="accurate", max_epochs=max_epochs, n_train=16
+    )
+
+
+@pytest.fixture(scope="module")
+def twins():
+    """Two independent, identically-seeded trained middlewares + a stream."""
+    single = _build_maliva()
+    sharded = _build_maliva()
+    stream = build_session_stream(
+        single.database, n_sessions=6, n_steps=6, seed=29
+    )
+    return single, sharded, stream
+
+
+def _assert_outcomes_match(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert a.option_label == b.option_label
+        assert a.planning_ms == b.planning_ms
+        assert a.execution_ms == b.execution_ms
+        assert a.viable == b.viable
+        assert a.tau_ms == b.tau_ms
+        assert a.result.obeyed_hints == b.result.obeyed_hints
+        assert a.result.counters.as_dict() == b.result.counters.as_dict()
+        assert a.result.base_ms == b.result.base_ms
+        if a.result.row_ids is None:
+            assert b.result.row_ids is None
+        else:
+            assert np.array_equal(a.result.row_ids, b.result.row_ids)
+        assert a.result.bins == b.result.bins
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3])
+def test_rows_mode_matches_single_engine(twins, n_shards):
+    single_maliva, sharded_maliva, stream = twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=n_shards,
+        shard_by="rows",
+        processes=False,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        # Warm pass: decision caches and shard caches are hot on both sides.
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_scattered == 2 * len(stream)
+        assert shards.n_fallback == 0
+        assert set(shards.per_shard) == set(range(n_shards))
+        for window in shards.per_shard.values():
+            assert window.n_queries == 2 * len(stream)
+            assert window.wall_s >= 0.0
+
+
+def test_table_mode_matches_single_engine(twins):
+    single_maliva, sharded_maliva, stream = twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=2,
+        shard_by="table",
+        processes=False,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_scattered == len(stream)
+
+
+def test_worker_processes_match_single_engine(twins):
+    single_maliva, sharded_maliva, stream = twins
+    short = stream[:12]
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=2,
+        shard_by="rows",
+        processes=True,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(short), sharded.answer_many(short)
+        )
+        report = sharded.report()
+        assert set(report["shard_caches"]) == {"0", "1"}
+        assert report["service"]["shards"]["n_shards"] == 2
+
+
+def test_stream_serving_matches_batch(twins):
+    _single_maliva, sharded_maliva, stream = twins
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=2,
+        shard_by="rows",
+        processes=False,
+    )
+    with sharded:
+        batch_outcomes = sharded.answer_many(stream)
+        streamed = [
+            outcome
+            for _request, outcome in sharded.answer_stream(
+                iter(stream), stream_batch_size=5
+            )
+        ]
+        _assert_outcomes_match(batch_outcomes, streamed)
+
+
+def test_join_queries_fall_back_and_match():
+    def build():
+        database = build_twitter_db(
+            n_tweets=700, n_users=40, dataset_seed=7, engine_seed=1
+        )
+        space = RewriteOptionSpace.join_space(TWITTER_ATTRS)
+        queries = TwitterJoinWorkloadGenerator(database, seed=33).generate(12)
+        maliva = build_trained_maliva(
+            database, space, queries, qte="accurate", max_epochs=3, n_train=10
+        )
+        return maliva, queries
+
+    single_maliva, queries = build()
+    sharded_maliva, _ = build()
+    requests = [
+        VizRequest(payload=query, session_id=f"s{i % 3}", request_id=i)
+        for i, query in enumerate(queries)
+    ]
+    single = single_maliva.service()
+    sharded = ShardedMalivaService(sharded_maliva, n_shards=2, processes=False)
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(requests), sharded.answer_many(requests)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_fallback == len(requests)
+        assert shards.n_scattered == 0
+
+
+def _mutation_columns(database, n: int):
+    tweets = database.table("tweets")
+    return {
+        column.name: tweets.column(column.name)[:n]
+        for column in tweets.schema.columns
+    }
+
+
+@pytest.mark.parametrize("shard_by", ["rows", "table"])
+def test_append_rows_stays_coherent(shard_by):
+    single_maliva = _build_maliva(n_tweets=600, dataset_seed=3, max_epochs=2)
+    sharded_maliva = _build_maliva(n_tweets=600, dataset_seed=3, max_epochs=2)
+    stream = build_session_stream(
+        single_maliva.database, n_sessions=4, n_steps=4, seed=41
+    )
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=3,
+        shard_by=shard_by,
+        processes=False,
+    )
+    with sharded:
+        half = len(stream) // 2
+        _assert_outcomes_match(
+            single.answer_many(stream[:half]), sharded.answer_many(stream[:half])
+        )
+        single.append_rows("tweets", _mutation_columns(single_maliva.database, 20))
+        sharded.append_rows("tweets", _mutation_columns(sharded_maliva.database, 20))
+        assert sharded.stats.shards is not None
+        assert sharded.stats.shards.n_syncs >= 1
+        _assert_outcomes_match(
+            single.answer_many(stream[half:]), sharded.answer_many(stream[half:])
+        )
+
+
+def test_direct_database_mutation_propagates_via_hook():
+    """Cross-shard coherence holds even for engine-level mutations that
+    bypass the service (the existing invalidation-hook contract)."""
+    single_maliva = _build_maliva(n_tweets=500, dataset_seed=19, max_epochs=2)
+    sharded_maliva = _build_maliva(n_tweets=500, dataset_seed=19, max_epochs=2)
+    stream = build_session_stream(
+        single_maliva.database, n_sessions=3, n_steps=4, seed=23
+    )
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva, translator=TWITTER_TRANSLATOR, n_shards=2, processes=False
+    )
+    with sharded:
+        single.answer_many(stream[:4])
+        sharded.answer_many(stream[:4])
+        # Mutate the engines directly — not through the services.
+        single_maliva.database.append_rows(
+            "tweets", _mutation_columns(single_maliva.database, 15)
+        )
+        sharded_maliva.database.append_rows(
+            "tweets", _mutation_columns(sharded_maliva.database, 15)
+        )
+        _assert_outcomes_match(
+            single.answer_many(stream[4:]), sharded.answer_many(stream[4:])
+        )
+
+
+def test_worker_failure_drains_round_and_closes_service(twins):
+    """A failing shard must not desync the others: the round is drained,
+    the batch fails, and the service retires instead of serving misaligned
+    replies on the next call."""
+    from repro.errors import QueryError
+
+    _single, sharded_maliva, stream = twins
+    sharded = ShardedMalivaService(
+        sharded_maliva, translator=TWITTER_TRANSLATOR, n_shards=3, processes=False
+    )
+    try:
+        requests = stream[:4]
+        sharded.answer_many(requests[:1])
+
+        def explode():
+            raise QueryError("boom")
+
+        sharded._handles[1].collect = explode
+        with pytest.raises(QueryError, match="service closed"):
+            sharded.answer_many(requests)
+        assert sharded._closed
+        with pytest.raises(QueryError, match="closed"):
+            sharded.answer_many(requests[:1])
+    finally:
+        sharded.close()
+
+
+def test_submit_failure_also_drains_and_closes(twins):
+    """A dead worker surfacing at submit time gets the same drain-and-
+    retire treatment as one failing at collect time."""
+    from repro.errors import QueryError
+
+    _single, sharded_maliva, stream = twins
+    sharded = ShardedMalivaService(
+        sharded_maliva, translator=TWITTER_TRANSLATOR, n_shards=3, processes=False
+    )
+    try:
+        sharded.answer_many(stream[:1])
+
+        def explode(_entries):
+            raise BrokenPipeError("worker gone")
+
+        sharded._handles[2].submit_execute = explode
+        with pytest.raises(QueryError, match="service closed"):
+            sharded.answer_many(stream[:4])
+        assert sharded._closed
+    finally:
+        sharded.close()
+
+
+def test_closed_service_refuses_work(twins):
+    _single, sharded_maliva, stream = twins
+    sharded = ShardedMalivaService(sharded_maliva, n_shards=2, processes=False)
+    sharded.close()
+    sharded.close()  # idempotent
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        sharded.answer_many(
+            [VizRequest(payload=stream[0].payload, request_id=0)]
+        )

@@ -134,3 +134,40 @@ class TestTrainCommand:
         saved = json.loads((tmp_path / "training_report.json").read_text())
         assert saved["n_candidates"] == 2
         assert saved["lockstep"] is True
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 1
+        assert args.shard_by == "rows"
+        assert args.inline_shards is False
+
+    def test_invalid_shards_rejected(self, capsys):
+        assert main(["serve", "--shards", "0", "--no-save"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_serve_sharded_tiny(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve",
+                "--scale",
+                "tiny",
+                "--sessions",
+                "3",
+                "--steps",
+                "3",
+                "--shards",
+                "2",
+                "--inline-shards",
+                "--save-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 rows-sharded workers" in out
+        assert "shard router:" in out
+        saved = json.loads((tmp_path / "serving_report.json").read_text())
+        assert saved["warm"]["shards"]["n_shards"] == 2
+        assert saved["warm"]["shards"]["n_scattered"] >= 1

@@ -1,6 +1,5 @@
 """Quality-function tests: Jaccard, distribution precision, VAS proxy."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

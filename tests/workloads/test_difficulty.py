@@ -1,7 +1,5 @@
 """Difficulty metric and bucketing tests."""
 
-import pytest
-
 from repro.workloads import (
     Bucket,
     bucketize,
