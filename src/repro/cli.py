@@ -158,8 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--shard-by",
         default="rows",
-        choices=["rows", "table"],
-        help="partitioning: contiguous row ranges vs whole-table ownership",
+        choices=["rows", "rows-strided", "table"],
+        help=(
+            "partitioning: contiguous row ranges, round-robin strided rows "
+            "(balances time-ordered skew), or whole-table ownership"
+        ),
     )
     serve.add_argument(
         "--inline-shards",
@@ -375,6 +378,7 @@ def _run_serve(args) -> int:
         print(
             f"shard router:          {shards['n_shards']} shards ({shards['shard_by']}), "
             f"{shards['n_scattered']} scattered / {shards['n_fallback']} fallback, "
+            f"{shards['n_plan_scattered']} planned on workers, "
             f"{shards['n_syncs']} syncs"
         )
         for shard_id, window in shards["per_shard"].items():

@@ -33,6 +33,7 @@ cost_structure`; callers fall back to per-request episodes otherwise.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -41,6 +42,56 @@ from ..db import SelectQuery
 from ..qte import QueryTimeEstimator, SelectivityCache
 from .options import RewriteOptionSpace
 from .state import TIME_CLIP_BUDGETS
+
+
+@dataclass
+class FrontierLayout:
+    """The workload-only frontier tensors: reusable across epochs.
+
+    Columns, per-column predicates, and the required-attribute tensor
+    depend only on ``(queries, rewritten)`` — not on any per-episode state
+    — so a trainer replaying the same workload every epoch builds them
+    once and hands the layout to each epoch's :class:`LockstepFrontier`.
+    The tensor is read-only to the frontier (``collected`` is per-frontier
+    state), which is what makes the sharing safe.
+    """
+
+    columns: list[list[str]]
+    predicate_of: list[dict[str, object]]
+    required: np.ndarray
+
+    @staticmethod
+    def build(
+        queries: Sequence[SelectQuery],
+        rewritten: Sequence[list[SelectQuery]],
+        n_options: int,
+    ) -> "FrontierLayout":
+        columns_per: list[list[str]] = []
+        predicate_of: list[dict[str, object]] = []
+        for query in queries:
+            columns: list[str] = []
+            by_column: dict[str, object] = {}
+            for predicate in query.predicates:
+                if predicate.column not in by_column:
+                    columns.append(predicate.column)
+                by_column[predicate.column] = predicate
+            columns_per.append(columns)
+            predicate_of.append(by_column)
+        k = len(queries)
+        m = max((len(cols) for cols in columns_per), default=0)
+        required = np.zeros((k, n_options, max(m, 1)), dtype=bool)
+        for i, rqs in enumerate(rewritten):
+            col_index = {c: ci for ci, c in enumerate(columns_per[i])}
+            for j, rq in enumerate(rqs):
+                if rq.hints is None:
+                    continue
+                for column in rq.hints.index_on:
+                    ci = col_index.get(column)
+                    if ci is not None:
+                        required[i, j, ci] = True
+        return FrontierLayout(
+            columns=columns_per, predicate_of=predicate_of, required=required
+        )
 
 
 class LockstepFrontier:
@@ -54,6 +105,7 @@ class LockstepFrontier:
         taus: Sequence[float],
         rewritten: Sequence[list[SelectQuery]],
         tau_norm: float,
+        layout: FrontierLayout | None = None,
     ) -> None:
         structure = qte.cost_structure()
         if structure is None:
@@ -74,31 +126,14 @@ class LockstepFrontier:
 
         # Per-request local column indexing (first-occurrence order) and the
         # required-attribute tensor R[i, j, c]: does option j of request i
-        # need the selectivity of local column c?
-        self.columns: list[list[str]] = []
-        self.predicate_of: list[dict[str, object]] = []
-        for query in queries:
-            columns: list[str] = []
-            by_column: dict[str, object] = {}
-            for predicate in query.predicates:
-                if predicate.column not in by_column:
-                    columns.append(predicate.column)
-                by_column[predicate.column] = predicate
-            self.columns.append(columns)
-            self.predicate_of.append(by_column)
-        m = max((len(cols) for cols in self.columns), default=0)
-        self.required = np.zeros((k, n, max(m, 1)), dtype=bool)
-        for i, rqs in enumerate(self.rewritten):
-            col_index = {c: ci for ci, c in enumerate(self.columns[i])}
-            for j, rq in enumerate(rqs):
-                if rq.hints is None:
-                    continue
-                for column in rq.hints.index_on:
-                    ci = col_index.get(column)
-                    if ci is not None:
-                        self.required[i, j, ci] = True
-
-        self.collected = np.zeros((k, max(m, 1)), dtype=bool)
+        # need the selectivity of local column c?  Workload-only, so a
+        # caller may pass a prebuilt (epoch-carried) layout.
+        if layout is None:
+            layout = FrontierLayout.build(queries, self.rewritten, n)
+        self.columns = layout.columns
+        self.predicate_of = layout.predicate_of
+        self.required = layout.required
+        self.collected = np.zeros((k, self.required.shape[2]), dtype=bool)
         self.elapsed = np.zeros(k, dtype=np.float64)
         # Initial estimation costs against the empty per-request caches:
         # C0_ij = overhead + unit × |required attributes of option j|.
@@ -149,6 +184,30 @@ class LockstepFrontier:
             self.predicate_of[active[row]][self.columns[active[row]][ci]]
             for row, ci in np.argwhere(missing)
         ]
+
+    def gather_probe_waves(
+        self, active: np.ndarray, actions: np.ndarray
+    ) -> list[tuple[SelectQuery, list]]:
+        """One ``(chosen rewritten query, uncollected probes)`` pair per
+        active row — the estimations :meth:`transition` is about to run.
+
+        Rows with no uncollected probes are included with an empty probe
+        list: estimators that resolve a true execution time per estimate
+        (the accurate QTE, and its sharded RPC proxy) need every row of
+        the wave, not just the ones with selectivity work.  Flattening the
+        probes in row order reproduces :meth:`gather_probes` exactly.
+        """
+        missing = self.required[active, actions] & ~self.collected[active]
+        wave: list[tuple[SelectQuery, list]] = []
+        for pos in range(len(active)):
+            i = int(active[pos])
+            columns = self.columns[i]
+            by_column = self.predicate_of[i]
+            probes = [
+                by_column[columns[ci]] for ci in np.flatnonzero(missing[pos])
+            ]
+            wave.append((self.rewritten[i][int(actions[pos])], probes))
+        return wave
 
     def transition(self, active: np.ndarray, actions: np.ndarray) -> None:
         """Estimate the chosen options and apply the paper's T function."""

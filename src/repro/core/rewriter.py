@@ -210,10 +210,10 @@ class _LockstepFrontier:
             q = self.agent.network.predict_rows(frontier.state_matrix(active))
             actions = frontier.greedy_actions(active, q)
 
-            # -- collect: one fused pass over the frontier's probes -------
-            probes = frontier.gather_probes(active, actions)
-            if probes:
-                frontier.qte.collect_batch(probes)
+            # -- collect: one fused pass over the frontier's wave ---------
+            frontier.qte.collect_wave(
+                frontier.gather_probe_waves(active, actions)
+            )
 
             # -- estimate + transition, vectorized across the frontier ----
             frontier.transition(active, actions)

@@ -52,7 +52,7 @@ from ..errors import TrainingError
 from ..qte import QueryTimeEstimator
 from .agent import MalivaAgent
 from .environment import RewriteEpisode
-from .frontier import LockstepFrontier
+from .frontier import FrontierLayout, LockstepFrontier
 from .options import RewriteOptionSpace
 from .qnetwork import AdamParams, QNetwork
 from .replay import ReplayMemory, Transition
@@ -171,6 +171,10 @@ class DQNTrainer:
         # Candidate-RQ memo for the wave-mode frontier (build_all is
         # deterministic, so caching it across epochs changes nothing).
         self._rq_memo: dict[object, list[SelectQuery]] = {}
+        # Workload-keyed frontier layout: the required-attribute tensors
+        # depend only on (queries, candidates), so every epoch replaying
+        # the same workload reuses one build.
+        self._layout_memo: dict[tuple, FrontierLayout] = {}
         database.add_invalidation_hook(self._on_table_invalidated)
 
     def _default_episode(self, query: SelectQuery) -> RewriteEpisode:
@@ -178,6 +182,7 @@ class DQNTrainer:
 
     def _on_table_invalidated(self, table_name: str) -> None:
         self._rq_memo.clear()
+        self._layout_memo.clear()
 
     def _candidates(self, query: SelectQuery) -> list[SelectQuery]:
         key = query.key()
@@ -318,13 +323,20 @@ class DQNTrainer:
         """
         if self._custom_episodes or self.qte.cost_structure() is None:
             return (yield from self._object_waves(queries, epsilon, learn))
+        rewritten = [self._candidates(query) for query in queries]
+        layout_key = tuple(query.key() for query in queries)
+        layout = self._layout_memo.get(layout_key)
+        if layout is None:
+            layout = FrontierLayout.build(queries, rewritten, len(self.space))
+            self._layout_memo[layout_key] = layout
         frontier = LockstepFrontier(
             space=self.space,
             qte=self.qte,
             queries=queries,
             taus=[self.tau_ms] * len(queries),
-            rewritten=[self._candidates(query) for query in queries],
+            rewritten=rewritten,
             tau_norm=self.tau_ms,
+            layout=layout,
         )
         total_reward = 0.0
         viable_count = 0

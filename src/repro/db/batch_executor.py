@@ -274,7 +274,9 @@ class BatchExecutor:
             item.scan_counters, item.result_ids = memo
             self._stats.shared_scans += 1
         else:
-            counters, result_ids = db._executor.scan_rows(plan, access=self._access)
+            counters, result_ids, _cards = db._executor.scan_rows(
+                plan, access=self._access
+            )
             memo = (counters.as_dict(), result_ids)
             self._scan_memo[item.scan_key] = memo
             item.scan_counters, item.result_ids = memo

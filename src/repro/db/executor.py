@@ -37,6 +37,75 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .indexes import IndexLookup
 
 
+@dataclass(frozen=True)
+class ScanCardinalities:
+    """Per-stage sizes one scan produced — what every charge derives from.
+
+    These are the quantities the scatter/gather merge contract ships across
+    process boundaries (``repro/db/sharding.py``): each one partitions
+    across row-range shards (sums of shard-local values equal the
+    whole-table values), so the router can replay canonical accounting with
+    :func:`charge_scan` over the summed cardinalities.
+    """
+
+    #: Per access path: size of the path's match set.
+    path_rowset_lens: tuple[int, ...] = ()
+    #: Per access path: size of the running intersection after the path.
+    path_cand_lens: tuple[int, ...] = ()
+    #: Candidate count after scan + residual (pre-LIMIT, pre-join).
+    final_len: int = 0
+
+    @staticmethod
+    def merge(parts: "list[ScanCardinalities]") -> "ScanCardinalities":
+        """Element-wise sum across row-range partitions of one scan."""
+        if not parts:
+            raise ValueError("merge needs at least one ScanCardinalities")
+        n_paths = len(parts[0].path_rowset_lens)
+        return ScanCardinalities(
+            path_rowset_lens=tuple(
+                sum(part.path_rowset_lens[i] for part in parts)
+                for i in range(n_paths)
+            ),
+            path_cand_lens=tuple(
+                sum(part.path_cand_lens[i] for part in parts)
+                for i in range(n_paths)
+            ),
+            final_len=sum(part.final_len for part in parts),
+        )
+
+
+def charge_scan(
+    counters: WorkCounters,
+    scan,
+    n_table_rows: int,
+    path_entries: tuple[int, ...],
+    cards: ScanCardinalities,
+) -> None:
+    """Charge the canonical scan work for ``cards`` onto ``counters``.
+
+    The single accounting rule shared by the per-request executor, the
+    batch executor, and the shard router's gather: charges are a pure
+    function of the plan's scan, the table size, per-path index entry
+    counts, and the stage cardinalities — commutative integer adds, so
+    charging after the scan computes is bit-identical to charging inline.
+    """
+    if scan.is_full_scan:
+        counters.seq_rows += n_table_rows
+        return
+    for position, entries in enumerate(path_entries):
+        counters.index_probes += 1
+        counters.index_entries += entries
+        if position > 0:
+            counters.intersect_entries += (
+                cards.path_cand_lens[position - 1]
+                + cards.path_rowset_lens[position]
+            )
+    fetched = cards.path_cand_lens[-1]
+    counters.fetched_rows += fetched
+    if scan.residual:
+        counters.residual_checks += fetched * len(scan.residual)
+
+
 @dataclass
 class ExecutionResult:
     """Outcome of executing one physical plan."""
@@ -112,27 +181,38 @@ class Executor:
         Row ids are returned in base-table space so approximate results read
         from sample tables remain comparable with exact results.
         """
-        counters, result_ids = self.scan_rows(plan)
+        counters, result_ids, _cards = self.scan_rows(plan)
         return self.finalize(plan, counters, result_ids)
 
     def scan_rows(
-        self, plan: PhysicalPlan, access: EngineAccess | None = None
-    ) -> tuple[WorkCounters, np.ndarray]:
+        self,
+        plan: PhysicalPlan,
+        access: EngineAccess | None = None,
+        *,
+        apply_limit: bool = True,
+    ) -> tuple[WorkCounters, np.ndarray, ScanCardinalities]:
         """Row-selection phase: scan, join, and LIMIT — everything before
-        aggregation/projection.  Returns (counters so far, local row ids)."""
+        aggregation/projection.  Returns (counters so far, local row ids,
+        the scan's stage cardinalities).
+
+        ``apply_limit=False`` skips LIMIT scaling/truncation — the shard
+        engine's partial mode, where the router applies the LIMIT to the
+        merged result instead (``merge_scatter``).
+        """
         access = access or self._access
         counters = WorkCounters()
         table = self._db.table(plan.scan.table)
 
-        result_ids = self._run_scan(plan, counters, access)
+        result_ids, cards, path_entries = self._run_scan(plan, access)
+        charge_scan(counters, plan.scan, table.n_rows, path_entries, cards)
         if plan.join is not None:
             result_ids = self._run_join(plan, table, result_ids, counters, access)
 
-        if plan.limit is not None and len(result_ids) > plan.limit:
+        if apply_limit and plan.limit is not None and len(result_ids) > plan.limit:
             factor = plan.limit / len(result_ids)
             counters = counters.scaled(factor)
             result_ids = result_ids[: plan.limit]
-        return counters, result_ids
+        return counters, result_ids, cards
 
     def finalize(
         self, plan: PhysicalPlan, counters: WorkCounters, result_ids: np.ndarray
@@ -156,40 +236,52 @@ class Executor:
     # Scan
     # ------------------------------------------------------------------
     def _run_scan(
-        self, plan: PhysicalPlan, counters: WorkCounters, access: EngineAccess
-    ) -> np.ndarray:
+        self, plan: PhysicalPlan, access: EngineAccess
+    ) -> tuple[np.ndarray, ScanCardinalities, tuple[int, ...]]:
+        """Compute the scan's rows and stage cardinalities (no charging).
+
+        Returns ``(local candidate ids, cardinalities, per-path entry
+        counts)``; the caller charges via :func:`charge_scan`.
+        """
         scan = plan.scan
         table = self._db.table(scan.table)
 
         if scan.is_full_scan:
-            counters.seq_rows += table.n_rows
             if not scan.residual:
-                return np.arange(table.n_rows, dtype=np.int64)
-            rowsets = [
-                access.match_rowset(scan.table, predicate)
-                for predicate in scan.residual
-            ]
-            return intersect_all(rowsets).ids
+                ids = np.arange(table.n_rows, dtype=np.int64)
+            else:
+                rowsets = [
+                    access.match_rowset(scan.table, predicate)
+                    for predicate in scan.residual
+                ]
+                ids = intersect_all(rowsets).ids
+            return ids, ScanCardinalities(final_len=int(len(ids))), ()
 
         candidates: RowSet | None = None
+        rowset_lens: list[int] = []
+        cand_lens: list[int] = []
+        path_entries: list[int] = []
         for path in scan.access:
             lookup = access.index_lookup(scan.table, path.predicate)
-            counters.index_probes += 1
-            counters.index_entries += lookup.entries_scanned
+            path_entries.append(int(lookup.entries_scanned))
             rowset = access.access_rowset(scan.table, path.predicate, lookup)
+            rowset_lens.append(len(rowset))
             if candidates is None:
                 candidates = rowset
             else:
-                counters.intersect_entries += len(candidates) + len(rowset)
                 candidates = candidates.intersect(rowset)
+            cand_lens.append(len(candidates))
         assert candidates is not None
-        counters.fetched_rows += len(candidates)
         if scan.residual:
-            counters.residual_checks += len(candidates) * len(scan.residual)
             for predicate in scan.residual:
                 matched = access.match_rowset(scan.table, predicate)
                 candidates = candidates.intersect(matched)
-        return candidates.ids
+        cards = ScanCardinalities(
+            path_rowset_lens=tuple(rowset_lens),
+            path_cand_lens=tuple(cand_lens),
+            final_len=int(len(candidates)),
+        )
+        return candidates.ids, cards, tuple(path_entries)
 
     # ------------------------------------------------------------------
     # Join

@@ -9,7 +9,9 @@ engine-level halves of that design:
   whole tables, the columns to index, profile and cost model) from which a
   worker process warm-starts its engine;
 * :func:`build_shard_specs` — partition a database by row range
-  (``shard_by="rows"``: every table is sliced into N contiguous ranges) or
+  (``shard_by="rows"``: every table is sliced into N contiguous ranges;
+  ``shard_by="rows-strided"``: round-robin rows, which balances worker
+  wall time on time-ordered tables where contiguous ranges skew) or
   by table (``shard_by="table"``: whole base tables, with their sample
   tables, are assigned round-robin);
 * :class:`ShardEngine` — the worker-side executor: runs a batch of
@@ -25,28 +27,32 @@ The scatter/gather merge contract
 
 Virtual time must stay a function of the plan and the whole-table data
 (DESIGN.md §3) no matter how many shards physically produced the answer.
-Shards therefore never ship *charged* counters — they ship the stage
-cardinalities the charges derive from:
+Shards therefore never ship *charged* counters — they ship the
+:class:`~repro.db.executor.ScanCardinalities` the unified kernel
+(``Executor.scan_rows``) emits, the stage sizes every charge derives from:
 
 * per access path: the size of the path's match set on the shard and the
-  size of the running intersection (both partition across row ranges, so
-  their sums are exactly the whole-table sizes);
-* the final candidate count, the global-id result rows (slices are
-  contiguous and ascending, so shard-order concatenation *is* the
-  single-engine row order), and — for aggregates — raw integer bin counts
-  (bin ids come from a fixed global grid origin, so partial histograms sum
+  size of the running intersection (both partition across row partitions,
+  so their sums are exactly the whole-table sizes);
+* the final candidate count, the global-id result rows (contiguous slices
+  are ascending, so shard-order concatenation *is* the single-engine row
+  order; strided partitions re-sort the merged ids once, restoring the
+  same order), and — for aggregates — raw integer bin counts (bin ids
+  come from a fixed global grid origin, so partial histograms sum
   exactly).
 
-The router then replays the executor's accounting over the summed
-cardinalities: ``index_probes``/``index_entries`` are charged from the
-router's own full indexes via :meth:`~repro.db.indexes.base.Index.
-entries_for` (shard-local grids have shard-local cell geometry, so their
-entry counts are physical, not canonical), LIMIT scaling/truncation is
-applied to the merged result exactly as ``Executor.scan_rows`` would, and
-weighted bins multiply the summed integer counts by the sample weight once
-— bit-for-bit the float the single engine produces.  Queries a scatter
-cannot reproduce canonically (joins; hint-ignoring executions) are routed
-to the full engine instead — the serving layer's fallback path.
+The router then replays the executor's accounting —
+:func:`~repro.db.executor.charge_scan`, the same function the kernel
+charges with — over the summed cardinalities: ``index_probes``/
+``index_entries`` are charged from the router's own full indexes via
+:meth:`~repro.db.indexes.base.Index.entries_for` (shard-local grids have
+shard-local cell geometry, so their entry counts are physical, not
+canonical), LIMIT scaling/truncation is applied to the merged result
+exactly as ``Executor.scan_rows`` would, and weighted bins multiply the
+summed integer counts by the sample weight once — bit-for-bit the float
+the single engine produces.  Queries a scatter cannot reproduce
+canonically (joins; hint-ignoring executions) are routed to the full
+engine instead — the serving layer's fallback path.
 """
 
 from __future__ import annotations
@@ -61,9 +67,11 @@ from ..errors import SchemaError
 from .binning import bin_counts, bin_counts_many
 from .cost_model import CostModel, WorkCounters
 from .database import Database, EngineProfile
+from .executor import EngineAccess, ScanCardinalities, charge_scan
+from .indexes import IndexLookup
 from .plans import PhysicalPlan
 from .query import SelectQuery
-from .rowset import RowSet, intersect_all
+from .rowset import RowSet
 from .table import Table
 
 #: Execution modes a :class:`ShardEntry` can request.
@@ -136,31 +144,58 @@ def slice_table(table: Table, start: int, stop: int) -> Table:
     return table.select_rows(ids, table.name)
 
 
+def strided_ids(n_rows: int, shard: int, n_shards: int) -> np.ndarray:
+    """Round-robin row ids for one shard of a strided partition."""
+    return np.arange(shard, n_rows, n_shards, dtype=np.int64)
+
+
+def slice_table_strided(table: Table, shard: int, n_shards: int) -> Table:
+    """One round-robin slice of a table, keeping its name.
+
+    Strided partitions spread a time-ordered table's recent rows evenly
+    across shards — the selectivity of typical recency predicates (and so
+    worker wall time) balances where contiguous ranges skew 2–3x.  Shard
+    concatenation is no longer the canonical row order; the gather
+    re-sorts merged ids once.
+    """
+    return table.select_rows(strided_ids(table.n_rows, shard, n_shards), table.name)
+
+
+def rows_partitioned(shard_by: str) -> bool:
+    """Whether a mode partitions every table by rows (contiguous or strided)."""
+    return shard_by in ("rows", "rows-strided")
+
+
 def build_shard_specs(
     database: Database, n_shards: int, shard_by: str = "rows"
 ) -> list[ShardSpec]:
     """Partition a database's catalog into ``n_shards`` shard specs."""
     if n_shards < 1:
         raise SchemaError(f"n_shards must be at least 1, got {n_shards}")
-    if shard_by not in ("rows", "table"):
-        raise SchemaError(f"shard_by must be 'rows' or 'table', got {shard_by!r}")
+    if shard_by not in ("rows", "rows-strided", "table"):
+        raise SchemaError(
+            f"shard_by must be 'rows', 'rows-strided', or 'table', got {shard_by!r}"
+        )
     names = sorted(database.table_names)
     indexed = {
         name: tuple(sorted(database.indexes_for(name))) for name in names
     }
-    if shard_by == "rows":
+    if rows_partitioned(shard_by):
         specs = []
         for shard in range(n_shards):
             tables = []
             for name in names:
                 table = database.table(name)
-                start, stop = slice_bounds(table.n_rows, n_shards)[shard]
-                tables.append(slice_table(table, start, stop))
+                if shard_by == "rows-strided":
+                    tables.append(slice_table_strided(table, shard, n_shards))
+                else:
+                    start, stop = slice_bounds(table.n_rows, n_shards)[shard]
+                    tables.append(slice_table(table, start, stop))
             specs.append(
                 ShardSpec(
                     shard_id=shard,
                     n_shards=n_shards,
-                    shard_by="rows",
+                    shard_by=shard_by,
                     tables=tables,
                     indexed_columns=dict(indexed),
                     cost_model=database.cost_model,
@@ -199,10 +234,15 @@ def build_shard_specs(
 
 
 def reslice_for_sync(
-    database: Database, table_name: str, n_shards: int
+    database: Database, table_name: str, n_shards: int, shard_by: str = "rows"
 ) -> list[Table]:
-    """Fresh per-shard row-range slices of one (possibly mutated) table."""
+    """Fresh per-shard row slices of one (possibly mutated) table."""
     table = database.table(table_name)
+    if shard_by == "rows-strided":
+        return [
+            slice_table_strided(table, shard, n_shards)
+            for shard in range(n_shards)
+        ]
     return [
         slice_table(table, start, stop)
         for start, stop in slice_bounds(table.n_rows, n_shards)
@@ -228,17 +268,14 @@ class ShardEntry:
 class ShardQueryReport:
     """What one shard reports back for one scattered query."""
 
-    #: Result-candidate count after scan + residual (pre-LIMIT).
-    final_len: int
+    #: Partial-mode: the stage cardinalities the unified kernel emitted for
+    #: this shard's slice of the scan (None in full mode).
+    cards: ScanCardinalities | None = None
     #: Matching rows in *base-table* id space, ascending (None when the
     #: query aggregates and no LIMIT can truncate it).
     row_ids: np.ndarray | None = None
     #: Raw integer bin counts (aggregates without LIMIT).
     raw_bins: dict[int, int] | None = None
-    #: Per access path: size of the path's match set on this shard.
-    path_rowset_lens: tuple[int, ...] = ()
-    #: Per access path: size of the running intersection after the path.
-    path_cand_lens: tuple[int, ...] = ()
     #: Full-mode only: the canonical counters of the whole execution.
     counters: WorkCounters | None = None
     #: Full-mode only: weighted bins exactly as the single engine computes.
@@ -256,6 +293,34 @@ class ShardBatchReply:
     cache_hits: int
     cache_misses: int
     wall_s: float
+
+
+class _SharedScanAccess(EngineAccess):
+    """Engine access over a batch's pre-materialized path match sets.
+
+    The shard engine computes every distinct access-path match once per
+    batch (fused ``lookup_batch`` sweeps); this provider hands those shared
+    ``(rowset, entries_scanned)`` pairs to the one scan kernel
+    (``Executor.scan_rows``), so the kernel runs unchanged over shard data
+    while the batch still pays each probe once.  Residual predicates fall
+    through to the shard database's (pre-warmed) match cache.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        shared: dict[tuple[str, tuple], tuple[RowSet, int]],
+    ) -> None:
+        super().__init__(database)
+        self._shared = shared
+
+    def index_lookup(self, table_name: str, predicate) -> IndexLookup:
+        rowset, entries = self._shared[(table_name, predicate.key())]
+        return IndexLookup(row_ids=rowset.ids, entries_scanned=entries)
+
+    def access_rowset(self, table_name: str, predicate, lookup) -> RowSet:
+        rowset, _entries = self._shared[(table_name, predicate.key())]
+        return rowset
 
 
 class ShardEngine:
@@ -289,12 +354,17 @@ class ShardEngine:
         if partial:
             self._warm_match_rowsets([entry for _, entry in partial])
             shared = self._shared_path_rowsets([entry for _, entry in partial])
+            access = _SharedScanAccess(database, shared)
+            executor = database._executor
             scans = []
             # Entries sharing a scan pipeline (same table, access paths,
             # residuals — serving streams repeat them heavily) compute it
             # once; physical counters charge the work actually performed.
+            # The scan itself is the engine's one kernel, run over the
+            # shared path match sets with the LIMIT deferred to the gather.
             scan_memo: dict[tuple, tuple] = {}
             for position, entry in partial:
+                assert entry.plan.join is None, "partial entries must be joinless"
                 scan = entry.plan.scan
                 memo_key = (
                     scan.table,
@@ -303,7 +373,9 @@ class ShardEngine:
                 )
                 cached_scan = scan_memo.get(memo_key)
                 if cached_scan is None:
-                    cached_scan = self._partial_scan_rows(entry.plan, shared)
+                    cached_scan = executor.scan_rows(
+                        entry.plan, access=access, apply_limit=False
+                    )
                     scan_memo[memo_key] = cached_scan
                     physical = physical + cached_scan[0]
                 report, local_ids = self._report_for(entry, cached_scan)
@@ -320,7 +392,6 @@ class ShardEngine:
             for (position, entry), result in zip(full, results):
                 physical = physical + result.counters
                 reports[position] = ShardQueryReport(
-                    final_len=result.result_size,
                     row_ids=result.row_ids,
                     bins=result.bins,
                     counters=result.counters,
@@ -441,85 +512,23 @@ class ShardEngine:
             rowset.mask  # noqa: B018 - materialize the O(rows) intersection form
         return shared
 
-    def _partial_scan_rows(
-        self,
-        plan: PhysicalPlan,
-        shared: dict[tuple[str, tuple], tuple[RowSet, int]],
-    ) -> tuple[WorkCounters, tuple[int, ...], tuple[int, ...], np.ndarray]:
-        """Scan phase of one pipeline on this shard's slice (no LIMIT/join).
-
-        Mirrors ``Executor._run_scan``'s result semantics over the slice
-        while recording the stage cardinalities the router's canonical
-        accounting needs.  Returns ``(physical counters, per-path match
-        sizes, per-path intersection sizes, local candidate ids)``.
-        """
-        database = self.database
-        scan = plan.scan
-        table = database.table(scan.table)
-        counters = WorkCounters()
-
-        if scan.is_full_scan:
-            counters.seq_rows += table.n_rows
-            if scan.residual:
-                candidates = intersect_all(
-                    database.match_rowset(scan.table, predicate)
-                    for predicate in scan.residual
-                )
-                local_ids = candidates.ids
-            else:
-                local_ids = np.arange(table.n_rows, dtype=np.int64)
-            rowset_lens: tuple[int, ...] = ()
-            cand_lens: tuple[int, ...] = ()
-        else:
-            candidates: RowSet | None = None
-            rowset_len_list: list[int] = []
-            cand_len_list: list[int] = []
-            for path in scan.access:
-                rowset, entries_scanned = shared[(scan.table, path.predicate.key())]
-                counters.index_probes += 1
-                counters.index_entries += entries_scanned
-                rowset_len_list.append(len(rowset))
-                if candidates is None:
-                    candidates = rowset
-                else:
-                    counters.intersect_entries += len(candidates) + len(rowset)
-                    candidates = candidates.intersect(rowset)
-                cand_len_list.append(len(candidates))
-            assert candidates is not None
-            counters.fetched_rows += len(candidates)
-            if scan.residual:
-                counters.residual_checks += len(candidates) * len(scan.residual)
-                for predicate in scan.residual:
-                    matched = database.match_rowset(scan.table, predicate)
-                    candidates = candidates.intersect(matched)
-            local_ids = candidates.ids
-            rowset_lens = tuple(rowset_len_list)
-            cand_lens = tuple(cand_len_list)
-
-        return counters, rowset_lens, cand_lens, local_ids
-
     def _report_for(
         self, entry: ShardEntry, scanned: tuple
     ) -> tuple[ShardQueryReport, np.ndarray]:
-        """Wrap one (possibly memo-shared) scan as this entry's report."""
-        _counters, rowset_lens, cand_lens, local_ids = scanned
+        """Wrap one (possibly memo-shared) kernel scan as this entry's report."""
+        _counters, local_ids, cards = scanned
         plan = entry.plan
         table = self.database.table(plan.scan.table)
         ship_ids = plan.group_by is None or plan.limit is not None
         shipped = None
         if ship_ids:
-            # The merged result keeps at most ``limit`` rows, and shard
-            # concatenation is the canonical order — so no shard ever
-            # contributes more than ``limit`` of its own; don't pay
+            # The merged result keeps at most ``limit`` rows, and every
+            # shard's slice is ascending in global-id space — so no shard
+            # ever contributes more than ``limit`` of its own; don't pay
             # transport for rows the router would discard.
             kept = local_ids if plan.limit is None else local_ids[: plan.limit]
             shipped = table.to_base_ids(kept)
-        report = ShardQueryReport(
-            final_len=int(len(local_ids)),
-            row_ids=shipped,
-            path_rowset_lens=rowset_lens,
-            path_cand_lens=cand_lens,
-        )
+        report = ShardQueryReport(cards=cards, row_ids=shipped)
         return report, local_ids
 
     def _fused_partial_bins(self, scans) -> None:
@@ -556,12 +565,17 @@ def merge_scatter(
     database: Database,
     plan: PhysicalPlan,
     reports: Sequence[ShardQueryReport],
+    *,
+    presorted: bool = True,
 ) -> tuple[WorkCounters, np.ndarray | None, dict[int, float] | None]:
     """Merge per-shard reports into the canonical single-engine outcome.
 
     ``database`` is the router's full engine: canonical index work is
-    charged from its whole-table indexes, and LIMIT-truncated aggregates
-    are finalized against its base-table points (bounded by the LIMIT).
+    charged — via the kernel's own :func:`charge_scan` over the summed
+    shard cardinalities — from its whole-table indexes, and LIMIT-truncated
+    aggregates are finalized against its base-table points (bounded by the
+    LIMIT).  ``presorted=False`` (strided partitions) re-sorts the merged
+    ids to restore canonical row order before the LIMIT truncates.
     Returns the exact ``(counters, row_ids, bins)`` the full engine's
     executor would produce for ``plan`` under the deterministic profile.
     """
@@ -569,24 +583,17 @@ def merge_scatter(
     counters = WorkCounters()
     table = database.table(plan.scan.table)
 
-    if plan.scan.is_full_scan:
-        counters.seq_rows += table.n_rows
-    else:
-        for position, path in enumerate(plan.scan.access):
-            index = database.index(plan.scan.table, path.predicate.column)
-            assert index is not None, "canonical plan references a missing index"
-            counters.index_probes += 1
-            counters.index_entries += index.entries_for(path.predicate)
-            if position > 0:
-                counters.intersect_entries += sum(
-                    report.path_cand_lens[position - 1] for report in reports
-                ) + sum(report.path_rowset_lens[position] for report in reports)
-        fetched = sum(report.path_cand_lens[-1] for report in reports)
-        counters.fetched_rows += fetched
-        if plan.scan.residual:
-            counters.residual_checks += fetched * len(plan.scan.residual)
+    card_parts = [report.cards for report in reports]
+    assert all(cards is not None for cards in card_parts)
+    cards = ScanCardinalities.merge(card_parts)
+    path_entries = []
+    for path in plan.scan.access:
+        index = database.index(plan.scan.table, path.predicate.column)
+        assert index is not None, "canonical plan references a missing index"
+        path_entries.append(index.entries_for(path.predicate))
+    charge_scan(counters, plan.scan, table.n_rows, tuple(path_entries), cards)
 
-    total = sum(report.final_len for report in reports)
+    total = cards.final_len
     kept = total
     if plan.limit is not None and total > plan.limit:
         counters = counters.scaled(plan.limit / total)
@@ -602,6 +609,8 @@ def merge_scatter(
         merged_ids = (
             np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
         )
+        if not presorted:
+            merged_ids = np.sort(merged_ids)
         merged_ids = merged_ids[:kept]
 
     if plan.group_by is not None:

@@ -141,6 +141,25 @@ class QueryTimeEstimator(ABC):
         The default does nothing (memoless QTEs have nothing to fuse).
         """
 
+    def collect_wave(
+        self, wave: Sequence[tuple[SelectQuery, "Sequence[Predicate]"]]
+    ) -> None:
+        """Pre-collect one lockstep wave of estimations ahead of :meth:`estimate`.
+
+        ``wave`` holds one ``(rewritten query, uncollected probes)`` pair per
+        active request at the current MDP depth — *including* requests with
+        no uncollected probes, because some estimators (the accurate QTE)
+        resolve a true execution time per estimate regardless of probes.
+        Same transparency contract as :meth:`collect_batch`: bit-identical
+        values, no per-request cache or cost accounting.  The default
+        flattens the probes into one :meth:`collect_batch` call; estimators
+        that resolve whole waves remotely (the sharded planner's proxy QTE)
+        override this to make it one round trip.
+        """
+        probes = [probe for _rewritten, items in wave for probe in items]
+        if probes:
+            self.collect_batch(probes)
+
     def invalidate(self) -> None:
         """Drop any cross-request memoization (no-op for memoless QTEs).
 

@@ -23,15 +23,10 @@ import numpy as np
 
 from ..db import Database, SelectQuery
 from ..db.caches import CacheStats, InstrumentedCache
-from ..db.predicates import (
-    EqualsPredicate,
-    KeywordPredicate,
-    Predicate,
-    RangePredicate,
-    SpatialPredicate,
-)
+from ..db.predicates import Predicate
 from ..errors import EstimationError
 from .base import EstimationOutcome, QueryTimeEstimator, required_attributes
+from .fused import fused_predicate_counts
 from .selectivity import SelectivityCache
 
 
@@ -144,37 +139,7 @@ class SamplingQTE(QueryTimeEstimator):
 
     def _fused_counts(self, sample, kind, column: str, group: list) -> np.ndarray:
         """Matching-row counts for same-attribute predicates, one table pass."""
-        if kind is RangePredicate:
-            values = sample.numeric(column)
-            lows = np.array([-np.inf if p.low is None else p.low for p in group])
-            highs = np.array([np.inf if p.high is None else p.high for p in group])
-            hit = (values >= lows[:, None]) & (values <= highs[:, None])
-            return hit.sum(axis=1)
-        if kind is EqualsPredicate:
-            values = sample.numeric(column)
-            targets = np.array([p.value for p in group])
-            return (values == targets[:, None]).sum(axis=1)
-        if kind is SpatialPredicate:
-            pts = sample.points(column)
-            boxes = np.array(
-                [(p.box.min_x, p.box.max_x, p.box.min_y, p.box.max_y) for p in group]
-            )
-            hit = (
-                (pts[:, 0] >= boxes[:, 0:1])
-                & (pts[:, 0] <= boxes[:, 1:2])
-                & (pts[:, 1] >= boxes[:, 2:3])
-                & (pts[:, 1] <= boxes[:, 3:4])
-            )
-            return hit.sum(axis=1)
-        if kind is KeywordPredicate:
-            counts = {p.keyword: 0 for p in group}
-            keywords = frozenset(counts)
-            for tokens in sample.token_sets(column):
-                for keyword in keywords & tokens:
-                    counts[keyword] += 1
-            return np.array([counts[p.keyword] for p in group])
-        # Unknown predicate kinds fall back to exact per-predicate masks.
-        return np.array([int(p.mask(sample).sum()) for p in group])
+        return fused_predicate_counts(sample, kind, column, group)
 
     def _sample_selectivity(self, predicate) -> float:
         cached = self._sel_memo.get(predicate.key())

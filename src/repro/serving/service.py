@@ -136,32 +136,7 @@ class MalivaService:
             raise QueryError("scheduler must produce a permutation of the batch")
         scheduled_at = time.perf_counter()
 
-        decisions: list[object | None] = [None] * len(requests)
-        cached_flags = [False] * len(requests)
-        misses: dict[tuple, list[int]] = {}
-        for index, (query, tau_ms) in enumerate(resolved):
-            key = (query.key(), tau_ms)
-            decision = self._decision_cache.get(key)
-            if decision is not None:
-                decisions[index] = decision
-                cached_flags[index] = True
-            else:
-                misses.setdefault(key, []).append(index)
-        if misses:
-            groups = list(misses.values())
-            planned = self.maliva.rewrite_batch(
-                [resolved[group[0]][0] for group in groups],
-                [resolved[group[0]][1] for group in groups],
-            )
-            for group, decision in zip(groups, planned):
-                query, tau_ms = resolved[group[0]]
-                self._decision_cache.put(
-                    (query.key(), tau_ms), decision, tags=self._decision_tags(query)
-                )
-                for index in group:
-                    decisions[index] = decision
-                    # Later duplicates would have been cache hits sequentially.
-                    cached_flags[index] = index != group[0]
+        decisions, cached_flags = self._plan_stage(resolved)
         planned_at = time.perf_counter()
 
         # Shared pipeline time is charged evenly across the batch.
@@ -174,6 +149,53 @@ class MalivaService:
             requests, resolved, order, decisions, cached_flags, shared_s
         )
         return [outcome for outcome in outcomes if outcome is not None]
+
+    def _plan_stage(
+        self,
+        resolved: list[tuple[SelectQuery, float]],
+    ) -> tuple[list[object | None], list[bool]]:
+        """Plan the resolved batch: cache lookups, then lockstep rewrites.
+
+        Decision-cache hits skip planning; misses are deduplicated on
+        ``(query key, tau)`` and their group leaders planned together via
+        :meth:`_rewrite_misses`.  Cache bookkeeping stays here so planning
+        backends only ever see the deduplicated miss leaders — the sharded
+        service (``repro.serving.sharded``) overrides
+        :meth:`_rewrite_misses` to scatter those across worker replicas.
+        """
+        decisions: list[object | None] = [None] * len(resolved)
+        cached_flags = [False] * len(resolved)
+        misses: dict[tuple, list[int]] = {}
+        for index, (query, tau_ms) in enumerate(resolved):
+            key = (query.key(), tau_ms)
+            decision = self._decision_cache.get(key)
+            if decision is not None:
+                decisions[index] = decision
+                cached_flags[index] = True
+            else:
+                misses.setdefault(key, []).append(index)
+        if misses:
+            groups = list(misses.values())
+            planned = self._rewrite_misses(
+                [resolved[group[0]][0] for group in groups],
+                [resolved[group[0]][1] for group in groups],
+            )
+            for group, decision in zip(groups, planned):
+                query, tau_ms = resolved[group[0]]
+                self._decision_cache.put(
+                    (query.key(), tau_ms), decision, tags=self._decision_tags(query)
+                )
+                for index in group:
+                    decisions[index] = decision
+                    # Later duplicates would have been cache hits sequentially.
+                    cached_flags[index] = index != group[0]
+        return decisions, cached_flags
+
+    def _rewrite_misses(
+        self, queries: list[SelectQuery], taus: list[float]
+    ) -> list[object]:
+        """Plan the deduplicated decision-cache misses (override seam)."""
+        return self.maliva.rewrite_batch(queries, taus)
 
     def _execute_stage(
         self,

@@ -1,25 +1,31 @@
 """Multi-process sharded serving behind a scatter/gather shard router.
 
 :class:`ShardedMalivaService` is the production-scaling layer DESIGN.md
-§4.3 reserves below :class:`~repro.serving.service.MalivaService`: the
-staged resolve → schedule → plan pipeline is inherited unchanged (planning
-needs the *whole-table* statistics, sample tables, and QTE memos, so it
-stays on the router's full engine), and only the execute stage is swapped —
-scattered across N shard engines, each running in its own worker process
-over a row-range slice (or an owned set of whole tables) of every table.
+§4.3–§4.4 reserve below :class:`~repro.serving.service.MalivaService`:
+the staged resolve → schedule pipeline is inherited unchanged, and both
+heavy stages are swapped for scatter/gather across N workers, each running
+in its own process over a row slice (contiguous ``rows``, round-robin
+``rows-strided``) or an owned set of whole tables:
 
-Routing:
-
-* **rows mode** — every scatter-eligible plan (no join) is sent to *all*
-  shards; each worker scans its slice with fused index probes and fused
-  BIN_ID sweeps and reports stage cardinalities, global-id rows, and raw
+* **planning** — decision-cache miss groups are chunked round-robin across
+  the workers' :class:`~repro.serving.planner_replica.PlannerReplica`
+  stacks (replicated sample tables, statistics, and catalog headers);
+  accurate-QTE oracle values resolve through one batched router RPC per
+  lockstep wave, serviced inline while the router gathers.  Decisions are
+  bit-identical to router planning, so the decision cache and virtual
+  planning times are unchanged.  Unsupported QTEs fall back to the
+  router's own ``rewrite_batch``.
+* **rows execution** — every scatter-eligible plan (no join) is sent to
+  *all* shards; each worker scans its slice with fused index probes and
+  fused BIN_ID sweeps and reports stage cardinalities
+  (:class:`~repro.db.sharding.ScanCardinalities`), global-id rows, and raw
   integer bin counts; the router merges them into the canonical
   single-engine outcome (:func:`repro.db.sharding.merge_scatter`) and
   charges profile effects once, on its own engine.
-* **table mode** — each query runs wholly on the shard owning its scan
-  table (joins require the inner table to be co-located); the worker's
-  execution *is* canonical because it holds the full tables.
-* **fallback** — joins in rows mode, hint-ignoring draws, and unowned
+* **table execution** — each query runs wholly on the shard owning its
+  scan table (joins require the inner table to be co-located); the
+  worker's execution *is* canonical because it holds the full tables.
+* **fallback** — joins in rows modes, hint-ignoring draws, and unowned
   tables execute on the router's full engine, preserving the equivalence
   contract trivially.
 
@@ -62,9 +68,18 @@ from ..db.sharding import (
     build_shard_specs,
     merge_scatter,
     reslice_for_sync,
+    rows_partitioned,
     scatter_eligible,
 )
 from ..errors import QueryError
+from .planner_replica import (
+    PlannerReplica,
+    PlannerSpec,
+    PlannerSync,
+    planner_spec_for,
+    planner_sync_for,
+    resolve_probe_rpc,
+)
 from .requests import VizRequest
 from .service import MalivaService
 from .stats import RequestRecord, ShardStats
@@ -78,6 +93,8 @@ class InlineShardHandle:
         self.owned_tables = spec.owned_tables
         self._engine = ShardEngine(spec)
         self._pending: list[Sequence[ShardEntry]] = []
+        self._replica: PlannerReplica | None = None
+        self._pending_plans: list[tuple[list, list]] = []
 
     def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
         self._pending.append(entries)
@@ -85,19 +102,52 @@ class InlineShardHandle:
     def collect(self):
         return self._engine.execute(self._pending.pop(0))
 
+    def init_planner(self, spec: PlannerSpec, rpc) -> None:
+        """Build the worker's planning replica (rpc is a direct callable)."""
+        self._replica = PlannerReplica(spec, rpc)
+
+    def submit_plan(self, queries, taus) -> None:
+        self._pending_plans.append((list(queries), list(taus)))
+
+    def collect_plan(self):
+        assert self._replica is not None
+        queries, taus = self._pending_plans.pop(0)
+        started = time.perf_counter()
+        decisions = self._replica.rewrite_batch(queries, taus)
+        return decisions, time.perf_counter() - started
+
     def sync_table(self, table, indexed_columns) -> None:
         self._engine.sync_table(table, indexed_columns)
+
+    def sync_planner(self, sync: PlannerSync) -> None:
+        if self._replica is not None:
+            self._replica.apply_sync(sync)
 
     def cache_stats(self):
         return self._engine.cache_stats()
 
     def close(self) -> None:
         self._pending.clear()
+        self._pending_plans.clear()
 
 
 def _shard_worker_main(conn) -> None:
-    """Worker-process loop: build the engine from the pickled spec, serve."""
+    """Worker-process loop: build the engine from the pickled spec, serve.
+
+    While a ``plan`` op runs, the worker's accurate-QTE proxy may need
+    oracle values only the router's full engine holds; it sends an
+    ``("rpc", (pairs, queries))`` message up the same pipe and blocks on
+    the reply, which the router services inline during its gather loop
+    (:meth:`ProcessShardHandle.collect_plan`).  The final ``("ok", ...)``
+    reply closes the op as usual, so the pipe protocol stays in lockstep.
+    """
     engine: ShardEngine | None = None
+    replica: PlannerReplica | None = None
+
+    def _probe_rpc(pairs, queries):
+        conn.send(("rpc", (list(pairs), list(queries))))
+        return conn.recv()
+
     while True:
         try:
             op, payload = conn.recv()
@@ -114,6 +164,19 @@ def _shard_worker_main(conn) -> None:
                 assert engine is not None
                 table, indexed_columns = payload
                 engine.sync_table(table, indexed_columns)
+                conn.send(("ok", None))
+            elif op == "init_planner":
+                replica = PlannerReplica(payload, _probe_rpc)
+                conn.send(("ok", None))
+            elif op == "plan":
+                assert replica is not None
+                queries, taus = payload
+                started = time.perf_counter()
+                decisions = replica.rewrite_batch(queries, taus)
+                conn.send(("ok", (decisions, time.perf_counter() - started)))
+            elif op == "sync_planner":
+                assert replica is not None
+                replica.apply_sync(payload)
                 conn.send(("ok", None))
             elif op == "cache_stats":
                 assert engine is not None
@@ -168,8 +231,39 @@ class ProcessShardHandle:
     def collect(self):
         return self._recv()
 
+    def init_planner(self, spec: PlannerSpec, rpc) -> None:
+        """Ship the planner replica spec; keep the router-side RPC resolver."""
+        self._rpc = rpc
+        self._request("init_planner", spec)
+
+    def submit_plan(self, queries, taus) -> None:
+        self._send("plan", (list(queries), list(taus)))
+
+    def collect_plan(self):
+        """Gather a plan reply, servicing worker probe RPCs inline.
+
+        A worker blocked on oracle values sends ``("rpc", payload)``
+        instead of its final reply; the router answers on the spot (which
+        also warms its own QTE memos, exactly as local planning would)
+        and keeps waiting for the ``("ok", (decisions, wall_s))`` close.
+        """
+        while True:
+            status, payload = self._conn.recv()
+            if status == "rpc":
+                pairs, queries = payload
+                self._conn.send(self._rpc(pairs, queries))
+            elif status == "ok":
+                return payload
+            else:
+                raise QueryError(
+                    f"shard worker {self.shard_id} failed:\n{payload}"
+                )
+
     def sync_table(self, table, indexed_columns) -> None:
         self._request("sync", (table, tuple(indexed_columns)))
+
+    def sync_planner(self, sync: PlannerSync) -> None:
+        self._request("sync_planner", sync)
 
     def cache_stats(self):
         return self._request("cache_stats", None)
@@ -198,6 +292,7 @@ class ShardedMalivaService(MalivaService):
         processes: bool = True,
         start_method: str | None = None,
         worker_batch_size: int | None = None,
+        plan_on_shards: bool = True,
         **kwargs,
     ) -> None:
         if n_shards < 1:
@@ -208,6 +303,7 @@ class ShardedMalivaService(MalivaService):
         # our override, which broadcasts; make its guards resolvable first.
         self._handles: list = []
         self._closed = False
+        self._plan_scattered = False
         super().__init__(maliva, **kwargs)
         self.n_shards = n_shards
         self.shard_by = shard_by
@@ -215,6 +311,7 @@ class ShardedMalivaService(MalivaService):
         #: Cap on entries per worker round-trip; a saturated worker serves
         #: an oversized batch in successive chunks (outcome-invariant).
         self.worker_batch_size = worker_batch_size
+        self.plan_on_shards = plan_on_shards
         specs = build_shard_specs(maliva.database, n_shards, shard_by)
         self._table_owner = {
             name: spec.shard_id for spec in specs for name in spec.owned_tables
@@ -225,6 +322,14 @@ class ShardedMalivaService(MalivaService):
             else InlineShardHandle(spec)
             for spec in specs
         ]
+        # Replicate the planning state so decision-cache misses scatter too.
+        # An unsupported QTE leaves planning on the router (_rewrite_misses
+        # falls through to the base class), counted as plan fallbacks.
+        planner_spec = planner_spec_for(maliva) if plan_on_shards else None
+        if planner_spec is not None:
+            for handle in self._handles:
+                handle.init_planner(planner_spec, self._probe_rpc)
+            self._plan_scattered = True
         self.stats.shards = self._new_shard_stats()
 
     # ------------------------------------------------------------------
@@ -271,17 +376,90 @@ class ShardedMalivaService(MalivaService):
         if not database.has_table(table_name):  # pragma: no cover - dropped
             return
         indexed = tuple(sorted(database.indexes_for(table_name)))
-        if self.shard_by == "rows":
-            slices = reslice_for_sync(database, table_name, self.n_shards)
+        if rows_partitioned(self.shard_by):
+            slices = reslice_for_sync(
+                database, table_name, self.n_shards, self.shard_by
+            )
             for handle, fresh in zip(self._handles, slices):
                 handle.sync_table(fresh, indexed)
         else:
             owner = self._table_owner.get(table_name)
-            if owner is None:
-                return  # not owned by any shard: served via router fallback
-            self._handles[owner].sync_table(database.table(table_name), indexed)
+            if owner is not None:
+                self._handles[owner].sync_table(
+                    database.table(table_name), indexed
+                )
+        if self._plan_scattered:
+            # Planner replicas carry their own copy of the mutated table's
+            # header/sample/statistics state; every worker refreshes it.
+            sync = planner_sync_for(database, table_name)
+            for handle in self._handles:
+                handle.sync_planner(sync)
         if self.stats.shards is not None:
             self.stats.shards.n_syncs += 1
+
+    # ------------------------------------------------------------------
+    # The scattered plan stage
+    # ------------------------------------------------------------------
+    def _probe_rpc(self, pairs, queries):
+        """Router half of the worker planners' oracle-value channel."""
+        return resolve_probe_rpc(self.maliva.qte, pairs, queries)
+
+    def _rewrite_misses(self, queries, taus):
+        """Scatter the deduplicated miss leaders across worker planners.
+
+        Leaders are chunked round-robin (leader *i* plans on shard
+        ``i % n_shards``) — deterministic, so repeated batches land on the
+        same workers.  Every chunk is submitted before any is gathered, so
+        workers plan concurrently; accurate-QTE probe RPCs are serviced
+        inline during the gather.  Decisions are bit-identical to router
+        planning, so the base class's decision-cache bookkeeping and the
+        virtual planning times are untouched.
+        """
+        shard_stats = self.stats.shards
+        if not self._plan_scattered:
+            if shard_stats is not None:
+                shard_stats.n_plan_fallback += len(queries)
+            return super()._rewrite_misses(queries, taus)
+        if self._closed:
+            raise QueryError("sharded service is closed")
+        per_shard: dict[int, list[int]] = {}
+        for position in range(len(queries)):
+            per_shard.setdefault(position % len(self._handles), []).append(
+                position
+            )
+        handles = {handle.shard_id: handle for handle in self._handles}
+        submitted: list[int] = []
+        failure: Exception | None = None
+        for shard_id in sorted(per_shard):
+            positions = per_shard[shard_id]
+            try:
+                handles[shard_id].submit_plan(
+                    [queries[p] for p in positions],
+                    [taus[p] for p in positions],
+                )
+            except Exception as error:  # noqa: BLE001 - raised after drain
+                failure = failure or error
+                break
+            submitted.append(shard_id)
+        decisions: list = [None] * len(queries)
+        for shard_id in submitted:
+            # Drain every submitted shard even after a failure — an
+            # uncollected reply would desync the pipe protocol.
+            try:
+                planned, wall_s = handles[shard_id].collect_plan()
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                failure = failure or error
+                continue
+            for position, decision in zip(per_shard[shard_id], planned):
+                decisions[position] = decision
+            if shard_stats is not None:
+                shard_stats.record_plan(shard_id, len(planned), wall_s)
+        if failure is not None:
+            self.close()
+            raise QueryError("shard worker failed; service closed") from failure
+        if shard_stats is not None:
+            shard_stats.n_plan_scattered += len(queries)
+        return decisions
 
     # ------------------------------------------------------------------
     # The scattered execute stage
@@ -325,7 +503,7 @@ class ShardedMalivaService(MalivaService):
             if not obeyed:
                 fallback_indexes.append(index)
                 continue
-            if self.shard_by == "rows":
+            if rows_partitioned(self.shard_by):
                 if scatter_eligible(plan):
                     scatter_positions[index] = len(entries)
                     entries.append(ShardEntry(rewritten, plan, PARTIAL))
@@ -366,6 +544,9 @@ class ShardedMalivaService(MalivaService):
                     database,
                     plan,
                     [replies[shard][position] for shard in sorted(replies)],
+                    # Contiguous slices concatenate in canonical order;
+                    # strided slices interleave and need the merge's sort.
+                    presorted=self.shard_by != "rows-strided",
                 )
                 result = database.complete_execution(
                     plan,
@@ -427,7 +608,7 @@ class ShardedMalivaService(MalivaService):
         """
         shard_stats = self.stats.shards
         reports: dict[int, list] = {}
-        if self.shard_by == "rows":
+        if rows_partitioned(self.shard_by):
             if not entries:
                 return reports
             work = {handle.shard_id: entries for handle in self._handles}

@@ -31,6 +31,10 @@ class ShardWindow:
     counters: WorkCounters = field(default_factory=WorkCounters)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Decision-cache miss leaders this shard's planner replica planned.
+    n_planned: int = 0
+    #: Worker-side wall seconds spent planning (includes RPC waits).
+    plan_wall_s: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -40,6 +44,8 @@ class ShardWindow:
             "total_ops": self.counters.total_ops(),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "n_planned": self.n_planned,
+            "plan_wall_s": self.plan_wall_s,
         }
 
 
@@ -55,6 +61,11 @@ class ShardStats:
     #: Queries the router executed on the full engine (joins, ignored
     #: hints, unowned tables).
     n_fallback: int = 0
+    #: Decision-cache miss leaders planned on worker planner replicas.
+    n_plan_scattered: int = 0
+    #: Miss leaders the router planned itself (unsupported QTE or
+    #: ``plan_on_shards=False``).
+    n_plan_fallback: int = 0
     #: Table re-slices broadcast to keep shard data/caches coherent.
     n_syncs: int = 0
 
@@ -68,12 +79,20 @@ class ShardStats:
         window.cache_hits += reply.cache_hits
         window.cache_misses += reply.cache_misses
 
+    def record_plan(self, shard_id: int, n_queries: int, wall_s: float) -> None:
+        """Fold one shard's plan-chunk reply in."""
+        window = self.per_shard.setdefault(shard_id, ShardWindow())
+        window.n_planned += n_queries
+        window.plan_wall_s += wall_s
+
     def to_dict(self) -> dict:
         return {
             "shard_by": self.shard_by,
             "n_shards": self.n_shards,
             "n_scattered": self.n_scattered,
             "n_fallback": self.n_fallback,
+            "n_plan_scattered": self.n_plan_scattered,
+            "n_plan_fallback": self.n_plan_fallback,
             "n_syncs": self.n_syncs,
             "per_shard": {
                 str(shard_id): window.to_dict()

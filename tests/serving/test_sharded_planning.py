@@ -1,0 +1,231 @@
+"""Worker-planned == router-planned, bit for bit.
+
+PR 6's scattered planning stage replicates the planner's whole engine
+touch surface — sample tables, optimizer statistics, catalog headers —
+onto shard workers (``repro/serving/planner_replica.py``) and resolves
+accurate-QTE oracle values over a batched router RPC.  These tests pin
+the twin-planning property: a request planned on any worker produces the
+same :class:`~repro.core.rewriter.RewriteDecision` (option, virtual
+planning time, explored count) as the router's own planner, across QTE
+kinds, partition modes, transports, and catalog mutations.
+"""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.core import Maliva, RewriteOptionSpace
+from repro.serving import ShardedMalivaService
+from repro.serving.planner_replica import (
+    PlannerReplica,
+    planner_spec_for,
+    resolve_probe_rpc,
+)
+from repro.viz import TWITTER_TRANSLATOR
+from repro.workloads import TwitterWorkloadGenerator
+
+from tests.conftest import (
+    TWITTER_ATTRS,
+    build_session_stream,
+    build_trained_maliva,
+    build_twitter_db,
+)
+from tests.serving.test_sharded_service import _assert_outcomes_match
+
+
+def _build_maliva(qte: str, *, dataset_seed: int = 11) -> Maliva:
+    database = build_twitter_db(
+        n_tweets=1_000, n_users=60, dataset_seed=dataset_seed, engine_seed=2
+    )
+    space = RewriteOptionSpace.hint_subsets(TWITTER_ATTRS)
+    queries = TwitterWorkloadGenerator(database, seed=21).generate(18)
+    return build_trained_maliva(
+        database, space, queries, qte=qte, max_epochs=3, n_train=14
+    )
+
+
+def _assert_decisions_match(lhs, rhs):
+    assert len(lhs) == len(rhs)
+    for a, b in zip(lhs, rhs):
+        assert a.rewritten.key() == b.rewritten.key()
+        assert a.option_index == b.option_index
+        assert a.option_label == b.option_label
+        assert a.planning_ms == b.planning_ms
+        assert a.reason == b.reason
+        assert a.n_explored == b.n_explored
+
+
+# ----------------------------------------------------------------------
+# The replica alone: same decisions as the middleware it was captured from
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("qte", ["accurate", "sampling"])
+def test_planner_replica_plans_bit_identically(qte):
+    router = _build_maliva(qte)
+    twin = _build_maliva(qte)
+    spec = planner_spec_for(router)
+    assert spec is not None
+
+    rpc_calls = []
+
+    def rpc(pairs, queries):
+        rpc_calls.append((len(pairs), len(queries)))
+        return resolve_probe_rpc(router.qte, pairs, queries)
+
+    replica = PlannerReplica(spec, rpc)
+    workload = TwitterWorkloadGenerator(router.database, seed=5).generate(12)
+    taus = [router.tau_ms] * len(workload)
+    _assert_decisions_match(
+        twin.rewrite_batch(workload, taus),
+        replica.rewrite_batch(workload, taus),
+    )
+    if qte == "accurate":
+        # Oracle values crossed the RPC in batched waves, not per probe.
+        assert rpc_calls
+        assert all(n_pairs + n_queries > 0 for n_pairs, n_queries in rpc_calls)
+    else:
+        # The sampling replica is self-sufficient: local sample + stats.
+        assert not rpc_calls
+
+
+def test_replica_database_holds_headers_not_rows():
+    router = _build_maliva("sampling")
+    spec = planner_spec_for(router)
+    replica = PlannerReplica(spec, lambda *_: (_ for _ in ()).throw(AssertionError))
+    base = replica.database.table("tweets")
+    assert base.n_rows == router.database.table("tweets").n_rows
+    # Catalog stand-in: row counts only; touching data must fail loudly.
+    with pytest.raises(AttributeError):
+        base.numeric("created_at")
+    sample = replica.database.table("tweets_qte_sample")
+    assert sample.numeric("created_at") is not None  # real replicated rows
+
+
+def test_unsupported_qte_returns_no_spec():
+    fake = types.SimpleNamespace(qte=object())
+    assert planner_spec_for(fake) is None
+
+
+# ----------------------------------------------------------------------
+# Through the service: scattered planning == router planning
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def twins():
+    single = _build_maliva("accurate")
+    sharded = _build_maliva("accurate")
+    stream = build_session_stream(
+        single.database, n_sessions=5, n_steps=5, seed=29
+    )
+    return single, sharded, stream
+
+
+@pytest.mark.parametrize("shard_by", ["rows", "rows-strided"])
+def test_scattered_planning_matches_single_engine(twins, shard_by):
+    single_maliva, sharded_maliva, stream = twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=3,
+        shard_by=shard_by,
+        processes=False,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        # Warm pass: every decision now comes from the router's cache.
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_plan_scattered > 0
+        assert shards.n_plan_fallback == 0
+        planned_per_shard = [
+            window.n_planned for window in shards.per_shard.values()
+        ]
+        assert sum(planned_per_shard) == shards.n_plan_scattered
+        # Round-robin chunking touches every shard.
+        assert all(n > 0 for n in planned_per_shard)
+
+
+def test_plan_on_shards_off_falls_back_to_router(twins):
+    single_maliva, sharded_maliva, stream = twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=2,
+        processes=False,
+        plan_on_shards=False,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_plan_scattered == 0
+        assert shards.n_plan_fallback > 0
+
+
+def test_worker_process_planning_over_rpc():
+    """The real transport: planner replicas in worker processes, oracle
+    values over the pipe RPC, serviced inline during the gather."""
+    single_maliva = _build_maliva("accurate", dataset_seed=17)
+    sharded_maliva = _build_maliva("accurate", dataset_seed=17)
+    stream = build_session_stream(
+        single_maliva.database, n_sessions=3, n_steps=4, seed=43
+    )
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=2,
+        processes=True,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_plan_scattered > 0
+
+
+@pytest.mark.parametrize("shard_by", ["rows", "rows-strided"])
+def test_planner_replicas_stay_coherent_after_append(shard_by):
+    """Catalog mutation re-syncs worker planner state, not just shard data."""
+    single_maliva = _build_maliva("accurate", dataset_seed=13)
+    sharded_maliva = _build_maliva("accurate", dataset_seed=13)
+    stream = build_session_stream(
+        single_maliva.database, n_sessions=3, n_steps=4, seed=37
+    )
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    sharded = ShardedMalivaService(
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=2,
+        shard_by=shard_by,
+        processes=False,
+    )
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        tweets = single_maliva.database.table("tweets")
+        take = {
+            column.name: tweets.column(column.name)[:30]
+            for column in tweets.schema.columns
+        }
+        single.append_rows("tweets", dict(take))
+        sharded.append_rows("tweets", dict(take))
+        _assert_outcomes_match(
+            single.answer_many(stream), sharded.answer_many(stream)
+        )
+        shards = sharded.stats.shards
+        assert shards is not None
+        assert shards.n_syncs >= 1
+        assert shards.n_plan_scattered > 0
