@@ -52,6 +52,8 @@ TAU_MS = 60.0
 CPU_COUNT = os.cpu_count() or 1
 N_SHARDS = 4 if CPU_COUNT >= 4 else 2
 SPEEDUP_BAR = 1.5
+#: 1-of-N-dead throughput must stay within 35% of the healthy fleet.
+DEGRADED_RATIO_BAR = 0.65
 
 
 def _build():
@@ -182,6 +184,111 @@ def test_sharded_throughput_vs_single_engine(benchmark):
         assert cold_speedup > SPEEDUP_BAR, (
             f"sharded cold speedup {cold_speedup:.2f}x below the "
             f"{SPEEDUP_BAR}x bar on a {CPU_COUNT}-cpu host"
+        )
+
+
+def test_degraded_fleet_throughput(benchmark):
+    """Graceful degradation: 1-of-N shards permanently dead.
+
+    A twin fleet runs with shard 0 crashing on every execute and a zero
+    respawn budget: the first stream pass absorbs the death (affected
+    entries recover on the router, bit-identically), the breaker retires
+    the slot and the survivors re-partition.  The steady-state pass then
+    measures the degraded fleet — N-1 workers over re-sliced rows — against
+    an identically-built healthy fleet.  Losing one of four shards should
+    cost about a quarter of the throughput, so the degraded/healthy ratio
+    must stay above ``DEGRADED_RATIO_BAR`` at non-tiny scale on hosts
+    where the fleet actually runs four workers.
+    """
+    from repro.serving.faults import FaultPlan, FaultSpec
+
+    healthy_maliva = _build()
+    degraded_maliva = _build()
+    stream = _request_stream(healthy_maliva)
+    healthy = ShardedMalivaService(
+        healthy_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=N_SHARDS,
+        shard_by="rows",
+        processes=True,
+    )
+    plan = FaultPlan(
+        [FaultSpec(op="execute", kind="crash", shard_id=0, nth=1, repeat=True)]
+    )
+    degraded = ShardedMalivaService(
+        degraded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=N_SHARDS,
+        shard_by="rows",
+        processes=True,
+        fault_plan=plan,
+        max_respawns=0,
+        respawn_backoff_s=0.0,
+    )
+    try:
+        healthy_outcomes = healthy.answer_many(stream)
+        healthy.reset_stats()
+        healthy.answer_many(stream)
+        healthy_qps = healthy.stats.throughput_qps
+
+        # Turbulent pass: the death, the recovery, the retirement.
+        turbulent_outcomes = degraded.answer_many(stream)
+        turbulence = degraded.stats.to_dict()["shards"]
+        degraded.reset_stats()
+        # Steady-state pass: N-1 survivors over re-sliced rows.
+        steady_outcomes = benchmark.pedantic(
+            lambda: degraded.answer_many(stream), rounds=1, iterations=1
+        )
+        degraded_qps = degraded.stats.throughput_qps
+        steady = degraded.stats.to_dict()["shards"]
+    finally:
+        healthy.close()
+        degraded.close()
+
+    # Zero requests lost, before and after the retirement.
+    reference = [_signature(o) for o in healthy_outcomes]
+    assert [_signature(o) for o in turbulent_outcomes] == reference
+    assert [_signature(o) for o in steady_outcomes] == reference
+    assert turbulence["n_worker_deaths"] >= 1
+    assert turbulence["n_recovered_entries"] >= 1
+    # Retirement happens at the next batch's supervision sweep, i.e. in
+    # the steady window: breaker trips, fleet re-slices, scatter resumes.
+    assert steady["n_retired"] == 1
+    assert steady["n_rebalances"] >= 1
+    assert steady["n_scattered"] == len(stream)
+
+    ratio = degraded_qps / healthy_qps if healthy_qps else 0.0
+    bench_path = Path("BENCH_serving.json")
+    payload = (
+        json.loads(bench_path.read_text()) if bench_path.is_file() else {}
+    )
+    payload["degraded_mode"] = {
+        "n_shards": N_SHARDS,
+        "shard_by": "rows",
+        "cpu_count": CPU_COUNT,
+        "n_requests": len(stream),
+        "scale": SCALE.name,
+        "healthy_qps": healthy_qps,
+        "degraded_qps": degraded_qps,
+        "degraded_over_healthy": ratio,
+        "n_worker_deaths": turbulence["n_worker_deaths"],
+        "n_recovered_entries": turbulence["n_recovered_entries"],
+        "identical_outcomes_vs_healthy": True,
+    }
+    bench_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        f"degraded fleet ({N_SHARDS} shards, shard 0 retired, "
+        f"{CPU_COUNT} cpus)\n"
+        f"  healthy : {healthy_qps:10.1f} req/s\n"
+        f"  degraded: {degraded_qps:10.1f} req/s  "
+        f"({ratio:.2f}x of healthy)\n"
+        f"  outcomes: bit-identical through death, recovery, retirement"
+    )
+    if not TINY and CPU_COUNT >= 4:
+        assert ratio >= DEGRADED_RATIO_BAR, (
+            f"degraded fleet at {ratio:.2f}x of healthy throughput, below "
+            f"the {DEGRADED_RATIO_BAR}x bar on a {CPU_COUNT}-cpu host"
         )
 
 

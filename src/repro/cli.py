@@ -169,6 +169,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run shard engines in-process (debugging / single-core hosts)",
     )
+    serve.add_argument(
+        "--rpc-deadline-ms",
+        type=float,
+        default=10_000.0,
+        help=(
+            "base per-call deadline on worker RPCs; a worker silent past "
+            "deadline + tau is declared dead (0 disables the deadline)"
+        ),
+    )
+    serve.add_argument(
+        "--max-respawns",
+        type=int,
+        default=3,
+        help=(
+            "respawn budget per shard slot before the circuit breaker "
+            "retires it and the fleet rebalances"
+        ),
+    )
+    serve.add_argument(
+        "--admission",
+        default="off",
+        choices=["off", "degrade", "shed"],
+        help=(
+            "overload policy: degrade shrinks tau under load, shed also "
+            "refuses requests past the headroom (off = admit everything)"
+        ),
+    )
+    serve.add_argument(
+        "--load-watermark",
+        type=float,
+        default=5_000.0,
+        help="virtual in-flight cost (ms) above which admission kicks in",
+    )
     serve.add_argument("--save-dir", default="results")
     serve.add_argument("--no-save", action="store_true")
     return parser
@@ -285,6 +318,15 @@ def _run_serve(args) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if args.rpc_deadline_ms < 0:
+        print("error: --rpc-deadline-ms must be >= 0", file=sys.stderr)
+        return 2
+    if args.max_respawns < 0:
+        print("error: --max-respawns must be >= 0", file=sys.stderr)
+        return 2
+    if args.load_watermark <= 0:
+        print("error: --load-watermark must be positive", file=sys.stderr)
+        return 2
 
     setup = twitter_setup(scale=args.scale, tau_ms=args.tau_ms, seed=args.seed)
     qte = (
@@ -306,6 +348,13 @@ def _run_serve(args) -> int:
         requests_from_steps(steps, session_id) for session_id, steps in sessions.items()
     )
     scheduler = SessionAffinityScheduler() if args.scheduler == "affinity" else FifoScheduler()
+    admission = None
+    if args.admission != "off":
+        from .serving import AdmissionController
+
+        admission = AdmissionController(
+            load_watermark_ms=args.load_watermark, mode=args.admission
+        )
     if args.shards > 1:
         from .serving import ShardedMalivaService
 
@@ -314,15 +363,19 @@ def _run_serve(args) -> int:
             translator=TWITTER_TRANSLATOR,
             scheduler=scheduler,
             batch_execute=args.execute == "batched",
+            admission=admission,
             n_shards=args.shards,
             shard_by=args.shard_by,
             processes=not args.inline_shards,
+            rpc_deadline_ms=args.rpc_deadline_ms or None,
+            max_respawns=args.max_respawns,
         )
     else:
         service = maliva.service(
             translator=TWITTER_TRANSLATOR,
             scheduler=scheduler,
             batch_execute=args.execute == "batched",
+            admission=admission,
         )
 
     def drive(reset_after: bool) -> dict:
@@ -381,13 +434,36 @@ def _run_serve(args) -> int:
             f"{shards['n_plan_scattered']} planned on workers, "
             f"{shards['n_syncs']} syncs"
         )
+        if shards["n_worker_deaths"] or shards["n_retired"]:
+            print(
+                f"fleet supervision:     {shards['n_worker_deaths']} worker deaths, "
+                f"{shards['n_respawns']} respawns, "
+                f"{shards['n_retired']} retired (breaker), "
+                f"{shards['n_rebalances']} rebalances, "
+                f"{shards['n_recovered_entries']} entries + "
+                f"{shards['n_plan_recovered']} plans recovered on router"
+            )
         for shard_id, window in shards["per_shard"].items():
+            breaker = " [breaker open]" if window["breaker_open"] else ""
+            supervision = (
+                f", {window['n_deaths']} deaths / {window['n_respawns']} respawns"
+                if window["n_deaths"]
+                else ""
+            )
             print(
                 f"  shard {shard_id}: {window['n_queries']} queries in "
                 f"{window['n_batches']} batches, {window['wall_s']:.3f}s worker wall, "
                 f"{window['cache_hits']}/{window['cache_hits'] + window['cache_misses']} "
-                f"cache hits"
+                f"cache hits{supervision}{breaker}"
             )
+    if args.admission != "off":
+        snapshot = report.get("admission", {})
+        print(
+            f"admission ({args.admission}):   "
+            f"{warm['n_tau_degraded']} degraded / {warm['n_shed']} shed "
+            f"(watermark {args.load_watermark:.0f}ms, "
+            f"ewma cost {snapshot.get('cost_ewma_ms') or 0.0:.1f}ms)"
+        )
     sharing = warm["execute_sharing"]
     if sharing["n_batches"]:
         print(

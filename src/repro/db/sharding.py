@@ -233,6 +233,56 @@ def build_shard_specs(
     return specs
 
 
+def rebuild_shard_spec(
+    database: Database,
+    shard_id: int,
+    rank: int,
+    n_active: int,
+    shard_by: str,
+    owned_tables: Sequence[str] = (),
+) -> ShardSpec:
+    """One fresh shard spec from the live catalog (worker respawn path).
+
+    A respawned worker must rejoin *bit-coherent* with the surviving
+    fleet: in rows modes it takes slice ``rank`` of an ``n_active``-way
+    partition of the router's current tables (``rank`` is the slot's
+    position among the fleet's active shards, which may be smaller than
+    the original arity after breaker retirements); in table mode it
+    rebuilds the whole tables it currently owns.  Building from the live
+    catalog collapses the spec + every ``sync_table`` replay the dead
+    worker missed into one warm start.
+    """
+    names = sorted(database.table_names)
+    indexed = {name: tuple(sorted(database.indexes_for(name))) for name in names}
+    if rows_partitioned(shard_by):
+        tables = []
+        for name in names:
+            table = database.table(name)
+            if shard_by == "rows-strided":
+                tables.append(slice_table_strided(table, rank, n_active))
+            else:
+                start, stop = slice_bounds(table.n_rows, n_active)[rank]
+                tables.append(slice_table(table, start, stop))
+        return ShardSpec(
+            shard_id=shard_id,
+            n_shards=n_active,
+            shard_by=shard_by,
+            tables=tables,
+            indexed_columns=dict(indexed),
+            cost_model=database.cost_model,
+        )
+    owned = sorted(owned_tables)
+    return ShardSpec(
+        shard_id=shard_id,
+        n_shards=n_active,
+        shard_by="table",
+        tables=[database.table(name) for name in owned],
+        indexed_columns={name: indexed[name] for name in owned},
+        cost_model=database.cost_model,
+        owned_tables=frozenset(owned),
+    )
+
+
 def reslice_for_sync(
     database: Database, table_name: str, n_shards: int, shard_by: str = "rows"
 ) -> list[Table]:

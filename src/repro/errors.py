@@ -37,3 +37,26 @@ class TrainingError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was asked for something the dataset cannot give."""
+
+
+class ServiceOverloadError(ReproError):
+    """The serving tier shed a request under overload (admission control).
+
+    Raised instead of queueing unboundedly: past the admission
+    controller's shed threshold new requests are refused with a
+    ``retry_after_ms`` hint — the virtual milliseconds of in-flight work
+    that must drain before the load falls back under the watermark.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_ms: float,
+        load_ms: float,
+        watermark_ms: float,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.load_ms = load_ms
+        self.watermark_ms = watermark_ms

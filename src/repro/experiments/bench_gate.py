@@ -33,6 +33,7 @@ KEY_METRICS: dict[str, tuple[str, ...]] = {
         "warm_qps",
         "sharded.cold_qps",
         "sharded.warm_qps",
+        "degraded_mode.degraded_qps",
     ),
     "BENCH_planning.json": (
         "cold_batched_qps",
@@ -49,6 +50,17 @@ KEY_METRICS: dict[str, tuple[str, ...]] = {
 }
 
 DEFAULT_THRESHOLD = 0.30
+
+#: Within-run ratio floors, checked on the *current* run alone.  Unlike
+#: the cross-run throughput comparisons these are machine-independent
+#: (both sides of the ratio ran on the same host seconds apart), so they
+#: are enforced even under ``--advisory`` — only a ``tiny`` scale (or a
+#: missing entry) downgrades them to info-only.
+RATIO_FLOORS: dict[str, dict[str, float]] = {
+    # Graceful degradation: a fleet with 1-of-N shards breaker-retired
+    # must keep at least 65% of the healthy fleet's throughput.
+    "BENCH_serving.json": {"degraded_mode.degraded_over_healthy": 0.65},
+}
 
 
 @dataclass(frozen=True)
@@ -92,6 +104,33 @@ class MetricComparison:
         if not self.enforced:
             return "info-only"
         return "REGRESSED" if self.regressed else "ok"
+
+
+@dataclass(frozen=True)
+class FloorCheck:
+    """One within-run ratio, checked against its absolute floor."""
+
+    file: str
+    metric: str
+    value: float | None
+    scale: str | None
+    floor: float
+
+    @property
+    def enforced(self) -> bool:
+        return self.value is not None and self.scale not in (None, "tiny")
+
+    @property
+    def failed(self) -> bool:
+        return self.enforced and self.value is not None and self.value < self.floor
+
+    @property
+    def status(self) -> str:
+        if self.value is None:
+            return "missing"
+        if not self.enforced:
+            return "info-only"
+        return "BELOW FLOOR" if self.failed else "ok"
 
 
 def _lookup(payload: dict, dotted: str) -> float | None:
@@ -170,6 +209,63 @@ def compare_dirs(
                 )
             )
     return rows
+
+
+def check_floors(
+    current_dir: Path,
+    floors: dict[str, dict[str, float]] | None = None,
+) -> list[FloorCheck]:
+    """Check the current run's within-run ratios against their floors."""
+    checks: list[FloorCheck] = []
+    for file_name, metrics in (floors or RATIO_FLOORS).items():
+        payload = _load(Path(current_dir) / file_name)
+        for metric, floor in metrics.items():
+            value = None if payload is None else _lookup(payload, metric)
+            if payload is None:
+                continue
+            checks.append(
+                FloorCheck(
+                    file=file_name,
+                    metric=metric,
+                    value=value,
+                    scale=_scale_of(payload, metric),
+                    floor=floor,
+                )
+            )
+    return checks
+
+
+def render_floors(checks: list[FloorCheck]) -> str:
+    """The within-run floor table (appended to the job summary)."""
+    lines = [
+        "### Within-run ratio floors",
+        "",
+        "Machine-independent ratios from this run alone; enforced at any "
+        "non-tiny scale, advisory or not.",
+        "",
+        "| file | metric | value | floor | status |",
+        "|---|---|---:|---:|---|",
+    ]
+    for check in checks:
+        value = "—" if check.value is None else f"{check.value:.2f}"
+        status = check.status
+        if status == "BELOW FLOOR":
+            status = f"❌ {status}"
+        elif status == "ok":
+            status = f"✅ {status}"
+        lines.append(
+            f"| {check.file} | {check.metric} | {value} | "
+            f"{check.floor:.2f} | {status} |"
+        )
+    failures = [check for check in checks if check.failed]
+    lines.append("")
+    if failures:
+        lines.append(f"**{len(failures)} ratio(s) below their floor.**")
+    elif checks:
+        lines.append("All within-run ratios above their floors.")
+    else:
+        lines.append("No within-run ratios reported.")
+    return "\n".join(lines)
 
 
 def render_markdown(rows: list[MetricComparison], threshold: float) -> str:
@@ -253,20 +349,25 @@ def main(argv: list[str] | None = None) -> int:
     rows = compare_dirs(
         Path(args.baseline), Path(args.current), threshold=args.threshold
     )
+    floors = check_floors(Path(args.current))
     markdown = render_markdown(rows, args.threshold)
+    if floors:
+        markdown += "\n\n" + render_floors(floors)
     if args.advisory:
         markdown += (
             "\n\n_Advisory run: baseline comes from a different environment; "
-            "regressions are reported but do not fail the job._"
+            "regressions are reported but do not fail the job.  Within-run "
+            "ratio floors are still enforced._"
         )
     print(markdown)
     summary_path = args.summary_path or os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as handle:
             handle.write(markdown + "\n")
+    floor_failed = any(check.failed for check in floors)
     if args.advisory:
-        return 0
-    return 1 if any(row.regressed for row in rows) else 0
+        return 1 if floor_failed else 0
+    return 1 if floor_failed or any(row.regressed for row in rows) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

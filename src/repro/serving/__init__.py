@@ -2,9 +2,13 @@
 
 This package is the architectural seam between "a middleware algorithm"
 (``repro.core``) and "a middleware deployment" (many dashboard users, one
-engine).  See DESIGN.md §4 for the cache hierarchy it coordinates.
+engine).  See DESIGN.md §4 for the cache hierarchy it coordinates, and
+§4.5 for the sharded fleet's failure model (supervised workers, warm
+respawns, router recovery, admission control).
 """
 
+from .admission import AdmissionController, AdmissionVerdict
+from .faults import FaultPlan, FaultSpec, RandomFaultPlan, WorkerFault, WorkerTimeout
 from .requests import VizRequest, interleave, requests_from_steps, with_budget
 from .scheduler import FifoScheduler, SessionAffinityScheduler
 from .service import MalivaService
@@ -12,8 +16,13 @@ from .sharded import ShardedMalivaService
 from .stats import RequestRecord, ServiceStats, ShardStats, ShardWindow
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionVerdict",
+    "FaultPlan",
+    "FaultSpec",
     "FifoScheduler",
     "MalivaService",
+    "RandomFaultPlan",
     "RequestRecord",
     "ServiceStats",
     "SessionAffinityScheduler",
@@ -21,6 +30,8 @@ __all__ = [
     "ShardWindow",
     "ShardedMalivaService",
     "VizRequest",
+    "WorkerFault",
+    "WorkerTimeout",
     "interleave",
     "requests_from_steps",
     "with_budget",

@@ -1,0 +1,148 @@
+"""SLO-aware admission control: degrade deadlines under load, then shed.
+
+The paper's contract is *bounded-latency* answers; a production tier has
+to enforce that under load, not just per request.  This module is the
+ROADMAP's admission-control item: the service tracks the **virtual cost**
+of admitted in-flight work — the planner's own time estimates, observed
+as each outcome's ``planning_ms + execution_ms`` and folded into an EWMA —
+and compares it against a configurable load watermark:
+
+* below the watermark requests are admitted untouched;
+* above it, ``degrade`` mode shrinks the request's ``tau_ms``
+  proportionally to the overload (never below a configurable floor
+  fraction).  A smaller budget drives the MDP planner toward the cheapest
+  viable rewrite — ScaleViz's resource-budgeted framing: degrade the
+  answer, don't refuse it;
+* past ``shed_headroom`` x the watermark, ``shed`` mode refuses the
+  request outright with a structured
+  :class:`~repro.errors.ServiceOverloadError` carrying a retry-after hint
+  (the virtual backlog that must drain) — never an unbounded queue.
+
+Costs are *reserved* at admission (the EWMA of observed virtual totals,
+clamped by the request's own deadline — a request can never cost more
+than its budget allows) and released when the batch completes, so the
+controller needs no clock and stays deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryError
+
+#: Admission policies (the CLI also accepts "off" = no controller).
+MODES = ("degrade", "shed")
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """The controller's decision for one request."""
+
+    admitted: bool
+    #: The (possibly degraded) deadline the request should run under.
+    tau_ms: float
+    #: Virtual cost reserved against the load; release() it when done.
+    cost_ms: float
+    degraded: bool = False
+    #: Shed only: virtual backlog (ms) to drain before retrying.
+    retry_after_ms: float | None = None
+
+
+class AdmissionController:
+    """Watermark-based admission over reserved virtual cost."""
+
+    def __init__(
+        self,
+        load_watermark_ms: float = 5_000.0,
+        mode: str = "shed",
+        *,
+        shed_headroom: float = 2.0,
+        tau_floor_fraction: float = 0.25,
+        ewma_alpha: float = 0.2,
+    ) -> None:
+        if mode not in MODES:
+            raise QueryError(f"admission mode must be one of {MODES}, got {mode!r}")
+        if load_watermark_ms <= 0:
+            raise QueryError("load_watermark_ms must be positive")
+        if shed_headroom < 1.0:
+            raise QueryError("shed_headroom must be >= 1.0")
+        if not 0.0 < tau_floor_fraction <= 1.0:
+            raise QueryError("tau_floor_fraction must be in (0, 1]")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise QueryError("ewma_alpha must be in (0, 1]")
+        self.mode = mode
+        self.load_watermark_ms = load_watermark_ms
+        self.shed_headroom = shed_headroom
+        self.tau_floor_fraction = tau_floor_fraction
+        self.ewma_alpha = ewma_alpha
+        #: Reserved virtual cost of admitted, not-yet-released requests.
+        self.inflight_ms = 0.0
+        #: EWMA of observed virtual totals (planner's own estimates).
+        self.cost_ewma_ms: float | None = None
+        self.n_admitted = 0
+        self.n_degraded = 0
+        self.n_shed = 0
+
+    # ------------------------------------------------------------------
+    def estimated_cost_ms(self, tau_ms: float) -> float:
+        """Reserved cost for one request: the learned estimate, capped by
+        the deadline (a viable answer never exceeds its budget)."""
+        if self.cost_ewma_ms is None:
+            return tau_ms
+        return min(tau_ms, self.cost_ewma_ms)
+
+    def admit(self, tau_ms: float) -> AdmissionVerdict:
+        """Admit, degrade, or shed one request against the current load."""
+        load = self.inflight_ms
+        if load >= self.load_watermark_ms:
+            if (
+                self.mode == "shed"
+                and load >= self.load_watermark_ms * self.shed_headroom
+            ):
+                self.n_shed += 1
+                return AdmissionVerdict(
+                    admitted=False,
+                    tau_ms=tau_ms,
+                    cost_ms=0.0,
+                    retry_after_ms=load - self.load_watermark_ms,
+                )
+            # Degrade proportionally to the overload: at 2x the watermark
+            # the budget halves, bounded below by the floor fraction.
+            degraded_tau = max(
+                tau_ms * self.tau_floor_fraction,
+                tau_ms * self.load_watermark_ms / load,
+            )
+            cost = self.estimated_cost_ms(degraded_tau)
+            self.inflight_ms += cost
+            self.n_admitted += 1
+            self.n_degraded += 1
+            return AdmissionVerdict(
+                admitted=True, tau_ms=degraded_tau, cost_ms=cost, degraded=True
+            )
+        cost = self.estimated_cost_ms(tau_ms)
+        self.inflight_ms += cost
+        self.n_admitted += 1
+        return AdmissionVerdict(admitted=True, tau_ms=tau_ms, cost_ms=cost)
+
+    def release(self, cost_ms: float) -> None:
+        """Return a completed (or failed) request's reserved cost."""
+        self.inflight_ms = max(0.0, self.inflight_ms - cost_ms)
+
+    def observe(self, total_ms: float) -> None:
+        """Fold one outcome's virtual total into the cost estimate."""
+        if self.cost_ewma_ms is None:
+            self.cost_ewma_ms = total_ms
+        else:
+            self.cost_ewma_ms += self.ewma_alpha * (total_ms - self.cost_ewma_ms)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "mode": self.mode,
+            "load_watermark_ms": self.load_watermark_ms,
+            "inflight_ms": self.inflight_ms,
+            "cost_ewma_ms": self.cost_ewma_ms,
+            "n_admitted": self.n_admitted,
+            "n_degraded": self.n_degraded,
+            "n_shed": self.n_shed,
+        }

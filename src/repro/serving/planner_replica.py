@@ -284,10 +284,29 @@ class ProxiedAccurateQTE(AccurateQTE):
 class PlannerReplica:
     """A worker's planning stack: replica engine + QTE + MDP rewriter."""
 
+    #: Cap on mirrored router decisions kept per replica (FIFO eviction).
+    MIRROR_CAPACITY = 4096
+
     def __init__(self, spec: PlannerSpec, rpc: ProbeRpc) -> None:
         self.database = self._build_database(spec)
         self.qte = self._build_qte(spec.qte, rpc)
         self.rewriter = MDPQueryRewriter(spec.agent, self.database, self.qte)
+        # Router decision-cache puts broadcast to this replica: a miss
+        # leader planned on shard A must not replan on shard B in a later
+        # batch.  Mirrored decisions ARE router decisions, so serving one
+        # is bit-identical to replanning it.
+        self._mirror: dict[tuple, RewriteDecision] = {}
+        self.mirror_hits = 0
+
+    def absorb_mirror(
+        self, items: Sequence[tuple[tuple, RewriteDecision]]
+    ) -> None:
+        """Install broadcast ``((query key, tau), decision)`` pairs."""
+        mirror = self._mirror
+        for key, decision in items:
+            mirror[key] = decision
+            while len(mirror) > self.MIRROR_CAPACITY:
+                mirror.pop(next(iter(mirror)))
 
     @staticmethod
     def _build_database(spec: PlannerSpec) -> Database:
@@ -325,7 +344,24 @@ class PlannerReplica:
     def rewrite_batch(
         self, queries: Sequence[SelectQuery], taus: Sequence[float | None]
     ) -> list[RewriteDecision]:
-        return self.rewriter.rewrite_batch(queries, list(taus))
+        """Plan a miss-leader chunk, serving mirrored decisions from cache."""
+        decisions: list[RewriteDecision | None] = [None] * len(queries)
+        miss_positions: list[int] = []
+        for position, (query, tau) in enumerate(zip(queries, taus)):
+            mirrored = self._mirror.get((query.key(), tau))
+            if mirrored is not None:
+                decisions[position] = mirrored
+                self.mirror_hits += 1
+            else:
+                miss_positions.append(position)
+        if miss_positions:
+            planned = self.rewriter.rewrite_batch(
+                [queries[p] for p in miss_positions],
+                [taus[p] for p in miss_positions],
+            )
+            for position, decision in zip(miss_positions, planned):
+                decisions[position] = decision
+        return decisions  # type: ignore[return-value]
 
     def apply_sync(self, sync: PlannerSync) -> None:
         """Install fresh replica state for a mutated router table."""
@@ -343,7 +379,10 @@ class PlannerReplica:
                     database.create_index(table.name, column)
         database._stats.update(sync.stats)
         # Drop every derived memo the mutation could have staled — the
-        # replica mirrors the router's tag eviction conservatively.
+        # replica mirrors the router's tag eviction conservatively.  The
+        # decision mirror goes with them: the router's own cache evicts the
+        # mutated table's tags, and mirrored decisions carry no tags.
         database.clear_caches()
         self.qte.invalidate()
         self.rewriter._build_cache.clear()
+        self._mirror.clear()

@@ -36,15 +36,17 @@ identity ``tests/serving/test_service.py`` pins down.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Iterable, Iterator, Sequence
 
 from ..core.middleware import Maliva, RequestOutcome
 from ..db import SelectQuery
 from ..db.caches import CacheStatsReport, InstrumentedCache
-from ..errors import QueryError
+from ..errors import QueryError, ServiceOverloadError
 from ..viz.quality import QualityFunction
 from ..viz.requests import RequestTranslator, VisualizationRequest
+from .admission import AdmissionController
 from .requests import VizRequest
 from .scheduler import SessionAffinityScheduler
 from .stats import RequestRecord, ServiceStats
@@ -63,10 +65,15 @@ class MalivaService:
         quality_fn: QualityFunction | None = None,
         stream_batch_size: int = 8,
         batch_execute: bool = True,
+        admission: AdmissionController | None = None,
     ) -> None:
         if stream_batch_size < 1:
             raise QueryError("stream_batch_size must be at least 1")
         self.maliva = maliva
+        #: Optional overload policy: degrade deadlines, then shed requests
+        #: (see :mod:`repro.serving.admission`).  None admits everything.
+        self.admission = admission
+        self._last_shed: list[tuple[VizRequest, ServiceOverloadError]] = []
         self.translator = translator
         self.default_tau_ms = default_tau_ms if default_tau_ms is not None else maliva.tau_ms
         self.scheduler = scheduler or SessionAffinityScheduler()
@@ -109,12 +116,29 @@ class MalivaService:
     # Serving
     # ------------------------------------------------------------------
     def answer_one(self, request: VizRequest) -> RequestOutcome:
-        """Serve a single request: a one-element pipeline batch."""
-        return self.answer_many([request])[0]
+        """Serve a single request: a one-element pipeline batch.
+
+        Raises :class:`~repro.errors.ServiceOverloadError` if admission
+        control shed the request.
+        """
+        outcomes = self.answer_many([request])
+        if not outcomes:
+            _, error = self._last_shed[-1]
+            raise error
+        return outcomes[0]
 
     def answer_many(self, requests: Sequence[VizRequest]) -> list[RequestOutcome]:
         """Serve a batch through the staged pipeline; outcomes are returned
         in *submission* order.
+
+        With an :class:`~repro.serving.admission.AdmissionController`
+        attached, each request is admitted (possibly with an
+        overload-degraded ``tau_ms``) or shed before the pipeline runs;
+        shed requests are *dropped from the returned list* and recorded —
+        with their structured :class:`~repro.errors.ServiceOverloadError`
+        — in :attr:`last_shed` for the caller.  Reserved virtual cost is
+        released when the batch finishes, and every outcome's virtual
+        total feeds the controller's cost estimate.
 
         Stages: **resolve** every payload, **schedule** the batch into the
         scheduler's session-affinity order, **plan** — decision-cache hits
@@ -125,6 +149,49 @@ class MalivaService:
         identical to per-request :meth:`answer_one` calls; only the
         middleware host gets faster.
         """
+        self._last_shed = []
+        if not requests:
+            return []
+        if self.admission is None:
+            return self._pipeline(list(requests))
+        admitted: list[VizRequest] = []
+        charges: list[float] = []
+        for request in requests:
+            tau_ms = request.effective_tau(self.default_tau_ms)
+            verdict = self.admission.admit(tau_ms)
+            if not verdict.admitted:
+                error = ServiceOverloadError(
+                    f"request shed under overload: in-flight virtual load "
+                    f"{self.admission.inflight_ms:.1f}ms exceeds watermark "
+                    f"{self.admission.load_watermark_ms:.1f}ms",
+                    retry_after_ms=verdict.retry_after_ms or 0.0,
+                    load_ms=self.admission.inflight_ms,
+                    watermark_ms=self.admission.load_watermark_ms,
+                )
+                self._last_shed.append((request, error))
+                self.stats.record_shed()
+                continue
+            charges.append(verdict.cost_ms)
+            if verdict.degraded:
+                self.stats.n_tau_degraded += 1
+                request = dataclasses.replace(request, tau_ms=verdict.tau_ms)
+            admitted.append(request)
+        try:
+            outcomes = self._pipeline(admitted) if admitted else []
+        finally:
+            for cost in charges:
+                self.admission.release(cost)
+        for outcome in outcomes:
+            self.admission.observe(outcome.planning_ms + outcome.execution_ms)
+        return outcomes
+
+    @property
+    def last_shed(self) -> list[tuple[VizRequest, ServiceOverloadError]]:
+        """Requests shed from the most recent batch, with their errors."""
+        return list(self._last_shed)
+
+    def _pipeline(self, requests: Sequence[VizRequest]) -> list[RequestOutcome]:
+        """The staged resolve → schedule → plan → execute pipeline."""
         if not requests:
             return []
         batch_started = time.perf_counter()
@@ -365,4 +432,9 @@ class MalivaService:
             "engine_caches": engine.to_dict(),
             "engine_hit_rate": engine.hit_rate,
             "qte_caches": {s.name: s.to_dict() for s in self.maliva.qte.cache_stats()},
+            **(
+                {"admission": self.admission.snapshot()}
+                if self.admission is not None
+                else {}
+            ),
         }

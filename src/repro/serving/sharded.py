@@ -1,4 +1,4 @@
-"""Multi-process sharded serving behind a scatter/gather shard router.
+"""Multi-process sharded serving behind a fault-tolerant shard router.
 
 :class:`ShardedMalivaService` is the production-scaling layer DESIGN.md
 §4.3–§4.4 reserve below :class:`~repro.serving.service.MalivaService`:
@@ -29,6 +29,40 @@ in its own process over a row slice (contiguous ``rows``, round-robin
   tables execute on the router's full engine, preserving the equivalence
   contract trivially.
 
+Failure model (DESIGN.md §4.5): a worker that times out past its per-call
+RPC deadline, EOFs, breaks its pipe, or replies garbage is *dead*, never
+*wrong* — every reply is validated before use and a failed validation is
+treated exactly like a crash.  The supervisor then:
+
+* **recovers the affected work on the router.**  Scattered entries whose
+  report set is incomplete re-execute through ``execute_planned`` on the
+  router engine, *in scheduled order, inside the same assembly loop* — the
+  engine consumed its hint draws and plan-cache sequence during
+  classification, so the recovered outcome is bit-identical to both the
+  healthy scatter outcome and the single-engine service.  Plan chunks lost
+  to a dead planner replica replan on the router (the twin-planning
+  property makes those decisions bit-identical too).  A batch never fails
+  because a worker died.
+* **respawns the worker warm.**  The slot rebuilds a fresh
+  :class:`~repro.db.sharding.ShardSpec` from the *live* catalog
+  (:func:`~repro.db.sharding.rebuild_shard_spec`), collapsing every
+  missed ``sync_table`` into the spec itself, after a capped exponential
+  backoff.  Respawns are budgeted (``max_respawns``); a flapping shard
+  exhausts the budget and trips the circuit breaker.
+* **retires and rebalances.**  A breaker-open shard is permanently
+  removed; surviving rows-mode shards re-slice to the smaller arity (rank
+  order follows shard-id order, so merged concatenation stays canonical)
+  and orphaned table-mode groups are re-adopted round-robin.  Subsequent
+  batches scatter across the smaller fleet; with zero survivors every
+  request runs on the router.
+
+Fault injection threads through the same transport: the *router-side*
+handles consult an optional :class:`~repro.serving.faults.FaultPlan` once
+per worker op and ship the chosen action (crash / hang / garble) inside
+the op message, so workers misbehave at exactly the scheduled call —
+deterministically, inline and in real processes (see ``faults.py`` for
+why the counting lives router-side).
+
 A note on per-request engine-cache deltas: outcomes served by this class
 attribute cache activity from the *execute phase only*.  Scattered queries
 report 0/0 (their physical cache traffic lands in per-shard
@@ -43,6 +77,10 @@ single-engine service; any catalog change on the router database —
 `append_rows`, `create_index`, direct `Database` calls included — re-slices
 the affected table and broadcasts a ``sync_table`` to every worker, which
 replaces its copy, rebuilds its indexes, and evicts derived cache state.
+Router planning decisions are additionally mirrored to worker replicas
+(``mirror`` op) so repeated miss leaders plan from cache shard-side; the
+mirror is evicted wholesale on every planner sync, which keeps it exactly
+as coherent as the replica state it fronts.
 
 Worker transport is a duplex pipe per shard; the shard spec is pickled
 across it (:class:`~repro.db.sharding.ShardSpec` is deliberately plain
@@ -60,18 +98,30 @@ from typing import Sequence
 
 from ..core.middleware import Maliva, RequestOutcome
 from ..db import SelectQuery
+from ..db.caches import CacheStatsReport
 from ..db.sharding import (
     FULL,
     PARTIAL,
+    ShardBatchReply,
     ShardEngine,
     ShardEntry,
     build_shard_specs,
     merge_scatter,
+    rebuild_shard_spec,
     reslice_for_sync,
     rows_partitioned,
     scatter_eligible,
 )
 from ..errors import QueryError
+from .faults import (
+    CRASH,
+    GARBLE,
+    GARBLED_REPLY,
+    HANG,
+    FaultPlan,
+    WorkerFault,
+    WorkerTimeout,
+)
 from .planner_replica import (
     PlannerReplica,
     PlannerSpec,
@@ -84,49 +134,91 @@ from .requests import VizRequest
 from .service import MalivaService
 from .stats import RequestRecord, ShardStats
 
+#: How long a worker told to HANG sleeps — far past any realistic deadline.
+_HANG_S = 3600.0
+
 
 class InlineShardHandle:
-    """A shard engine driven in-process (no transport, same semantics)."""
+    """A shard engine driven in-process (no transport, same semantics).
 
-    def __init__(self, spec) -> None:
+    Injected faults surface where the process transport would surface
+    them: submit records the scheduled action, collect raises it
+    (:class:`WorkerTimeout` for hangs, :class:`WorkerFault` otherwise),
+    and the supervisor recovers identically to a real worker death.
+    """
+
+    def __init__(self, spec, fault_plan: FaultPlan | None = None) -> None:
         self.shard_id = spec.shard_id
         self.owned_tables = spec.owned_tables
         self._engine = ShardEngine(spec)
-        self._pending: list[Sequence[ShardEntry]] = []
+        self._fault_plan = fault_plan
+        self._pending: list[tuple[list[ShardEntry], str | None]] = []
         self._replica: PlannerReplica | None = None
-        self._pending_plans: list[tuple[list, list]] = []
+        self._pending_plans: list[tuple[list, list, str | None]] = []
+
+    def _action(self, op: str) -> str | None:
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.action_for(self.shard_id, op)
+
+    def _raise_fault(self, action: str | None) -> None:
+        if action == HANG:
+            raise WorkerTimeout(f"shard worker {self.shard_id}: injected hang")
+        if action is not None:
+            raise WorkerFault(f"shard worker {self.shard_id}: injected {action}")
 
     def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
-        self._pending.append(entries)
+        self._pending.append((list(entries), self._action("execute")))
 
-    def collect(self):
-        return self._engine.execute(self._pending.pop(0))
+    def collect(self, deadline_s: float | None = None, expected: int | None = None):
+        entries, action = self._pending.pop(0)
+        self._raise_fault(action)
+        return self._engine.execute(entries)
 
     def init_planner(self, spec: PlannerSpec, rpc) -> None:
         """Build the worker's planning replica (rpc is a direct callable)."""
         self._replica = PlannerReplica(spec, rpc)
 
     def submit_plan(self, queries, taus) -> None:
-        self._pending_plans.append((list(queries), list(taus)))
+        self._pending_plans.append(
+            (list(queries), list(taus), self._action("plan"))
+        )
 
-    def collect_plan(self):
+    def collect_plan(
+        self, deadline_s: float | None = None, expected: int | None = None
+    ):
         assert self._replica is not None
-        queries, taus = self._pending_plans.pop(0)
+        queries, taus, action = self._pending_plans.pop(0)
+        self._raise_fault(action)
+        before = self._replica.mirror_hits
         started = time.perf_counter()
         decisions = self._replica.rewrite_batch(queries, taus)
-        return decisions, time.perf_counter() - started
+        wall_s = time.perf_counter() - started
+        return decisions, wall_s, self._replica.mirror_hits - before
 
-    def sync_table(self, table, indexed_columns) -> None:
+    def mirror_decisions(self, items, deadline_s: float | None = None) -> None:
+        self._raise_fault(self._action("mirror"))
+        if self._replica is not None:
+            self._replica.absorb_mirror(items)
+
+    def sync_table(
+        self, table, indexed_columns, deadline_s: float | None = None
+    ) -> None:
+        self._raise_fault(self._action("sync"))
         self._engine.sync_table(table, indexed_columns)
 
-    def sync_planner(self, sync: PlannerSync) -> None:
+    def sync_planner(
+        self, sync: PlannerSync, deadline_s: float | None = None
+    ) -> None:
+        self._raise_fault(self._action("sync_planner"))
         if self._replica is not None:
             self._replica.apply_sync(sync)
 
-    def cache_stats(self):
+    def cache_stats(self, deadline_s: float | None = None):
+        self._raise_fault(self._action("cache_stats"))
         return self._engine.cache_stats()
 
-    def close(self) -> None:
+    def close(self, graceful: bool = True) -> None:
         self._pending.clear()
         self._pending_plans.clear()
 
@@ -138,8 +230,13 @@ def _shard_worker_main(conn) -> None:
     oracle values only the router's full engine holds; it sends an
     ``("rpc", (pairs, queries))`` message up the same pipe and blocks on
     the reply, which the router services inline during its gather loop
-    (:meth:`ProcessShardHandle.collect_plan`).  The final ``("ok", ...)``
+    (:meth:`ShardWorkerHandle.collect_plan`).  The final ``("ok", ...)``
     reply closes the op as usual, so the pipe protocol stays in lockstep.
+
+    Every op message carries an optional injected fault action as its
+    third element: ``crash`` exits before touching the op (the router
+    sees EOF, exactly like a segfault), ``hang`` sleeps far past any
+    deadline, ``garble`` ships junk in place of the real reply.
     """
     engine: ShardEngine | None = None
     replica: PlannerReplica | None = None
@@ -150,11 +247,18 @@ def _shard_worker_main(conn) -> None:
 
     while True:
         try:
-            op, payload = conn.recv()
-        except EOFError:  # pragma: no cover - parent died
+            op, payload, fault = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent died
             return
+        if fault == CRASH:
+            # Die before touching the op — the router's next recv EOFs.
+            return
+        if fault == HANG:  # pragma: no cover - killed mid-sleep by router
+            time.sleep(_HANG_S)
         try:
-            if op == "init":
+            if fault == GARBLE:
+                conn.send(("ok", GARBLED_REPLY))
+            elif op == "init":
                 engine = ShardEngine(payload)
                 conn.send(("ok", None))
             elif op == "execute":
@@ -171,12 +275,20 @@ def _shard_worker_main(conn) -> None:
             elif op == "plan":
                 assert replica is not None
                 queries, taus = payload
+                before = replica.mirror_hits
                 started = time.perf_counter()
                 decisions = replica.rewrite_batch(queries, taus)
-                conn.send(("ok", (decisions, time.perf_counter() - started)))
+                wall_s = time.perf_counter() - started
+                conn.send(
+                    ("ok", (decisions, wall_s, replica.mirror_hits - before))
+                )
             elif op == "sync_planner":
                 assert replica is not None
                 replica.apply_sync(payload)
+                conn.send(("ok", None))
+            elif op == "mirror":
+                assert replica is not None
+                replica.absorb_mirror(payload)
                 conn.send(("ok", None))
             elif op == "cache_stats":
                 assert engine is not None
@@ -190,12 +302,26 @@ def _shard_worker_main(conn) -> None:
             conn.send(("error", traceback.format_exc()))
 
 
-class ProcessShardHandle:
-    """A shard engine in a worker process, driven over a duplex pipe."""
+class ShardWorkerHandle:
+    """A shard engine in a worker process, driven over a duplex pipe.
 
-    def __init__(self, spec, start_method: str | None = None) -> None:
+    Every receive is deadline-bounded (``conn.poll`` before ``recv``) and
+    every reply is shape-validated before use; a timeout, transport
+    error, error reply, or malformed payload raises :class:`WorkerFault`
+    (:class:`WorkerTimeout` for deadline misses) for the supervisor to
+    consume.  The handle itself never retries — recovery policy lives in
+    :class:`ShardedMalivaService`.
+    """
+
+    def __init__(
+        self,
+        spec,
+        start_method: str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.shard_id = spec.shard_id
         self.owned_tables = spec.owned_tables
+        self._fault_plan = fault_plan
         context = multiprocessing.get_context(start_method)
         self._conn, worker_conn = context.Pipe(duplex=True)
         self._process = context.Process(
@@ -208,80 +334,219 @@ class ProcessShardHandle:
         worker_conn.close()
         # Warm start: the spec travels pickled; the worker builds tables
         # and indexes before the service answers its first request.
-        self._request("init", spec)
+        try:
+            self._request_none("init", spec, deadline_s=None)
+        except Exception:
+            self.close(graceful=False)
+            raise
+
+    def _action(self, op: str) -> str | None:
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.action_for(self.shard_id, op)
 
     def _send(self, op: str, payload) -> None:
-        self._conn.send((op, payload))
+        try:
+            self._conn.send((op, payload, self._action(op)))
+        except (BrokenPipeError, OSError, ValueError) as error:
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: send failed: {error}"
+            ) from error
 
-    def _recv(self):
-        status, payload = self._conn.recv()
+    def _recv_message(self, deadline_s: float | None):
+        try:
+            if deadline_s is not None and not self._conn.poll(deadline_s):
+                raise WorkerTimeout(
+                    f"shard worker {self.shard_id}: no reply within "
+                    f"{deadline_s:.3f}s"
+                )
+            message = self._conn.recv()
+        except WorkerFault:
+            raise
+        except Exception as error:  # noqa: BLE001 - any transport failure
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: receive failed: {error}"
+            ) from error
+        if not isinstance(message, tuple) or len(message) != 2:
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: malformed reply {message!r}"
+            )
+        return message
+
+    def _recv_ok(self, deadline_s: float | None):
+        status, payload = self._recv_message(deadline_s)
         if status != "ok":
-            raise QueryError(
+            raise WorkerFault(
                 f"shard worker {self.shard_id} failed:\n{payload}"
             )
         return payload
 
-    def _request(self, op: str, payload):
+    def _request_none(self, op: str, payload, deadline_s: float | None) -> None:
         self._send(op, payload)
-        return self._recv()
+        reply = self._recv_ok(deadline_s)
+        if reply is not None:
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: unexpected {op} reply {reply!r}"
+            )
 
     def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
         self._send("execute", list(entries))
 
-    def collect(self):
-        return self._recv()
+    def collect(self, deadline_s: float | None = None, expected: int | None = None):
+        reply = self._recv_ok(deadline_s)
+        if not isinstance(reply, ShardBatchReply):
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: garbled execute reply "
+                f"{reply!r}"
+            )
+        if expected is not None and len(reply.reports) != expected:
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: expected {expected} reports, "
+                f"got {len(reply.reports)}"
+            )
+        return reply
 
     def init_planner(self, spec: PlannerSpec, rpc) -> None:
         """Ship the planner replica spec; keep the router-side RPC resolver."""
         self._rpc = rpc
-        self._request("init_planner", spec)
+        self._request_none("init_planner", spec, deadline_s=None)
 
     def submit_plan(self, queries, taus) -> None:
         self._send("plan", (list(queries), list(taus)))
 
-    def collect_plan(self):
+    def collect_plan(
+        self, deadline_s: float | None = None, expected: int | None = None
+    ):
         """Gather a plan reply, servicing worker probe RPCs inline.
 
         A worker blocked on oracle values sends ``("rpc", payload)``
         instead of its final reply; the router answers on the spot (which
         also warms its own QTE memos, exactly as local planning would)
-        and keeps waiting for the ``("ok", (decisions, wall_s))`` close.
+        and keeps waiting for the ``("ok", (decisions, wall_s, hits))``
+        close.  The deadline applies to each wait independently — a
+        worker making RPC progress is alive, not hung.
         """
         while True:
-            status, payload = self._conn.recv()
+            status, payload = self._recv_message(deadline_s)
             if status == "rpc":
-                pairs, queries = payload
-                self._conn.send(self._rpc(pairs, queries))
+                try:
+                    pairs, queries = payload
+                    answer = self._rpc(pairs, queries)
+                    self._conn.send(answer)
+                except (BrokenPipeError, OSError, ValueError, TypeError) as error:
+                    raise WorkerFault(
+                        f"shard worker {self.shard_id}: probe rpc failed: "
+                        f"{error}"
+                    ) from error
             elif status == "ok":
-                return payload
+                if (
+                    not isinstance(payload, tuple)
+                    or len(payload) != 3
+                    or not isinstance(payload[0], list)
+                ):
+                    raise WorkerFault(
+                        f"shard worker {self.shard_id}: garbled plan reply "
+                        f"{payload!r}"
+                    )
+                decisions, wall_s, mirror_hits = payload
+                if expected is not None and len(decisions) != expected:
+                    raise WorkerFault(
+                        f"shard worker {self.shard_id}: expected {expected} "
+                        f"decisions, got {len(decisions)}"
+                    )
+                return decisions, float(wall_s), int(mirror_hits)
             else:
-                raise QueryError(
+                raise WorkerFault(
                     f"shard worker {self.shard_id} failed:\n{payload}"
                 )
 
-    def sync_table(self, table, indexed_columns) -> None:
-        self._request("sync", (table, tuple(indexed_columns)))
+    def mirror_decisions(self, items, deadline_s: float | None = None) -> None:
+        self._request_none("mirror", list(items), deadline_s)
 
-    def sync_planner(self, sync: PlannerSync) -> None:
-        self._request("sync_planner", sync)
+    def sync_table(
+        self, table, indexed_columns, deadline_s: float | None = None
+    ) -> None:
+        self._request_none("sync", (table, tuple(indexed_columns)), deadline_s)
 
-    def cache_stats(self):
-        return self._request("cache_stats", None)
+    def sync_planner(
+        self, sync: PlannerSync, deadline_s: float | None = None
+    ) -> None:
+        self._request_none("sync_planner", sync, deadline_s)
 
-    def close(self) -> None:
-        if self._process.is_alive():
-            try:
-                self._request("stop", None)
-            except (BrokenPipeError, EOFError, OSError, QueryError):
-                pass
-            self._process.join(timeout=5.0)
-            if self._process.is_alive():  # pragma: no cover - stuck worker
+    def cache_stats(self, deadline_s: float | None = None):
+        self._send("cache_stats", None)
+        reply = self._recv_ok(deadline_s)
+        if not isinstance(reply, CacheStatsReport):
+            raise WorkerFault(
+                f"shard worker {self.shard_id}: garbled cache_stats reply "
+                f"{reply!r}"
+            )
+        return reply
+
+    def close(self, graceful: bool = True) -> None:
+        """Stop the worker, escalating terminate → kill, and free the pipe.
+
+        Both pipe ends are always closed, even when the worker is already
+        dead — a respawning supervisor must not leak one FD per death.
+        """
+        try:
+            if graceful and self._process.is_alive():
+                try:
+                    self._conn.send(("stop", None, None))
+                    if self._conn.poll(1.0):
+                        self._conn.recv()
+                except (BrokenPipeError, EOFError, OSError, ValueError):
+                    pass
+                self._process.join(timeout=5.0)
+            if self._process.is_alive():
                 self._process.terminate()
-        self._conn.close()
+                self._process.join(timeout=2.0)
+            if self._process.is_alive():  # pragma: no cover - stuck worker
+                self._process.kill()
+                self._process.join(timeout=2.0)
+        finally:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+#: Backwards-compatible alias (the handle predates the supervisor).
+ProcessShardHandle = ShardWorkerHandle
+
+
+class _ShardSlot:
+    """One supervised position in the fleet: a handle plus its history.
+
+    The slot outlives any individual worker: deaths null the handle,
+    respawns refill it, and the breaker retires the slot for good.  Slot
+    index == shard id for the service's lifetime; only the *rank* among
+    active slots (which drives rows-mode slice assignment) shifts when a
+    neighbour retires.
+    """
+
+    __slots__ = (
+        "shard_id",
+        "handle",
+        "retired",
+        "deaths",
+        "respawns",
+        "backoff_s",
+        "next_spawn_at",
+    )
+
+    def __init__(self, shard_id: int, backoff_s: float) -> None:
+        self.shard_id = shard_id
+        self.handle = None
+        self.retired = False
+        self.deaths = 0
+        self.respawns = 0
+        self.backoff_s = backoff_s
+        self.next_spawn_at = 0.0
 
 
 class ShardedMalivaService(MalivaService):
-    """Scatter/gather serving over N shard engines in worker processes."""
+    """Scatter/gather serving over N supervised shard engines."""
 
     def __init__(
         self,
@@ -293,17 +558,34 @@ class ShardedMalivaService(MalivaService):
         start_method: str | None = None,
         worker_batch_size: int | None = None,
         plan_on_shards: bool = True,
+        rpc_deadline_ms: float | None = 10_000.0,
+        deadline_tau_factor: float = 1.0,
+        max_respawns: int = 3,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_cap_s: float = 2.0,
+        mirror_decisions: bool = True,
+        fault_plan: FaultPlan | None = None,
         **kwargs,
     ) -> None:
         if n_shards < 1:
             raise QueryError(f"n_shards must be at least 1, got {n_shards}")
         if worker_batch_size is not None and worker_batch_size < 1:
             raise QueryError("worker_batch_size must be at least 1")
+        if rpc_deadline_ms is not None and rpc_deadline_ms <= 0:
+            raise QueryError("rpc_deadline_ms must be positive (None disables)")
+        if deadline_tau_factor < 0:
+            raise QueryError("deadline_tau_factor must be non-negative")
+        if max_respawns < 0:
+            raise QueryError("max_respawns must be non-negative")
+        if respawn_backoff_s < 0 or respawn_backoff_cap_s < 0:
+            raise QueryError("respawn backoffs must be non-negative")
         # The invalidation hook the base constructor registers dispatches to
         # our override, which broadcasts; make its guards resolvable first.
-        self._handles: list = []
+        self._slots: list[_ShardSlot] = []
         self._closed = False
         self._plan_scattered = False
+        self._rebalancing = False
+        self._rebalance_pending = False
         super().__init__(maliva, **kwargs)
         self.n_shards = n_shards
         self.shard_by = shard_by
@@ -312,29 +594,50 @@ class ShardedMalivaService(MalivaService):
         #: an oversized batch in successive chunks (outcome-invariant).
         self.worker_batch_size = worker_batch_size
         self.plan_on_shards = plan_on_shards
+        self.rpc_deadline_ms = rpc_deadline_ms
+        self.deadline_tau_factor = deadline_tau_factor
+        self.max_respawns = max_respawns
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_cap_s = respawn_backoff_cap_s
+        self.mirror_decisions = mirror_decisions
+        self._fault_plan = fault_plan
+        self._start_method = start_method
         specs = build_shard_specs(maliva.database, n_shards, shard_by)
         self._table_owner = {
             name: spec.shard_id for spec in specs for name in spec.owned_tables
         }
-        self._handles = [
-            ProcessShardHandle(spec, start_method)
-            if processes
-            else InlineShardHandle(spec)
-            for spec in specs
-        ]
-        # Replicate the planning state so decision-cache misses scatter too.
-        # An unsupported QTE leaves planning on the router (_rewrite_misses
-        # falls through to the base class), counted as plan fallbacks.
-        planner_spec = planner_spec_for(maliva) if plan_on_shards else None
-        if planner_spec is not None:
-            for handle in self._handles:
-                handle.init_planner(planner_spec, self._probe_rpc)
-            self._plan_scattered = True
+        try:
+            for spec in specs:
+                slot = _ShardSlot(spec.shard_id, respawn_backoff_s)
+                slot.handle = self._build_handle(spec)
+                self._slots.append(slot)
+            # Replicate the planning state so decision-cache misses scatter
+            # too.  An unsupported QTE leaves planning on the router
+            # (_rewrite_misses falls through to the base class), counted as
+            # plan fallbacks.
+            planner_spec = planner_spec_for(maliva) if plan_on_shards else None
+            if planner_spec is not None:
+                for slot in self._slots:
+                    slot.handle.init_planner(planner_spec, self._probe_rpc)
+                self._plan_scattered = True
+        except Exception:
+            self.close()
+            raise
         self.stats.shards = self._new_shard_stats()
+
+    def _build_handle(self, spec):
+        if self.processes:
+            return ShardWorkerHandle(spec, self._start_method, self._fault_plan)
+        return InlineShardHandle(spec, self._fault_plan)
 
     # ------------------------------------------------------------------
     # Lifecycle and observability
     # ------------------------------------------------------------------
+    @property
+    def _handles(self) -> list:
+        """Live handles, in shard-id order (dead/retired slots omitted)."""
+        return [slot.handle for slot in self._slots if slot.handle is not None]
+
     def _new_shard_stats(self) -> ShardStats:
         return ShardStats(shard_by=self.shard_by, n_shards=self.n_shards)
 
@@ -347,8 +650,14 @@ class ShardedMalivaService(MalivaService):
         if self._closed:
             return
         self._closed = True
-        for handle in self._handles:
-            handle.close()
+        for slot in self._slots:
+            handle, slot.handle = slot.handle, None
+            if handle is None:
+                continue
+            try:
+                handle.close(graceful=True)
+            except Exception:  # noqa: BLE001 - closing is best-effort
+                pass
 
     def __del__(self):  # pragma: no cover - belt and braces
         try:
@@ -359,41 +668,273 @@ class ShardedMalivaService(MalivaService):
     def report(self) -> dict:
         report = super().report()
         if not self._closed:
-            report["shard_caches"] = {
-                str(handle.shard_id): handle.cache_stats().to_dict()
-                for handle in self._handles
-            }
+            caches: dict[str, dict] = {}
+            deadline_s = self._call_deadline_s()
+            for slot in self._active_slots():
+                if slot.handle is None:
+                    continue
+                try:
+                    stats = slot.handle.cache_stats(deadline_s)
+                except WorkerFault as error:
+                    self._record_death(slot, error)
+                    continue
+                caches[str(slot.shard_id)] = stats.to_dict()
+            report["shard_caches"] = caches
         return report
+
+    # ------------------------------------------------------------------
+    # Deadlines
+    # ------------------------------------------------------------------
+    def _call_deadline_s(self, tau_ms: float | None = None) -> float | None:
+        """Reply deadline for request-path ops, scaled by the batch budget.
+
+        A worker serving a big-budget batch legitimately works longer, so
+        the deadline grows with the largest ``tau_ms`` in flight; the
+        base ``rpc_deadline_ms`` covers transport and fixed overheads.
+        ``rpc_deadline_ms=None`` disables deadlines entirely.
+        """
+        if self.rpc_deadline_ms is None:
+            return None
+        tau = tau_ms if tau_ms is not None else 0.0
+        return (self.rpc_deadline_ms + self.deadline_tau_factor * tau) / 1000.0
+
+    def _setup_deadline_s(self) -> float | None:
+        """Generous deadline for coherence ops (syncs, mirrors, rebalances):
+        these rebuild indexes and ship whole tables, so they get a wide
+        fixed multiple of the RPC deadline rather than a tau-scaled one."""
+        if self.rpc_deadline_ms is None:
+            return None
+        return max(30.0, 4.0 * self.rpc_deadline_ms / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Supervision: death, respawn, breaker, rebalance
+    # ------------------------------------------------------------------
+    def _active_slots(self) -> list[_ShardSlot]:
+        return [slot for slot in self._slots if not slot.retired]
+
+    def _record_death(self, slot: _ShardSlot, error: Exception) -> None:
+        """Mark a slot's worker dead and schedule its (backed-off) respawn."""
+        handle, slot.handle = slot.handle, None
+        slot.deaths += 1
+        if handle is not None:
+            try:
+                handle.close(graceful=False)
+            except Exception:  # noqa: BLE001 - reaping is best-effort
+                pass
+        if self.stats.shards is not None:
+            self.stats.shards.record_death(slot.shard_id)
+        slot.next_spawn_at = time.monotonic() + slot.backoff_s
+        slot.backoff_s = min(
+            self.respawn_backoff_cap_s,
+            max(slot.backoff_s * 2.0, self.respawn_backoff_s),
+        )
+
+    def _ensure_workers(self) -> None:
+        """Respawn dead slots past their backoff; retire exhausted ones.
+
+        Runs at the top of every plan/execute stage — never mid-batch, so
+        a batch sees a stable fleet from classification through merge and
+        a death inside the batch only routes work back to the router.
+        """
+        if self._closed:
+            return
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.retired or slot.handle is not None:
+                continue
+            if slot.respawns >= self.max_respawns:
+                # Circuit breaker: the respawn budget is spent; stop
+                # flapping and shrink the fleet instead.
+                self._retire(slot)
+                continue
+            if now < slot.next_spawn_at:
+                continue
+            slot.respawns += 1
+            try:
+                self._respawn(slot)
+            except Exception:  # noqa: BLE001 - retry after backoff
+                slot.next_spawn_at = time.monotonic() + slot.backoff_s
+                slot.backoff_s = min(
+                    self.respawn_backoff_cap_s,
+                    max(slot.backoff_s * 2.0, self.respawn_backoff_s),
+                )
+                if slot.respawns >= self.max_respawns:
+                    self._retire(slot)
+        if self._rebalance_pending:
+            self._drain_rebalance()
+
+    def _respawn(self, slot: _ShardSlot) -> None:
+        """Warm-respawn one slot from the live catalog, bit-coherent."""
+        active = self._active_slots()
+        rank = active.index(slot)
+        owned = sorted(
+            name
+            for name, owner in self._table_owner.items()
+            if owner == slot.shard_id
+        )
+        spec = rebuild_shard_spec(
+            self.maliva.database,
+            slot.shard_id,
+            rank,
+            len(active),
+            self.shard_by,
+            owned,
+        )
+        handle = self._build_handle(spec)
+        try:
+            if self._plan_scattered:
+                planner_spec = planner_spec_for(self.maliva)
+                if planner_spec is not None:
+                    handle.init_planner(planner_spec, self._probe_rpc)
+        except Exception:
+            try:
+                handle.close(graceful=False)
+            except Exception:  # noqa: BLE001
+                pass
+            raise
+        slot.handle = handle
+        slot.backoff_s = self.respawn_backoff_s
+        if self.stats.shards is not None:
+            self.stats.shards.record_respawn(slot.shard_id)
+
+    def _retire(self, slot: _ShardSlot) -> None:
+        """Trip the breaker on one slot and queue a fleet rebalance."""
+        if slot.retired:
+            return
+        slot.retired = True
+        handle, slot.handle = slot.handle, None
+        if handle is not None:
+            try:
+                handle.close(graceful=False)
+            except Exception:  # noqa: BLE001
+                pass
+        if self.stats.shards is not None:
+            self.stats.shards.record_retired(slot.shard_id)
+        self._rebalance_pending = True
+
+    def _drain_rebalance(self) -> None:
+        """Run queued rebalances, absorbing retirements they trigger."""
+        if self._rebalancing:
+            return
+        self._rebalancing = True
+        try:
+            while self._rebalance_pending:
+                self._rebalance_pending = False
+                self._do_rebalance()
+        finally:
+            self._rebalancing = False
+
+    def _do_rebalance(self) -> None:
+        """Re-partition the survivors after a breaker retirement.
+
+        Rows modes re-slice every table at the new (smaller) arity —
+        rank order follows shard-id order, so ``sorted(shard_id)``
+        concatenation of reports stays the canonical row order.  Table
+        mode re-adopts orphaned base-table groups (base plus its
+        samples, which must stay co-located) round-robin.
+        """
+        if self._closed:
+            return
+        if self.stats.shards is not None:
+            self.stats.shards.n_rebalances += 1
+        active = self._active_slots()
+        if not active:
+            # Whole fleet retired: every request recovers on the router.
+            return
+        database = self.maliva.database
+        deadline_s = self._setup_deadline_s()
+        if rows_partitioned(self.shard_by):
+            for name in sorted(database.table_names):
+                indexed = tuple(sorted(database.indexes_for(name)))
+                slices = reslice_for_sync(
+                    database, name, len(active), self.shard_by
+                )
+                for slot, fresh in zip(active, slices):
+                    if slot.handle is None:
+                        # A dead survivor respawns from the live catalog
+                        # at the new arity; no sync needed now.
+                        continue
+                    try:
+                        slot.handle.sync_table(fresh, indexed, deadline_s)
+                    except WorkerFault as error:
+                        self._record_death(slot, error)
+            return
+        orphaned = sorted(
+            name
+            for name, owner in self._table_owner.items()
+            if self._slots[owner].retired
+        )
+        groups: dict[str, list[str]] = {}
+        for name in orphaned:
+            if not database.has_table(name):  # pragma: no cover - dropped
+                continue
+            table = database.table(name)
+            base = table.base_table if table.is_sample else name
+            groups.setdefault(base, []).append(name)
+        for position, base in enumerate(sorted(groups)):
+            slot = active[position % len(active)]
+            for name in sorted(groups[base]):
+                self._table_owner[name] = slot.shard_id
+                if slot.handle is None:
+                    continue
+                indexed = tuple(sorted(database.indexes_for(name)))
+                try:
+                    slot.handle.sync_table(
+                        database.table(name), indexed, deadline_s
+                    )
+                except WorkerFault as error:
+                    self._record_death(slot, error)
 
     # ------------------------------------------------------------------
     # Cross-shard coherence
     # ------------------------------------------------------------------
     def _on_table_invalidated(self, table_name: str) -> None:
         super()._on_table_invalidated(table_name)
-        if self._closed or not self._handles:
+        if self._closed or not self._slots:
             return
         database = self.maliva.database
         if not database.has_table(table_name):  # pragma: no cover - dropped
             return
         indexed = tuple(sorted(database.indexes_for(table_name)))
+        deadline_s = self._setup_deadline_s()
+        active = self._active_slots()
         if rows_partitioned(self.shard_by):
-            slices = reslice_for_sync(
-                database, table_name, self.n_shards, self.shard_by
-            )
-            for handle, fresh in zip(self._handles, slices):
-                handle.sync_table(fresh, indexed)
+            if active:
+                slices = reslice_for_sync(
+                    database, table_name, len(active), self.shard_by
+                )
+                for slot, fresh in zip(active, slices):
+                    if slot.handle is None:
+                        # Dead slots skip the sync: their respawn rebuilds
+                        # from the live catalog and cannot go stale.
+                        continue
+                    try:
+                        slot.handle.sync_table(fresh, indexed, deadline_s)
+                    except WorkerFault as error:
+                        self._record_death(slot, error)
         else:
             owner = self._table_owner.get(table_name)
             if owner is not None:
-                self._handles[owner].sync_table(
-                    database.table(table_name), indexed
-                )
+                slot = self._slots[owner]
+                if not slot.retired and slot.handle is not None:
+                    try:
+                        slot.handle.sync_table(
+                            database.table(table_name), indexed, deadline_s
+                        )
+                    except WorkerFault as error:
+                        self._record_death(slot, error)
         if self._plan_scattered:
             # Planner replicas carry their own copy of the mutated table's
-            # header/sample/statistics state; every worker refreshes it.
+            # header/sample/statistics state; every live worker refreshes
+            # it (and evicts its decision mirror with it).
             sync = planner_sync_for(database, table_name)
-            for handle in self._handles:
-                handle.sync_planner(sync)
+            for slot in active:
+                if slot.handle is None:
+                    continue
+                try:
+                    slot.handle.sync_planner(sync, deadline_s)
+                except WorkerFault as error:
+                    self._record_death(slot, error)
         if self.stats.shards is not None:
             self.stats.shards.n_syncs += 1
 
@@ -407,59 +948,107 @@ class ShardedMalivaService(MalivaService):
     def _rewrite_misses(self, queries, taus):
         """Scatter the deduplicated miss leaders across worker planners.
 
-        Leaders are chunked round-robin (leader *i* plans on shard
-        ``i % n_shards``) — deterministic, so repeated batches land on the
-        same workers.  Every chunk is submitted before any is gathered, so
-        workers plan concurrently; accurate-QTE probe RPCs are serviced
-        inline during the gather.  Decisions are bit-identical to router
-        planning, so the base class's decision-cache bookkeeping and the
-        virtual planning times are untouched.
+        Leaders are chunked round-robin over the *live* fleet —
+        deterministic given fleet health, and bit-identical to router
+        planning regardless of which worker plans what (the twin-planning
+        property), so fleet churn never changes a decision.  Chunks lost
+        to a dead worker replan on the router; planned decisions are then
+        mirrored back to the live replicas so repeat leaders hit their
+        shard-side cache.
         """
         shard_stats = self.stats.shards
-        if not self._plan_scattered:
+        if self._closed:
+            raise QueryError("sharded service is closed")
+        if self._plan_scattered:
+            self._ensure_workers()
+        live = [
+            slot for slot in self._active_slots() if slot.handle is not None
+        ]
+        if not self._plan_scattered or not live:
             if shard_stats is not None:
                 shard_stats.n_plan_fallback += len(queries)
             return super()._rewrite_misses(queries, taus)
-        if self._closed:
-            raise QueryError("sharded service is closed")
-        per_shard: dict[int, list[int]] = {}
+        per_slot: dict[int, list[int]] = {}
         for position in range(len(queries)):
-            per_shard.setdefault(position % len(self._handles), []).append(
-                position
-            )
-        handles = {handle.shard_id: handle for handle in self._handles}
+            slot = live[position % len(live)]
+            per_slot.setdefault(slot.shard_id, []).append(position)
+        deadline_s = self._call_deadline_s(max(taus) if taus else None)
         submitted: list[int] = []
-        failure: Exception | None = None
-        for shard_id in sorted(per_shard):
-            positions = per_shard[shard_id]
+        router_positions: list[int] = []
+        for shard_id in sorted(per_slot):
+            slot = self._slots[shard_id]
+            positions = per_slot[shard_id]
             try:
-                handles[shard_id].submit_plan(
+                slot.handle.submit_plan(
                     [queries[p] for p in positions],
                     [taus[p] for p in positions],
                 )
-            except Exception as error:  # noqa: BLE001 - raised after drain
-                failure = failure or error
-                break
+            except WorkerFault as error:
+                self._record_death(slot, error)
+                router_positions.extend(positions)
+                if shard_stats is not None:
+                    shard_stats.record_plan_recovered(shard_id, len(positions))
+                continue
             submitted.append(shard_id)
         decisions: list = [None] * len(queries)
         for shard_id in submitted:
-            # Drain every submitted shard even after a failure — an
-            # uncollected reply would desync the pipe protocol.
+            slot = self._slots[shard_id]
+            positions = per_slot[shard_id]
             try:
-                planned, wall_s = handles[shard_id].collect_plan()
-            except Exception as error:  # noqa: BLE001 - re-raised below
-                failure = failure or error
+                planned, wall_s, mirror_hits = slot.handle.collect_plan(
+                    deadline_s, len(positions)
+                )
+            except WorkerFault as error:
+                self._record_death(slot, error)
+                router_positions.extend(positions)
+                if shard_stats is not None:
+                    shard_stats.record_plan_recovered(shard_id, len(positions))
                 continue
-            for position, decision in zip(per_shard[shard_id], planned):
+            for position, decision in zip(positions, planned):
                 decisions[position] = decision
             if shard_stats is not None:
-                shard_stats.record_plan(shard_id, len(planned), wall_s)
-        if failure is not None:
-            self.close()
-            raise QueryError("shard worker failed; service closed") from failure
+                shard_stats.record_plan(
+                    shard_id, len(planned), wall_s, mirror_hits
+                )
+        if router_positions:
+            # Replan the lost chunks locally — bit-identical decisions, so
+            # the decision cache and virtual planning times are unchanged.
+            router_positions.sort()
+            replanned = super()._rewrite_misses(
+                [queries[p] for p in router_positions],
+                [taus[p] for p in router_positions],
+            )
+            for position, decision in zip(router_positions, replanned):
+                decisions[position] = decision
         if shard_stats is not None:
-            shard_stats.n_plan_scattered += len(queries)
+            shard_stats.n_plan_scattered += len(queries) - len(router_positions)
+        self._broadcast_mirror(queries, taus, decisions)
         return decisions
+
+    def _broadcast_mirror(self, queries, taus, decisions) -> None:
+        """Mirror freshly planned decisions to the live worker replicas."""
+        if not self.mirror_decisions or not self._plan_scattered:
+            return
+        items = [
+            ((query.key(), tau), decision)
+            for query, tau, decision in zip(queries, taus, decisions)
+            if decision is not None
+        ]
+        if not items:
+            return
+        deadline_s = self._setup_deadline_s()
+        delivered = False
+        for slot in self._active_slots():
+            if slot.handle is None:
+                continue
+            try:
+                slot.handle.mirror_decisions(items, deadline_s)
+            except WorkerFault as error:
+                self._record_death(slot, error)
+                continue
+            delivered = True
+        if delivered and self.stats.shards is not None:
+            self.stats.shards.n_mirrored_decisions += len(items)
 
     # ------------------------------------------------------------------
     # The scattered execute stage
@@ -484,14 +1073,34 @@ class ShardedMalivaService(MalivaService):
         database = self.maliva.database
         shard_stats = self.stats.shards
         execute_started = time.perf_counter()
+        self._ensure_workers()
+
+        rows_mode = rows_partitioned(self.shard_by)
+        active = self._active_slots()
+        scatter_slots = [slot for slot in active if slot.handle is not None]
+        # Rows-mode scatter needs reports from *every* active slot (the
+        # partition's arity); one dead survivor routes the whole
+        # scatter-eligible set through router recovery instead.
+        scatter_ready = (
+            rows_mode and bool(active) and len(scatter_slots) == len(active)
+        )
+        blocking_shard: int | None = None
+        if rows_mode and not scatter_ready:
+            for slot in self._slots:
+                if slot.retired or slot.handle is None:
+                    blocking_shard = slot.shard_id
+                    break
 
         # Classify the scheduled batch.  begin_execution consumes the
         # hint-obey draw and the plan-cache sequence in scheduled order,
-        # exactly as single-engine execution would.
+        # exactly as single-engine execution would — which is also what
+        # makes recovered entries bit-identical: they re-execute below in
+        # that same order, against the same consumed draws.
         jobs = []  # (index, query, tau, decision, plan, obeyed, was_planned)
         scatter_positions: dict[int, int] = {}  # index -> entry position
         owner_positions: dict[int, tuple[int, int]] = {}  # index -> (shard, pos)
-        fallback_indexes: list[int] = []
+        fallback_indexes: list[int] = []  # structural router executions
+        recovered: dict[int, list[int]] = {}  # shard -> health-recovered idx
         entries: list[ShardEntry] = []
         per_owner_entries: dict[int, list[ShardEntry]] = {}
         for index in order:
@@ -503,73 +1112,127 @@ class ShardedMalivaService(MalivaService):
             if not obeyed:
                 fallback_indexes.append(index)
                 continue
-            if rows_partitioned(self.shard_by):
-                if scatter_eligible(plan):
+            if rows_mode:
+                if not scatter_eligible(plan):
+                    fallback_indexes.append(index)
+                elif scatter_ready:
                     scatter_positions[index] = len(entries)
                     entries.append(ShardEntry(rewritten, plan, PARTIAL))
                 else:
-                    fallback_indexes.append(index)
+                    recovered.setdefault(
+                        blocking_shard if blocking_shard is not None else 0, []
+                    ).append(index)
             else:
                 owner = self._table_owner.get(plan.scan.table)
                 co_located = owner is not None and (
                     plan.join is None
                     or self._table_owner.get(plan.join.inner_table) == owner
                 )
-                if co_located:
+                if not co_located:
+                    fallback_indexes.append(index)
+                    continue
+                slot = self._slots[owner]
+                if slot.retired or slot.handle is None:
+                    recovered.setdefault(owner, []).append(index)
+                else:
                     shard_entries = per_owner_entries.setdefault(owner, [])
                     owner_positions[index] = (owner, len(shard_entries))
                     shard_entries.append(ShardEntry(rewritten, plan, FULL))
-                else:
-                    fallback_indexes.append(index)
 
         # Scatter (workers run while the router handles fallbacks), in
-        # rounds of at most worker_batch_size entries per shard.
-        replies = self._scatter(entries, per_owner_entries)
-        if shard_stats is not None:
-            shard_stats.n_scattered += len(scatter_positions) + len(owner_positions)
-            shard_stats.n_fallback += len(fallback_indexes)
+        # rounds of at most worker_batch_size entries per shard.  Reports
+        # may come back incomplete if workers die mid-stream.
+        scatter_ids = sorted(slot.shard_id for slot in scatter_slots)
+        deadline_s = self._call_deadline_s(
+            max((resolved[i][1] for i in order), default=None)
+        )
+        reports = self._scatter(
+            entries,
+            per_owner_entries,
+            scatter_slots if rows_mode else None,
+            deadline_s,
+        )
 
-        # Assemble outcomes in scheduled order.
+        # Assemble outcomes in scheduled order.  A scatter entry is
+        # shard-served only if *every* required shard reported it; anything
+        # less re-executes on the router, bit-identically.
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
         fallback_set = set(fallback_indexes)
+        recovered_shard = {
+            index: shard_id
+            for shard_id, indexes in recovered.items()
+            for index in indexes
+        }
+        mid_recovered: dict[int, int] = {}
+        n_shard_served = 0
         for index, query, tau, decision, plan, obeyed, was_planned in jobs:
             rewritten = decision.rewritten  # type: ignore[union-attr]
-            if index in fallback_set:
+            if index in fallback_set or index in recovered_shard:
                 result = database.execute_planned(
                     plan, rewritten, obeyed=obeyed, was_planned=was_planned
                 )
             elif index in scatter_positions:
                 position = scatter_positions[index]
-                counters, row_ids, bins = merge_scatter(
-                    database,
-                    plan,
-                    [replies[shard][position] for shard in sorted(replies)],
-                    # Contiguous slices concatenate in canonical order;
-                    # strided slices interleave and need the merge's sort.
-                    presorted=self.shard_by != "rows-strided",
+                complete = all(
+                    len(reports.get(sid, [])) > position for sid in scatter_ids
                 )
-                result = database.complete_execution(
-                    plan,
-                    counters,
-                    row_ids,
-                    bins,
-                    obeyed=obeyed,
-                    was_planned=was_planned,
-                )
+                if complete:
+                    counters, row_ids, bins = merge_scatter(
+                        database,
+                        plan,
+                        [reports[sid][position] for sid in scatter_ids],
+                        # Contiguous slices concatenate in canonical order;
+                        # strided slices interleave and need the merge's
+                        # sort.
+                        presorted=self.shard_by != "rows-strided",
+                    )
+                    result = database.complete_execution(
+                        plan,
+                        counters,
+                        row_ids,
+                        bins,
+                        obeyed=obeyed,
+                        was_planned=was_planned,
+                    )
+                    n_shard_served += 1
+                else:
+                    result = database.execute_planned(
+                        plan, rewritten, obeyed=obeyed, was_planned=was_planned
+                    )
+                    victim = min(
+                        scatter_ids, key=lambda sid: len(reports.get(sid, []))
+                    )
+                    mid_recovered[victim] = mid_recovered.get(victim, 0) + 1
             else:
-                shard, position = owner_positions[index]
-                report = replies[shard][position]
-                result = database.complete_execution(
-                    plan,
-                    report.counters,
-                    report.row_ids,
-                    report.bins,
-                    obeyed=obeyed,
-                    was_planned=was_planned,
-                )
+                shard_id, position = owner_positions[index]
+                shard_reports = reports.get(shard_id, [])
+                if len(shard_reports) > position:
+                    shard_report = shard_reports[position]
+                    result = database.complete_execution(
+                        plan,
+                        shard_report.counters,
+                        shard_report.row_ids,
+                        shard_report.bins,
+                        obeyed=obeyed,
+                        was_planned=was_planned,
+                    )
+                    n_shard_served += 1
+                else:
+                    result = database.execute_planned(
+                        plan, rewritten, obeyed=obeyed, was_planned=was_planned
+                    )
+                    mid_recovered[shard_id] = mid_recovered.get(shard_id, 0) + 1
             outcomes[index] = self.maliva.assemble_outcome(
                 query, decision, tau, result
             )
+
+        if shard_stats is not None:
+            shard_stats.n_scattered += n_shard_served
+            shard_stats.n_fallback += len(fallback_set)
+            for shard_id, indexes in recovered.items():
+                shard_stats.record_recovered(shard_id, len(indexes))
+            for shard_id, count in mid_recovered.items():
+                shard_stats.record_recovered(shard_id, count)
 
         execute_share = (time.perf_counter() - execute_started) / len(requests)
         for index in order:
@@ -597,58 +1260,81 @@ class ShardedMalivaService(MalivaService):
         self,
         entries: list[ShardEntry],
         per_owner_entries: dict[int, list[ShardEntry]],
+        scatter_slots: list[_ShardSlot] | None,
+        deadline_s: float | None,
     ) -> dict[int, list]:
         """Ship entry batches to the shards and gather their reports.
 
-        Rows mode sends the same entry list to every shard; table mode
-        sends each owner its own list.  Batches are chunked to
+        Rows mode sends the same entry list to every scatter slot; table
+        mode sends each owner its own list.  Batches are chunked to
         ``worker_batch_size`` per round-trip; every shard's chunk is
         submitted before any reply is collected, so worker processes run
-        the round concurrently.
+        the round concurrently.  A worker failure marks its slot dead and
+        — in rows mode, where later rounds could not be merged anyway —
+        aborts further rounds after draining the current one; the reports
+        map simply comes back incomplete and the caller recovers the
+        unreported entries on the router.
         """
         shard_stats = self.stats.shards
         reports: dict[int, list] = {}
-        if rows_partitioned(self.shard_by):
+        targets: dict[int, tuple[_ShardSlot, list[ShardEntry]]] = {}
+        if scatter_slots is not None:
             if not entries:
                 return reports
-            work = {handle.shard_id: entries for handle in self._handles}
+            for slot in scatter_slots:
+                targets[slot.shard_id] = (slot, entries)
         else:
-            work = dict(per_owner_entries)
-            if not work:
-                return reports
+            for shard_id, shard_entries in per_owner_entries.items():
+                slot = self._slots[shard_id]
+                if slot.handle is None:  # pragma: no cover - died post-classify
+                    continue
+                targets[shard_id] = (slot, shard_entries)
+        if not targets:
+            return reports
+        rows_mode = scatter_slots is not None
         chunk = self.worker_batch_size
-        offsets = {shard_id: 0 for shard_id in work}
-        handles = {handle.shard_id: handle for handle in self._handles}
-        while any(offsets[shard] < len(work[shard]) for shard in work):
-            round_shards = []
-            failure: Exception | None = None
-            for shard_id, shard_entries in work.items():
+        offsets = {shard_id: 0 for shard_id in targets}
+        aborted = False
+        while not aborted:
+            round_ids: list[tuple[int, int]] = []
+            for shard_id in sorted(targets):
+                slot, shard_entries = targets[shard_id]
+                if slot.handle is None:
+                    continue
                 offset = offsets[shard_id]
                 if offset >= len(shard_entries):
                     continue
-                stop = len(shard_entries) if chunk is None else offset + chunk
+                stop = (
+                    len(shard_entries)
+                    if chunk is None
+                    else min(offset + chunk, len(shard_entries))
+                )
                 try:
-                    handles[shard_id].submit_execute(shard_entries[offset:stop])
-                except Exception as error:  # noqa: BLE001 - raised after drain
-                    failure = failure or error
-                    break
-                offsets[shard_id] = min(stop, len(shard_entries))
-                round_shards.append(shard_id)
-            for shard_id in round_shards:
+                    slot.handle.submit_execute(shard_entries[offset:stop])
+                except WorkerFault as error:
+                    self._record_death(slot, error)
+                    if rows_mode:
+                        aborted = True
+                    continue
+                offsets[shard_id] = stop
+                round_ids.append((shard_id, stop - offset))
+            if not round_ids:
+                break
+            for shard_id, expected in round_ids:
+                slot, _ = targets[shard_id]
+                if slot.handle is None:
+                    continue
                 # Drain every submitted shard even after a failure — an
                 # uncollected reply would desync the pipe protocol for
                 # whatever batch comes next.
                 try:
-                    reply = handles[shard_id].collect()
-                except Exception as error:  # noqa: BLE001 - re-raised below
-                    failure = failure or error
+                    reply = slot.handle.collect(deadline_s, expected)
+                except WorkerFault as error:
+                    self._record_death(slot, error)
+                    if rows_mode:
+                        aborted = True
                     continue
                 reports.setdefault(shard_id, []).extend(reply.reports)
                 if shard_stats is not None:
                     shard_stats.record_shard(shard_id, reply)
-            if failure is not None:
-                # A crashed worker cannot be trusted to hold coherent shard
-                # state; fail the batch and retire the service.
-                self.close()
-                raise QueryError("shard worker failed; service closed") from failure
         return reports

@@ -35,6 +35,19 @@ class ShardWindow:
     n_planned: int = 0
     #: Worker-side wall seconds spent planning (includes RPC waits).
     plan_wall_s: float = 0.0
+    #: Times this shard's worker died (timeout/EOF/garbled/error reply).
+    n_deaths: int = 0
+    #: Successful warm respawns of this shard's worker.
+    n_respawns: int = 0
+    #: Whether the circuit breaker permanently retired this shard.
+    breaker_open: bool = False
+    #: Scattered entries re-executed on the router after this shard failed
+    #: mid-batch (its partial reports for those entries are discarded).
+    n_recovered: int = 0
+    #: Miss leaders replanned on the router after this shard's planner died.
+    n_plan_recovered: int = 0
+    #: Mirrored router decisions this shard's replica served from cache.
+    n_mirror_hits: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -46,6 +59,12 @@ class ShardWindow:
             "cache_misses": self.cache_misses,
             "n_planned": self.n_planned,
             "plan_wall_s": self.plan_wall_s,
+            "n_deaths": self.n_deaths,
+            "n_respawns": self.n_respawns,
+            "breaker_open": self.breaker_open,
+            "n_recovered": self.n_recovered,
+            "n_plan_recovered": self.n_plan_recovered,
+            "n_mirror_hits": self.n_mirror_hits,
         }
 
 
@@ -68,6 +87,20 @@ class ShardStats:
     n_plan_fallback: int = 0
     #: Table re-slices broadcast to keep shard data/caches coherent.
     n_syncs: int = 0
+    #: Worker deaths across the fleet (each triggers recovery, not failure).
+    n_worker_deaths: int = 0
+    #: Successful warm respawns across the fleet.
+    n_respawns: int = 0
+    #: Shards permanently retired by the flapping circuit breaker.
+    n_retired: int = 0
+    #: Scattered entries recovered on the router after a mid-batch death.
+    n_recovered_entries: int = 0
+    #: Miss leaders replanned on the router after a planner-worker death.
+    n_plan_recovered: int = 0
+    #: Fleet re-partitions after a breaker retirement.
+    n_rebalances: int = 0
+    #: Router decisions broadcast to worker planner mirrors.
+    n_mirrored_decisions: int = 0
 
     def record_shard(self, shard_id: int, reply) -> None:
         """Fold one :class:`~repro.db.sharding.ShardBatchReply` in."""
@@ -79,11 +112,35 @@ class ShardStats:
         window.cache_hits += reply.cache_hits
         window.cache_misses += reply.cache_misses
 
-    def record_plan(self, shard_id: int, n_queries: int, wall_s: float) -> None:
+    def record_plan(
+        self, shard_id: int, n_queries: int, wall_s: float, mirror_hits: int = 0
+    ) -> None:
         """Fold one shard's plan-chunk reply in."""
         window = self.per_shard.setdefault(shard_id, ShardWindow())
         window.n_planned += n_queries
         window.plan_wall_s += wall_s
+        window.n_mirror_hits += mirror_hits
+
+    def record_death(self, shard_id: int) -> None:
+        self.n_worker_deaths += 1
+        self.per_shard.setdefault(shard_id, ShardWindow()).n_deaths += 1
+
+    def record_respawn(self, shard_id: int) -> None:
+        self.n_respawns += 1
+        self.per_shard.setdefault(shard_id, ShardWindow()).n_respawns += 1
+
+    def record_retired(self, shard_id: int) -> None:
+        self.n_retired += 1
+        self.per_shard.setdefault(shard_id, ShardWindow()).breaker_open = True
+
+    def record_recovered(self, shard_id: int, n_entries: int) -> None:
+        self.n_recovered_entries += n_entries
+        self.per_shard.setdefault(shard_id, ShardWindow()).n_recovered += n_entries
+
+    def record_plan_recovered(self, shard_id: int, n_queries: int) -> None:
+        self.n_plan_recovered += n_queries
+        window = self.per_shard.setdefault(shard_id, ShardWindow())
+        window.n_plan_recovered += n_queries
 
     def to_dict(self) -> dict:
         return {
@@ -94,6 +151,13 @@ class ShardStats:
             "n_plan_scattered": self.n_plan_scattered,
             "n_plan_fallback": self.n_plan_fallback,
             "n_syncs": self.n_syncs,
+            "n_worker_deaths": self.n_worker_deaths,
+            "n_respawns": self.n_respawns,
+            "n_retired": self.n_retired,
+            "n_recovered_entries": self.n_recovered_entries,
+            "n_plan_recovered": self.n_plan_recovered,
+            "n_rebalances": self.n_rebalances,
+            "n_mirrored_decisions": self.n_mirrored_decisions,
             "per_shard": {
                 str(shard_id): window.to_dict()
                 for shard_id, window in sorted(self.per_shard.items())
@@ -138,6 +202,13 @@ class ServiceStats:
     n_execute_batches: int = 0
     #: Scatter/gather accounting (sharded services only; None otherwise).
     shards: ShardStats | None = None
+    #: Requests refused by admission control (ServiceOverloadError).
+    n_shed: int = 0
+    #: Requests admitted with an overload-degraded ``tau_ms``.
+    n_tau_degraded: int = 0
+
+    def record_shed(self) -> None:
+        self.n_shed += 1
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -208,6 +279,8 @@ class ServiceStats:
             "p50_latency_ms": self.latency_ms(50.0),
             "p95_latency_ms": self.latency_ms(95.0),
             "decision_cache_hits": self.decision_cache_hits,
+            "n_shed": self.n_shed,
+            "n_tau_degraded": self.n_tau_degraded,
             "stage_seconds": dict(self.stage_seconds),
             "execute_sharing": {
                 **self.execute_sharing.to_dict(),

@@ -8,8 +8,10 @@ import pytest
 
 from repro.experiments.bench_gate import (
     DEFAULT_THRESHOLD,
+    check_floors,
     compare_dirs,
     main,
+    render_floors,
     render_markdown,
 )
 
@@ -165,6 +167,99 @@ def test_advisory_mode_reports_without_failing(dirs, capsys):
     out = capsys.readouterr().out
     assert "REGRESSED" in out
     assert "Advisory run" in out
+
+
+def _degraded(ratio, scale="small"):
+    return {
+        "degraded_qps": 650.0,
+        "healthy_qps": 1000.0,
+        "degraded_over_healthy": ratio,
+        "scale": scale,
+    }
+
+
+def test_degraded_ratio_below_floor_fails(dirs, capsys):
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    payload["degraded_mode"] = _degraded(0.40)
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    checks = check_floors(current)
+    assert len(checks) == 1
+    assert checks[0].failed
+    assert checks[0].status == "BELOW FLOOR"
+    code = main(["--baseline", str(baseline), "--current", str(current)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "BELOW FLOOR" in out
+    assert "degraded_over_healthy" in out
+
+
+def test_degraded_ratio_above_floor_passes(dirs):
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    payload["degraded_mode"] = _degraded(0.78)
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    checks = check_floors(current)
+    assert len(checks) == 1 and checks[0].status == "ok"
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_degraded_ratio_tiny_scale_is_info_only(dirs):
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    payload["degraded_mode"] = _degraded(0.30, scale="tiny")
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    checks = check_floors(current)
+    assert len(checks) == 1
+    assert checks[0].status == "info-only"
+    assert not checks[0].failed
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_floor_enforced_even_in_advisory_mode(dirs, capsys):
+    """Cross-machine baselines only soften *comparisons* — a within-run
+    ratio came from one host and still fails the advisory gate."""
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    payload["degraded_mode"] = _degraded(0.40)
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    code = main(
+        ["--baseline", str(baseline), "--current", str(current), "--advisory"]
+    )
+    assert code == 1
+    assert "BELOW FLOOR" in capsys.readouterr().out
+
+
+def test_missing_degraded_entry_tolerated(dirs):
+    baseline, current = dirs
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", _serving(990.0, 5100.0))
+    checks = check_floors(current)
+    assert len(checks) == 1
+    assert checks[0].status == "missing"
+    assert not checks[0].failed
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_degraded_qps_is_regression_gated(dirs):
+    baseline, current = dirs
+    base = _serving(1000.0, 5000.0)
+    base["degraded_mode"] = _degraded(0.80)
+    cur = _serving(990.0, 5100.0)
+    cur["degraded_mode"] = dict(_degraded(0.80), degraded_qps=200.0)
+    _write(baseline, "BENCH_serving.json", base)
+    _write(current, "BENCH_serving.json", cur)
+    rows = {row.metric: row for row in compare_dirs(baseline, current)}
+    assert rows["degraded_mode.degraded_qps"].regressed
+
+
+def test_render_floors_table(tmp_path):
+    markdown = render_floors(check_floors(tmp_path / "empty"))
+    assert "No within-run ratios reported." in markdown
 
 
 def test_bad_threshold_rejected(dirs, capsys):

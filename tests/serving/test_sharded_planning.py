@@ -32,7 +32,7 @@ from tests.conftest import (
     build_trained_maliva,
     build_twitter_db,
 )
-from tests.serving.test_sharded_service import _assert_outcomes_match
+from tests.serving.test_sharded_service import CHAOS, _assert_outcomes_match
 
 
 def _build_maliva(qte: str, *, dataset_seed: int = 11) -> Maliva:
@@ -141,14 +141,15 @@ def test_scattered_planning_matches_single_engine(twins, shard_by):
         )
         shards = sharded.stats.shards
         assert shards is not None
-        assert shards.n_plan_scattered > 0
-        assert shards.n_plan_fallback == 0
-        planned_per_shard = [
-            window.n_planned for window in shards.per_shard.values()
-        ]
-        assert sum(planned_per_shard) == shards.n_plan_scattered
-        # Round-robin chunking touches every shard.
-        assert all(n > 0 for n in planned_per_shard)
+        if not CHAOS:
+            assert shards.n_plan_scattered > 0
+            assert shards.n_plan_fallback == 0
+            planned_per_shard = [
+                window.n_planned for window in shards.per_shard.values()
+            ]
+            assert sum(planned_per_shard) == shards.n_plan_scattered
+            # Round-robin chunking touches every shard.
+            assert all(n > 0 for n in planned_per_shard)
 
 
 def test_plan_on_shards_off_falls_back_to_router(twins):
@@ -192,7 +193,8 @@ def test_worker_process_planning_over_rpc():
         )
         shards = sharded.stats.shards
         assert shards is not None
-        assert shards.n_plan_scattered > 0
+        if not CHAOS:
+            assert shards.n_plan_scattered > 0
 
 
 @pytest.mark.parametrize("shard_by", ["rows", "rows-strided"])
@@ -228,4 +230,5 @@ def test_planner_replicas_stay_coherent_after_append(shard_by):
         shards = sharded.stats.shards
         assert shards is not None
         assert shards.n_syncs >= 1
-        assert shards.n_plan_scattered > 0
+        if not CHAOS:
+            assert shards.n_plan_scattered > 0

@@ -115,9 +115,11 @@ def test_saturated_worker_chunking_is_outcome_invariant(
         assert [_outcome_signature(o) for o in lhs] == [
             _outcome_signature(o) for o in rhs
         ]
+        from tests.serving.test_sharded_service import CHAOS
+
         shards = chunked.stats.shards
         assert shards is not None
-        if worker_batch_size == 1:
+        if worker_batch_size == 1 and not CHAOS:
             # A saturated worker served the batch one entry at a time.
             for window in shards.per_shard.values():
                 assert window.n_batches == len(stream)

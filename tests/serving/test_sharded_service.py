@@ -10,6 +10,8 @@ scatter/gather contract of DESIGN.md §4.3.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -24,6 +26,11 @@ from tests.conftest import (
     build_trained_maliva,
     build_twitter_db,
 )
+
+#: Under the chaos pass (random injected faults) the *equivalence* asserts
+#: must keep holding — that is the whole point — but exact routing counters
+#: (scattered vs recovered vs fallback) legitimately shift with each death.
+CHAOS = "REPRO_CHAOS_SEED" in os.environ
 
 
 def _build_maliva(
@@ -89,12 +96,13 @@ def test_rows_mode_matches_single_engine(twins, n_shards):
         )
         shards = sharded.stats.shards
         assert shards is not None
-        assert shards.n_scattered == 2 * len(stream)
-        assert shards.n_fallback == 0
-        assert set(shards.per_shard) == set(range(n_shards))
-        for window in shards.per_shard.values():
-            assert window.n_queries == 2 * len(stream)
-            assert window.wall_s >= 0.0
+        if not CHAOS:
+            assert shards.n_scattered == 2 * len(stream)
+            assert shards.n_fallback == 0
+            assert set(shards.per_shard) == set(range(n_shards))
+            for window in shards.per_shard.values():
+                assert window.n_queries == 2 * len(stream)
+                assert window.wall_s >= 0.0
 
 
 def test_table_mode_matches_single_engine(twins):
@@ -113,7 +121,8 @@ def test_table_mode_matches_single_engine(twins):
         )
         shards = sharded.stats.shards
         assert shards is not None
-        assert shards.n_scattered == len(stream)
+        if not CHAOS:
+            assert shards.n_scattered == len(stream)
 
 
 def test_worker_processes_match_single_engine(twins):
@@ -132,7 +141,8 @@ def test_worker_processes_match_single_engine(twins):
             single.answer_many(short), sharded.answer_many(short)
         )
         report = sharded.report()
-        assert set(report["shard_caches"]) == {"0", "1"}
+        if not CHAOS:
+            assert set(report["shard_caches"]) == {"0", "1"}
         assert report["service"]["shards"]["n_shards"] == 2
 
 
@@ -183,7 +193,7 @@ def test_join_queries_fall_back_and_match():
         shards = sharded.stats.shards
         assert shards is not None
         assert shards.n_fallback == len(requests)
-        assert shards.n_scattered == 0
+        assert shards.n_scattered == 0  # joins never scatter, chaos or not
 
 
 def _mutation_columns(database, n: int):
@@ -250,54 +260,83 @@ def test_direct_database_mutation_propagates_via_hook():
         )
 
 
-def test_worker_failure_drains_round_and_closes_service(twins):
-    """A failing shard must not desync the others: the round is drained,
-    the batch fails, and the service retires instead of serving misaligned
-    replies on the next call."""
-    from repro.errors import QueryError
+def test_worker_failure_recovers_on_router(twins):
+    """A failing shard no longer fails the batch: the round is drained, the
+    affected entries re-execute on the router bit-identically, and the slot
+    respawns warm so the next batch scatters across the full fleet again."""
+    from repro.serving.faults import WorkerFault
 
-    _single, sharded_maliva, stream = twins
+    single_maliva, sharded_maliva, stream = twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
     sharded = ShardedMalivaService(
-        sharded_maliva, translator=TWITTER_TRANSLATOR, n_shards=3, processes=False
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=3,
+        processes=False,
+        respawn_backoff_s=0.0,
     )
-    try:
-        requests = stream[:4]
-        sharded.answer_many(requests[:1])
+    with sharded:
+        requests = stream[:6]
+        _assert_outcomes_match(
+            single.answer_many(requests[:1]), sharded.answer_many(requests[:1])
+        )
 
-        def explode():
-            raise QueryError("boom")
+        def explode(*_args, **_kwargs):
+            raise WorkerFault("boom")
 
         sharded._handles[1].collect = explode
-        with pytest.raises(QueryError, match="service closed"):
-            sharded.answer_many(requests)
-        assert sharded._closed
-        with pytest.raises(QueryError, match="closed"):
-            sharded.answer_many(requests[:1])
-    finally:
-        sharded.close()
+        _assert_outcomes_match(
+            single.answer_many(requests), sharded.answer_many(requests)
+        )
+        assert not sharded._closed
+        shards = sharded.stats.shards
+        assert shards is not None
+        if not CHAOS:
+            assert shards.n_worker_deaths == 1
+            assert shards.per_shard[1].n_deaths == 1
+            assert shards.n_recovered_entries >= 1
+        # Next batch: the slot respawned warm and scatter resumes.
+        scattered_before = shards.n_scattered
+        _assert_outcomes_match(
+            single.answer_many(requests), sharded.answer_many(requests)
+        )
+        if not CHAOS:
+            assert shards.n_respawns == 1
+            assert shards.per_shard[1].n_respawns == 1
+            assert shards.n_scattered > scattered_before
 
 
-def test_submit_failure_also_drains_and_closes(twins):
+def test_submit_failure_also_recovers(twins):
     """A dead worker surfacing at submit time gets the same drain-and-
-    retire treatment as one failing at collect time."""
-    from repro.errors import QueryError
+    recover treatment as one failing at collect time."""
+    from repro.serving.faults import WorkerFault
 
-    _single, sharded_maliva, stream = twins
+    single_maliva, sharded_maliva, stream = twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
     sharded = ShardedMalivaService(
-        sharded_maliva, translator=TWITTER_TRANSLATOR, n_shards=3, processes=False
+        sharded_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_shards=3,
+        processes=False,
+        respawn_backoff_s=0.0,
     )
-    try:
-        sharded.answer_many(stream[:1])
+    with sharded:
+        _assert_outcomes_match(
+            single.answer_many(stream[:1]), sharded.answer_many(stream[:1])
+        )
 
         def explode(_entries):
-            raise BrokenPipeError("worker gone")
+            raise WorkerFault("worker gone")
 
         sharded._handles[2].submit_execute = explode
-        with pytest.raises(QueryError, match="service closed"):
-            sharded.answer_many(stream[:4])
-        assert sharded._closed
-    finally:
-        sharded.close()
+        _assert_outcomes_match(
+            single.answer_many(stream[:4]), sharded.answer_many(stream[:4])
+        )
+        assert not sharded._closed
+        if not CHAOS:
+            shards = sharded.stats.shards
+            assert shards is not None
+            assert shards.n_worker_deaths == 1
 
 
 def test_closed_service_refuses_work(twins):
