@@ -202,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=5_000.0,
         help="virtual in-flight cost (ms) above which admission kicks in",
     )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help=(
+            "serve through the async pipelined tier: plan micro-batch N+1 "
+            "while batch N executes, bit-identically (--batch-size sets "
+            "the chunk; default: the service's stream batch size)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=32,
+        help=(
+            "async tier only: per-session bound on queued requests before "
+            "submitters feel backpressure (queued work also counts toward "
+            "the admission load)"
+        ),
+    )
     serve.add_argument("--save-dir", default="results")
     serve.add_argument("--no-save", action="store_true")
     return parser
@@ -327,6 +347,9 @@ def _run_serve(args) -> int:
     if args.load_watermark <= 0:
         print("error: --load-watermark must be positive", file=sys.stderr)
         return 2
+    if args.queue_limit < 1:
+        print("error: --queue-limit must be at least 1", file=sys.stderr)
+        return 2
 
     setup = twitter_setup(scale=args.scale, tau_ms=args.tau_ms, seed=args.seed)
     qte = (
@@ -379,7 +402,22 @@ def _run_serve(args) -> int:
         )
 
     def drive(reset_after: bool) -> dict:
-        if args.batch_size is None:
+        if args.use_async:
+            import asyncio
+
+            from .serving import AsyncMalivaService
+
+            async def _drive_async() -> None:
+                async with AsyncMalivaService(
+                    service, session_queue_limit=args.queue_limit
+                ) as tier:
+                    async for _ in tier.answer_stream(
+                        iter(stream), stream_batch_size=args.batch_size
+                    ):
+                        pass
+
+            asyncio.run(_drive_async())
+        elif args.batch_size is None:
             service.answer_many(stream)
         else:
             for _ in service.answer_stream(iter(stream), stream_batch_size=args.batch_size):
@@ -389,7 +427,13 @@ def _run_serve(args) -> int:
             service.reset_stats()
         return stats
 
-    batching = "whole batch" if args.batch_size is None else f"micro-batches of {args.batch_size}"
+    if args.use_async:
+        chunk = args.batch_size or service.stream_batch_size
+        batching = f"async pipelined micro-batches of {chunk}"
+    elif args.batch_size is None:
+        batching = "whole batch"
+    else:
+        batching = f"micro-batches of {args.batch_size}"
     sharding = (
         f", {args.shards} {args.shard_by}-sharded workers" if args.shards > 1 else ""
     )
@@ -426,6 +470,12 @@ def _run_serve(args) -> int:
     service.close()
     print(f"\nengine cache hit rate: {report['engine_hit_rate']:.1%}")
     print(f"decision cache hits:   {warm['decision_cache_hits']}/{warm['n_requests']}")
+    if args.use_async:
+        print(
+            f"async overlap:         {warm['n_overlapped_batches']} batches "
+            f"overlapped, {warm['overlap_plan_s']:.3f}s planning hidden "
+            f"behind execution"
+        )
     shards = warm.get("shards")
     if shards:
         print(

@@ -34,6 +34,7 @@ KEY_METRICS: dict[str, tuple[str, ...]] = {
         "sharded.cold_qps",
         "sharded.warm_qps",
         "degraded_mode.degraded_qps",
+        "pipelined_stream.async_qps",
     ),
     "BENCH_planning.json": (
         "cold_batched_qps",
@@ -57,9 +58,22 @@ DEFAULT_THRESHOLD = 0.30
 #: are enforced even under ``--advisory`` — only a ``tiny`` scale (or a
 #: missing entry) downgrades them to info-only.
 RATIO_FLOORS: dict[str, dict[str, float]] = {
-    # Graceful degradation: a fleet with 1-of-N shards breaker-retired
-    # must keep at least 65% of the healthy fleet's throughput.
-    "BENCH_serving.json": {"degraded_mode.degraded_over_healthy": 0.65},
+    "BENCH_serving.json": {
+        # Graceful degradation: a fleet with 1-of-N shards breaker-retired
+        # must keep at least 65% of the healthy fleet's throughput.
+        "degraded_mode.degraded_over_healthy": 0.65,
+        # Async pipelined serving: overlapping plan(N+1) with execute(N)
+        # must never fall below the synchronous drain of the same stream.
+        "pipelined_stream.async_over_sync": 1.0,
+    },
+}
+
+#: Minimum host CPUs for a floor to be *enforced* (info-only below).
+#: Ratios that measure overlap need real parallelism: on a 1-2 core host
+#: the worker processes and the planning router time-slice one another,
+#: so the ratio reflects scheduler luck rather than the pipeline.
+FLOOR_MIN_CPUS: dict[str, int] = {
+    "pipelined_stream.async_over_sync": 4,
 }
 
 
@@ -115,10 +129,18 @@ class FloorCheck:
     value: float | None
     scale: str | None
     floor: float
+    #: Host CPUs declared by the metric's section (``cpu_count``).
+    cpus: int | None = None
+    #: Floor enforced only when the host has at least this many CPUs.
+    min_cpus: int = 1
 
     @property
     def enforced(self) -> bool:
-        return self.value is not None and self.scale not in (None, "tiny")
+        if self.value is None or self.scale in (None, "tiny"):
+            return False
+        if self.min_cpus > 1 and (self.cpus is None or self.cpus < self.min_cpus):
+            return False
+        return True
 
     @property
     def failed(self) -> bool:
@@ -164,6 +186,19 @@ def _scale_of(payload: dict, dotted: str = "") -> str | None:
         if isinstance(node, dict) and "scale" in node:
             scale = node["scale"]
     return None if scale is None else str(scale)
+
+
+def _cpus_of(payload: dict, dotted: str = "") -> int | None:
+    """The host CPU count governing one metric: innermost section wins."""
+    cpus: object = payload.get("cpu_count")
+    node: object = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            break
+        node = node[part]
+        if isinstance(node, dict) and "cpu_count" in node:
+            cpus = node["cpu_count"]
+    return int(cpus) if isinstance(cpus, (int, float)) else None
 
 
 def _load(path: Path) -> dict | None:
@@ -230,6 +265,8 @@ def check_floors(
                     value=value,
                     scale=_scale_of(payload, metric),
                     floor=floor,
+                    cpus=_cpus_of(payload, metric),
+                    min_cpus=FLOOR_MIN_CPUS.get(metric, 1),
                 )
             )
     return checks
@@ -241,7 +278,8 @@ def render_floors(checks: list[FloorCheck]) -> str:
         "### Within-run ratio floors",
         "",
         "Machine-independent ratios from this run alone; enforced at any "
-        "non-tiny scale, advisory or not.",
+        "non-tiny scale, advisory or not (overlap ratios additionally "
+        "require a multi-CPU host).",
         "",
         "| file | metric | value | floor | status |",
         "|---|---|---:|---:|---|",

@@ -8,6 +8,7 @@ respawns, router recovery, admission control).
 """
 
 from .admission import AdmissionController, AdmissionVerdict
+from .async_service import AsyncMalivaService
 from .faults import FaultPlan, FaultSpec, RandomFaultPlan, WorkerFault, WorkerTimeout
 from .requests import VizRequest, interleave, requests_from_steps, with_budget
 from .scheduler import FifoScheduler, SessionAffinityScheduler
@@ -18,6 +19,7 @@ from .stats import RequestRecord, ServiceStats, ShardStats, ShardWindow
 __all__ = [
     "AdmissionController",
     "AdmissionVerdict",
+    "AsyncMalivaService",
     "FaultPlan",
     "FaultSpec",
     "FifoScheduler",

@@ -22,6 +22,22 @@ Costs are *reserved* at admission (the EWMA of observed virtual totals,
 clamped by the request's own deadline — a request can never cost more
 than its budget allows) and released when the batch completes, so the
 controller needs no clock and stays deterministic under test.
+
+Two refinements for the async serving tier:
+
+* **queued work counts.**  The async tier's bounded session queues report
+  their estimated virtual cost through :meth:`enqueue`/:meth:`dequeue`;
+  :meth:`admit` compares the watermark against :attr:`load_ms` — queued
+  *plus* in-flight cost — so verdicts see the backlog, not just the work
+  already dispatched.  The synchronous service never enqueues, keeping
+  ``load_ms == inflight_ms`` there.
+* **degraded outcomes don't teach the estimator.**  A degraded admission
+  runs under a shrunken ``tau_ms``, so its virtual total is systematically
+  smaller than what the *next healthy* request will cost.  Folding those
+  into the reservation EWMA right after an overload wave biases
+  ``estimated_cost_ms`` low and lets the following burst over-admit;
+  :meth:`observe` therefore keeps degraded observations in a separate
+  EWMA that is reported but never used for reservations.
 """
 
 from __future__ import annotations
@@ -77,13 +93,28 @@ class AdmissionController:
         self.ewma_alpha = ewma_alpha
         #: Reserved virtual cost of admitted, not-yet-released requests.
         self.inflight_ms = 0.0
-        #: EWMA of observed virtual totals (planner's own estimates).
+        #: Estimated virtual cost of requests queued but not yet admitted
+        #: (the async tier's bounded session queues report through
+        #: enqueue/dequeue; the sync service leaves this at zero).
+        self.queued_ms = 0.0
+        #: EWMA of observed *healthy* virtual totals (planner's own
+        #: estimates) — the reservation estimator.
         self.cost_ewma_ms: float | None = None
+        #: EWMA of degraded outcomes' totals, kept apart: they ran under a
+        #: shrunken tau and would bias the healthy estimate low (snapshot
+        #: context only, never used to reserve).
+        self.degraded_cost_ewma_ms: float | None = None
         self.n_admitted = 0
         self.n_degraded = 0
         self.n_shed = 0
+        self.n_enqueued = 0
 
     # ------------------------------------------------------------------
+    @property
+    def load_ms(self) -> float:
+        """Virtual load admission verdicts see: queued plus in-flight."""
+        return self.inflight_ms + self.queued_ms
+
     def estimated_cost_ms(self, tau_ms: float) -> float:
         """Reserved cost for one request: the learned estimate, capped by
         the deadline (a viable answer never exceeds its budget)."""
@@ -91,9 +122,19 @@ class AdmissionController:
             return tau_ms
         return min(tau_ms, self.cost_ewma_ms)
 
+    def enqueue(self, cost_ms: float) -> None:
+        """Make one queued request's estimated cost visible to admission."""
+        self.queued_ms += cost_ms
+        self.n_enqueued += 1
+
+    def dequeue(self, cost_ms: float) -> None:
+        """Remove a queued request's cost (it is about to be admitted —
+        which re-reserves it as in-flight — or was abandoned)."""
+        self.queued_ms = max(0.0, self.queued_ms - cost_ms)
+
     def admit(self, tau_ms: float) -> AdmissionVerdict:
         """Admit, degrade, or shed one request against the current load."""
-        load = self.inflight_ms
+        load = self.load_ms
         if load >= self.load_watermark_ms:
             if (
                 self.mode == "shed"
@@ -128,8 +169,23 @@ class AdmissionController:
         """Return a completed (or failed) request's reserved cost."""
         self.inflight_ms = max(0.0, self.inflight_ms - cost_ms)
 
-    def observe(self, total_ms: float) -> None:
-        """Fold one outcome's virtual total into the cost estimate."""
+    def observe(self, total_ms: float, degraded: bool = False) -> None:
+        """Fold one outcome's virtual total into the cost estimate.
+
+        Degraded outcomes ran under an overload-shrunken ``tau_ms``, so
+        their totals describe the degraded regime, not what the next
+        healthy admission will cost; they feed a segregated EWMA so an
+        overload wave cannot bias the reservation estimate low and
+        over-admit the following burst.
+        """
+        if degraded:
+            if self.degraded_cost_ewma_ms is None:
+                self.degraded_cost_ewma_ms = total_ms
+            else:
+                self.degraded_cost_ewma_ms += self.ewma_alpha * (
+                    total_ms - self.degraded_cost_ewma_ms
+                )
+            return
         if self.cost_ewma_ms is None:
             self.cost_ewma_ms = total_ms
         else:
@@ -141,8 +197,12 @@ class AdmissionController:
             "mode": self.mode,
             "load_watermark_ms": self.load_watermark_ms,
             "inflight_ms": self.inflight_ms,
+            "queued_ms": self.queued_ms,
+            "load_ms": self.load_ms,
             "cost_ewma_ms": self.cost_ewma_ms,
+            "degraded_cost_ewma_ms": self.degraded_cost_ewma_ms,
             "n_admitted": self.n_admitted,
             "n_degraded": self.n_degraded,
             "n_shed": self.n_shed,
+            "n_enqueued": self.n_enqueued,
         }

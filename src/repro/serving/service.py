@@ -36,6 +36,7 @@ identity ``tests/serving/test_service.py`` pins down.
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import time
 from typing import Iterable, Iterator, Sequence
@@ -50,6 +51,36 @@ from .admission import AdmissionController
 from .requests import VizRequest
 from .scheduler import SessionAffinityScheduler
 from .stats import RequestRecord, ServiceStats
+
+
+@dataclasses.dataclass
+class _PlannedBatch:
+    """One micro-batch captured at the end of the plan stage.
+
+    Everything :meth:`MalivaService._execute_stage` needs, bundled so the
+    async tier can hold a planned batch while the previous one executes.
+    """
+
+    requests: list[VizRequest]
+    resolved: list[tuple[SelectQuery, float]]
+    order: list[int]
+    decisions: list[object | None]
+    cached_flags: list[bool]
+    shared_s: float
+
+
+@dataclasses.dataclass
+class _InflightExecution:
+    """Token for an execute stage begun via :meth:`MalivaService._execute_begin`.
+
+    ``state`` is backend-specific: ``None`` for the single-engine service
+    (the whole stage runs inside ``_execute_finish``); the sharded service
+    stores its scatter bookkeeping here so workers crunch between the
+    begin and finish calls.
+    """
+
+    planned: _PlannedBatch
+    state: object | None = None
 
 
 class MalivaService:
@@ -74,6 +105,10 @@ class MalivaService:
         #: (see :mod:`repro.serving.admission`).  None admits everything.
         self.admission = admission
         self._last_shed: list[tuple[VizRequest, ServiceOverloadError]] = []
+        #: Chunk positions of the shed requests in ``_last_shed``; lets
+        #: stream pairing realign admitted outcomes by index even when the
+        #: same request object appears twice in one chunk.
+        self._shed_indexes: list[int] = []
         self.translator = translator
         self.default_tau_ms = default_tau_ms if default_tau_ms is not None else maliva.tau_ms
         self.scheduler = scheduler or SessionAffinityScheduler()
@@ -150,50 +185,91 @@ class MalivaService:
         middleware host gets faster.
         """
         self._last_shed = []
+        self._shed_indexes = []
         if not requests:
             return []
         if self.admission is None:
             return self._pipeline(list(requests))
-        admitted: list[VizRequest] = []
-        charges: list[float] = []
-        for request in requests:
-            tau_ms = request.effective_tau(self.default_tau_ms)
-            verdict = self.admission.admit(tau_ms)
-            if not verdict.admitted:
-                error = ServiceOverloadError(
-                    f"request shed under overload: in-flight virtual load "
-                    f"{self.admission.inflight_ms:.1f}ms exceeds watermark "
-                    f"{self.admission.load_watermark_ms:.1f}ms",
-                    retry_after_ms=verdict.retry_after_ms or 0.0,
-                    load_ms=self.admission.inflight_ms,
-                    watermark_ms=self.admission.load_watermark_ms,
-                )
-                self._last_shed.append((request, error))
-                self.stats.record_shed()
-                continue
-            charges.append(verdict.cost_ms)
-            if verdict.degraded:
-                self.stats.n_tau_degraded += 1
-                request = dataclasses.replace(request, tau_ms=verdict.tau_ms)
-            admitted.append(request)
+        admitted, charges, degraded = self._admit_batch(requests)
         try:
             outcomes = self._pipeline(admitted) if admitted else []
         finally:
             for cost in charges:
                 self.admission.release(cost)
-        for outcome in outcomes:
-            self.admission.observe(outcome.planning_ms + outcome.execution_ms)
+        for outcome, was_degraded in zip(outcomes, degraded):
+            self.admission.observe(
+                outcome.planning_ms + outcome.execution_ms, degraded=was_degraded
+            )
         return outcomes
+
+    def _admit_batch(
+        self, requests: Sequence[VizRequest]
+    ) -> tuple[list[VizRequest], list[float], list[bool]]:
+        """Run admission over one batch, recording sheds *positionally*.
+
+        Returns the admitted requests (deadline-degraded where the verdict
+        says so), their reserved virtual charges, and a per-admitted flag
+        marking degraded admissions — so their outcomes feed the
+        controller's segregated degraded EWMA instead of biasing the
+        healthy cost estimate.  Shed requests land in ``_last_shed`` with
+        their batch position in ``_shed_indexes``; the caller clears both
+        before admission starts.
+        """
+        assert self.admission is not None
+        admitted: list[VizRequest] = []
+        charges: list[float] = []
+        degraded: list[bool] = []
+        for position, request in enumerate(requests):
+            tau_ms = request.effective_tau(self.default_tau_ms)
+            verdict = self.admission.admit(tau_ms)
+            if not verdict.admitted:
+                error = ServiceOverloadError(
+                    f"request shed under overload: queued+in-flight virtual "
+                    f"load {self.admission.load_ms:.1f}ms exceeds watermark "
+                    f"{self.admission.load_watermark_ms:.1f}ms",
+                    retry_after_ms=verdict.retry_after_ms or 0.0,
+                    load_ms=self.admission.load_ms,
+                    watermark_ms=self.admission.load_watermark_ms,
+                )
+                self._last_shed.append((request, error))
+                self._shed_indexes.append(position)
+                self.stats.record_shed()
+                continue
+            charges.append(verdict.cost_ms)
+            degraded.append(verdict.degraded)
+            if verdict.degraded:
+                self.stats.n_tau_degraded += 1
+                request = dataclasses.replace(request, tau_ms=verdict.tau_ms)
+            admitted.append(request)
+        return admitted, charges, degraded
 
     @property
     def last_shed(self) -> list[tuple[VizRequest, ServiceOverloadError]]:
-        """Requests shed from the most recent batch, with their errors."""
+        """Requests shed from the most recent batch, with their errors.
+
+        **Batch-scoped lifetime**: the list is rebuilt at the start of
+        every :meth:`answer_many` call and cleared by :meth:`reset_stats`;
+        it never accumulates across batches or measurement windows.
+        """
         return list(self._last_shed)
 
     def _pipeline(self, requests: Sequence[VizRequest]) -> list[RequestOutcome]:
         """The staged resolve → schedule → plan → execute pipeline."""
-        if not requests:
+        planned = self._plan_batch(requests)
+        if planned is None:
             return []
+        return self._execute_finish(self._execute_begin(planned))
+
+    def _plan_batch(self, requests: Sequence[VizRequest]) -> _PlannedBatch | None:
+        """Run the resolve → schedule → plan stages for one micro-batch.
+
+        Returns everything the execute stage needs, so the async tier can
+        plan batch N+1 while batch N's execute stage is still in flight —
+        planning consumes no engine randomness, so the reorder is
+        outcome-commutative (see DESIGN.md §4.6).
+        """
+        if not requests:
+            return None
         batch_started = time.perf_counter()
         resolved = [self.resolve(request) for request in requests]
         resolved_at = time.perf_counter()
@@ -211,9 +287,52 @@ class MalivaService:
         self.stats.record_stage("resolve", resolved_at - batch_started)
         self.stats.record_stage("schedule", scheduled_at - resolved_at)
         self.stats.record_stage("plan", planned_at - scheduled_at)
+        return _PlannedBatch(
+            requests=list(requests),
+            resolved=resolved,
+            order=order,
+            decisions=decisions,
+            cached_flags=cached_flags,
+            shared_s=shared_s,
+        )
 
+    # ------------------------------------------------------------------
+    # Execute-stage seams (the async tier overlaps across these)
+    # ------------------------------------------------------------------
+    def _execute_begin(self, planned: _PlannedBatch) -> _InflightExecution:
+        """Start executing a planned batch (override seam).
+
+        The single-engine service has no remote workers to keep busy, so
+        ``begin`` is a bookkeeping no-op and the whole execute stage runs
+        inside :meth:`_execute_finish`.  Overlap still pays off: the async
+        tier plans the *next* batch between begin and finish, and plan
+        order is commutative with execution.  The sharded service
+        overrides this pair to scatter the first worker round before
+        returning, so shard processes crunch while the router plans.
+        """
+        return _InflightExecution(planned=planned)
+
+    async def _execute_wait(self, token: _InflightExecution) -> None:
+        """Await until :meth:`_execute_finish` would not block meaningfully.
+
+        The base implementation yields once to the event loop (execution
+        has not started yet — it all happens in finish); the sharded
+        override polls worker pipes so other coroutines can run while the
+        shard fleet crunches.
+        """
+        del token
+        await asyncio.sleep(0)
+
+    def _execute_finish(self, token: _InflightExecution) -> list[RequestOutcome]:
+        """Complete an in-flight execute stage and collect its outcomes."""
+        planned = token.planned
         outcomes = self._execute_stage(
-            requests, resolved, order, decisions, cached_flags, shared_s
+            planned.requests,
+            planned.resolved,
+            planned.order,
+            planned.decisions,
+            planned.cached_flags,
+            planned.shared_s,
         )
         return [outcome for outcome in outcomes if outcome is not None]
 
@@ -341,7 +460,9 @@ class MalivaService:
         self,
         requests: Iterable[VizRequest],
         stream_batch_size: int | None = None,
-    ) -> Iterator[tuple[VizRequest, RequestOutcome]]:
+        *,
+        shed_markers: bool = False,
+    ) -> Iterator[tuple[VizRequest, RequestOutcome | ServiceOverloadError]]:
         """Serve an open-ended stream in arrival order, chunk-wise lazily.
 
         Requests are drained through the :meth:`answer_many` pipeline in
@@ -350,6 +471,15 @@ class MalivaService:
         scheduling, lockstep planning, and decision-cache reuse as batches.
         Results for a chunk are yielded, in arrival order, as soon as the
         chunk completes; a chunk size of 1 reproduces fully lazy serving.
+
+        **Pairing contract.**  ``answer_many`` returns outcomes only for
+        *admitted* requests, so when admission sheds mid-chunk the pairing
+        is realigned positionally: every yielded ``(request, outcome)``
+        pair refers to that exact request — a shed never shifts later
+        requests onto the wrong outcome.  Shed requests are skipped by
+        default; with ``shed_markers=True`` they are yielded as
+        ``(request, ServiceOverloadError)`` pairs instead, preserving
+        arrival order for consumers that account for every submission.
         """
         size = self.stream_batch_size if stream_batch_size is None else stream_batch_size
         if size < 1:
@@ -358,10 +488,36 @@ class MalivaService:
         for request in requests:
             chunk.append(request)
             if len(chunk) >= size:
-                yield from zip(chunk, self.answer_many(chunk))
+                yield from self._stream_chunk(chunk, shed_markers)
                 chunk = []
         if chunk:
-            yield from zip(chunk, self.answer_many(chunk))
+            yield from self._stream_chunk(chunk, shed_markers)
+
+    def _stream_chunk(
+        self, chunk: Sequence[VizRequest], shed_markers: bool
+    ) -> Iterator[tuple[VizRequest, RequestOutcome | ServiceOverloadError]]:
+        """Pair one chunk's outcomes with its requests by *position*.
+
+        Positions rather than object identity: a stream may legitimately
+        submit the same ``VizRequest`` object twice within one chunk.
+        """
+        outcomes = self.answer_many(chunk)
+        if not self._shed_indexes:
+            # Fast path: nothing shed, outcomes align 1:1 with the chunk.
+            yield from zip(chunk, outcomes)
+            return
+        shed_at = {
+            position: error
+            for position, (_, error) in zip(self._shed_indexes, self._last_shed)
+        }
+        results = iter(outcomes)
+        for position, request in enumerate(chunk):
+            error = shed_at.get(position)
+            if error is not None:
+                if shed_markers:
+                    yield request, error
+                continue
+            yield request, next(results)
 
     # ------------------------------------------------------------------
     # Mutation and observability
@@ -384,9 +540,18 @@ class MalivaService:
         self.maliva.qte.invalidate()
 
     def reset_stats(self) -> None:
-        """Start a fresh measurement window (request stats + engine baseline)."""
+        """Start a fresh measurement window (request stats + engine baseline).
+
+        Also clears :attr:`last_shed`: shed records are batch-scoped
+        diagnostics, and letting them outlive the window they were shed in
+        would let :meth:`answer_one` (or any ``last_shed`` reader) surface
+        a stale :class:`~repro.errors.ServiceOverloadError` from traffic
+        that predates the reset.
+        """
         self.stats = ServiceStats()
         self._engine_baseline = self.maliva.database.cache_stats()
+        self._last_shed = []
+        self._shed_indexes = []
 
     def close(self) -> None:
         """Release serving resources (a no-op for the single-engine service)."""

@@ -91,6 +91,7 @@ single-core hosts where process parallelism cannot pay for its transport.
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import time
 import traceback
@@ -131,7 +132,7 @@ from .planner_replica import (
     resolve_probe_rpc,
 )
 from .requests import VizRequest
-from .service import MalivaService
+from .service import MalivaService, _InflightExecution, _PlannedBatch
 from .stats import RequestRecord, ShardStats
 
 #: How long a worker told to HANG sleeps — far past any realistic deadline.
@@ -169,6 +170,10 @@ class InlineShardHandle:
 
     def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
         self._pending.append((list(entries), self._action("execute")))
+
+    def reply_ready(self) -> bool:
+        """Inline work happens at collect time, so a reply never blocks."""
+        return True
 
     def collect(self, deadline_s: float | None = None, expected: int | None = None):
         entries, action = self._pending.pop(0)
@@ -392,6 +397,17 @@ class ShardWorkerHandle:
     def submit_execute(self, entries: Sequence[ShardEntry]) -> None:
         self._send("execute", list(entries))
 
+    def reply_ready(self) -> bool:
+        """Non-blocking probe: has the worker's next reply arrived?
+
+        Transport errors report ready — the subsequent :meth:`collect`
+        will surface them as a :class:`WorkerFault` for the supervisor.
+        """
+        try:
+            return bool(self._conn.poll(0))
+        except (OSError, ValueError, EOFError):
+            return True
+
     def collect(self, deadline_s: float | None = None, expected: int | None = None):
         reply = self._recv_ok(deadline_s)
         if not isinstance(reply, ShardBatchReply):
@@ -545,6 +561,55 @@ class _ShardSlot:
         self.next_spawn_at = 0.0
 
 
+class _ScatterState:
+    """One scatter/gather in progress: targets, cursors, gathered reports.
+
+    Produced by :meth:`ShardedMalivaService._scatter_begin` after the first
+    submit round; :meth:`ShardedMalivaService._scatter_finish` drains the
+    remaining collect/submit rounds.  Splitting the loop at that seam lets
+    the async tier plan the next batch while workers crunch round one.
+    """
+
+    __slots__ = (
+        "targets",
+        "offsets",
+        "rows_mode",
+        "deadline_s",
+        "aborted",
+        "reports",
+        "round_ids",
+    )
+
+    def __init__(
+        self,
+        targets: dict[int, tuple[_ShardSlot, list[ShardEntry]]],
+        rows_mode: bool,
+        deadline_s: float | None,
+    ) -> None:
+        self.targets = targets
+        self.offsets = {shard_id: 0 for shard_id in targets}
+        self.rows_mode = rows_mode
+        self.deadline_s = deadline_s
+        self.aborted = False
+        self.reports: dict[int, list] = {}
+        self.round_ids: list[tuple[int, int]] = []
+
+
+class _ShardedInflight:
+    """Classification + scatter bookkeeping between execute begin/finish."""
+
+    __slots__ = (
+        "execute_started",
+        "jobs",
+        "scatter_positions",
+        "owner_positions",
+        "fallback_indexes",
+        "recovered",
+        "scatter_ids",
+        "scatter_state",
+    )
+
+
 class ShardedMalivaService(MalivaService):
     """Scatter/gather serving over N supervised shard engines."""
 
@@ -586,6 +651,13 @@ class ShardedMalivaService(MalivaService):
         self._plan_scattered = False
         self._rebalancing = False
         self._rebalance_pending = False
+        #: True between _execute_begin and _execute_finish: the worker
+        #: pipes carry in-flight execute replies, so no other op may use
+        #: them until the batch is collected.
+        self._execute_inflight = False
+        #: Decisions planned on the router during an overlapped batch,
+        #: mirrored to worker replicas once the pipes are free again.
+        self._pending_mirror: list[tuple[list, list, list]] = []
         super().__init__(maliva, **kwargs)
         self.n_shards = n_shards
         self.shard_by = shard_by
@@ -667,7 +739,10 @@ class ShardedMalivaService(MalivaService):
 
     def report(self) -> dict:
         report = super().report()
-        if not self._closed:
+        # Worker cache probes share the duplex pipes with in-flight execute
+        # replies; skip them mid-batch (the async tier may report between
+        # overlapped chunks) rather than desync the protocol.
+        if not self._closed and not self._execute_inflight:
             caches: dict[str, dict] = {}
             deadline_s = self._call_deadline_s()
             for slot in self._active_slots():
@@ -890,6 +965,16 @@ class ShardedMalivaService(MalivaService):
     # ------------------------------------------------------------------
     def _on_table_invalidated(self, table_name: str) -> None:
         super()._on_table_invalidated(table_name)
+        if self._execute_inflight:
+            # The router's decision cache is already evicted (above), but a
+            # sync broadcast would interleave with in-flight execute
+            # replies on the worker pipes.  The async tier quiesces via
+            # drain() before mutating; anything else is a caller bug.
+            raise QueryError(
+                f"table {table_name!r} mutated while a sharded execute "
+                f"batch is in flight; drain the async service before "
+                f"mutating"
+            )
         if self._closed or not self._slots:
             return
         database = self.maliva.database
@@ -959,6 +1044,19 @@ class ShardedMalivaService(MalivaService):
         shard_stats = self.stats.shards
         if self._closed:
             raise QueryError("sharded service is closed")
+        if self._execute_inflight:
+            # Overlapped planning: the duplex pipes are mid-execute-batch,
+            # so worker plan RPCs (and supervision's sync traffic) would
+            # desync them.  Plan on the router — bit-identical by the
+            # twin-planning property — and mirror once the batch lands.
+            decisions = MalivaService._rewrite_misses(self, queries, taus)
+            if shard_stats is not None:
+                shard_stats.n_plan_overlapped += len(queries)
+            if self.mirror_decisions and self._plan_scattered:
+                self._pending_mirror.append(
+                    (list(queries), list(taus), list(decisions))
+                )
+            return decisions
         if self._plan_scattered:
             self._ensure_workers()
         live = [
@@ -1050,9 +1148,85 @@ class ShardedMalivaService(MalivaService):
         if delivered and self.stats.shards is not None:
             self.stats.shards.n_mirrored_decisions += len(items)
 
+    def _flush_pending_mirror(self) -> None:
+        """Deliver mirrors deferred by overlapped (router-side) planning."""
+        if not self._pending_mirror:
+            return
+        pending, self._pending_mirror = self._pending_mirror, []
+        for queries, taus, decisions in pending:
+            self._broadcast_mirror(queries, taus, decisions)
+            if self.stats.shards is not None:
+                self.stats.shards.n_deferred_mirrors += len(queries)
+
     # ------------------------------------------------------------------
     # The scattered execute stage
     # ------------------------------------------------------------------
+    def _execute_begin(self, planned: _PlannedBatch) -> _InflightExecution:
+        """Classify and scatter-submit the first worker round, then return.
+
+        Shard processes crunch the submitted round while the caller (the
+        async tier) plans the next micro-batch; :meth:`_execute_finish`
+        collects, runs any remaining rounds, and assembles.  Between the
+        two calls the worker pipes are reserved for execute replies —
+        ``_execute_inflight`` reroutes planning to the router and defers
+        mirror/sync traffic.  Quality-scored batches keep the base token:
+        they execute sequentially inside finish.
+        """
+        if self.quality_fn is not None or self._closed:
+            # Base token; finish routes through self._execute_stage, which
+            # runs the sequential quality path (and raises when closed).
+            return super()._execute_begin(planned)
+        if self._execute_inflight:
+            raise QueryError(
+                "sharded service already has an execute batch in flight"
+            )
+        state = self._sharded_execute_begin(planned)
+        self._execute_inflight = True
+        return _InflightExecution(planned=planned, state=state)
+
+    async def _execute_wait(self, token: _InflightExecution) -> None:
+        """Poll the submitted round's worker pipes without blocking the loop.
+
+        Returns once every live worker's reply has arrived — or once the
+        reply deadline passes, letting the synchronous collect path in
+        :meth:`_execute_finish` surface the timeout through the
+        supervisor.  Later rounds of a chunked batch block inside finish
+        as usual.
+        """
+        state = token.state
+        if not isinstance(state, _ShardedInflight):
+            await super()._execute_wait(token)
+            return
+        scatter = state.scatter_state
+        deadline_at = (
+            None
+            if scatter.deadline_s is None
+            else time.monotonic() + scatter.deadline_s
+        )
+        while True:
+            pending = False
+            for shard_id, _expected in scatter.round_ids:
+                slot, _entries = scatter.targets[shard_id]
+                if slot.handle is not None and not slot.handle.reply_ready():
+                    pending = True
+                    break
+            if not pending:
+                return
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                return
+            await asyncio.sleep(0.0005)
+
+    def _execute_finish(self, token: _InflightExecution) -> list[RequestOutcome]:
+        state = token.state
+        if not isinstance(state, _ShardedInflight):
+            return super()._execute_finish(token)
+        try:
+            outcomes = self._sharded_execute_finish(token.planned, state)
+            return [outcome for outcome in outcomes if outcome is not None]
+        finally:
+            self._execute_inflight = False
+            self._flush_pending_mirror()
+
     def _execute_stage(
         self,
         requests: Sequence[VizRequest],
@@ -1070,9 +1244,26 @@ class ShardedMalivaService(MalivaService):
             )
         if self._closed:
             raise QueryError("sharded service is closed")
+        planned = _PlannedBatch(
+            requests=list(requests),
+            resolved=resolved,
+            order=order,
+            decisions=decisions,
+            cached_flags=cached_flags,
+            shared_s=shared_s,
+        )
+        return self._sharded_execute_finish(
+            planned, self._sharded_execute_begin(planned)
+        )
+
+    def _sharded_execute_begin(self, planned: _PlannedBatch) -> _ShardedInflight:
+        """Classification plus the first scatter round (the overlap point)."""
+        resolved = planned.resolved
+        order = planned.order
+        decisions = planned.decisions
         database = self.maliva.database
-        shard_stats = self.stats.shards
-        execute_started = time.perf_counter()
+        state = _ShardedInflight()
+        state.execute_started = time.perf_counter()
         self._ensure_workers()
 
         rows_mode = rows_partitioned(self.shard_by)
@@ -1139,19 +1330,46 @@ class ShardedMalivaService(MalivaService):
                     owner_positions[index] = (owner, len(shard_entries))
                     shard_entries.append(ShardEntry(rewritten, plan, FULL))
 
-        # Scatter (workers run while the router handles fallbacks), in
-        # rounds of at most worker_batch_size entries per shard.  Reports
-        # may come back incomplete if workers die mid-stream.
-        scatter_ids = sorted(slot.shard_id for slot in scatter_slots)
+        # Scatter (workers run while the router plans the next batch or
+        # handles fallbacks), in rounds of at most worker_batch_size
+        # entries per shard.  Reports may come back incomplete if workers
+        # die mid-stream.
+        state.jobs = jobs
+        state.scatter_positions = scatter_positions
+        state.owner_positions = owner_positions
+        state.fallback_indexes = fallback_indexes
+        state.recovered = recovered
+        state.scatter_ids = sorted(slot.shard_id for slot in scatter_slots)
         deadline_s = self._call_deadline_s(
             max((resolved[i][1] for i in order), default=None)
         )
-        reports = self._scatter(
+        state.scatter_state = self._scatter_begin(
             entries,
             per_owner_entries,
             scatter_slots if rows_mode else None,
             deadline_s,
         )
+        return state
+
+    def _sharded_execute_finish(
+        self, planned: _PlannedBatch, state: _ShardedInflight
+    ) -> list[RequestOutcome | None]:
+        """Drain the scatter, assemble outcomes, and record request stats."""
+        requests = planned.requests
+        resolved = planned.resolved
+        order = planned.order
+        cached_flags = planned.cached_flags
+        shared_s = planned.shared_s
+        database = self.maliva.database
+        shard_stats = self.stats.shards
+        execute_started = state.execute_started
+        jobs = state.jobs
+        scatter_positions = state.scatter_positions
+        owner_positions = state.owner_positions
+        fallback_indexes = state.fallback_indexes
+        recovered = state.recovered
+        scatter_ids = state.scatter_ids
+        reports = self._scatter_finish(state.scatter_state)
 
         # Assemble outcomes in scheduled order.  A scatter entry is
         # shard-served only if *every* required shard reported it; anything
@@ -1274,67 +1492,95 @@ class ShardedMalivaService(MalivaService):
         aborts further rounds after draining the current one; the reports
         map simply comes back incomplete and the caller recovers the
         unreported entries on the router.
+
+        Split into :meth:`_scatter_begin` (build targets, submit round
+        one) and :meth:`_scatter_finish` (collect/submit the remaining
+        rounds) so the async tier can plan between the two.
         """
-        shard_stats = self.stats.shards
-        reports: dict[int, list] = {}
+        return self._scatter_finish(
+            self._scatter_begin(entries, per_owner_entries, scatter_slots, deadline_s)
+        )
+
+    def _scatter_begin(
+        self,
+        entries: list[ShardEntry],
+        per_owner_entries: dict[int, list[ShardEntry]],
+        scatter_slots: list[_ShardSlot] | None,
+        deadline_s: float | None,
+    ) -> _ScatterState:
+        """Build the scatter targets and submit the first round."""
         targets: dict[int, tuple[_ShardSlot, list[ShardEntry]]] = {}
         if scatter_slots is not None:
-            if not entries:
-                return reports
-            for slot in scatter_slots:
-                targets[slot.shard_id] = (slot, entries)
+            if entries:
+                for slot in scatter_slots:
+                    targets[slot.shard_id] = (slot, entries)
         else:
             for shard_id, shard_entries in per_owner_entries.items():
                 slot = self._slots[shard_id]
                 if slot.handle is None:  # pragma: no cover - died post-classify
                     continue
                 targets[shard_id] = (slot, shard_entries)
-        if not targets:
-            return reports
-        rows_mode = scatter_slots is not None
+        state = _ScatterState(targets, scatter_slots is not None, deadline_s)
+        if targets:
+            state.round_ids = self._submit_round(state)
+        return state
+
+    def _submit_round(self, state: _ScatterState) -> list[tuple[int, int]]:
+        """Submit one chunked round to every live target; workers overlap."""
         chunk = self.worker_batch_size
-        offsets = {shard_id: 0 for shard_id in targets}
-        aborted = False
-        while not aborted:
-            round_ids: list[tuple[int, int]] = []
-            for shard_id in sorted(targets):
-                slot, shard_entries = targets[shard_id]
-                if slot.handle is None:
-                    continue
-                offset = offsets[shard_id]
-                if offset >= len(shard_entries):
-                    continue
-                stop = (
-                    len(shard_entries)
-                    if chunk is None
-                    else min(offset + chunk, len(shard_entries))
-                )
-                try:
-                    slot.handle.submit_execute(shard_entries[offset:stop])
-                except WorkerFault as error:
-                    self._record_death(slot, error)
-                    if rows_mode:
-                        aborted = True
-                    continue
-                offsets[shard_id] = stop
-                round_ids.append((shard_id, stop - offset))
-            if not round_ids:
+        round_ids: list[tuple[int, int]] = []
+        for shard_id in sorted(state.targets):
+            slot, shard_entries = state.targets[shard_id]
+            if slot.handle is None:
+                continue
+            offset = state.offsets[shard_id]
+            if offset >= len(shard_entries):
+                continue
+            stop = (
+                len(shard_entries)
+                if chunk is None
+                else min(offset + chunk, len(shard_entries))
+            )
+            try:
+                slot.handle.submit_execute(shard_entries[offset:stop])
+            except WorkerFault as error:
+                self._record_death(slot, error)
+                if state.rows_mode:
+                    state.aborted = True
+                continue
+            state.offsets[shard_id] = stop
+            round_ids.append((shard_id, stop - offset))
+        return round_ids
+
+    def _collect_round(
+        self, state: _ScatterState, round_ids: list[tuple[int, int]]
+    ) -> None:
+        """Gather one submitted round into the state's reports map."""
+        shard_stats = self.stats.shards
+        for shard_id, expected in round_ids:
+            slot, _ = state.targets[shard_id]
+            if slot.handle is None:
+                continue
+            # Drain every submitted shard even after a failure — an
+            # uncollected reply would desync the pipe protocol for
+            # whatever batch comes next.
+            try:
+                reply = slot.handle.collect(state.deadline_s, expected)
+            except WorkerFault as error:
+                self._record_death(slot, error)
+                if state.rows_mode:
+                    state.aborted = True
+                continue
+            state.reports.setdefault(shard_id, []).extend(reply.reports)
+            if shard_stats is not None:
+                shard_stats.record_shard(shard_id, reply)
+
+    def _scatter_finish(self, state: _ScatterState) -> dict[int, list]:
+        """Collect the in-flight round, then run any remaining rounds."""
+        round_ids = state.round_ids
+        while round_ids:
+            self._collect_round(state, round_ids)
+            if state.aborted:
                 break
-            for shard_id, expected in round_ids:
-                slot, _ = targets[shard_id]
-                if slot.handle is None:
-                    continue
-                # Drain every submitted shard even after a failure — an
-                # uncollected reply would desync the pipe protocol for
-                # whatever batch comes next.
-                try:
-                    reply = slot.handle.collect(deadline_s, expected)
-                except WorkerFault as error:
-                    self._record_death(slot, error)
-                    if rows_mode:
-                        aborted = True
-                    continue
-                reports.setdefault(shard_id, []).extend(reply.reports)
-                if shard_stats is not None:
-                    shard_stats.record_shard(shard_id, reply)
-        return reports
+            round_ids = self._submit_round(state)
+        return state.reports

@@ -101,6 +101,12 @@ class ShardStats:
     n_rebalances: int = 0
     #: Router decisions broadcast to worker planner mirrors.
     n_mirrored_decisions: int = 0
+    #: Miss leaders planned on the router because the fleet was busy with
+    #: an overlapped execute batch (async pipelined serving: the pipes
+    #: carry in-flight execute replies, so plan ops cannot interleave).
+    n_plan_overlapped: int = 0
+    #: Decision mirrors deferred past an in-flight scatter, flushed later.
+    n_deferred_mirrors: int = 0
 
     def record_shard(self, shard_id: int, reply) -> None:
         """Fold one :class:`~repro.db.sharding.ShardBatchReply` in."""
@@ -158,6 +164,8 @@ class ShardStats:
             "n_plan_recovered": self.n_plan_recovered,
             "n_rebalances": self.n_rebalances,
             "n_mirrored_decisions": self.n_mirrored_decisions,
+            "n_plan_overlapped": self.n_plan_overlapped,
+            "n_deferred_mirrors": self.n_deferred_mirrors,
             "per_shard": {
                 str(shard_id): window.to_dict()
                 for shard_id, window in sorted(self.per_shard.items())
@@ -206,9 +214,28 @@ class ServiceStats:
     n_shed: int = 0
     #: Requests admitted with an overload-degraded ``tau_ms``.
     n_tau_degraded: int = 0
+    #: Micro-batches whose plan stage ran while a previous batch's execute
+    #: stage was still in flight (async pipelined serving only).
+    n_overlapped_batches: int = 0
+    #: Wall seconds of admission+plan work overlapped with execution.
+    overlap_plan_s: float = 0.0
+    #: Peak depth of the async tier's bounded session queues.
+    queue_peak_depth: int = 0
+    #: ``submit()`` calls that had to wait for queue space (backpressure).
+    n_backpressure_waits: int = 0
 
     def record_shed(self) -> None:
         self.n_shed += 1
+
+    def record_overlap(self, seconds: float) -> None:
+        """Count one plan stage that overlapped an in-flight execute."""
+        self.n_overlapped_batches += 1
+        self.overlap_plan_s += seconds
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the async tier's peak bounded-queue depth."""
+        if depth > self.queue_peak_depth:
+            self.queue_peak_depth = depth
 
     def record(self, record: RequestRecord) -> None:
         self.records.append(record)
@@ -281,6 +308,10 @@ class ServiceStats:
             "decision_cache_hits": self.decision_cache_hits,
             "n_shed": self.n_shed,
             "n_tau_degraded": self.n_tau_degraded,
+            "n_overlapped_batches": self.n_overlapped_batches,
+            "overlap_plan_s": self.overlap_plan_s,
+            "queue_peak_depth": self.queue_peak_depth,
+            "n_backpressure_waits": self.n_backpressure_waits,
             "stage_seconds": dict(self.stage_seconds),
             "execute_sharing": {
                 **self.execute_sharing.to_dict(),

@@ -178,16 +178,32 @@ def _degraded(ratio, scale="small"):
     }
 
 
+def _pipelined(ratio, scale="small", cpu_count=8):
+    return {
+        "sync_qps": 400.0,
+        "async_qps": 400.0 * ratio,
+        "async_over_sync": ratio,
+        "scale": scale,
+        "cpu_count": cpu_count,
+    }
+
+
+def _floor(checks, metric):
+    """The single FloorCheck for one dotted metric name."""
+    matched = [check for check in checks if check.metric == metric]
+    assert len(matched) == 1
+    return matched[0]
+
+
 def test_degraded_ratio_below_floor_fails(dirs, capsys):
     baseline, current = dirs
     payload = _serving(1000.0, 5000.0)
     payload["degraded_mode"] = _degraded(0.40)
     _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
     _write(current, "BENCH_serving.json", payload)
-    checks = check_floors(current)
-    assert len(checks) == 1
-    assert checks[0].failed
-    assert checks[0].status == "BELOW FLOOR"
+    check = _floor(check_floors(current), "degraded_mode.degraded_over_healthy")
+    assert check.failed
+    assert check.status == "BELOW FLOOR"
     code = main(["--baseline", str(baseline), "--current", str(current)])
     assert code == 1
     out = capsys.readouterr().out
@@ -201,8 +217,8 @@ def test_degraded_ratio_above_floor_passes(dirs):
     payload["degraded_mode"] = _degraded(0.78)
     _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
     _write(current, "BENCH_serving.json", payload)
-    checks = check_floors(current)
-    assert len(checks) == 1 and checks[0].status == "ok"
+    check = _floor(check_floors(current), "degraded_mode.degraded_over_healthy")
+    assert check.status == "ok"
     assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
 
 
@@ -212,10 +228,9 @@ def test_degraded_ratio_tiny_scale_is_info_only(dirs):
     payload["degraded_mode"] = _degraded(0.30, scale="tiny")
     _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
     _write(current, "BENCH_serving.json", payload)
-    checks = check_floors(current)
-    assert len(checks) == 1
-    assert checks[0].status == "info-only"
-    assert not checks[0].failed
+    check = _floor(check_floors(current), "degraded_mode.degraded_over_healthy")
+    assert check.status == "info-only"
+    assert not check.failed
     assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
 
 
@@ -239,9 +254,8 @@ def test_missing_degraded_entry_tolerated(dirs):
     _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
     _write(current, "BENCH_serving.json", _serving(990.0, 5100.0))
     checks = check_floors(current)
-    assert len(checks) == 1
-    assert checks[0].status == "missing"
-    assert not checks[0].failed
+    assert checks and all(check.status == "missing" for check in checks)
+    assert not any(check.failed for check in checks)
     assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
 
 
@@ -255,6 +269,62 @@ def test_degraded_qps_is_regression_gated(dirs):
     _write(current, "BENCH_serving.json", cur)
     rows = {row.metric: row for row in compare_dirs(baseline, current)}
     assert rows["degraded_mode.degraded_qps"].regressed
+
+
+def test_pipelined_ratio_below_floor_fails_on_multi_cpu(dirs, capsys):
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    payload["pipelined_stream"] = _pipelined(0.80, cpu_count=8)
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    check = _floor(check_floors(current), "pipelined_stream.async_over_sync")
+    assert check.cpus == 8 and check.min_cpus == 4
+    assert check.failed
+    code = main(["--baseline", str(baseline), "--current", str(current)])
+    assert code == 1
+    assert "async_over_sync" in capsys.readouterr().out
+
+
+def test_pipelined_ratio_above_floor_passes(dirs):
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    payload["pipelined_stream"] = _pipelined(1.20, cpu_count=8)
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    check = _floor(check_floors(current), "pipelined_stream.async_over_sync")
+    assert check.status == "ok"
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+@pytest.mark.parametrize("cpu_count", [1, 2, None])
+def test_pipelined_ratio_info_only_without_multi_cpu(dirs, cpu_count):
+    """On 1-2 core hosts (or with no declared cpu_count) the overlap
+    ratio measures scheduler time-slicing, not the pipeline: report it,
+    never fail on it."""
+    baseline, current = dirs
+    payload = _serving(1000.0, 5000.0)
+    section = _pipelined(0.80, cpu_count=cpu_count)
+    if cpu_count is None:
+        del section["cpu_count"]
+    payload["pipelined_stream"] = section
+    _write(baseline, "BENCH_serving.json", _serving(1000.0, 5000.0))
+    _write(current, "BENCH_serving.json", payload)
+    check = _floor(check_floors(current), "pipelined_stream.async_over_sync")
+    assert check.status == "info-only"
+    assert not check.failed
+    assert main(["--baseline", str(baseline), "--current", str(current)]) == 0
+
+
+def test_pipelined_async_qps_is_regression_gated(dirs):
+    baseline, current = dirs
+    base = _serving(1000.0, 5000.0)
+    base["pipelined_stream"] = _pipelined(1.2)
+    cur = _serving(990.0, 5100.0)
+    cur["pipelined_stream"] = dict(_pipelined(1.2), async_qps=100.0)
+    _write(baseline, "BENCH_serving.json", base)
+    _write(current, "BENCH_serving.json", cur)
+    rows = {row.metric: row for row in compare_dirs(baseline, current)}
+    assert rows["pipelined_stream.async_qps"].regressed
 
 
 def test_render_floors_table(tmp_path):

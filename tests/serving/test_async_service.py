@@ -1,0 +1,270 @@
+"""Async pipelined tier: bit-identical twins, queues, and backpressure.
+
+The async tier (DESIGN.md §4.6) overlaps plan(chunk N+1) with
+execute(chunk N).  Planning consumes no engine randomness — the
+hint-obey draw and profile effects happen in the execute stage — so the
+overlap is outcome-commutative and the async path must answer
+bit-identically to the synchronous one on the same stream with the same
+chunking.  These tests pin that twin contract for single-engine and
+sharded deployments under both schedulers (and, via the chaos fixture,
+under ``REPRO_CHAOS_SEED`` fault plans), plus the session-queue
+``submit()`` path: bounded depth, backpressure waits, and queued virtual
+cost feeding admission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.errors import QueryError, ServiceOverloadError
+from repro.serving import (
+    AdmissionController,
+    AsyncMalivaService,
+    FifoScheduler,
+    MalivaService,
+    SessionAffinityScheduler,
+    ShardedMalivaService,
+)
+from repro.viz import TWITTER_TRANSLATOR
+
+from tests.conftest import build_session_stream
+from tests.serving.test_sharded_service import (
+    CHAOS,
+    _assert_outcomes_match,
+    _build_maliva,
+)
+
+CHUNK = 4
+
+
+@pytest.fixture(scope="module")
+def async_twins():
+    """Two identically-seeded trained middlewares + a session stream."""
+    sync_side = _build_maliva(n_tweets=800, dataset_seed=7, max_epochs=3)
+    async_side = _build_maliva(n_tweets=800, dataset_seed=7, max_epochs=3)
+    stream = build_session_stream(
+        sync_side.database, n_sessions=4, n_steps=5, seed=37
+    )
+    return sync_side, async_side, stream
+
+
+def _make_scheduler(name: str):
+    return {"affinity": SessionAffinityScheduler, "fifo": FifoScheduler}[name]()
+
+
+def _async_pairs(service, stream, **kwargs):
+    """Drive a full stream through the async tier on a fresh event loop."""
+
+    async def scenario():
+        async with AsyncMalivaService(service) as tier:
+            return [
+                pair
+                async for pair in tier.answer_stream(iter(stream), **kwargs)
+            ]
+
+    return asyncio.run(scenario())
+
+
+def _assert_record_twins(sync_stats, async_stats):
+    """The per-request accounting must match, not just the outcomes."""
+    assert len(sync_stats.records) == len(async_stats.records)
+    for a, b in zip(sync_stats.records, async_stats.records):
+        assert a.session_id == b.session_id
+        assert a.tau_ms == b.tau_ms
+        assert a.planning_ms == b.planning_ms
+        assert a.execution_ms == b.execution_ms
+        assert a.viable == b.viable
+        assert a.decision_cached == b.decision_cached
+    assert sync_stats.n_shed == async_stats.n_shed
+    assert sync_stats.n_tau_degraded == async_stats.n_tau_degraded
+
+
+@pytest.mark.parametrize("scheduler_name", ["affinity", "fifo"])
+def test_async_single_engine_matches_sync(async_twins, scheduler_name):
+    """Overlapped planning answers bit-identically to the sync stream,
+    chunk for chunk, under either scheduling policy."""
+    sync_maliva, async_maliva, stream = async_twins
+    sync_service = MalivaService(
+        sync_maliva,
+        translator=TWITTER_TRANSLATOR,
+        scheduler=_make_scheduler(scheduler_name),
+    )
+    async_backend = MalivaService(
+        async_maliva,
+        translator=TWITTER_TRANSLATOR,
+        scheduler=_make_scheduler(scheduler_name),
+    )
+    sync_pairs = list(sync_service.answer_stream(stream, stream_batch_size=CHUNK))
+    async_pairs = _async_pairs(async_backend, stream, stream_batch_size=CHUNK)
+
+    assert [r for r, _ in sync_pairs] == [r for r, _ in async_pairs]
+    _assert_outcomes_match(
+        [o for _, o in sync_pairs], [o for _, o in async_pairs]
+    )
+    _assert_record_twins(sync_service.stats, async_backend.stats)
+    # The sync path never overlaps; the async tier overlapped every chunk
+    # after the first.
+    assert sync_service.stats.n_overlapped_batches == 0
+    assert async_backend.stats.n_overlapped_batches > 0
+    assert async_backend.stats.overlap_plan_s >= 0.0
+
+
+def test_async_sharded_matches_sync_sharded(async_twins):
+    """The overlap seam on the sharded router (scatter round 1, plan on
+    the router, defer mirrors) stays bit-identical to sync serving."""
+    sync_maliva, async_maliva, stream = async_twins
+    sync_service = ShardedMalivaService(
+        sync_maliva, translator=TWITTER_TRANSLATOR, n_shards=2, processes=False
+    )
+    async_backend = ShardedMalivaService(
+        async_maliva, translator=TWITTER_TRANSLATOR, n_shards=2, processes=False
+    )
+    with sync_service, async_backend:
+        sync_pairs = list(
+            sync_service.answer_stream(stream, stream_batch_size=CHUNK)
+        )
+        async_pairs = _async_pairs(async_backend, stream, stream_batch_size=CHUNK)
+        _assert_outcomes_match(
+            [o for _, o in sync_pairs], [o for _, o in async_pairs]
+        )
+        _assert_record_twins(sync_service.stats, async_backend.stats)
+        shards = async_backend.stats.shards
+        assert shards is not None
+        if not CHAOS:
+            # Cold-cache planning for later chunks ran on the router while
+            # the previous chunk's scatter was in flight.
+            assert shards.n_plan_overlapped > 0
+            assert sync_service.stats.shards.n_plan_overlapped == 0
+
+
+def test_async_sharded_matches_sync_with_processes(async_twins):
+    """Same twin contract with real worker processes: the router plans
+    while workers crunch, and replies are collected bit-identically."""
+    sync_maliva, async_maliva, stream = async_twins
+    short = stream[:10]
+    sync_service = ShardedMalivaService(
+        sync_maliva, translator=TWITTER_TRANSLATOR, n_shards=2, processes=True
+    )
+    async_backend = ShardedMalivaService(
+        async_maliva, translator=TWITTER_TRANSLATOR, n_shards=2, processes=True
+    )
+    with sync_service, async_backend:
+        sync_pairs = list(
+            sync_service.answer_stream(short, stream_batch_size=CHUNK)
+        )
+        async_pairs = _async_pairs(async_backend, short, stream_batch_size=CHUNK)
+        _assert_outcomes_match(
+            [o for _, o in sync_pairs], [o for _, o in async_pairs]
+        )
+
+
+def test_async_answer_many_matches_sync(async_twins):
+    """``answer_many`` is one chunk: no overlap, same batch semantics."""
+    sync_maliva, async_maliva, stream = async_twins
+    chunk = stream[:6]
+    sync_service = MalivaService(sync_maliva, translator=TWITTER_TRANSLATOR)
+    async_backend = MalivaService(async_maliva, translator=TWITTER_TRANSLATOR)
+
+    async def scenario():
+        async with AsyncMalivaService(async_backend) as tier:
+            return await tier.answer_many(chunk)
+
+    _assert_outcomes_match(sync_service.answer_many(chunk), asyncio.run(scenario()))
+    assert async_backend.stats.n_overlapped_batches == 0
+
+
+def test_submit_backpressure_and_queue_admission(async_twins):
+    """Bounded session queues: submitters beyond the depth limit wait,
+    queued cost charges the admission load, and draining releases it."""
+    _, maliva, stream = async_twins
+    controller = AdmissionController(load_watermark_ms=1e9, mode="shed")
+    service = MalivaService(
+        maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=controller,
+        stream_batch_size=4,
+    )
+    requests = [
+        dataclasses.replace(request, session_id="s0") for request in stream[:12]
+    ]
+
+    async def scenario():
+        async with AsyncMalivaService(service, session_queue_limit=2) as tier:
+            outcomes = await asyncio.gather(
+                *(tier.submit(request) for request in requests)
+            )
+            await tier.drain()
+            return outcomes
+
+    outcomes = asyncio.run(scenario())
+    assert len(outcomes) == len(requests)
+    assert all(outcome.result is not None for outcome in outcomes)
+    stats = service.stats
+    assert stats.n_backpressure_waits > 0
+    assert stats.queue_peak_depth >= 1
+    snapshot = controller.snapshot()
+    assert snapshot["n_enqueued"] == len(requests)
+    assert snapshot["queued_ms"] == 0.0  # every charge was dequeued
+    assert controller.inflight_ms == 0.0
+
+
+def test_async_answer_one_raises_shed(async_twins):
+    """A shed surfaces as the request's own overload error, like sync."""
+    _, maliva, stream = async_twins
+    controller = AdmissionController(
+        load_watermark_ms=10.0, mode="shed", shed_headroom=1.0
+    )
+    service = MalivaService(
+        maliva, translator=TWITTER_TRANSLATOR, admission=controller
+    )
+    controller.inflight_ms = 50.0  # synthetic in-flight backlog
+
+    async def scenario():
+        async with AsyncMalivaService(service) as tier:
+            await tier.answer_one(stream[0])
+
+    with pytest.raises(ServiceOverloadError) as excinfo:
+        asyncio.run(scenario())
+    assert excinfo.value.retry_after_ms == pytest.approx(40.0)
+
+
+def test_async_stream_shed_markers(async_twins):
+    """Mid-chunk sheds pair positionally through the async tier too."""
+    _, maliva, stream = async_twins
+    from tests.serving.test_stream_admission import _ShedAtPositions
+
+    service = MalivaService(
+        maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=_ShedAtPositions({1}),
+    )
+    chunk = stream[:4]
+    pairs = _async_pairs(
+        service, chunk, stream_batch_size=4, shed_markers=True
+    )
+    assert [r for r, _ in pairs] == list(chunk)
+    assert isinstance(pairs[1][1], ServiceOverloadError)
+    for position, (request, result) in enumerate(pairs):
+        if position != 1:
+            assert result.tau_ms == request.effective_tau(service.default_tau_ms)
+
+
+def test_async_close_rejects_new_submissions(async_twins):
+    """close() quiesces the batcher; later submits fail fast."""
+    _, maliva, stream = async_twins
+    service = MalivaService(maliva, translator=TWITTER_TRANSLATOR)
+
+    async def scenario():
+        tier = AsyncMalivaService(service)
+        outcome = await tier.answer_one(stream[0])
+        await tier.close()
+        await tier.close()  # idempotent
+        with pytest.raises(QueryError):
+            await tier.submit(stream[0])
+        return outcome
+
+    outcome = asyncio.run(scenario())
+    assert outcome.result is not None

@@ -1,0 +1,194 @@
+"""Stream x admission interaction: pairing, shed lifecycle, cost EWMAs.
+
+``answer_many`` returns outcomes only for *admitted* requests, so a shed
+in the middle of a stream chunk must not shift later requests onto the
+wrong outcomes.  These tests pin the positional pairing contract (they
+fail under naive ``zip(chunk, outcomes)`` pairing), the batch-scoped
+lifetime of ``last_shed`` across ``reset_stats()``, and the segregation
+of degraded observations out of the healthy cost EWMA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceOverloadError
+from repro.serving import (
+    AdmissionController,
+    MalivaService,
+)
+from repro.serving.admission import AdmissionVerdict
+from repro.viz import TWITTER_TRANSLATOR
+
+from tests.conftest import build_session_stream
+
+
+class _ShedAtPositions(AdmissionController):
+    """Deterministically shed exact arrival positions (0-based, global).
+
+    The watermark is set unreachably high so every non-listed request is
+    admitted healthily — the shed pattern is the only overload effect,
+    which makes the stream pairing observable in isolation.
+    """
+
+    def __init__(self, positions):
+        super().__init__(load_watermark_ms=1e9, mode="shed")
+        self._positions = set(positions)
+        self._arrival = 0
+
+    def admit(self, tau_ms: float) -> AdmissionVerdict:
+        position = self._arrival
+        self._arrival += 1
+        if position in self._positions:
+            self.n_shed += 1
+            return AdmissionVerdict(
+                admitted=False, tau_ms=tau_ms, cost_ms=0.0, retry_after_ms=1.0
+            )
+        return super().admit(tau_ms)
+
+
+def _tagged_stream(database, n: int, *, seed: int = 7):
+    """A request stream whose deadlines identify each request uniquely.
+
+    ``RequestOutcome.tau_ms`` echoes the effective deadline, so distinct
+    per-request budgets let every yielded pair be checked for *identity*:
+    a misaligned pairing surfaces as a deadline mismatch.
+    """
+    import dataclasses
+
+    stream = build_session_stream(database, n_sessions=2, n_steps=6, seed=seed)
+    assert len(stream) >= n
+    return [
+        dataclasses.replace(request, tau_ms=50.0 + position)
+        for position, request in enumerate(stream[:n])
+    ]
+
+
+def test_shed_mid_chunk_pairs_outcomes_by_position(serving_maliva):
+    """A mid-chunk shed must not shift later requests onto earlier
+    outcomes (the old ``zip(chunk, answer_many(chunk))`` bug)."""
+    shed_positions = {1, 5}
+    service = MalivaService(
+        serving_maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=_ShedAtPositions(shed_positions),
+    )
+    stream = _tagged_stream(serving_maliva.database, 8)
+    pairs = list(service.answer_stream(stream, stream_batch_size=4))
+
+    # Every admitted request appears exactly once, in arrival order, and
+    # each one is paired with *its own* outcome.
+    admitted = [
+        request
+        for position, request in enumerate(stream)
+        if position not in shed_positions
+    ]
+    assert [request for request, _ in pairs] == admitted
+    for request, outcome in pairs:
+        assert outcome.tau_ms == request.effective_tau(service.default_tau_ms)
+    assert service.stats.n_shed == len(shed_positions)
+
+
+def test_shed_markers_preserve_arrival_order(serving_maliva):
+    """``shed_markers=True`` accounts for every submission in order,
+    yielding shed requests paired with their overload error."""
+    shed_positions = {0, 2}
+    service = MalivaService(
+        serving_maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=_ShedAtPositions(shed_positions),
+    )
+    stream = _tagged_stream(serving_maliva.database, 5, seed=11)
+    pairs = list(
+        service.answer_stream(stream, stream_batch_size=5, shed_markers=True)
+    )
+    assert [request for request, _ in pairs] == stream
+    for position, (request, result) in enumerate(pairs):
+        if position in shed_positions:
+            assert isinstance(result, ServiceOverloadError)
+            assert result.retry_after_ms >= 0.0
+        else:
+            assert result.tau_ms == request.effective_tau(service.default_tau_ms)
+
+
+def test_duplicate_request_objects_pair_correctly(serving_maliva):
+    """Positional (not identity-based) pairing: the same VizRequest
+    object submitted twice in one chunk still pairs one outcome each."""
+    service = MalivaService(
+        serving_maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=_ShedAtPositions({1}),
+    )
+    request = _tagged_stream(serving_maliva.database, 1, seed=13)[0]
+    chunk = [request, request, request]
+    pairs = list(service.answer_stream(chunk, stream_batch_size=3))
+    assert len(pairs) == 2
+    assert all(r is request for r, _ in pairs)
+
+
+def test_last_shed_is_batch_scoped_and_cleared_on_reset(serving_maliva):
+    """``last_shed`` describes the most recent batch only: the next batch
+    replaces it and ``reset_stats()`` clears it with the counters."""
+    service = MalivaService(
+        serving_maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=_ShedAtPositions({0, 1}),
+    )
+    stream = _tagged_stream(serving_maliva.database, 4, seed=17)
+    service.answer_many(stream[:2])  # both positions shed
+    assert len(service.last_shed) == 2
+    service.answer_many(stream[2:])  # all admitted: records replaced
+    assert service.last_shed == []
+
+    # Shed again, then reset: a stale record must not survive the reset
+    # (it would let answer_one re-raise a dead batch's overload error).
+    shedding = MalivaService(
+        serving_maliva,
+        translator=TWITTER_TRANSLATOR,
+        admission=_ShedAtPositions({0}),
+    )
+    shedding.answer_many(stream[:1])
+    assert len(shedding.last_shed) == 1
+    shedding.reset_stats()
+    assert shedding.last_shed == []
+    assert shedding._shed_indexes == []
+    assert shedding.stats.n_shed == 0
+
+
+def test_degraded_observations_do_not_bias_healthy_ewma():
+    """Degraded outcomes ran under a shrunken deadline; folding them into
+    the healthy EWMA would bias ``estimated_cost_ms`` low and over-admit."""
+    controller = AdmissionController(load_watermark_ms=1_000.0, ewma_alpha=0.5)
+    controller.observe(100.0)
+    controller.observe(200.0)
+    assert controller.cost_ewma_ms == pytest.approx(150.0)
+
+    controller.observe(10.0, degraded=True)
+    controller.observe(20.0, degraded=True)
+    # The healthy estimate is untouched; degraded costs track separately.
+    assert controller.cost_ewma_ms == pytest.approx(150.0)
+    assert controller.degraded_cost_ewma_ms == pytest.approx(15.0)
+    assert controller.estimated_cost_ms(400.0) == pytest.approx(150.0)
+    snapshot = controller.snapshot()
+    assert snapshot["degraded_cost_ewma_ms"] == pytest.approx(15.0)
+
+
+def test_queued_work_counts_toward_admission_load():
+    """Queue depth feeds the virtual load: queued cost alone can push the
+    controller over its watermark, and draining the queue releases it."""
+    controller = AdmissionController(
+        load_watermark_ms=100.0, mode="shed", shed_headroom=2.0
+    )
+    controller.enqueue(150.0)
+    controller.enqueue(80.0)
+    assert controller.queued_ms == pytest.approx(230.0)
+    assert controller.load_ms == pytest.approx(230.0)
+    verdict = controller.admit(50.0)  # 230 >= 2 * 100: shed on queue alone
+    assert not verdict.admitted
+    controller.dequeue(150.0)
+    controller.dequeue(80.0)
+    assert controller.queued_ms == 0.0
+    assert controller.admit(50.0).admitted
+    snapshot = controller.snapshot()
+    assert snapshot["n_enqueued"] == 2
+    assert snapshot["queued_ms"] == 0.0
