@@ -264,3 +264,136 @@ def test_pipelined_stream_async_vs_sync(benchmark):
             f"async pipelined throughput {ratio:.2f}x of sync is below "
             f"the {PIPELINE_RATIO_BAR:.2f}x bar"
         )
+
+
+REPLICATED_CHUNK = 10
+REPLICATED_RATIO_BAR = 0.40
+
+
+def test_replicated_failover(benchmark):
+    """Healthy 2-router fleet vs a twin whose router is kill -9'd
+    mid-stream: the journal replays every unacknowledged request on the
+    survivor bit-identically, and the surviving throughput — measured
+    across the death, the replay, and the breaker retirement — must hold
+    the ``replicated_failover`` floor of the healthy fleet's rate."""
+    from repro.serving import ReplicatedMalivaService
+
+    healthy_maliva, stream, _queries, _train = build_twitter_serving_setup(
+        n_tweets=6_000,
+        n_users=300,
+        sample_fraction=0.02,
+        qte="accurate",
+        unit_cost_ms=5.0,
+        tau_ms=TAU_MS,
+        max_epochs=6,
+        n_sessions=N_SESSIONS,
+        steps_per_session=STEPS_PER_SESSION,
+    )
+    faulted_maliva, _stream, _queries, _train = build_twitter_serving_setup(
+        n_tweets=6_000,
+        n_users=300,
+        sample_fraction=0.02,
+        qte="accurate",
+        unit_cost_ms=5.0,
+        tau_ms=TAU_MS,
+        max_epochs=6,
+        n_sessions=N_SESSIONS,
+        steps_per_session=STEPS_PER_SESSION,
+    )
+    chunks = [
+        stream[i : i + REPLICATED_CHUNK]
+        for i in range(0, len(stream), REPLICATED_CHUNK)
+    ]
+    healthy = ReplicatedMalivaService(
+        healthy_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_routers=2,
+        processes=True,
+        respawn_backoff_s=0.0,
+    )
+    # The faulted twin retires its killed router outright (no respawn
+    # budget): the measurement is *surviving* throughput, one router
+    # carrying the whole stream after the mid-stream kill.
+    faulted = ReplicatedMalivaService(
+        faulted_maliva,
+        translator=TWITTER_TRANSLATOR,
+        n_routers=2,
+        processes=True,
+        max_respawns=0,
+        respawn_backoff_s=0.0,
+    )
+
+    def _drive_faulted():
+        outcomes = []
+        for index, chunk in enumerate(chunks):
+            outcomes.extend(faulted.answer_many(chunk))
+            if index == 0:
+                victim = faulted._group.live_slots()[0]
+                victim.handle._process.kill()
+                victim.handle._process.join(timeout=5.0)
+        return outcomes
+
+    try:
+        start = time.perf_counter()
+        healthy_outcomes = []
+        for chunk in chunks:
+            healthy_outcomes.extend(healthy.answer_many(chunk))
+        healthy_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        faulted_outcomes = benchmark.pedantic(
+            _drive_faulted, rounds=1, iterations=1
+        )
+        faulted_s = time.perf_counter() - start
+        routers = faulted.stats.to_dict()["routers"]
+        journal_depth = faulted._journal.depth
+    finally:
+        healthy.close()
+        faulted.close()
+
+    # Zero requests lost: the killed router's journaled sub-batch replays
+    # on the survivor with bit-identical outcomes.
+    assert [_signature(o) for o in faulted_outcomes] == [
+        _signature(o) for o in healthy_outcomes
+    ]
+    assert routers["n_router_deaths"] >= 1
+    assert routers["n_replayed"] >= 1
+    assert routers["n_retired"] == 1
+    assert journal_depth == 0
+
+    healthy_qps = len(stream) / healthy_s if healthy_s else 0.0
+    surviving_qps = len(stream) / faulted_s if faulted_s else 0.0
+    ratio = surviving_qps / healthy_qps if healthy_qps else 0.0
+
+    bench_path = Path("BENCH_serving.json")
+    payload = json.loads(bench_path.read_text()) if bench_path.is_file() else {}
+    payload["replicated_failover"] = {
+        "n_routers": 2,
+        "processes": True,
+        "cpu_count": CPU_COUNT,
+        "n_requests": len(stream),
+        "stream_batch_size": REPLICATED_CHUNK,
+        "scale": SCALE.name,
+        "healthy_qps": healthy_qps,
+        "surviving_qps": surviving_qps,
+        "surviving_over_healthy": ratio,
+        "n_router_deaths": routers["n_router_deaths"],
+        "n_replayed": routers["n_replayed"],
+        "identical_outcomes_vs_healthy": True,
+    }
+    bench_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    emit(
+        f"replicated failover (2 routers, one killed mid-stream, "
+        f"{CPU_COUNT} cpus)\n"
+        f"  healthy fleet : {healthy_qps:10.1f} req/s\n"
+        f"  one survivor  : {surviving_qps:10.1f} req/s  "
+        f"({ratio:.2f}x of healthy)\n"
+        f"  failover      : {routers['n_replayed']} journaled requests "
+        f"replayed, outcomes bit-identical"
+    )
+    if not TINY and CPU_COUNT >= 4:
+        assert ratio >= REPLICATED_RATIO_BAR, (
+            f"surviving throughput {ratio:.2f}x of healthy is below the "
+            f"{REPLICATED_RATIO_BAR}x floor on a {CPU_COUNT}-cpu host"
+        )

@@ -170,6 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run shard engines in-process (debugging / single-core hosts)",
     )
     serve.add_argument(
+        "--routers",
+        type=int,
+        default=1,
+        help=(
+            "replicate the router tier across N full replica processes "
+            "with journaled failover and decision gossip (1 = off; "
+            "mutually exclusive with --shards > 1)"
+        ),
+    )
+    serve.add_argument(
+        "--inline-routers",
+        action="store_true",
+        help="run router replicas in-process (debugging / single-core hosts)",
+    )
+    serve.add_argument(
         "--rpc-deadline-ms",
         type=float,
         default=10_000.0,
@@ -338,6 +353,16 @@ def _run_serve(args) -> int:
     if args.shards < 1:
         print("error: --shards must be at least 1", file=sys.stderr)
         return 2
+    if args.routers < 1:
+        print("error: --routers must be at least 1", file=sys.stderr)
+        return 2
+    if args.routers > 1 and args.shards > 1:
+        print(
+            "error: --routers and --shards cannot be combined; replicate "
+            "the router tier or shard the execute stage, not both",
+            file=sys.stderr,
+        )
+        return 2
     if args.rpc_deadline_ms < 0:
         print("error: --rpc-deadline-ms must be >= 0", file=sys.stderr)
         return 2
@@ -378,7 +403,21 @@ def _run_serve(args) -> int:
         admission = AdmissionController(
             load_watermark_ms=args.load_watermark, mode=args.admission
         )
-    if args.shards > 1:
+    if args.routers > 1:
+        from .serving import ReplicatedMalivaService
+
+        service = ReplicatedMalivaService(
+            maliva,
+            translator=TWITTER_TRANSLATOR,
+            scheduler=scheduler,
+            batch_execute=args.execute == "batched",
+            admission=admission,
+            n_routers=args.routers,
+            processes=not args.inline_routers,
+            rpc_deadline_ms=args.rpc_deadline_ms or None,
+            max_respawns=args.max_respawns,
+        )
+    elif args.shards > 1:
         from .serving import ShardedMalivaService
 
         service = ShardedMalivaService(
@@ -434,9 +473,12 @@ def _run_serve(args) -> int:
         batching = "whole batch"
     else:
         batching = f"micro-batches of {args.batch_size}"
-    sharding = (
-        f", {args.shards} {args.shard_by}-sharded workers" if args.shards > 1 else ""
-    )
+    if args.routers > 1:
+        sharding = f", {args.routers} replicated routers"
+    elif args.shards > 1:
+        sharding = f", {args.shards} {args.shard_by}-sharded workers"
+    else:
+        sharding = ""
     print(
         f"serving {len(stream)} requests from {args.sessions} sessions "
         f"({args.scheduler} scheduler, {batching}, {args.execute} execute{sharding}) ..."
@@ -505,6 +547,37 @@ def _run_serve(args) -> int:
                 f"{window['n_batches']} batches, {window['wall_s']:.3f}s worker wall, "
                 f"{window['cache_hits']}/{window['cache_hits'] + window['cache_misses']} "
                 f"cache hits{supervision}{breaker}"
+            )
+    routers = warm.get("routers")
+    if routers:
+        print(
+            f"router fleet:          {routers['n_routers']} replicas, "
+            f"{routers['n_dispatched']} dispatched / {routers['n_local']} local, "
+            f"{routers['n_gossip_broadcast']} decisions gossiped "
+            f"({routers['n_gossip_hits']} mirror hits), "
+            f"{routers['n_syncs']} syncs, "
+            f"journal high-water {routers['journal_high_water']}"
+        )
+        if routers["n_router_deaths"] or routers["n_retired"]:
+            print(
+                f"fleet supervision:     {routers['n_router_deaths']} router deaths, "
+                f"{routers['n_respawns']} respawns, "
+                f"{routers['n_retired']} retired (breaker), "
+                f"{routers['n_rebalances']} session rebalances, "
+                f"{routers['n_replayed']} journaled requests replayed"
+            )
+        for router_id, window in routers["per_router"].items():
+            breaker = " [breaker open]" if window["breaker_open"] else ""
+            supervision = (
+                f", {window['n_deaths']} deaths / {window['n_respawns']} respawns"
+                if window["n_deaths"]
+                else ""
+            )
+            print(
+                f"  router {router_id}: {window['n_requests']} requests in "
+                f"{window['n_batches']} batches, {window['wall_s']:.3f}s replica wall, "
+                f"{window['n_cached']} decision-cached "
+                f"({window['n_gossip_hits']} via gossip){supervision}{breaker}"
             )
     if args.admission != "off":
         snapshot = report.get("admission", {})

@@ -35,6 +35,7 @@ KEY_METRICS: dict[str, tuple[str, ...]] = {
         "sharded.warm_qps",
         "degraded_mode.degraded_qps",
         "pipelined_stream.async_qps",
+        "replicated_failover.surviving_qps",
     ),
     "BENCH_planning.json": (
         "cold_batched_qps",
@@ -65,6 +66,10 @@ RATIO_FLOORS: dict[str, dict[str, float]] = {
         # Async pipelined serving: overlapping plan(N+1) with execute(N)
         # must never fall below the synchronous drain of the same stream.
         "pipelined_stream.async_over_sync": 1.0,
+        # Replicated router failover: losing 1-of-2 routers mid-stream
+        # (journal replay + breaker retirement included in the window)
+        # must keep at least 40% of the healthy fleet's throughput.
+        "replicated_failover.surviving_over_healthy": 0.40,
     },
 }
 
@@ -74,6 +79,7 @@ RATIO_FLOORS: dict[str, dict[str, float]] = {
 #: so the ratio reflects scheduler luck rather than the pipeline.
 FLOOR_MIN_CPUS: dict[str, int] = {
     "pipelined_stream.async_over_sync": 4,
+    "replicated_failover.surviving_over_healthy": 4,
 }
 
 

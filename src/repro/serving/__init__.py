@@ -4,17 +4,31 @@ This package is the architectural seam between "a middleware algorithm"
 (``repro.core``) and "a middleware deployment" (many dashboard users, one
 engine).  See DESIGN.md §4 for the cache hierarchy it coordinates, and
 §4.5 for the sharded fleet's failure model (supervised workers, warm
-respawns, router recovery, admission control).
+respawns, router recovery, admission control), and §4.7 for the
+replicated router tier (journaled failover, decision-cache gossip).
 """
 
 from .admission import AdmissionController, AdmissionVerdict
 from .async_service import AsyncMalivaService
 from .faults import FaultPlan, FaultSpec, RandomFaultPlan, WorkerFault, WorkerTimeout
+from .replicated import (
+    ReplicatedMalivaService,
+    RouterGroup,
+    RouterSpec,
+    router_spec_for,
+)
 from .requests import VizRequest, interleave, requests_from_steps, with_budget
 from .scheduler import FifoScheduler, SessionAffinityScheduler
 from .service import MalivaService
 from .sharded import ShardedMalivaService
-from .stats import RequestRecord, ServiceStats, ShardStats, ShardWindow
+from .stats import (
+    RequestRecord,
+    RouterStats,
+    RouterWindow,
+    ServiceStats,
+    ShardStats,
+    ShardWindow,
+)
 
 __all__ = [
     "AdmissionController",
@@ -25,7 +39,12 @@ __all__ = [
     "FifoScheduler",
     "MalivaService",
     "RandomFaultPlan",
+    "ReplicatedMalivaService",
     "RequestRecord",
+    "RouterGroup",
+    "RouterSpec",
+    "RouterStats",
+    "RouterWindow",
     "ServiceStats",
     "SessionAffinityScheduler",
     "ShardStats",
@@ -36,5 +55,6 @@ __all__ = [
     "WorkerTimeout",
     "interleave",
     "requests_from_steps",
+    "router_spec_for",
     "with_budget",
 ]

@@ -31,6 +31,18 @@ Two refinements for the async serving tier:
   *plus* in-flight cost — so verdicts see the backlog, not just the work
   already dispatched.  The synchronous service never enqueues, keeping
   ``load_ms == inflight_ms`` there.
+* **the watermark scales with serving capacity.**  A replicated router
+  tier (DESIGN.md §4.7) sizes its watermark for the full fleet; when the
+  circuit breaker retires a flapping router the fleet can no longer drain
+  the same virtual backlog per unit time, so the dispatcher calls
+  :meth:`set_capacity_fraction` and every verdict — degrade slope, shed
+  threshold, retry-after hint — shifts against the *effective* watermark
+  (``load_watermark_ms x capacity_fraction``).  The tau contract stays
+  intact while the control plane degrades, which is the ScaleViz framing
+  again: shrink the budget, not the guarantee.  All request costs flow
+  through the one dispatcher-owned controller, so shed/degrade verdicts
+  aggregate queued virtual cost across every router and stay global.
+
 * **degraded outcomes don't teach the estimator.**  A degraded admission
   runs under a shrunken ``tau_ms``, so its virtual total is systematically
   smaller than what the *next healthy* request will cost.  Folding those
@@ -108,12 +120,31 @@ class AdmissionController:
         self.n_degraded = 0
         self.n_shed = 0
         self.n_enqueued = 0
+        #: Fraction of nominal serving capacity still live (a replicated
+        #: dispatcher shrinks this when the breaker retires routers).
+        self.capacity_fraction = 1.0
 
     # ------------------------------------------------------------------
     @property
     def load_ms(self) -> float:
         """Virtual load admission verdicts see: queued plus in-flight."""
         return self.inflight_ms + self.queued_ms
+
+    @property
+    def effective_watermark_ms(self) -> float:
+        """The watermark verdicts compare against, scaled to live capacity."""
+        return self.load_watermark_ms * self.capacity_fraction
+
+    def set_capacity_fraction(self, fraction: float) -> None:
+        """Scale the watermark to the live fraction of serving capacity.
+
+        Called by the replicated dispatcher when routers retire or respawn
+        (``live / total``); a smaller fleet degrades and sheds earlier so
+        admitted requests still meet their (possibly shrunken) budgets.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise QueryError("capacity fraction must be in (0, 1]")
+        self.capacity_fraction = fraction
 
     def estimated_cost_ms(self, tau_ms: float) -> float:
         """Reserved cost for one request: the learned estimate, capped by
@@ -135,23 +166,21 @@ class AdmissionController:
     def admit(self, tau_ms: float) -> AdmissionVerdict:
         """Admit, degrade, or shed one request against the current load."""
         load = self.load_ms
-        if load >= self.load_watermark_ms:
-            if (
-                self.mode == "shed"
-                and load >= self.load_watermark_ms * self.shed_headroom
-            ):
+        watermark = self.effective_watermark_ms
+        if load >= watermark:
+            if self.mode == "shed" and load >= watermark * self.shed_headroom:
                 self.n_shed += 1
                 return AdmissionVerdict(
                     admitted=False,
                     tau_ms=tau_ms,
                     cost_ms=0.0,
-                    retry_after_ms=load - self.load_watermark_ms,
+                    retry_after_ms=load - watermark,
                 )
             # Degrade proportionally to the overload: at 2x the watermark
             # the budget halves, bounded below by the floor fraction.
             degraded_tau = max(
                 tau_ms * self.tau_floor_fraction,
-                tau_ms * self.load_watermark_ms / load,
+                tau_ms * watermark / load,
             )
             cost = self.estimated_cost_ms(degraded_tau)
             self.inflight_ms += cost
@@ -196,6 +225,8 @@ class AdmissionController:
         return {
             "mode": self.mode,
             "load_watermark_ms": self.load_watermark_ms,
+            "capacity_fraction": self.capacity_fraction,
+            "effective_watermark_ms": self.effective_watermark_ms,
             "inflight_ms": self.inflight_ms,
             "queued_ms": self.queued_ms,
             "load_ms": self.load_ms,

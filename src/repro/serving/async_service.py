@@ -31,7 +31,11 @@ the synchronous tier cannot express, without changing a single outcome:
   virtual cost to the :class:`~repro.serving.admission.
   AdmissionController` via ``enqueue``/``dequeue``, so shed and degrade
   verdicts see the backlog — queued plus in-flight work — not just the
-  work already dispatched.  Because admission observes queue pressure the
+  work already dispatched.  The batcher drains the queues *fairly*:
+  micro-batches assemble round-robin across waiting sessions (see
+  :meth:`AsyncMalivaService._take_fair_chunk`), so one bursty session
+  cannot starve a light session's requests behind its backlog.  Because
+  admission observes queue pressure the
   synchronous tier never generates, verdicts under load legitimately
   differ from a synchronous replay; the bit-identity contract is defined
   over admission-off (or identically-admitted) traffic.
@@ -52,7 +56,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import AsyncIterator, Iterable, Sequence
 
 from ..core.middleware import RequestOutcome
@@ -357,14 +361,42 @@ class AsyncMalivaService:
             if item.session not in self._session_depth:
                 self._space_events.pop(item.session, None)
 
+    def _take_fair_chunk(self) -> list[_QueuedRequest]:
+        """Assemble one micro-batch round-robin across waiting sessions.
+
+        A straight FIFO pop lets one bursty session fill whole chunks while
+        a light session's single request waits behind the entire burst.
+        Instead, sessions take turns (ordered by their oldest waiting
+        arrival, per-session FIFO within a turn), so a session's wait is
+        bounded by the number of *sessions* ahead of it, not the number of
+        *requests* — the same fairness the dispatcher-side session-affinity
+        scheduler provides inside a chunk, applied at the queue boundary.
+        Runs synchronously (no awaits), so `submit` cannot interleave.
+        """
+        by_session: "OrderedDict[str, deque[_QueuedRequest]]" = OrderedDict()
+        for item in self._arrivals:
+            by_session.setdefault(item.session, deque()).append(item)
+        items: list[_QueuedRequest] = []
+        while by_session and len(items) < self.stream_batch_size:
+            for session in list(by_session):
+                queue = by_session[session]
+                items.append(queue.popleft())
+                if not queue:
+                    del by_session[session]
+                if len(items) >= self.stream_batch_size:
+                    break
+        taken = {id(item) for item in items}
+        self._arrivals = deque(
+            item for item in self._arrivals if id(item) not in taken
+        )
+        for item in items:
+            self._dequeued(item)
+        return items
+
     async def _queued_chunks(self, item_chunks: deque) -> AsyncIterator[list]:
         """Pop arrival-queue chunks for the pipeline, dequeuing each item."""
         while self._arrivals:
-            items: list[_QueuedRequest] = []
-            while self._arrivals and len(items) < self.stream_batch_size:
-                item = self._arrivals.popleft()
-                self._dequeued(item)
-                items.append(item)
+            items = self._take_fair_chunk()
             item_chunks.append(items)
             yield [item.request for item in items]
             # Let fresh submissions land before deciding whether another

@@ -34,8 +34,14 @@ GARBLE = "garble"  # worker replies nonsense -> router validation fault
 
 KINDS = (CRASH, HANG, GARBLE)
 
-#: Worker ops a fault can target ("any" matches all of them).
-OPS = ("execute", "plan", "sync", "sync_planner", "mirror", "cache_stats")
+#: Worker ops a fault can target ("any" matches all of them).  The first
+#: group is served by shard workers, the second by router replicas
+#: (:mod:`repro.serving.replicated`); both tiers consult the same plan, so
+#: a spec can target either kind of process by op name (``shard_id`` then
+#: counts the router id for router ops).
+SHARD_OPS = ("execute", "plan", "sync", "sync_planner", "mirror", "cache_stats")
+ROUTER_OPS = ("serve", "gossip", "router_sync", "router_stats")
+OPS = SHARD_OPS + ROUTER_OPS
 
 #: The junk payload a garbling worker ships in place of its real reply.
 GARBLED_REPLY = "<garbled shard reply>"

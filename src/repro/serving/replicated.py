@@ -1,0 +1,1380 @@
+"""Replicated router tier: N full router replicas behind a thin dispatcher.
+
+PR 7 made the shard fleet survive worker deaths and PR 8 made serving
+fully asynchronous, but every request still funnelled through one router
+process — the decision cache, session schedule, admission watermark, and
+gather loop all died with it.  :class:`ReplicatedMalivaService` removes
+that last single-process ceiling (DESIGN.md §4.7): it runs ``n_routers``
+*complete* router replicas — each a full engine catalog plus a
+:class:`~repro.serving.service.MalivaService` rebuilt from a pickled
+:class:`RouterSpec` — in their own processes over the same duplex-pipe
+machinery the shard fleet uses, fronted by a thin dispatcher that only
+resolves, schedules, journals, and gathers.
+
+**Dispatch.**  Sessions stick to routers: the first request of a session
+binds it to the live router with the fewest assigned sessions (ties break
+to the lowest id) and every later request follows, so each replica's
+decision cache and engine caches see a stable slice of the traffic.
+Sessionless requests round-robin.  Each router re-schedules its sub-batch
+with the service's own scheduler, so a one-router fleet serves exactly
+like the plain service under either scheduler.
+
+**Journal.**  Every admitted request is journaled — sequence number,
+session, query key, tau — *before* dispatch, and acknowledged only when
+its outcome lands.  The journal is the zero-lost-requests contract: when
+a router dies mid-batch (EOF, deadline miss, garbled reply — the PR 7
+``WorkerFault``/``WorkerTimeout`` normalization), its unacknowledged
+entries replay in sequence order on a survivor, and with zero survivors
+on the dispatcher's own engine.  Replicas are twin engines built from the
+same catalog, statistics, agent, and QTE state, and planning draws no
+engine randomness, so a replayed request's outcome — decision, virtual
+times, counters — is bit-identical to the one the dead router would have
+produced.  (Same caveat as shard recovery: the twin property holds on
+deterministic engine profiles; stochastic profiles draw from per-process
+RNG streams.)
+
+**Supervision.**  Router slots are the shard fleet's
+:class:`~repro.serving.sharded.SupervisedSlot`: deaths null the handle,
+warm respawns (rebuilt from the dispatcher's *live* catalog, collapsing
+every missed sync, then primed with the dispatcher's recent-decision
+gossip log) follow capped exponential backoff, and a flapping router
+exhausts ``max_respawns``, trips the circuit breaker, and is retired —
+its sessions rebalance to the survivors and the admission watermark
+shrinks by :meth:`~repro.serving.admission.AdmissionController.
+set_capacity_fraction` so shed/degrade verdicts track the smaller fleet.
+
+**Gossip.**  Each serve reply carries the ``(query key, tau) → decision``
+pairs the replica freshly planned; the dispatcher broadcasts them to the
+other live routers (built on the same mirror-broadcast idiom as the
+planner-replica decision mirror), which hold them in a FIFO-capped
+mirror consulted on decision-cache misses — a repeat hitting *any*
+router is a cache hit.  Mirrors are cleared wholesale on catalog
+invalidation, so gossip staleness is bounded by the sync broadcast.
+
+**Admission.**  The dispatcher owns the (optional) controller, so queued
+virtual cost aggregates across every router and verdicts stay global —
+replicas run with ``admission=None``.
+
+**Coherence.**  A catalog invalidation on the dispatcher's engine
+broadcasts a ``router_sync`` (fresh table + index columns + statistics)
+to every live replica; dead slots skip it — their respawn rebuilds from
+the live catalog and cannot go stale.
+
+``processes=False`` drives the same replicas inline — bit-identical,
+for tests and single-core hosts.  The async tier composes for free:
+this class implements the ``_execute_begin``/``_wait``/``_finish``
+seam, so ``AsyncMalivaService(ReplicatedMalivaService(...))`` overlaps
+dispatcher planning with in-flight router serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import time
+import traceback
+from typing import Sequence
+
+from ..core.middleware import Maliva, RequestOutcome
+from ..db import Database, SelectQuery
+from ..db.cost_model import CostModel
+from ..db.database import EngineProfile
+from ..db.statistics import TableStatistics
+from ..db.table import Table
+from ..errors import QueryError
+from ..qte import AccurateQTE, SamplingQTE
+from .faults import (
+    CRASH,
+    GARBLE,
+    GARBLED_REPLY,
+    HANG,
+    FaultPlan,
+    WorkerFault,
+    WorkerTimeout,
+)
+from .planner_replica import QteSpec
+from .requests import VizRequest
+from .service import MalivaService, _InflightExecution, _PlannedBatch
+from .sharded import _HANG_S, SupervisedSlot
+from .stats import RequestRecord, RouterStats
+
+
+# ----------------------------------------------------------------------
+# Replica spec: everything a worker needs to rebuild a full router
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RouterSpec:
+    """Pickle-safe reconstruction state for one router replica.
+
+    Unlike a :class:`~repro.db.sharding.ShardSpec` (a slice) or a
+    :class:`~repro.serving.planner_replica.PlannerSpec` (headers + samples),
+    a router replica is the *whole* router: full tables, indexes, the
+    dispatcher's own statistics objects (so estimates are bit-identical by
+    construction), the trained agent, and the QTE reconstruction state.
+    Plain data throughout, so it pickles regardless of start method.
+    """
+
+    tables: list[Table]
+    #: table name -> columns to index (mirrors the dispatcher's catalog).
+    indexed_columns: dict[str, tuple[str, ...]]
+    stats: dict[str, TableStatistics]
+    profile: EngineProfile
+    cost_model: CostModel
+    agent: object
+    qte: QteSpec
+    tau_ms: float
+    default_tau_ms: float
+    #: The dispatcher's scheduler instance (stateless, pickles by class).
+    scheduler: object
+    batch_execute: bool
+    decision_cache_size: int
+
+
+def router_spec_for(
+    maliva: Maliva,
+    *,
+    default_tau_ms: float,
+    scheduler,
+    batch_execute: bool,
+    decision_cache_size: int,
+) -> RouterSpec:
+    """Capture a :class:`RouterSpec` from the dispatcher's live middleware.
+
+    Raises :class:`~repro.errors.QueryError` when the QTE is not one a
+    replica can reconstruct — replication needs every replica to plan,
+    so there is no router-side fallback to hide behind.
+    """
+    qte = maliva.qte
+    if isinstance(qte, SamplingQTE):
+        qte_spec = QteSpec(
+            kind="sampling",
+            unit_cost_ms=qte.unit_cost_ms,
+            overhead_ms=qte.overhead_ms,
+            attributes=qte.attributes,
+            sample_table=qte.sample_table,
+            ridge=qte.ridge,
+            weights=qte._weights,
+            training_rmse_log=qte.training_rmse_log,
+        )
+    elif isinstance(qte, AccurateQTE):
+        # Replicas hold the full tables, so the accurate QTE rebuilds
+        # locally — no oracle proxy RPC like the planner replicas need.
+        qte_spec = QteSpec(
+            kind="accurate",
+            unit_cost_ms=qte.unit_cost_ms,
+            overhead_ms=qte.overhead_ms,
+        )
+    else:
+        raise QueryError(
+            f"replicated serving cannot reconstruct a {type(qte).__name__} "
+            f"on router replicas; use a sampling or accurate QTE"
+        )
+    database = maliva.database
+    names = sorted(database.table_names)
+    return RouterSpec(
+        tables=[database.table(name) for name in names],
+        indexed_columns={
+            name: tuple(sorted(database.indexes_for(name))) for name in names
+        },
+        stats={name: database.stats(name) for name in names},
+        profile=database.profile,
+        cost_model=database.cost_model,
+        agent=maliva.agent,
+        qte=qte_spec,
+        tau_ms=maliva.tau_ms,
+        default_tau_ms=default_tau_ms,
+        scheduler=scheduler,
+        batch_execute=batch_execute,
+        decision_cache_size=decision_cache_size,
+    )
+
+
+def build_router_service(spec: RouterSpec) -> MalivaService:
+    """Rebuild a full router replica (engine + QTE + agent + service)."""
+    database = Database(profile=spec.profile, cost_model=spec.cost_model)
+    for table in spec.tables:
+        database.add_table(table, analyze=False)
+    for table_name, columns in spec.indexed_columns.items():
+        for column in columns:
+            database.create_index(table_name, column)
+    # The dispatcher's own statistics objects: estimates (and therefore
+    # decisions and virtual times) are bit-identical by construction.
+    database._stats.update(spec.stats)
+    if spec.qte.kind == "sampling":
+        assert spec.qte.sample_table is not None
+        qte = SamplingQTE(
+            database,
+            spec.qte.attributes,
+            spec.qte.sample_table,
+            unit_cost_ms=spec.qte.unit_cost_ms,
+            overhead_ms=spec.qte.overhead_ms,
+            ridge=spec.qte.ridge,
+        )
+        qte._weights = spec.qte.weights
+        qte.training_rmse_log = spec.qte.training_rmse_log
+    else:
+        assert spec.qte.kind == "accurate", f"unknown QTE {spec.qte.kind!r}"
+        qte = AccurateQTE(
+            database,
+            unit_cost_ms=spec.qte.unit_cost_ms,
+            overhead_ms=spec.qte.overhead_ms,
+        )
+    agent = spec.agent
+    maliva = Maliva(database, agent.space, qte, spec.tau_ms)
+    maliva.adopt_agent(agent)
+    return MalivaService(
+        maliva,
+        default_tau_ms=spec.default_tau_ms,
+        scheduler=spec.scheduler,
+        decision_cache_size=spec.decision_cache_size,
+        batch_execute=spec.batch_execute,
+        admission=None,
+    )
+
+
+@dataclasses.dataclass
+class RouterBatchReply:
+    """One router replica's reply to a ``serve`` op."""
+
+    #: ``(seq, outcome, decision_cached)`` per request, submission order.
+    outcomes: list[tuple[int, RequestOutcome, bool]]
+    #: Freshly planned ``((query key, tau), decision)`` pairs for gossip.
+    fresh: list[tuple[tuple, object]]
+    #: Replica-side wall seconds spent serving the sub-batch.
+    wall_s: float
+    #: Requests answered from the replica's decision cache.
+    n_cached: int
+    #: Decision-cache misses answered from the replica's gossip mirror.
+    gossip_hits: int
+
+
+def _serve_on(service: MalivaService, jobs) -> RouterBatchReply:
+    """Serve one dispatched sub-batch on a replica service."""
+    requests = [
+        VizRequest(
+            payload=query, session_id=session, tau_ms=tau_ms, request_id=seq
+        )
+        for seq, query, tau_ms, session in jobs
+    ]
+    hits_before = service.gossip_hits
+    started = time.perf_counter()
+    outcomes = service.answer_many(requests)
+    wall_s = time.perf_counter() - started
+    # The replica records one RequestRecord per request (scheduled order);
+    # request ids are the dispatcher's unique sequence numbers.
+    tail = service.stats.records[-len(requests):]
+    cached_by_seq = {record.request_id: record.decision_cached for record in tail}
+    packed = [
+        (request.request_id, outcome, bool(cached_by_seq.get(request.request_id)))
+        for request, outcome in zip(requests, outcomes)
+    ]
+    return RouterBatchReply(
+        outcomes=packed,
+        fresh=service.drain_fresh_decisions(),
+        wall_s=wall_s,
+        n_cached=sum(1 for _, _, cached in packed if cached),
+        gossip_hits=service.gossip_hits - hits_before,
+    )
+
+
+def _apply_router_sync(
+    service: MalivaService,
+    table: Table,
+    indexed_columns: tuple[str, ...],
+    stats: TableStatistics,
+) -> None:
+    """Install a fresh table on a replica and evict derived state.
+
+    ``replace_table`` fires no invalidation hooks (the dispatcher drives
+    replica coherence explicitly, like the shard sync path), so the
+    replica-side service cache and QTE memos are evicted here.
+    """
+    database = service.maliva.database
+    if database.has_table(table.name):
+        database.replace_table(table)
+    else:
+        database.add_table(table, analyze=False)
+    existing = database.indexes_for(table.name)
+    for column in indexed_columns:
+        if column not in existing:
+            database.create_index(table.name, column)
+    database._stats[table.name] = stats
+    service._on_table_invalidated(table.name)
+    service.maliva.qte.invalidate()
+
+
+# ----------------------------------------------------------------------
+# Transport: worker loop and the two handle flavours
+# ----------------------------------------------------------------------
+def _router_worker_main(conn) -> None:
+    """Router-process loop: rebuild the replica from the spec, serve.
+
+    Every op message carries an optional injected fault action as its
+    third element, interpreted exactly like the shard worker loop:
+    ``crash`` exits before touching the op, ``hang`` sleeps far past any
+    deadline, ``garble`` ships junk in place of the real reply.
+    """
+    service: MalivaService | None = None
+    while True:
+        try:
+            op, payload, fault = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            return
+        if fault == CRASH:
+            # Die before touching the op — the dispatcher's next recv EOFs.
+            return
+        if fault == HANG:  # pragma: no cover - killed mid-sleep
+            time.sleep(_HANG_S)
+        try:
+            if fault == GARBLE:
+                conn.send(("ok", GARBLED_REPLY))
+            elif op == "init":
+                service = build_router_service(payload)
+                conn.send(("ok", None))
+            elif op == "serve":
+                assert service is not None
+                conn.send(("ok", _serve_on(service, payload)))
+            elif op == "gossip":
+                assert service is not None
+                service.absorb_gossip(payload)
+                conn.send(("ok", None))
+            elif op == "router_sync":
+                assert service is not None
+                table, indexed_columns, stats = payload
+                _apply_router_sync(service, table, indexed_columns, stats)
+                conn.send(("ok", None))
+            elif op == "router_stats":
+                assert service is not None
+                conn.send(("ok", service.report()))
+            elif op == "router_reset":
+                assert service is not None
+                service.reset_stats()
+                conn.send(("ok", None))
+            elif op == "stop":
+                conn.send(("ok", None))
+                return
+            else:  # pragma: no cover - protocol bug
+                conn.send(("error", f"unknown op {op!r}"))
+        except Exception:  # noqa: BLE001 - ship the traceback back
+            conn.send(("error", traceback.format_exc()))
+
+
+class InlineRouterHandle:
+    """A router replica driven in-process (no transport, same semantics).
+
+    Faults surface where the process transport would surface them:
+    ``submit_serve`` records the scheduled action, ``collect_serve``
+    raises it, and the supervisor replays identically to a real death.
+    """
+
+    def __init__(
+        self, router_id: int, spec: RouterSpec, fault_plan: FaultPlan | None = None
+    ) -> None:
+        self.router_id = router_id
+        self._service = build_router_service(spec)
+        self._fault_plan = fault_plan
+        self._pending: list[tuple[list, str | None]] = []
+
+    def _action(self, op: str) -> str | None:
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.action_for(self.router_id, op)
+
+    def _raise_fault(self, action: str | None) -> None:
+        if action == HANG:
+            raise WorkerTimeout(f"router {self.router_id}: injected hang")
+        if action is not None:
+            raise WorkerFault(f"router {self.router_id}: injected {action}")
+
+    def submit_serve(self, jobs) -> None:
+        self._pending.append((list(jobs), self._action("serve")))
+
+    def reply_ready(self) -> bool:
+        """Inline work happens at collect time, so a reply never blocks."""
+        return True
+
+    def collect_serve(
+        self, deadline_s: float | None = None, expected: int | None = None
+    ) -> RouterBatchReply:
+        jobs, action = self._pending.pop(0)
+        self._raise_fault(action)
+        return _serve_on(self._service, jobs)
+
+    def gossip(self, items, deadline_s: float | None = None) -> None:
+        self._raise_fault(self._action("gossip"))
+        self._service.absorb_gossip(items)
+
+    def router_sync(
+        self, table, indexed_columns, stats, deadline_s: float | None = None
+    ) -> None:
+        self._raise_fault(self._action("router_sync"))
+        _apply_router_sync(self._service, table, indexed_columns, stats)
+
+    def router_stats(self, deadline_s: float | None = None) -> dict:
+        self._raise_fault(self._action("router_stats"))
+        return self._service.report()
+
+    def reset_stats(self, deadline_s: float | None = None) -> None:
+        self._service.reset_stats()
+
+    def close(self, graceful: bool = True) -> None:
+        self._pending.clear()
+
+
+class RouterWorkerHandle:
+    """A router replica in a worker process, driven over a duplex pipe.
+
+    Deadline-bounded, shape-validated replies exactly like
+    :class:`~repro.serving.sharded.ShardWorkerHandle`: a timeout,
+    transport error, error reply, or malformed payload raises
+    :class:`WorkerFault` (:class:`WorkerTimeout` for deadline misses)
+    for the supervisor to consume.  The handle never retries — failover
+    policy lives in :class:`ReplicatedMalivaService`.
+    """
+
+    def __init__(
+        self,
+        router_id: int,
+        spec: RouterSpec,
+        start_method: str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.router_id = router_id
+        self._fault_plan = fault_plan
+        context = multiprocessing.get_context(start_method)
+        self._conn, worker_conn = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=_router_worker_main,
+            args=(worker_conn,),
+            daemon=True,
+            name=f"maliva-router-{router_id}",
+        )
+        self._process.start()
+        worker_conn.close()
+        # Warm start: the replica builds its full catalog, indexes, QTE,
+        # and service before the dispatcher routes its first session.
+        try:
+            self._request_none("init", spec, deadline_s=None)
+        except Exception:
+            self.close(graceful=False)
+            raise
+
+    def _action(self, op: str) -> str | None:
+        if self._fault_plan is None:
+            return None
+        return self._fault_plan.action_for(self.router_id, op)
+
+    def _send(self, op: str, payload) -> None:
+        try:
+            self._conn.send((op, payload, self._action(op)))
+        except (BrokenPipeError, OSError, ValueError) as error:
+            raise WorkerFault(
+                f"router {self.router_id}: send failed: {error}"
+            ) from error
+
+    def _recv_message(self, deadline_s: float | None):
+        try:
+            if deadline_s is not None and not self._conn.poll(deadline_s):
+                raise WorkerTimeout(
+                    f"router {self.router_id}: no reply within {deadline_s:.3f}s"
+                )
+            message = self._conn.recv()
+        except WorkerFault:
+            raise
+        except Exception as error:  # noqa: BLE001 - any transport failure
+            raise WorkerFault(
+                f"router {self.router_id}: receive failed: {error}"
+            ) from error
+        if not isinstance(message, tuple) or len(message) != 2:
+            raise WorkerFault(
+                f"router {self.router_id}: malformed reply {message!r}"
+            )
+        return message
+
+    def _recv_ok(self, deadline_s: float | None):
+        status, payload = self._recv_message(deadline_s)
+        if status != "ok":
+            raise WorkerFault(f"router {self.router_id} failed:\n{payload}")
+        return payload
+
+    def _request_none(self, op: str, payload, deadline_s: float | None) -> None:
+        self._send(op, payload)
+        reply = self._recv_ok(deadline_s)
+        if reply is not None:
+            raise WorkerFault(
+                f"router {self.router_id}: unexpected {op} reply {reply!r}"
+            )
+
+    def submit_serve(self, jobs) -> None:
+        self._send("serve", list(jobs))
+
+    def reply_ready(self) -> bool:
+        """Non-blocking probe: has the router's next reply arrived?"""
+        try:
+            return bool(self._conn.poll(0))
+        except (OSError, ValueError, EOFError):
+            return True
+
+    def collect_serve(
+        self, deadline_s: float | None = None, expected: int | None = None
+    ) -> RouterBatchReply:
+        reply = self._recv_ok(deadline_s)
+        if not isinstance(reply, RouterBatchReply):
+            raise WorkerFault(
+                f"router {self.router_id}: garbled serve reply {reply!r}"
+            )
+        if expected is not None and len(reply.outcomes) != expected:
+            raise WorkerFault(
+                f"router {self.router_id}: expected {expected} outcomes, "
+                f"got {len(reply.outcomes)}"
+            )
+        return reply
+
+    def gossip(self, items, deadline_s: float | None = None) -> None:
+        self._request_none("gossip", list(items), deadline_s)
+
+    def router_sync(
+        self, table, indexed_columns, stats, deadline_s: float | None = None
+    ) -> None:
+        self._request_none(
+            "router_sync", (table, tuple(indexed_columns), stats), deadline_s
+        )
+
+    def router_stats(self, deadline_s: float | None = None) -> dict:
+        self._send("router_stats", None)
+        reply = self._recv_ok(deadline_s)
+        if not isinstance(reply, dict):
+            raise WorkerFault(
+                f"router {self.router_id}: garbled stats reply {reply!r}"
+            )
+        return reply
+
+    def reset_stats(self, deadline_s: float | None = None) -> None:
+        self._request_none("router_reset", None, deadline_s)
+
+    def close(self, graceful: bool = True) -> None:
+        """Stop the router, escalating terminate → kill, and free the pipe."""
+        try:
+            if graceful and self._process.is_alive():
+                try:
+                    self._conn.send(("stop", None, None))
+                    if self._conn.poll(1.0):
+                        self._conn.recv()
+                except (BrokenPipeError, EOFError, OSError, ValueError):
+                    pass
+                self._process.join(timeout=5.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=2.0)
+            if self._process.is_alive():  # pragma: no cover - stuck router
+                self._process.kill()
+                self._process.join(timeout=2.0)
+        finally:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+# ----------------------------------------------------------------------
+# The supervised fleet
+# ----------------------------------------------------------------------
+class RouterGroup:
+    """A supervised fleet of router replicas behind one dispatcher.
+
+    Owns the slots (the shard tier's :class:`SupervisedSlot`; ``shard_id``
+    doubles as the router id here) and the spawn/respawn/retire mechanics:
+    deaths schedule a capped-exponential-backoff respawn from a *fresh*
+    spec (captured off the dispatcher's live catalog, so missed syncs
+    collapse into the spec), and a router that exhausts ``max_respawns``
+    trips the breaker and is retired.  Policy reactions — stats, session
+    rebalancing, gossip priming, admission capacity — live in
+    :class:`ReplicatedMalivaService`.
+    """
+
+    def __init__(
+        self,
+        spec_factory,
+        *,
+        n_routers: int,
+        processes: bool = True,
+        start_method: str | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_respawns: int = 3,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_cap_s: float = 2.0,
+    ) -> None:
+        self._spec_factory = spec_factory
+        self.processes = processes
+        self._start_method = start_method
+        self._fault_plan = fault_plan
+        self.max_respawns = max_respawns
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_cap_s = respawn_backoff_cap_s
+        self.slots: list[SupervisedSlot] = []
+        self._closed = False
+        try:
+            for router_id in range(n_routers):
+                slot = SupervisedSlot(router_id, respawn_backoff_s)
+                slot.handle = self._build_handle(router_id)
+                self.slots.append(slot)
+        except Exception:
+            self.close()
+            raise
+
+    def _build_handle(self, router_id: int):
+        spec = self._spec_factory()
+        if self.processes:
+            return RouterWorkerHandle(
+                router_id, spec, self._start_method, self._fault_plan
+            )
+        return InlineRouterHandle(router_id, spec, self._fault_plan)
+
+    def live_slots(self) -> list[SupervisedSlot]:
+        """Slots with a live handle, in router-id order."""
+        return [
+            slot
+            for slot in self.slots
+            if not slot.retired and slot.handle is not None
+        ]
+
+    def active_slots(self) -> list[SupervisedSlot]:
+        """Slots not retired (their router may be dead awaiting respawn)."""
+        return [slot for slot in self.slots if not slot.retired]
+
+    def _backoff(self, slot: SupervisedSlot) -> None:
+        slot.next_spawn_at = time.monotonic() + slot.backoff_s
+        slot.backoff_s = min(
+            self.respawn_backoff_cap_s,
+            max(slot.backoff_s * 2.0, self.respawn_backoff_s),
+        )
+
+    def record_death(self, slot: SupervisedSlot) -> None:
+        """Mark a slot's router dead and schedule its backed-off respawn."""
+        handle, slot.handle = slot.handle, None
+        slot.deaths += 1
+        if handle is not None:
+            try:
+                handle.close(graceful=False)
+            except Exception:  # noqa: BLE001 - reaping is best-effort
+                pass
+        self._backoff(slot)
+
+    def ensure(self) -> tuple[list[SupervisedSlot], list[SupervisedSlot]]:
+        """Respawn dead slots past their backoff; retire exhausted ones.
+
+        Runs between batches, never mid-dispatch, so a batch sees a
+        stable fleet from routing through gather.  Returns the slots
+        respawned and the slots newly retired this pass.
+        """
+        respawned: list[SupervisedSlot] = []
+        retired: list[SupervisedSlot] = []
+        if self._closed:
+            return respawned, retired
+        now = time.monotonic()
+        for slot in self.slots:
+            if slot.retired or slot.handle is not None:
+                continue
+            if slot.respawns >= self.max_respawns:
+                # Circuit breaker: the respawn budget is spent; stop
+                # flapping and shrink the fleet instead.
+                if self._retire(slot):
+                    retired.append(slot)
+                continue
+            if now < slot.next_spawn_at:
+                continue
+            slot.respawns += 1
+            try:
+                slot.handle = self._build_handle(slot.shard_id)
+            except Exception:  # noqa: BLE001 - retry after backoff
+                self._backoff(slot)
+                if slot.respawns >= self.max_respawns and self._retire(slot):
+                    retired.append(slot)
+                continue
+            slot.backoff_s = self.respawn_backoff_s
+            respawned.append(slot)
+        return respawned, retired
+
+    def _retire(self, slot: SupervisedSlot) -> bool:
+        if slot.retired:
+            return False
+        slot.retired = True
+        handle, slot.handle = slot.handle, None
+        if handle is not None:
+            try:
+                handle.close(graceful=False)
+            except Exception:  # noqa: BLE001
+                pass
+        return True
+
+    def close(self) -> None:
+        """Stop every router replica (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self.slots:
+            handle, slot.handle = slot.handle, None
+            if handle is None:
+                continue
+            try:
+                handle.close(graceful=True)
+            except Exception:  # noqa: BLE001 - closing is best-effort
+                pass
+
+
+# ----------------------------------------------------------------------
+# The pre-dispatch journal
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class JournalEntry:
+    """One admitted request's journaled identity (plus its replay state)."""
+
+    seq: int
+    session_id: str | None
+    query_key: tuple
+    tau_ms: float
+    #: The router the entry was dispatched to (-1: no live router).
+    router_id: int
+    #: The resolved query, kept so an unacknowledged entry can replay.
+    query: SelectQuery
+
+
+class RequestJournal:
+    """Pre-dispatch intent log: the zero-lost-requests contract.
+
+    Every admitted request is journaled *before* its sub-batch ships to a
+    router and acknowledged only when its outcome lands.  Unacknowledged
+    entries after a router death are exactly the requests whose answers
+    are unaccounted for; the dispatcher replays them, in sequence order,
+    on a survivor (or locally).  Sequence numbers are globally monotonic
+    across the service's lifetime, so replay order is total.
+    """
+
+    def __init__(self) -> None:
+        self._next_seq = 0
+        self._entries: dict[int, JournalEntry] = {}
+
+    def record(
+        self,
+        session_id: str | None,
+        query: SelectQuery,
+        tau_ms: float,
+        router_id: int,
+    ) -> JournalEntry:
+        entry = JournalEntry(
+            seq=self._next_seq,
+            session_id=session_id,
+            query_key=query.key(),
+            tau_ms=tau_ms,
+            router_id=router_id,
+            query=query,
+        )
+        self._next_seq += 1
+        self._entries[entry.seq] = entry
+        return entry
+
+    def ack(self, seq: int) -> None:
+        self._entries.pop(seq, None)
+
+    @property
+    def depth(self) -> int:
+        """Unacknowledged entries right now."""
+        return len(self._entries)
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+
+class _ReplicatedInflight:
+    """Dispatch bookkeeping between execute begin and finish."""
+
+    __slots__ = (
+        "execute_started",
+        "jobs",
+        "submitted",
+        "deadline_s",
+        "seq_by_index",
+    )
+
+    def __init__(self) -> None:
+        self.execute_started = 0.0
+        #: router id -> journal entries dispatched there (-1: unrouted).
+        self.jobs: dict[int, list[JournalEntry]] = {}
+        self.submitted: list[int] = []
+        self.deadline_s: float | None = None
+        #: batch position -> journal sequence number.
+        self.seq_by_index: dict[int, int] = {}
+
+
+# ----------------------------------------------------------------------
+# The dispatcher
+# ----------------------------------------------------------------------
+class ReplicatedMalivaService(MalivaService):
+    """Session-affine dispatch over N supervised full router replicas."""
+
+    def __init__(
+        self,
+        maliva: Maliva,
+        *,
+        n_routers: int = 2,
+        processes: bool = True,
+        start_method: str | None = None,
+        rpc_deadline_ms: float | None = 10_000.0,
+        deadline_tau_factor: float = 1.0,
+        max_respawns: int = 3,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_cap_s: float = 2.0,
+        gossip_decisions: bool = True,
+        fault_plan: FaultPlan | None = None,
+        **kwargs,
+    ) -> None:
+        if n_routers < 1:
+            raise QueryError(f"n_routers must be at least 1, got {n_routers}")
+        if rpc_deadline_ms is not None and rpc_deadline_ms <= 0:
+            raise QueryError("rpc_deadline_ms must be positive (None disables)")
+        if deadline_tau_factor < 0:
+            raise QueryError("deadline_tau_factor must be non-negative")
+        if max_respawns < 0:
+            raise QueryError("max_respawns must be non-negative")
+        if respawn_backoff_s < 0 or respawn_backoff_cap_s < 0:
+            raise QueryError("respawn backoffs must be non-negative")
+        if kwargs.get("quality_fn") is not None:
+            raise QueryError(
+                "replicated serving does not support quality_fn: quality "
+                "scoring interleaves per-request engine work that cannot "
+                "be replicated across routers"
+            )
+        # The invalidation hook the base constructor registers dispatches
+        # to our override; make its guards resolvable first.
+        self._group: RouterGroup | None = None
+        self._closed = False
+        self._dispatch_inflight = False
+        self._local_mode = False
+        self._session_router: dict[str, int] = {}
+        self._anon_cursor = -1
+        self._journal = RequestJournal()
+        super().__init__(maliva, **kwargs)
+        self.n_routers = n_routers
+        self.processes = processes
+        self.rpc_deadline_ms = rpc_deadline_ms
+        self.deadline_tau_factor = deadline_tau_factor
+        self.gossip_decisions = gossip_decisions
+        self._group = RouterGroup(
+            self._router_spec,
+            n_routers=n_routers,
+            processes=processes,
+            start_method=start_method,
+            fault_plan=fault_plan,
+            max_respawns=max_respawns,
+            respawn_backoff_s=respawn_backoff_s,
+            respawn_backoff_cap_s=respawn_backoff_cap_s,
+        )
+        self.stats.routers = self._new_router_stats()
+
+    def _router_spec(self) -> RouterSpec:
+        """A fresh replica spec off the live catalog (spawn and respawn)."""
+        return router_spec_for(
+            self.maliva,
+            default_tau_ms=self.default_tau_ms,
+            scheduler=self.scheduler,
+            batch_execute=self.batch_execute,
+            decision_cache_size=self._decision_cache._capacity,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle and observability
+    # ------------------------------------------------------------------
+    def _new_router_stats(self) -> RouterStats:
+        return RouterStats(n_routers=self.n_routers)
+
+    def reset_stats(self) -> None:
+        super().reset_stats()
+        self.stats.routers = self._new_router_stats()
+        if self._group is None or self._closed or self._dispatch_inflight:
+            return
+        deadline_s = self._setup_deadline_s()
+        for slot in self._group.live_slots():
+            try:
+                slot.handle.reset_stats(deadline_s)
+            except WorkerFault as error:
+                self._record_router_death(slot, error)
+
+    def close(self) -> None:
+        """Stop every router replica (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._group is not None:
+            self._group.close()
+
+    def __del__(self):  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    def report(self) -> dict:
+        report = super().report()
+        if self._group is None:
+            return report
+        report["journal"] = {
+            "depth": self._journal.depth,
+            "next_seq": self._journal.next_seq,
+            "high_water": (
+                self.stats.routers.journal_high_water
+                if self.stats.routers is not None
+                else 0
+            ),
+        }
+        # Replica report probes share the duplex pipes with in-flight serve
+        # replies; skip them mid-batch rather than desync the protocol.
+        if not self._closed and not self._dispatch_inflight:
+            replicas: dict[str, dict] = {}
+            deadline_s = self._setup_deadline_s()
+            for slot in self._group.live_slots():
+                try:
+                    replicas[str(slot.shard_id)] = slot.handle.router_stats(
+                        deadline_s
+                    )
+                except WorkerFault as error:
+                    self._record_router_death(slot, error)
+            report["router_replicas"] = replicas
+        return report
+
+    # ------------------------------------------------------------------
+    # Deadlines (same shape as the sharded tier)
+    # ------------------------------------------------------------------
+    def _call_deadline_s(self, tau_ms: float | None = None) -> float | None:
+        if self.rpc_deadline_ms is None:
+            return None
+        tau = tau_ms if tau_ms is not None else 0.0
+        return (self.rpc_deadline_ms + self.deadline_tau_factor * tau) / 1000.0
+
+    def _setup_deadline_s(self) -> float | None:
+        if self.rpc_deadline_ms is None:
+            return None
+        return max(30.0, 4.0 * self.rpc_deadline_ms / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Supervision reactions
+    # ------------------------------------------------------------------
+    def _record_router_death(self, slot: SupervisedSlot, error: Exception) -> None:
+        del error  # normalized WorkerFault/WorkerTimeout; logged via stats
+        assert self._group is not None
+        self._group.record_death(slot)
+        if self.stats.routers is not None:
+            self.stats.routers.record_death(slot.shard_id)
+
+    def _ensure_routers(self) -> None:
+        """Respawn/retire between batches; re-aim sessions and admission."""
+        if self._group is None or self._closed:
+            return
+        respawned, retired = self._group.ensure()
+        routers = self.stats.routers
+        deadline_s = self._setup_deadline_s()
+        for slot in respawned:
+            if routers is not None:
+                routers.record_respawn(slot.shard_id)
+            # Prime the fresh replica with recently gossiped decisions so
+            # it rejoins warm; its catalog is already current (the spec
+            # was captured off the live dispatcher engine).
+            items = list(self._gossip_mirror.items())
+            if items and self.gossip_decisions:
+                try:
+                    slot.handle.gossip(items, deadline_s)
+                except WorkerFault as error:
+                    self._record_router_death(slot, error)
+        for slot in retired:
+            if routers is not None:
+                routers.record_retired(slot.shard_id)
+        if respawned or retired:
+            self._update_capacity()
+
+    def _update_capacity(self) -> None:
+        """Scale the admission watermark to the surviving fleet fraction."""
+        if self.admission is None or self._group is None:
+            return
+        total = len(self._group.slots)
+        if total == 0:
+            return
+        active = len(self._group.active_slots())
+        # With every router retired the dispatcher itself serves — it is
+        # roughly one router's worth of capacity, never zero.
+        self.admission.set_capacity_fraction(max(active, 1) / total)
+
+    # ------------------------------------------------------------------
+    # Session routing
+    # ------------------------------------------------------------------
+    def _route(self, session_id: str | None) -> int:
+        """Pick the router for one request (sticky per session)."""
+        assert self._group is not None
+        live = self._group.live_slots()
+        if not live:
+            return -1
+        live_ids = sorted(slot.shard_id for slot in live)
+        if session_id is None:
+            self._anon_cursor += 1
+            return live_ids[self._anon_cursor % len(live_ids)]
+        assigned = self._session_router.get(session_id)
+        if assigned in live_ids:
+            return assigned
+        counts = {router_id: 0 for router_id in live_ids}
+        for router_id in self._session_router.values():
+            if router_id in counts:
+                counts[router_id] += 1
+        best = min(live_ids, key=lambda router_id: (counts[router_id], router_id))
+        self._session_router[session_id] = best
+        if assigned is not None and self.stats.routers is not None:
+            # The session had a router and lost it (death or retirement).
+            self.stats.routers.n_rebalances += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Pipeline overrides: plan on routers, dispatch at the execute seam
+    # ------------------------------------------------------------------
+    def _plan_batch(self, requests: Sequence[VizRequest]) -> _PlannedBatch | None:
+        if self._group is not None and not self._dispatch_inflight:
+            self._ensure_routers()
+            self._local_mode = not self._group.live_slots()
+        planned = super()._plan_batch(requests)
+        if (
+            planned is not None
+            and self._group is not None
+            and self._local_mode
+            and self.stats.routers is not None
+        ):
+            self.stats.routers.n_local += len(planned.requests)
+        return planned
+
+    def _plan_stage(self, resolved):
+        if self._group is None or self._local_mode:
+            # Local mode (construction, or an empty fleet): the dispatcher
+            # plans with its own decision cache and gossip mirror.
+            return super()._plan_stage(resolved)
+        # Dispatch mode: routers plan; the dispatcher ships raw requests.
+        return [None] * len(resolved), [False] * len(resolved)
+
+    def _execute_begin(self, planned: _PlannedBatch) -> _InflightExecution:
+        if self._group is None or self._local_mode:
+            return super()._execute_begin(planned)
+        if self._dispatch_inflight:
+            raise QueryError(
+                "replicated service already has a serve batch in flight"
+            )
+        state = self._dispatch_begin(planned)
+        self._dispatch_inflight = True
+        return _InflightExecution(planned=planned, state=state)
+
+    async def _execute_wait(self, token: _InflightExecution) -> None:
+        state = token.state
+        if not isinstance(state, _ReplicatedInflight):
+            await super()._execute_wait(token)
+            return
+        assert self._group is not None
+        deadline_at = (
+            None
+            if state.deadline_s is None
+            else time.monotonic() + state.deadline_s
+        )
+        while True:
+            pending = False
+            for router_id in state.submitted:
+                slot = self._group.slots[router_id]
+                if slot.handle is not None and not slot.handle.reply_ready():
+                    pending = True
+                    break
+            if not pending:
+                return
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                return
+            await asyncio.sleep(0.0005)
+
+    def _execute_finish(self, token: _InflightExecution) -> list[RequestOutcome]:
+        state = token.state
+        if not isinstance(state, _ReplicatedInflight):
+            return super()._execute_finish(token)
+        try:
+            return self._dispatch_finish(token.planned, state)
+        finally:
+            self._dispatch_inflight = False
+
+    # ------------------------------------------------------------------
+    # Dispatch, gather, failover
+    # ------------------------------------------------------------------
+    def _dispatch_begin(self, planned: _PlannedBatch) -> _ReplicatedInflight:
+        """Journal the batch, then ship session-affine sub-batches."""
+        if self._closed:
+            raise QueryError("replicated service is closed")
+        assert self._group is not None
+        state = _ReplicatedInflight()
+        state.execute_started = time.perf_counter()
+        max_tau = 0.0
+        for index, request in enumerate(planned.requests):
+            query, tau_ms = planned.resolved[index]
+            max_tau = max(max_tau, tau_ms)
+            session_id = request.effective_session()
+            router_id = self._route(session_id)
+            # Journal *before* dispatch: the entry is the replay record if
+            # the router dies before acknowledging this request.
+            entry = self._journal.record(session_id, query, tau_ms, router_id)
+            state.jobs.setdefault(router_id, []).append(entry)
+            state.seq_by_index[index] = entry.seq
+        state.deadline_s = self._call_deadline_s(max_tau)
+        routers = self.stats.routers
+        if routers is not None:
+            routers.n_dispatched += len(planned.requests)
+            routers.record_journal_depth(self._journal.depth)
+        for router_id in sorted(state.jobs):
+            if router_id < 0:
+                continue  # no live router at routing time; replay path
+            slot = self._group.slots[router_id]
+            if slot.handle is None:
+                continue
+            payload = [
+                (entry.seq, entry.query, entry.tau_ms, entry.session_id)
+                for entry in state.jobs[router_id]
+            ]
+            try:
+                slot.handle.submit_serve(payload)
+            except WorkerFault as error:
+                self._record_router_death(slot, error)
+                continue
+            state.submitted.append(router_id)
+        return state
+
+    def _dispatch_finish(
+        self, planned: _PlannedBatch, state: _ReplicatedInflight
+    ) -> list[RequestOutcome]:
+        """Gather router replies, replay the unacknowledged, assemble."""
+        assert self._group is not None
+        routers = self.stats.routers
+        outcomes_by_seq: dict[int, RequestOutcome] = {}
+        cached_by_seq: dict[int, bool] = {}
+        fresh: dict[tuple, object] = {}
+        for router_id in state.submitted:
+            slot = self._group.slots[router_id]
+            entries = state.jobs[router_id]
+            if slot.handle is None:  # pragma: no cover - died in a sync op
+                continue
+            try:
+                reply = slot.handle.collect_serve(
+                    state.deadline_s, expected=len(entries)
+                )
+            except WorkerFault as error:
+                self._record_router_death(slot, error)
+                continue
+            for seq, outcome, cached in reply.outcomes:
+                outcomes_by_seq[seq] = outcome
+                cached_by_seq[seq] = cached
+                self._journal.ack(seq)
+            fresh.update(reply.fresh)
+            if routers is not None:
+                routers.record_serve(
+                    router_id,
+                    len(entries),
+                    reply.wall_s,
+                    reply.n_cached,
+                    reply.gossip_hits,
+                )
+        # Failover: every journaled entry without an acknowledged outcome
+        # replays — in sequence order — on a survivor, or locally.
+        orphans = [
+            entry
+            for entries in state.jobs.values()
+            for entry in entries
+            if entry.seq not in outcomes_by_seq
+        ]
+        if orphans:
+            orphans.sort(key=lambda entry: entry.seq)
+            replayed, replay_fresh = self._replay(orphans, state.deadline_s)
+            for seq, (outcome, cached) in replayed.items():
+                outcomes_by_seq[seq] = outcome
+                cached_by_seq[seq] = cached
+                self._journal.ack(seq)
+            fresh.update(replay_fresh)
+        if fresh and self.gossip_decisions:
+            self._broadcast_gossip(list(fresh.items()))
+        # Assemble in submission order and record per-request stats.
+        requests = planned.requests
+        execute_share = (
+            time.perf_counter() - state.execute_started
+        ) / len(requests)
+        outcomes: list[RequestOutcome] = []
+        for index, request in enumerate(requests):
+            seq = state.seq_by_index[index]
+            outcome = outcomes_by_seq[seq]
+            outcomes.append(outcome)
+            self.stats.record(
+                RequestRecord(
+                    request_id=request.request_id,
+                    session_id=request.effective_session(),
+                    tau_ms=planned.resolved[index][1],
+                    planning_ms=outcome.planning_ms,
+                    execution_ms=outcome.execution_ms,
+                    viable=outcome.viable,
+                    wall_s=execute_share + planned.shared_s,
+                    cache_hits=outcome.cache_hits,
+                    cache_misses=outcome.cache_misses,
+                    decision_cached=cached_by_seq[seq],
+                )
+            )
+        self.stats.record_stage(
+            "execute", time.perf_counter() - state.execute_started
+        )
+        return outcomes
+
+    def _replay(
+        self, entries: list[JournalEntry], deadline_s: float | None
+    ) -> tuple[dict[int, tuple[RequestOutcome, bool]], list]:
+        """Replay journaled entries on a survivor (or the dispatcher).
+
+        Survivors are tried in router-id order; each failed attempt marks
+        that router dead and moves on.  Replay is bit-identical to the
+        lost execution: replicas are twin engines and planning is
+        deterministic, so *which* engine answers cannot change the
+        decision, the virtual times, or the counters.
+        """
+        assert self._group is not None
+        routers = self.stats.routers
+        while True:
+            live = self._group.live_slots()
+            if not live:
+                break
+            slot = live[0]
+            payload = [
+                (entry.seq, entry.query, entry.tau_ms, entry.session_id)
+                for entry in entries
+            ]
+            try:
+                slot.handle.submit_serve(payload)
+                reply = slot.handle.collect_serve(
+                    deadline_s, expected=len(entries)
+                )
+            except WorkerFault as error:
+                self._record_router_death(slot, error)
+                continue
+            if routers is not None:
+                for entry in entries:
+                    routers.record_replayed(entry.router_id, 1)
+                routers.record_serve(
+                    slot.shard_id,
+                    len(entries),
+                    reply.wall_s,
+                    reply.n_cached,
+                    reply.gossip_hits,
+                )
+            return (
+                {
+                    seq: (outcome, cached)
+                    for seq, outcome, cached in reply.outcomes
+                },
+                reply.fresh,
+            )
+        # Zero survivors: the dispatcher is the router of last resort.
+        if routers is not None:
+            for entry in entries:
+                routers.record_replayed(entry.router_id, 1)
+            routers.n_local += len(entries)
+        return self._serve_local_entries(entries), []
+
+    def _serve_local_entries(
+        self, entries: list[JournalEntry]
+    ) -> dict[int, tuple[RequestOutcome, bool]]:
+        """Serve journal entries on the dispatcher's own engine.
+
+        Planning goes through the base plan stage (decision cache plus
+        gossip mirror), execution through the engine's batch executor in
+        the scheduler's order — the same pipeline a router replica runs,
+        so outcomes are bit-identical to a healthy dispatch.
+        """
+        requests = [
+            VizRequest(
+                payload=entry.query,
+                session_id=entry.session_id,
+                tau_ms=entry.tau_ms,
+                request_id=entry.seq,
+            )
+            for entry in entries
+        ]
+        resolved = [(entry.query, entry.tau_ms) for entry in entries]
+        order = self.scheduler.order(requests)
+        decisions, cached_flags = MalivaService._plan_stage(self, resolved)
+        served: dict[int, tuple[RequestOutcome, bool]] = {}
+        if self.batch_execute:
+            finished, sharing = self.maliva.finish_batch(
+                [resolved[index][0] for index in order],
+                [decisions[index] for index in order],
+                [resolved[index][1] for index in order],
+            )
+            self.stats.record_sharing(sharing)
+            for position, index in enumerate(order):
+                served[entries[index].seq] = (
+                    finished[position],
+                    cached_flags[index],
+                )
+        else:
+            for index in order:
+                query, tau_ms = resolved[index]
+                outcome = self.maliva.finish(query, decisions[index], tau_ms)
+                served[entries[index].seq] = (outcome, cached_flags[index])
+        return served
+
+    def _broadcast_gossip(self, items: list[tuple[tuple, object]]) -> None:
+        """Ship freshly planned decisions to every live replica.
+
+        The dispatcher also absorbs them into its own gossip mirror: a
+        later local-mode batch (empty fleet) promotes them on a miss, and
+        the mirror doubles as the warm-start log a respawned router is
+        primed with.
+        """
+        assert self._group is not None
+        self.absorb_gossip(items)
+        deadline_s = self._setup_deadline_s()
+        delivered = False
+        for slot in self._group.live_slots():
+            try:
+                slot.handle.gossip(items, deadline_s)
+            except WorkerFault as error:
+                self._record_router_death(slot, error)
+                continue
+            delivered = True
+        if delivered and self.stats.routers is not None:
+            self.stats.routers.n_gossip_broadcast += len(items)
+
+    # ------------------------------------------------------------------
+    # Cross-replica coherence
+    # ------------------------------------------------------------------
+    def _on_table_invalidated(self, table_name: str) -> None:
+        super()._on_table_invalidated(table_name)
+        if self._group is None:
+            return
+        if self._dispatch_inflight:
+            # The dispatcher's own caches are already evicted (above), but
+            # a sync broadcast would interleave with in-flight serve
+            # replies on the router pipes.  The async tier quiesces via
+            # drain() before mutating; anything else is a caller bug.
+            raise QueryError(
+                f"table {table_name!r} mutated while a replicated serve "
+                f"batch is in flight; drain the async service before "
+                f"mutating"
+            )
+        if self._closed:
+            return
+        database = self.maliva.database
+        if not database.has_table(table_name):  # pragma: no cover - dropped
+            return
+        table = database.table(table_name)
+        indexed = tuple(sorted(database.indexes_for(table_name)))
+        stats = database.stats(table_name)
+        deadline_s = self._setup_deadline_s()
+        for slot in self._group.live_slots():
+            # Dead slots skip the sync: their respawn rebuilds from the
+            # live catalog and cannot go stale.
+            try:
+                slot.handle.router_sync(table, indexed, stats, deadline_s)
+            except WorkerFault as error:
+                self._record_router_death(slot, error)
+        if self.stats.routers is not None:
+            self.stats.routers.n_syncs += 1

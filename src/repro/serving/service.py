@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import time
+from collections import OrderedDict
 from typing import Iterable, Iterator, Sequence
 
 from ..core.middleware import Maliva, RequestOutcome
@@ -86,6 +87,12 @@ class _InflightExecution:
 class MalivaService:
     """Concurrent-dashboard serving layer over a trained Maliva middleware."""
 
+    #: FIFO bound on the gossip mirror and the fresh-decision outbox: a
+    #: replicated router fleet (DESIGN.md §4.7) exchanges recently planned
+    #: ``(query key, tau) -> decision`` pairs between replicas, and neither
+    #: side may grow without bound when nobody drains it.
+    GOSSIP_CAPACITY = 2048
+
     def __init__(
         self,
         maliva: Maliva,
@@ -120,6 +127,15 @@ class MalivaService:
         #: extra engine work per request, which batching would reorder.
         self.batch_execute = batch_execute
         self._decision_cache = InstrumentedCache("decision", capacity=decision_cache_size)
+        # Gossip seam (used by the replicated router tier): decisions
+        # received from sibling replicas wait here until a matching
+        # decision-cache miss promotes them, and decisions freshly planned
+        # locally queue in the outbox until the dispatcher drains them.
+        self._gossip_mirror: OrderedDict[tuple, object] = OrderedDict()
+        self._fresh_decisions: OrderedDict[tuple, object] = OrderedDict()
+        #: Decision-cache misses answered from the gossip mirror (monotonic;
+        #: the replicated dispatcher reads deltas around each serve call).
+        self.gossip_hits = 0
         self.stats = ServiceStats()
         # Engine caches are shared with offline work (training warmed them);
         # reports cover only the window since construction / reset_stats().
@@ -226,10 +242,10 @@ class MalivaService:
                 error = ServiceOverloadError(
                     f"request shed under overload: queued+in-flight virtual "
                     f"load {self.admission.load_ms:.1f}ms exceeds watermark "
-                    f"{self.admission.load_watermark_ms:.1f}ms",
+                    f"{self.admission.effective_watermark_ms:.1f}ms",
                     retry_after_ms=verdict.retry_after_ms or 0.0,
                     load_ms=self.admission.load_ms,
-                    watermark_ms=self.admission.load_watermark_ms,
+                    watermark_ms=self.admission.effective_watermark_ms,
                 )
                 self._last_shed.append((request, error))
                 self._shed_indexes.append(position)
@@ -355,6 +371,18 @@ class MalivaService:
         for index, (query, tau_ms) in enumerate(resolved):
             key = (query.key(), tau_ms)
             decision = self._decision_cache.get(key)
+            if decision is None:
+                # A sibling replica may have planned this exact (query,
+                # tau) already and gossiped the decision here; planning is
+                # deterministic, so promoting it is bit-identical to
+                # replanning — and counts as a cache hit, which is the
+                # gossip contract: a repeat hitting *any* router is a hit.
+                decision = self._gossip_mirror.pop(key, None)
+                if decision is not None:
+                    self._decision_cache.put(
+                        key, decision, tags=self._decision_tags(query)
+                    )
+                    self.gossip_hits += 1
             if decision is not None:
                 decisions[index] = decision
                 cached_flags[index] = True
@@ -368,9 +396,14 @@ class MalivaService:
             )
             for group, decision in zip(groups, planned):
                 query, tau_ms = resolved[group[0]]
+                key = (query.key(), tau_ms)
                 self._decision_cache.put(
-                    (query.key(), tau_ms), decision, tags=self._decision_tags(query)
+                    key, decision, tags=self._decision_tags(query)
                 )
+                self._fresh_decisions[key] = decision
+                self._fresh_decisions.move_to_end(key)
+                while len(self._fresh_decisions) > self.GOSSIP_CAPACITY:
+                    self._fresh_decisions.popitem(last=False)
                 for index in group:
                     decisions[index] = decision
                     # Later duplicates would have been cache hits sequentially.
@@ -520,6 +553,35 @@ class MalivaService:
             yield request, next(results)
 
     # ------------------------------------------------------------------
+    # Decision gossip (replicated router coherence — DESIGN.md §4.7)
+    # ------------------------------------------------------------------
+    def absorb_gossip(self, items: Sequence[tuple[tuple, object]]) -> None:
+        """Install ``((query key, tau), decision)`` pairs from a sibling.
+
+        Pairs land in a FIFO-capped mirror consulted only on decision-cache
+        misses; a mirror hit promotes the pair into the decision cache with
+        its tags.  The mirror is cleared wholesale on any catalog
+        invalidation — gossip carries no tag metadata, and staleness must
+        never outlive the data it was planned against.
+        """
+        for key, decision in items:
+            self._gossip_mirror[key] = decision
+            self._gossip_mirror.move_to_end(key)
+        while len(self._gossip_mirror) > self.GOSSIP_CAPACITY:
+            self._gossip_mirror.popitem(last=False)
+
+    def drain_fresh_decisions(self) -> list[tuple[tuple, object]]:
+        """Hand over (and clear) decisions planned since the last drain.
+
+        The replicated dispatcher calls this after every serve reply and
+        broadcasts the pairs to the other live replicas.  The outbox is
+        FIFO-capped, so an undrained standalone service stays bounded.
+        """
+        fresh = list(self._fresh_decisions.items())
+        self._fresh_decisions = OrderedDict()
+        return fresh
+
+    # ------------------------------------------------------------------
     # Mutation and observability
     # ------------------------------------------------------------------
     def append_rows(self, table_name: str, columns) -> None:
@@ -530,13 +592,19 @@ class MalivaService:
         """Engine hook: evict the table's cached decisions by tag.
 
         QTE memos self-invalidate through their own hook (see
-        :class:`repro.qte.sampling.SamplingQTE`).
+        :class:`repro.qte.sampling.SamplingQTE`).  Gossip state is dropped
+        wholesale: mirrored pairs carry no tags, and a decision planned
+        against pre-mutation data must never be promoted afterwards.
         """
         self._decision_cache.invalidate_tag(table_name)
+        self._gossip_mirror.clear()
+        self._fresh_decisions.clear()
 
     def invalidate(self) -> None:
         """Manually drop the decision cache and the QTE's memos entirely."""
         self._decision_cache.clear()
+        self._gossip_mirror.clear()
+        self._fresh_decisions.clear()
         self.maliva.qte.invalidate()
 
     def reset_stats(self) -> None:
@@ -547,6 +615,11 @@ class MalivaService:
         would let :meth:`answer_one` (or any ``last_shed`` reader) surface
         a stale :class:`~repro.errors.ServiceOverloadError` from traffic
         that predates the reset.
+
+        The stats object is replaced *wholesale*, so every window counter —
+        including the async tier's ``queue_peak_depth`` and
+        ``n_backpressure_waits`` — restarts at zero; nothing survives into
+        the next window (pinned by the reset regression tests).
         """
         self.stats = ServiceStats()
         self._engine_baseline = self.maliva.database.cache_stats()

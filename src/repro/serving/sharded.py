@@ -531,14 +531,16 @@ class ShardWorkerHandle:
 ProcessShardHandle = ShardWorkerHandle
 
 
-class _ShardSlot:
-    """One supervised position in the fleet: a handle plus its history.
+class SupervisedSlot:
+    """One supervised position in a worker fleet: a handle plus its history.
 
     The slot outlives any individual worker: deaths null the handle,
     respawns refill it, and the breaker retires the slot for good.  Slot
     index == shard id for the service's lifetime; only the *rank* among
     active slots (which drives rows-mode slice assignment) shifts when a
-    neighbour retires.
+    neighbour retires.  The replicated router tier
+    (:mod:`repro.serving.replicated`) supervises its router replicas with
+    the same slots — ``shard_id`` doubles as the router id there.
     """
 
     __slots__ = (
@@ -582,7 +584,7 @@ class _ScatterState:
 
     def __init__(
         self,
-        targets: dict[int, tuple[_ShardSlot, list[ShardEntry]]],
+        targets: dict[int, tuple[SupervisedSlot, list[ShardEntry]]],
         rows_mode: bool,
         deadline_s: float | None,
     ) -> None:
@@ -646,7 +648,7 @@ class ShardedMalivaService(MalivaService):
             raise QueryError("respawn backoffs must be non-negative")
         # The invalidation hook the base constructor registers dispatches to
         # our override, which broadcasts; make its guards resolvable first.
-        self._slots: list[_ShardSlot] = []
+        self._slots: list[SupervisedSlot] = []
         self._closed = False
         self._plan_scattered = False
         self._rebalancing = False
@@ -680,7 +682,7 @@ class ShardedMalivaService(MalivaService):
         }
         try:
             for spec in specs:
-                slot = _ShardSlot(spec.shard_id, respawn_backoff_s)
+                slot = SupervisedSlot(spec.shard_id, respawn_backoff_s)
                 slot.handle = self._build_handle(spec)
                 self._slots.append(slot)
             # Replicate the planning state so decision-cache misses scatter
@@ -784,10 +786,10 @@ class ShardedMalivaService(MalivaService):
     # ------------------------------------------------------------------
     # Supervision: death, respawn, breaker, rebalance
     # ------------------------------------------------------------------
-    def _active_slots(self) -> list[_ShardSlot]:
+    def _active_slots(self) -> list[SupervisedSlot]:
         return [slot for slot in self._slots if not slot.retired]
 
-    def _record_death(self, slot: _ShardSlot, error: Exception) -> None:
+    def _record_death(self, slot: SupervisedSlot, error: Exception) -> None:
         """Mark a slot's worker dead and schedule its (backed-off) respawn."""
         handle, slot.handle = slot.handle, None
         slot.deaths += 1
@@ -838,7 +840,7 @@ class ShardedMalivaService(MalivaService):
         if self._rebalance_pending:
             self._drain_rebalance()
 
-    def _respawn(self, slot: _ShardSlot) -> None:
+    def _respawn(self, slot: SupervisedSlot) -> None:
         """Warm-respawn one slot from the live catalog, bit-coherent."""
         active = self._active_slots()
         rank = active.index(slot)
@@ -872,7 +874,7 @@ class ShardedMalivaService(MalivaService):
         if self.stats.shards is not None:
             self.stats.shards.record_respawn(slot.shard_id)
 
-    def _retire(self, slot: _ShardSlot) -> None:
+    def _retire(self, slot: SupervisedSlot) -> None:
         """Trip the breaker on one slot and queue a fleet rebalance."""
         if slot.retired:
             return
@@ -1478,7 +1480,7 @@ class ShardedMalivaService(MalivaService):
         self,
         entries: list[ShardEntry],
         per_owner_entries: dict[int, list[ShardEntry]],
-        scatter_slots: list[_ShardSlot] | None,
+        scatter_slots: list[SupervisedSlot] | None,
         deadline_s: float | None,
     ) -> dict[int, list]:
         """Ship entry batches to the shards and gather their reports.
@@ -1505,11 +1507,11 @@ class ShardedMalivaService(MalivaService):
         self,
         entries: list[ShardEntry],
         per_owner_entries: dict[int, list[ShardEntry]],
-        scatter_slots: list[_ShardSlot] | None,
+        scatter_slots: list[SupervisedSlot] | None,
         deadline_s: float | None,
     ) -> _ScatterState:
         """Build the scatter targets and submit the first round."""
-        targets: dict[int, tuple[_ShardSlot, list[ShardEntry]]] = {}
+        targets: dict[int, tuple[SupervisedSlot, list[ShardEntry]]] = {}
         if scatter_slots is not None:
             if entries:
                 for slot in scatter_slots:

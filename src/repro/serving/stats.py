@@ -173,6 +173,132 @@ class ShardStats:
         }
 
 
+@dataclass
+class RouterWindow:
+    """Work one router replica performed in the current stats window."""
+
+    n_batches: int = 0
+    #: Requests this replica served (dispatched sub-batches + replays).
+    n_requests: int = 0
+    #: Replica-side wall seconds spent serving (excludes transport).
+    wall_s: float = 0.0
+    #: Requests answered from the replica's decision cache (includes
+    #: gossip-mirror promotions).
+    n_cached: int = 0
+    #: Decision-cache misses the replica answered from its gossip mirror.
+    n_gossip_hits: int = 0
+    #: Times this replica's process died (timeout/EOF/garbled/error reply).
+    n_deaths: int = 0
+    #: Successful warm respawns of this replica.
+    n_respawns: int = 0
+    #: Whether the circuit breaker permanently retired this replica.
+    breaker_open: bool = False
+    #: Journaled requests replayed on a survivor after this replica died.
+    n_replayed: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_batches": self.n_batches,
+            "n_requests": self.n_requests,
+            "wall_s": self.wall_s,
+            "n_cached": self.n_cached,
+            "n_gossip_hits": self.n_gossip_hits,
+            "n_deaths": self.n_deaths,
+            "n_respawns": self.n_respawns,
+            "breaker_open": self.breaker_open,
+            "n_replayed": self.n_replayed,
+        }
+
+
+@dataclass
+class RouterStats:
+    """Dispatch/failover accounting across a replicated router fleet."""
+
+    n_routers: int = 0
+    per_router: dict[int, RouterWindow] = field(default_factory=dict)
+    #: Requests shipped to router replicas (journaled before dispatch).
+    n_dispatched: int = 0
+    #: Journaled, unacknowledged requests replayed on a survivor after a
+    #: router death (the zero-lost-requests path).
+    n_replayed: int = 0
+    #: Requests served on the dispatcher itself (fleet empty / all retired).
+    n_local: int = 0
+    #: Router deaths across the fleet (each triggers replay, not failure).
+    n_router_deaths: int = 0
+    #: Successful warm respawns across the fleet.
+    n_respawns: int = 0
+    #: Routers permanently retired by the flapping circuit breaker.
+    n_retired: int = 0
+    #: Session reassignments after a death or breaker retirement.
+    n_rebalances: int = 0
+    #: Fresh (query key, tau) -> decision pairs broadcast between routers.
+    n_gossip_broadcast: int = 0
+    #: Gossip-mirror hits reported by the fleet.
+    n_gossip_hits: int = 0
+    #: Catalog syncs broadcast to keep replica engines coherent.
+    n_syncs: int = 0
+    #: Deepest the pre-dispatch journal ever got (unacknowledged entries).
+    journal_high_water: int = 0
+
+    def record_serve(
+        self,
+        router_id: int,
+        n_requests: int,
+        wall_s: float,
+        n_cached: int = 0,
+        n_gossip_hits: int = 0,
+    ) -> None:
+        """Fold one router replica's serve reply in."""
+        window = self.per_router.setdefault(router_id, RouterWindow())
+        window.n_batches += 1
+        window.n_requests += n_requests
+        window.wall_s += wall_s
+        window.n_cached += n_cached
+        window.n_gossip_hits += n_gossip_hits
+        self.n_gossip_hits += n_gossip_hits
+
+    def record_death(self, router_id: int) -> None:
+        self.n_router_deaths += 1
+        self.per_router.setdefault(router_id, RouterWindow()).n_deaths += 1
+
+    def record_respawn(self, router_id: int) -> None:
+        self.n_respawns += 1
+        self.per_router.setdefault(router_id, RouterWindow()).n_respawns += 1
+
+    def record_retired(self, router_id: int) -> None:
+        self.n_retired += 1
+        self.per_router.setdefault(router_id, RouterWindow()).breaker_open = True
+
+    def record_replayed(self, router_id: int, n_requests: int) -> None:
+        self.n_replayed += n_requests
+        window = self.per_router.setdefault(router_id, RouterWindow())
+        window.n_replayed += n_requests
+
+    def record_journal_depth(self, depth: int) -> None:
+        if depth > self.journal_high_water:
+            self.journal_high_water = depth
+
+    def to_dict(self) -> dict:
+        return {
+            "n_routers": self.n_routers,
+            "n_dispatched": self.n_dispatched,
+            "n_replayed": self.n_replayed,
+            "n_local": self.n_local,
+            "n_router_deaths": self.n_router_deaths,
+            "n_respawns": self.n_respawns,
+            "n_retired": self.n_retired,
+            "n_rebalances": self.n_rebalances,
+            "n_gossip_broadcast": self.n_gossip_broadcast,
+            "n_gossip_hits": self.n_gossip_hits,
+            "n_syncs": self.n_syncs,
+            "journal_high_water": self.journal_high_water,
+            "per_router": {
+                str(router_id): window.to_dict()
+                for router_id, window in sorted(self.per_router.items())
+            },
+        }
+
+
 @dataclass(frozen=True)
 class RequestRecord:
     """One served request, reduced to what throughput reports need."""
@@ -210,6 +336,10 @@ class ServiceStats:
     n_execute_batches: int = 0
     #: Scatter/gather accounting (sharded services only; None otherwise).
     shards: ShardStats | None = None
+    #: Dispatch/failover accounting (replicated services only; None
+    #: otherwise).  Like every other field here, the window is replaced
+    #: wholesale by ``reset_stats()``.
+    routers: RouterStats | None = None
     #: Requests refused by admission control (ServiceOverloadError).
     n_shed: int = 0
     #: Requests admitted with an overload-degraded ``tau_ms``.
@@ -318,4 +448,9 @@ class ServiceStats:
                 "n_batches": self.n_execute_batches,
             },
             **({"shards": self.shards.to_dict()} if self.shards is not None else {}),
+            **(
+                {"routers": self.routers.to_dict()}
+                if self.routers is not None
+                else {}
+            ),
         }

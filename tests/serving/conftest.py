@@ -32,6 +32,7 @@ def _chaos_faults(monkeypatch):
         yield
         return
     from repro.serving.faults import FaultPlan
+    from repro.serving.replicated import ReplicatedMalivaService
     from repro.serving.sharded import ShardedMalivaService
 
     original = ShardedMalivaService.__init__
@@ -43,6 +44,23 @@ def _chaos_faults(monkeypatch):
         original(self, maliva, **kwargs)
 
     monkeypatch.setattr(ShardedMalivaService, "__init__", chaotic_init)
+
+    # The replicated router tier gets its own plan, aimed at router ops:
+    # crashes and garbled replies on serve/gossip exercise journal replay
+    # and gossip re-broadcast under every equivalence assertion.
+    replicated_original = ReplicatedMalivaService.__init__
+
+    def chaotic_replicated_init(self, maliva, **kwargs):
+        if kwargs.get("fault_plan") is None:
+            kwargs["fault_plan"] = FaultPlan.random(
+                int(seed), rate=0.05, ops=("serve", "gossip")
+            )
+            kwargs.setdefault("respawn_backoff_s", 0.0)
+        replicated_original(self, maliva, **kwargs)
+
+    monkeypatch.setattr(
+        ReplicatedMalivaService, "__init__", chaotic_replicated_init
+    )
     yield
 
 

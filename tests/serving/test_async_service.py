@@ -268,3 +268,63 @@ def test_async_close_rejects_new_submissions(async_twins):
 
     outcome = asyncio.run(scenario())
     assert outcome.result is not None
+
+
+def test_fair_drain_prevents_session_starvation(async_twins):
+    """A bursty session cannot starve a light one: micro-batches assemble
+    round-robin across sessions, so the light session's lone request
+    rides the *first* chunk instead of waiting behind the whole burst."""
+    _, maliva, stream = async_twins
+    service = MalivaService(
+        maliva, translator=TWITTER_TRANSLATOR, stream_batch_size=4
+    )
+    burst = [
+        dataclasses.replace(request, session_id="heavy")
+        for request in stream[:12]
+    ]
+    light = dataclasses.replace(stream[12], session_id="light")
+
+    async def scenario():
+        async with AsyncMalivaService(
+            service, session_queue_limit=32
+        ) as tier:
+            # All thirteen requests enqueue before the batcher drains:
+            # each submit parks on its future without yielding in between.
+            return await asyncio.gather(
+                *(tier.submit(request) for request in burst),
+                tier.submit(light),
+            )
+
+    outcomes = asyncio.run(scenario())
+    assert len(outcomes) == 13
+    assert all(outcome.result is not None for outcome in outcomes)
+    positions = [
+        index
+        for index, record in enumerate(service.stats.records)
+        if record.session_id == "light"
+    ]
+    # Regression: the FIFO drain served "light" dead last (position 12);
+    # the fair drain folds it into the first micro-batch.
+    assert positions and positions[0] < service.stream_batch_size
+
+
+def test_reset_stats_clears_async_window_counters(async_twins):
+    """reset_stats() replaces the stats object wholesale, so the async
+    tier's queue-depth peak and backpressure-wait counters restart too."""
+    _, maliva, stream = async_twins
+    service = MalivaService(maliva, translator=TWITTER_TRANSLATOR)
+    requests = [
+        dataclasses.replace(request, session_id="s0") for request in stream[:6]
+    ]
+
+    async def scenario():
+        async with AsyncMalivaService(service, session_queue_limit=1) as tier:
+            await asyncio.gather(*(tier.submit(request) for request in requests))
+            await tier.drain()
+
+    asyncio.run(scenario())
+    assert service.stats.queue_peak_depth >= 1
+    assert service.stats.n_backpressure_waits >= 1
+    service.reset_stats()
+    assert service.stats.queue_peak_depth == 0
+    assert service.stats.n_backpressure_waits == 0

@@ -1,0 +1,427 @@
+"""Replicated router tier: journaled failover, gossip, bit-identity.
+
+The contract (DESIGN.md §4.7): N full router replicas behind a thin
+dispatcher answer exactly like the single-engine service — and keep
+doing so when a router process is killed mid-stream.  Every admitted
+request is journaled before dispatch, so a death loses zero requests:
+unacknowledged entries replay on a survivor (or the dispatcher itself)
+bit-identically.  Freshly planned decisions gossip between replicas, so
+a repeat hitting *any* router is a cache hit.
+
+Every scenario runs a healthy single-engine twin alongside the
+replicated service and asserts bit-identity via the same helper the
+other equivalence suites use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.errors import QueryError
+from repro.serving import (
+    AdmissionController,
+    AsyncMalivaService,
+    FifoScheduler,
+    ReplicatedMalivaService,
+    SessionAffinityScheduler,
+)
+from repro.serving.faults import FaultPlan, FaultSpec
+from repro.viz import TWITTER_TRANSLATOR
+
+from tests.conftest import build_session_stream
+from tests.serving.test_sharded_service import (
+    CHAOS,
+    _assert_outcomes_match,
+    _build_maliva,
+)
+
+
+@pytest.fixture(scope="module")
+def repl_twins():
+    """Two identically-seeded trained middlewares + a session stream."""
+    single = _build_maliva(n_tweets=800, dataset_seed=3, max_epochs=3)
+    replicated = _build_maliva(n_tweets=800, dataset_seed=3, max_epochs=3)
+    stream = build_session_stream(
+        single.database, n_sessions=4, n_steps=5, seed=41
+    )
+    return single, replicated, stream
+
+
+def _chunks(stream, size):
+    return [stream[i : i + size] for i in range(0, len(stream), size)]
+
+
+def _make_scheduler(name: str):
+    return {"affinity": SessionAffinityScheduler, "fifo": FifoScheduler}[name]()
+
+
+def _replicated(maliva, **kwargs):
+    kwargs.setdefault("translator", TWITTER_TRANSLATOR)
+    kwargs.setdefault("respawn_backoff_s", 0.0)
+    return ReplicatedMalivaService(maliva, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Healthy-fleet equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_routers", [1, 2, 3])
+def test_inline_fleet_matches_single_engine(repl_twins, n_routers):
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    repl = _replicated(repl_maliva, n_routers=n_routers, processes=False)
+    with repl:
+        _assert_outcomes_match(
+            single.answer_many(stream), repl.answer_many(stream)
+        )
+        # Warm pass: replica decision caches and engine caches are hot.
+        _assert_outcomes_match(
+            single.answer_many(stream), repl.answer_many(stream)
+        )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert repl._journal.depth == 0
+        if not CHAOS:
+            assert routers.n_dispatched == 2 * len(stream)
+            assert routers.n_local == 0
+            assert sum(
+                window.n_requests for window in routers.per_router.values()
+            ) == 2 * len(stream)
+
+
+@pytest.mark.parametrize("scheduler_name", ["affinity", "fifo"])
+def test_inline_fleet_matches_under_both_schedulers(repl_twins, scheduler_name):
+    """Each router re-schedules its sub-batch with the service's own
+    policy, so the fleet answers like the plain service under either."""
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(
+        translator=TWITTER_TRANSLATOR, scheduler=_make_scheduler(scheduler_name)
+    )
+    repl = _replicated(
+        repl_maliva,
+        n_routers=2,
+        processes=False,
+        scheduler=_make_scheduler(scheduler_name),
+    )
+    with repl:
+        for chunk in _chunks(stream, 5):
+            _assert_outcomes_match(
+                single.answer_many(chunk), repl.answer_many(chunk)
+            )
+
+
+def test_journal_acks_every_dispatched_request(repl_twins):
+    _, repl_maliva, stream = repl_twins
+    repl = _replicated(repl_maliva, n_routers=2, processes=False)
+    with repl:
+        repl.answer_many(stream)
+        assert repl._journal.depth == 0
+        assert repl._journal.next_seq == len(stream)
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.journal_high_water == len(stream)
+        report = repl.report()
+        assert report["journal"]["depth"] == 0
+        assert set(report["router_replicas"]) <= {"0", "1"}
+
+
+# ----------------------------------------------------------------------
+# Injected faults: serve-op crash/garble replays bit-identically
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("processes", [False, True])
+@pytest.mark.parametrize("kind", ["crash", "garble"])
+def test_router_failure_mid_serve_is_bit_identical(repl_twins, processes, kind):
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    plan = FaultPlan([FaultSpec(op="serve", kind=kind, shard_id=1, nth=2)])
+    repl = _replicated(
+        repl_maliva, n_routers=2, processes=processes, fault_plan=plan
+    )
+    with repl:
+        for chunk in _chunks(stream, 5):
+            _assert_outcomes_match(
+                single.answer_many(chunk), repl.answer_many(chunk)
+            )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_router_deaths >= 1
+        assert routers.n_replayed >= 1
+        assert repl._journal.depth == 0
+
+
+def test_flapping_router_trips_breaker_and_rebalances(repl_twins):
+    """A router that keeps dying exhausts its respawn budget, is retired
+    by the breaker, its sessions rebalance, and admission's watermark
+    shrinks to the surviving capacity fraction."""
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    controller = AdmissionController(load_watermark_ms=1e9, mode="shed")
+    plan = FaultPlan(
+        [FaultSpec(op="serve", kind="crash", shard_id=1, nth=1, repeat=True)]
+    )
+    repl = _replicated(
+        repl_maliva,
+        n_routers=2,
+        processes=False,
+        max_respawns=1,
+        fault_plan=plan,
+        admission=controller,
+    )
+    with repl:
+        for chunk in _chunks(stream, 4):
+            _assert_outcomes_match(
+                single.answer_many(chunk), repl.answer_many(chunk)
+            )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_retired >= 1
+        assert routers.per_router[1].breaker_open
+        assert routers.n_rebalances >= 1
+        # Half the fleet is gone: verdicts shift against half the watermark.
+        assert controller.capacity_fraction == pytest.approx(0.5)
+        assert controller.effective_watermark_ms == pytest.approx(5e8)
+        # Every surviving request was served by router 0 or replayed there.
+        assert repl._journal.depth == 0
+
+
+def test_whole_fleet_retired_serves_on_dispatcher(repl_twins):
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    plan = FaultPlan([FaultSpec(op="serve", kind="crash", nth=1, repeat=True)])
+    repl = _replicated(
+        repl_maliva,
+        n_routers=2,
+        processes=False,
+        max_respawns=0,
+        fault_plan=plan,
+    )
+    with repl:
+        for chunk in _chunks(stream, 4):
+            _assert_outcomes_match(
+                single.answer_many(chunk), repl.answer_many(chunk)
+            )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_retired == 2
+        assert routers.n_local > 0
+        assert repl._journal.depth == 0
+        assert not repl._closed
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: kill -9 a real router process mid-stream
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler_name", ["affinity", "fifo"])
+def test_killed_router_process_loses_zero_requests(repl_twins, scheduler_name):
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(
+        translator=TWITTER_TRANSLATOR, scheduler=_make_scheduler(scheduler_name)
+    )
+    repl = _replicated(
+        repl_maliva,
+        n_routers=2,
+        processes=True,
+        scheduler=_make_scheduler(scheduler_name),
+    )
+    with repl:
+        chunk = stream[:6]
+        _assert_outcomes_match(
+            single.answer_many(chunk), repl.answer_many(chunk)
+        )
+        # Murder a live router out from under the dispatcher.
+        victim = repl._group.live_slots()[0]
+        victim.handle._process.kill()
+        victim.handle._process.join(timeout=5.0)
+        # The very next batch completes — zero requests lost, outcomes
+        # bit-identical to the healthy single-engine twin.
+        _assert_outcomes_match(
+            single.answer_many(chunk), repl.answer_many(chunk)
+        )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_router_deaths >= 1
+        assert routers.n_replayed >= 1
+        assert repl._journal.depth == 0
+        assert not repl._closed
+        # And the one after that dispatches through the respawned router.
+        _assert_outcomes_match(
+            single.answer_many(chunk), repl.answer_many(chunk)
+        )
+        assert routers.n_respawns >= 1
+
+
+@pytest.mark.parametrize("scheduler_name", ["affinity", "fifo"])
+def test_killed_router_async_stream_loses_zero_requests(
+    repl_twins, scheduler_name
+):
+    """The same kill -9, mid-*async*-stream: the pipelined tier's chunk
+    completes through journal replay, bit-identical to the sync twin."""
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(
+        translator=TWITTER_TRANSLATOR, scheduler=_make_scheduler(scheduler_name)
+    )
+    repl = _replicated(
+        repl_maliva,
+        n_routers=2,
+        processes=True,
+        scheduler=_make_scheduler(scheduler_name),
+    )
+
+    async def scenario():
+        pairs = []
+        async with AsyncMalivaService(repl) as tier:
+            async for pair in tier.answer_stream(
+                iter(stream), stream_batch_size=5
+            ):
+                pairs.append(pair)
+                if len(pairs) == 5:
+                    # First chunk landed; kill a live router while the
+                    # pipeline is still streaming.
+                    victim = repl._group.live_slots()[0]
+                    victim.handle._process.kill()
+                    victim.handle._process.join(timeout=5.0)
+        return pairs
+
+    with repl:
+        sync_pairs = list(single.answer_stream(stream, stream_batch_size=5))
+        async_pairs = asyncio.run(scenario())
+        assert [r for r, _ in sync_pairs] == [r for r, _ in async_pairs]
+        _assert_outcomes_match(
+            [o for _, o in sync_pairs], [o for _, o in async_pairs]
+        )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_router_deaths >= 1
+        assert routers.n_replayed >= 1
+        assert repl._journal.depth == 0
+
+
+# ----------------------------------------------------------------------
+# Decision-cache gossip
+# ----------------------------------------------------------------------
+def test_gossiped_decisions_hit_any_router(repl_twins):
+    """A query planned on one router is a cache hit on *every* router:
+    fresh decisions gossip to the rest of the fleet after each batch."""
+    _, repl_maliva, stream = repl_twins
+    repl = _replicated(repl_maliva, n_routers=2, processes=False)
+    with repl:
+        # Session A binds to router 0 and plans its queries fresh there.
+        first = [
+            dataclasses.replace(request, session_id="gossip-a")
+            for request in stream[:6]
+        ]
+        repl.answer_many(first)
+        routers = repl.stats.routers
+        assert routers is not None
+        if not CHAOS:
+            assert routers.n_gossip_broadcast > 0
+        # Session B (same payloads) binds to the *other* router; its
+        # decision-cache misses are answered from the gossip mirror.
+        second = [
+            dataclasses.replace(request, session_id="gossip-b")
+            for request in stream[:6]
+        ]
+        repl.answer_many(second)
+        if not CHAOS:
+            assert routers.n_gossip_hits > 0
+        tail = repl.stats.records[-len(second):]
+        assert all(record.decision_cached for record in tail)
+
+
+def test_gossip_disabled_is_still_bit_identical(repl_twins):
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    repl = _replicated(
+        repl_maliva, n_routers=2, processes=False, gossip_decisions=False
+    )
+    with repl:
+        _assert_outcomes_match(
+            single.answer_many(stream), repl.answer_many(stream)
+        )
+        _assert_outcomes_match(
+            single.answer_many(stream), repl.answer_many(stream)
+        )
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_gossip_broadcast == 0
+        assert routers.n_gossip_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Catalog coherence across replicas
+# ----------------------------------------------------------------------
+def test_mutation_syncs_every_replica(repl_twins):
+    single_maliva, repl_maliva, stream = repl_twins
+    single = single_maliva.service(translator=TWITTER_TRANSLATOR)
+    repl = _replicated(repl_maliva, n_routers=2, processes=False)
+    with repl:
+        half = len(stream) // 2
+        _assert_outcomes_match(
+            single.answer_many(stream[:half]), repl.answer_many(stream[:half])
+        )
+        tweets = single_maliva.database.table("tweets")
+        take = {
+            column.name: tweets.column(column.name)[:20]
+            for column in tweets.schema.columns
+        }
+        single.append_rows("tweets", dict(take))
+        repl.append_rows("tweets", dict(take))
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_syncs >= 1
+        _assert_outcomes_match(
+            single.answer_many(stream[half:]), repl.answer_many(stream[half:])
+        )
+
+
+# ----------------------------------------------------------------------
+# Validation and lifecycle
+# ----------------------------------------------------------------------
+def test_replicated_validation(repl_twins):
+    _, repl_maliva, _ = repl_twins
+    with pytest.raises(QueryError):
+        ReplicatedMalivaService(repl_maliva, n_routers=0, processes=False)
+    with pytest.raises(QueryError):
+        ReplicatedMalivaService(
+            repl_maliva, processes=False, rpc_deadline_ms=0.0
+        )
+    with pytest.raises(QueryError):
+        ReplicatedMalivaService(
+            repl_maliva, processes=False, deadline_tau_factor=-1.0
+        )
+    with pytest.raises(QueryError):
+        ReplicatedMalivaService(
+            repl_maliva, processes=False, quality_fn=lambda *args: 1.0
+        )
+
+
+def test_reset_stats_resets_fleet_window(repl_twins):
+    _, repl_maliva, stream = repl_twins
+    repl = _replicated(repl_maliva, n_routers=2, processes=False)
+    with repl:
+        repl.answer_many(stream[:4])
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_dispatched > 0
+        repl.reset_stats()
+        routers = repl.stats.routers
+        assert routers is not None
+        assert routers.n_dispatched == 0
+        assert routers.journal_high_water == 0
+        # The fleet still serves after the reset broadcast.
+        assert len(repl.answer_many(stream[:4])) == 4
+
+
+def test_close_is_idempotent_and_reaps(repl_twins):
+    _, repl_maliva, stream = repl_twins
+    repl = _replicated(repl_maliva, n_routers=2, processes=True)
+    with repl:
+        repl.answer_many(stream[:4])
+        processes = [
+            slot.handle._process for slot in repl._group.live_slots()
+        ]
+    repl.close()  # second close: no-op
+    for process in processes:
+        assert not process.is_alive()

@@ -192,3 +192,54 @@ def test_queued_work_counts_toward_admission_load():
     snapshot = controller.snapshot()
     assert snapshot["n_enqueued"] == 2
     assert snapshot["queued_ms"] == 0.0
+
+
+def test_retry_after_shrinks_as_load_drains():
+    """The shed error's retry-after hint is the backlog above the
+    watermark — it must shrink monotonically as reserved work releases."""
+    controller = AdmissionController(
+        load_watermark_ms=100.0, mode="shed", shed_headroom=1.0
+    )
+    controller.inflight_ms = 500.0
+    first = controller.admit(50.0)
+    assert not first.admitted
+    assert first.retry_after_ms == pytest.approx(400.0)
+    controller.release(150.0)
+    second = controller.admit(50.0)
+    assert not second.admitted
+    assert second.retry_after_ms == pytest.approx(250.0)
+    assert second.retry_after_ms < first.retry_after_ms
+    controller.release(200.0)
+    third = controller.admit(50.0)
+    assert not third.admitted
+    assert third.retry_after_ms == pytest.approx(50.0)
+    assert third.retry_after_ms < second.retry_after_ms
+
+
+def test_client_honoring_retry_after_is_eventually_admitted(serving_maliva):
+    """A client that backs off while the backlog drains gets in: each
+    refusal carries a smaller retry-after hint until admission."""
+    controller = AdmissionController(
+        load_watermark_ms=100.0, mode="shed", shed_headroom=2.0
+    )
+    service = MalivaService(
+        serving_maliva, translator=TWITTER_TRANSLATOR, admission=controller
+    )
+    request = _tagged_stream(serving_maliva.database, 1)[0]
+    controller.inflight_ms = 450.0  # synthetic in-flight backlog
+
+    hints = []
+    outcome = None
+    for _ in range(10):
+        try:
+            outcome = service.answer_one(request)
+            break
+        except ServiceOverloadError as error:
+            assert error.retry_after_ms is not None
+            hints.append(error.retry_after_ms)
+            # While the client backs off, half the hinted backlog drains.
+            controller.release(error.retry_after_ms / 2.0)
+    assert outcome is not None
+    assert outcome.result is not None
+    assert len(hints) >= 2
+    assert hints == sorted(hints, reverse=True)  # strictly shrinking backlog
