@@ -1,0 +1,72 @@
+"""Real execution backends: Maliva as middleware in front of a database.
+
+The in-memory engine (``repro.db``) simulates engine behaviour with
+virtual timing; this package swaps the *execute* stage onto a real engine
+while planning, QTE, and the MDP agent keep running on the simulation.
+A declarative :class:`BackendProfile` (markdown-authored, see
+``profile.py``) tells the planner which hints the target engine can
+honor — :meth:`BackendProfile.prune_space` — and parameterizes the
+simulation profile the QTE trains against.  See DESIGN.md §5.
+"""
+
+from .base import BackendResult, BackendStats, ExecutionBackend, SqlBackend
+from .compiler import (
+    BackendCatalog,
+    CompiledQuery,
+    DuckDbCompiler,
+    SqlCompiler,
+    SqliteCompiler,
+    quote_ident,
+)
+from .duckdb_backend import DuckDbBackend, duckdb_available
+from .profile import (
+    BackendProfile,
+    ProfileGap,
+    ProfileNote,
+    backend_profile,
+    duckdb_profile,
+    memory_profile,
+    sqlite_profile,
+)
+from .sqlite_backend import SqliteBackend
+from ..errors import BackendError
+
+__all__ = [
+    "BackendCatalog",
+    "BackendError",
+    "BackendProfile",
+    "BackendResult",
+    "BackendStats",
+    "CompiledQuery",
+    "DuckDbBackend",
+    "DuckDbCompiler",
+    "ExecutionBackend",
+    "ProfileGap",
+    "ProfileNote",
+    "SqlBackend",
+    "SqlCompiler",
+    "SqliteBackend",
+    "SqliteCompiler",
+    "backend_profile",
+    "create_backend",
+    "duckdb_available",
+    "duckdb_profile",
+    "memory_profile",
+    "quote_ident",
+    "sqlite_profile",
+]
+
+_BACKENDS = {"sqlite": SqliteBackend, "duckdb": DuckDbBackend}
+
+
+def create_backend(
+    name: str, profile: BackendProfile | None = None
+) -> ExecutionBackend:
+    """Instantiate a backend by name ("sqlite" or "duckdb")."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r} (have: {sorted(_BACKENDS)})"
+        ) from None
+    return cls(profile)

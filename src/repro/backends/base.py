@@ -1,0 +1,277 @@
+"""Execution-backend protocol plus the shared DB-API implementation.
+
+An :class:`ExecutionBackend` is what ``serve --backend`` swaps in behind
+the service's execute stage: it ingests the in-memory catalog into a real
+engine once, then answers rewritten :class:`SelectQuery` objects with
+wall-clock-timed, row/bin-identical results.
+
+The relational *mangling* (shared by every SQL backend, documented in
+``compiler.py``): each logical table gets ``mw_rowid`` (local row
+position — the executor's id space) and ``mw_base_rowid``
+(``Table.to_base_ids`` of that position); TEXT columns additionally store
+a ``<col>__tok`` token stream (`` tok1 tok2 ``, space-delimited with
+sentinel spaces so ``instr(tok_col, ' kw ')`` is exact whole-token
+matching with the engine's own tokenizer); POINT columns split into
+``<col>__x`` / ``<col>__y``.  Sample tables ingest like any other table,
+carrying their count weight in the catalog.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..db.query import SelectQuery
+from ..db.types import ColumnKind, tokenize
+from ..errors import BackendError
+from .compiler import (
+    BASE_ROWID_COLUMN,
+    ROWID_COLUMN,
+    BackendCatalog,
+    CompiledQuery,
+    SqlCompiler,
+    index_name,
+    quote_ident,
+)
+from .profile import BackendProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..db.database import Database
+    from ..db.table import Table
+
+__all__ = ["BackendResult", "BackendStats", "ExecutionBackend", "SqlBackend"]
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """One query's answer from a real engine, with wall-clock timing."""
+
+    #: "rows" or "bins" — mirrors :attr:`ExecutionResult.kind`.
+    kind: str
+    #: Base-table row ids, ascending-local order (None for aggregates).
+    row_ids: np.ndarray | None
+    #: BIN_ID -> weighted count for aggregates (None otherwise).
+    bins: dict[int, float] | None
+    #: The dialect SQL that ran.
+    sql: str
+    #: Measured wall-clock execution time (not virtual milliseconds).
+    wall_ms: float
+
+    @property
+    def result_size(self) -> int:
+        if self.bins is not None:
+            return len(self.bins)
+        assert self.row_ids is not None
+        return int(len(self.row_ids))
+
+
+@dataclass
+class BackendStats:
+    """Running counters a backend accumulates across :meth:`execute` calls."""
+
+    n_queries: int = 0
+    n_row_queries: int = 0
+    n_bin_queries: int = 0
+    rows_returned: int = 0
+    wall_ms_total: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "n_queries": self.n_queries,
+            "n_row_queries": self.n_row_queries,
+            "n_bin_queries": self.n_bin_queries,
+            "rows_returned": self.rows_returned,
+            "wall_ms_total": self.wall_ms_total,
+        }
+
+
+class ExecutionBackend(abc.ABC):
+    """Protocol every real execution backend implements."""
+
+    profile: BackendProfile
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    @abc.abstractmethod
+    def ingest(self, database: "Database") -> None:
+        """Load every catalog table (samples included) into the engine."""
+
+    @abc.abstractmethod
+    def execute(self, query: SelectQuery) -> BackendResult:
+        """Run one query and time it with a wall clock."""
+
+    @abc.abstractmethod
+    def explain(self, query: SelectQuery) -> tuple[str, ...]:
+        """Engine-native plan description lines, where available."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SqlBackend(ExecutionBackend):
+    """Shared DB-API 2.0 implementation; dialects fill in the hooks."""
+
+    def __init__(self, profile: BackendProfile) -> None:
+        self.profile = profile
+        self.catalog = BackendCatalog()
+        self.stats = BackendStats()
+        self._conn = self._connect()
+        self._compiler = self._make_compiler()
+        self._closed = False
+
+    # -- dialect hooks --------------------------------------------------
+
+    @abc.abstractmethod
+    def _connect(self):
+        """Open the engine connection (called once, from ``__init__``)."""
+
+    @abc.abstractmethod
+    def _make_compiler(self) -> SqlCompiler:
+        """Dialect compiler bound to :attr:`catalog`."""
+
+    @abc.abstractmethod
+    def _column_type(self, kind: ColumnKind) -> str:
+        """Engine type name for a scalar column of ``kind``."""
+
+    def _rowid_decl(self) -> str:
+        return "BIGINT PRIMARY KEY"
+
+    def _post_ingest(self) -> None:
+        """Refresh engine statistics after bulk load (dialect-specific)."""
+
+    @abc.abstractmethod
+    def _explain_sql(self, sql: str) -> str:
+        """Wrap a statement in the dialect's EXPLAIN form."""
+
+    def _explain_detail(self, row: tuple) -> str:
+        return str(row[-1])
+
+    def _run(self, sql: str, params: tuple) -> list[tuple]:
+        return self._conn.execute(sql, params).fetchall()
+
+    # -- ExecutionBackend -----------------------------------------------
+
+    def ingest(self, database: "Database") -> None:
+        for table_name in database.table_names:
+            self._ingest_table(
+                table_name,
+                database.table(table_name),
+                tuple(database.indexes_for(table_name)),
+            )
+        self._post_ingest()
+
+    def _ingest_table(
+        self, name: str, table: "Table", indexed_columns: tuple[str, ...]
+    ) -> None:
+        if name in self.catalog.schemas:
+            raise BackendError(f"table {name!r} already ingested")
+        schema = table.schema
+        n = table.n_rows
+        local_ids = np.arange(n, dtype=np.int64)
+
+        decls = [
+            f"{quote_ident(ROWID_COLUMN)} {self._rowid_decl()}",
+            f"{quote_ident(BASE_ROWID_COLUMN)} {self._column_type(ColumnKind.INT)}",
+        ]
+        columns: list[list] = [
+            [int(i) for i in local_ids],
+            [int(i) for i in table.to_base_ids(local_ids)],
+        ]
+        for column in schema.columns:
+            if column.kind is ColumnKind.INT:
+                decls.append(
+                    f"{quote_ident(column.name)} {self._column_type(column.kind)}"
+                )
+                columns.append([int(v) for v in table.numeric(column.name)])
+            elif column.kind in (ColumnKind.FLOAT, ColumnKind.TIMESTAMP):
+                decls.append(
+                    f"{quote_ident(column.name)} {self._column_type(column.kind)}"
+                )
+                columns.append([float(v) for v in table.numeric(column.name)])
+            elif column.kind is ColumnKind.TEXT:
+                text_type = self._column_type(ColumnKind.TEXT)
+                decls.append(f"{quote_ident(column.name)} {text_type}")
+                decls.append(f"{quote_ident(column.name + '__tok')} {text_type}")
+                texts = table.texts(column.name)
+                columns.append(list(texts))
+                columns.append([" " + " ".join(tokenize(t)) + " " for t in texts])
+            elif column.kind is ColumnKind.POINT:
+                real = self._column_type(ColumnKind.FLOAT)
+                decls.append(f"{quote_ident(column.name + '__x')} {real}")
+                decls.append(f"{quote_ident(column.name + '__y')} {real}")
+                points = table.points(column.name)
+                columns.append([float(v) for v in points[:, 0]])
+                columns.append([float(v) for v in points[:, 1]])
+            else:  # pragma: no cover - exhaustive over ColumnKind
+                raise BackendError(f"unsupported column kind {column.kind!r}")
+
+        self._conn.execute(
+            f"CREATE TABLE {quote_ident(name)} ({', '.join(decls)})"
+        )
+        placeholders = ", ".join("?" for _ in decls)
+        self._conn.executemany(
+            f"INSERT INTO {quote_ident(name)} VALUES ({placeholders})",
+            list(zip(*columns)) if n else [],
+        )
+
+        for column in indexed_columns:
+            kind = schema.kind_of(column)
+            if kind in self.profile.honored_index_kinds and kind.is_numeric:
+                self._conn.execute(
+                    f"CREATE INDEX {quote_ident(index_name(name, column))}"
+                    f" ON {quote_ident(name)} ({quote_ident(column)})"
+                )
+                self.catalog.indexes.add((name, column))
+
+        self.catalog.schemas[name] = schema
+        self.catalog.weights[name] = (
+            1.0 / table.sample_fraction if table.sample_fraction else 1.0
+        )
+
+    def compile(self, query: SelectQuery) -> CompiledQuery:
+        return self._compiler.compile(query)
+
+    def execute(self, query: SelectQuery) -> BackendResult:
+        compiled = self.compile(query)
+        started = time.perf_counter()
+        rows = self._run(compiled.sql, compiled.params)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+
+        self.stats.n_queries += 1
+        self.stats.wall_ms_total += wall_ms
+        if compiled.kind == "bins":
+            self.stats.n_bin_queries += 1
+            bins = {int(b): float(c) * compiled.weight for b, c in rows}
+            return BackendResult(
+                kind="bins", row_ids=None, bins=bins, sql=compiled.sql, wall_ms=wall_ms
+            )
+        self.stats.n_row_queries += 1
+        self.stats.rows_returned += len(rows)
+        row_ids = np.fromiter(
+            (int(r[0]) for r in rows), dtype=np.int64, count=len(rows)
+        )
+        return BackendResult(
+            kind="rows", row_ids=row_ids, bins=None, sql=compiled.sql, wall_ms=wall_ms
+        )
+
+    def explain(self, query: SelectQuery) -> tuple[str, ...]:
+        compiled = self.compile(query)
+        rows = self._run(self._explain_sql(compiled.sql), compiled.params)
+        return tuple(self._explain_detail(row) for row in rows)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._conn.close()
+            self._closed = True

@@ -1,0 +1,65 @@
+"""The always-on SQLite reference backend (stdlib ``sqlite3``).
+
+Runs everywhere CPython runs, so it is the backend CI exercises and the
+one the equivalence contract is pinned against.  Binning goes through a
+registered deterministic UDF ``MW_BIN_ID`` that reproduces
+``repro.db.binning.compute_bin_ids`` bit for bit (``math.floor`` on
+float64 equals ``np.floor`` for finite inputs), and index hints compile
+to SQLite's mandatory ``INDEXED BY`` / ``NOT INDEXED`` clauses.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+from ..db.binning import BIN_ORIGIN_X, BIN_ORIGIN_Y, _BIN_STRIDE
+from ..db.types import ColumnKind
+from .base import SqlBackend
+from .compiler import SqlCompiler, SqliteCompiler
+from .profile import BackendProfile, sqlite_profile
+
+__all__ = ["SqliteBackend"]
+
+
+def _bin_id(x: float, y: float, cell_x: float, cell_y: float) -> int:
+    return (
+        math.floor((x - BIN_ORIGIN_X) / cell_x) * _BIN_STRIDE
+        + math.floor((y - BIN_ORIGIN_Y) / cell_y)
+    )
+
+
+class SqliteBackend(SqlBackend):
+    """Maliva in front of a real SQLite database."""
+
+    def __init__(
+        self, profile: BackendProfile | None = None, *, path: str = ":memory:"
+    ) -> None:
+        self._path = path
+        super().__init__(profile or sqlite_profile())
+
+    def _connect(self):
+        conn = sqlite3.connect(self._path)
+        conn.create_function("MW_BIN_ID", 4, _bin_id, deterministic=True)
+        return conn
+
+    def _make_compiler(self) -> SqlCompiler:
+        return SqliteCompiler(self.catalog)
+
+    def _column_type(self, kind: ColumnKind) -> str:
+        if kind is ColumnKind.INT:
+            return "INTEGER"
+        if kind is ColumnKind.TEXT:
+            return "TEXT"
+        return "REAL"
+
+    def _rowid_decl(self) -> str:
+        # INTEGER PRIMARY KEY aliases the rowid: local ids come for free.
+        return "INTEGER PRIMARY KEY"
+
+    def _post_ingest(self) -> None:
+        self._conn.execute("ANALYZE")
+        self._conn.commit()
+
+    def _explain_sql(self, sql: str) -> str:
+        return "EXPLAIN QUERY PLAN " + sql

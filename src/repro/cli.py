@@ -127,6 +127,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--scale", default="tiny", choices=["tiny", "small", "medium"])
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--dataset",
+        default="twitter",
+        choices=["twitter", "taxi"],
+        help=(
+            "twitter serves exploration sessions; taxi replays the "
+            "ops-dashboard widget sessions (examples/taxi_dashboard.py)"
+        ),
+    )
+    serve.add_argument(
+        "--backend",
+        default="memory",
+        choices=["memory", "sqlite", "duckdb"],
+        help=(
+            "execute stage: the in-memory simulated engine (virtual "
+            "timing) or a real backend — compiled SQL, wall-clock timing, "
+            "action space pruned to the BackendProfile's honored hints "
+            "(single router/shard only)"
+        ),
+    )
     serve.add_argument("--sessions", type=int, default=8)
     serve.add_argument("--steps", type=int, default=8)
     serve.add_argument("--tau-ms", type=float, default=500.0)
@@ -332,12 +352,70 @@ def _run_train(args) -> int:
     return 0
 
 
+def _taxi_dashboard_stream(n_sessions: int, n_steps: int) -> list:
+    """Interleaved taxi dashboard sessions (the taxi table has no TEXT
+    column, so the exploration-session generator does not apply): each
+    session replays the ops-dashboard widgets of examples/taxi_dashboard.py.
+    """
+    from .db import BoundingBox
+    from .db.types import days
+    from .serving import VizRequest, interleave
+    from .viz import VisualizationKind, VisualizationRequest
+
+    manhattan = BoundingBox(-74.03, 40.70, -73.93, 40.82)
+    jfk = BoundingBox(-73.83, 40.62, -73.74, 40.67)
+    city = BoundingBox(-74.30, 40.45, -73.65, 41.00)
+    widgets = [
+        VisualizationRequest(
+            kind=VisualizationKind.HEATMAP,
+            region=city,
+            time_range=(days(1_000), days(1_095)),
+            heatmap_cell_degrees=0.01,
+            tau_ms=2_000.0,
+        ),
+        VisualizationRequest(
+            kind=VisualizationKind.HEATMAP,
+            region=manhattan,
+            time_range=(days(1_060), days(1_067)),
+            heatmap_cell_degrees=0.005,
+        ),
+        VisualizationRequest(
+            kind=VisualizationKind.SCATTERPLOT,
+            region=jfk,
+            time_range=(days(1_030), days(1_060)),
+            extra_ranges=(("trip_distance", (8.0, 60.0)),),
+            tau_ms=600.0,
+        ),
+        VisualizationRequest(
+            kind=VisualizationKind.SCATTERPLOT,
+            region=city,
+            time_range=(days(1_093), days(1_095)),
+            extra_ranges=(("trip_distance", (0.0, 2.0)),),
+        ),
+    ]
+
+    def session(index: int) -> list:
+        return [
+            VizRequest(
+                payload=widgets[step % len(widgets)],
+                session_id=f"dashboard-{index}",
+                request_id=f"dashboard-{index}/w{step}",
+            )
+            for step in range(n_steps)
+        ]
+
+    return interleave(session(index) for index in range(n_sessions))
+
+
 def _run_serve(args) -> int:
-    """Train a middleware, then serve interleaved exploration sessions."""
+    """Train a middleware, then serve interleaved dashboard sessions."""
+    from dataclasses import replace as dataclass_replace
+
     from .core import Maliva, TrainingConfig
-    from .experiments.setups import accurate_qte, sampling_qte, twitter_setup
-    from .serving import FifoScheduler, SessionAffinityScheduler, interleave, requests_from_steps
-    from .viz import TWITTER_TRANSLATOR
+    from .errors import BackendError
+    from .experiments.setups import accurate_qte, dataset_setup, sampling_qte
+    from .serving import ServiceConfig, build_service, interleave, requests_from_steps
+    from .viz import TAXI_TRANSLATOR, TWITTER_TRANSLATOR
     from .workloads import ExplorationSessionGenerator
 
     # Validate before paying for dataset build + training.
@@ -375,8 +453,34 @@ def _run_serve(args) -> int:
     if args.queue_limit < 1:
         print("error: --queue-limit must be at least 1", file=sys.stderr)
         return 2
+    if args.backend != "memory" and (args.shards > 1 or args.routers > 1):
+        print(
+            "error: --backend composes with the single-router, single-shard "
+            "service; drop --shards/--routers",
+            file=sys.stderr,
+        )
+        return 2
 
-    setup = twitter_setup(scale=args.scale, tau_ms=args.tau_ms, seed=args.seed)
+    setup = dataset_setup(
+        args.dataset, scale=args.scale, tau_ms=args.tau_ms, seed=args.seed
+    )
+    if args.backend != "memory":
+        from .backends import backend_profile
+
+        main_table = {"twitter": "tweets", "taxi": "trips"}[args.dataset]
+        bprofile = backend_profile(args.backend)
+        pruned = bprofile.prune_space(
+            setup.space, setup.database.table(main_table).schema
+        )
+        # Keep planning consistent with the real engine: only honored
+        # hints stay in the action space, and the simulation the QTE/agent
+        # train against mirrors the engine's hint behaviour.
+        setup = dataclass_replace(setup, space=pruned)
+        setup.database.profile = bprofile.sim_profile()
+        print(
+            f"backend {args.backend}: action space pruned to "
+            f"{len(pruned)} options (hint dialect: {bprofile.hint_dialect})"
+        )
     qte = (
         sampling_qte(setup) if args.qte == "sampling" else accurate_qte(setup)
     )
@@ -390,55 +494,38 @@ def _run_serve(args) -> int:
     print(f"training on {len(setup.split.train)} queries ...")
     maliva.train(list(setup.split.train), list(setup.split.validation))
 
-    generator = ExplorationSessionGenerator(setup.database, seed=args.seed + 7)
-    sessions = generator.generate_many(args.sessions, n_steps=args.steps)
-    stream = interleave(
-        requests_from_steps(steps, session_id) for session_id, steps in sessions.items()
-    )
-    scheduler = SessionAffinityScheduler() if args.scheduler == "affinity" else FifoScheduler()
-    admission = None
-    if args.admission != "off":
-        from .serving import AdmissionController
-
-        admission = AdmissionController(
-            load_watermark_ms=args.load_watermark, mode=args.admission
-        )
-    if args.routers > 1:
-        from .serving import ReplicatedMalivaService
-
-        service = ReplicatedMalivaService(
-            maliva,
-            translator=TWITTER_TRANSLATOR,
-            scheduler=scheduler,
-            batch_execute=args.execute == "batched",
-            admission=admission,
-            n_routers=args.routers,
-            processes=not args.inline_routers,
-            rpc_deadline_ms=args.rpc_deadline_ms or None,
-            max_respawns=args.max_respawns,
-        )
-    elif args.shards > 1:
-        from .serving import ShardedMalivaService
-
-        service = ShardedMalivaService(
-            maliva,
-            translator=TWITTER_TRANSLATOR,
-            scheduler=scheduler,
-            batch_execute=args.execute == "batched",
-            admission=admission,
-            n_shards=args.shards,
-            shard_by=args.shard_by,
-            processes=not args.inline_shards,
-            rpc_deadline_ms=args.rpc_deadline_ms or None,
-            max_respawns=args.max_respawns,
-        )
+    if args.dataset == "taxi":
+        translator = TAXI_TRANSLATOR
+        stream = _taxi_dashboard_stream(args.sessions, args.steps)
     else:
-        service = maliva.service(
-            translator=TWITTER_TRANSLATOR,
-            scheduler=scheduler,
-            batch_execute=args.execute == "batched",
-            admission=admission,
+        translator = TWITTER_TRANSLATOR
+        generator = ExplorationSessionGenerator(setup.database, seed=args.seed + 7)
+        sessions = generator.generate_many(args.sessions, n_steps=args.steps)
+        stream = interleave(
+            requests_from_steps(steps, session_id)
+            for session_id, steps in sessions.items()
         )
+    service_config = ServiceConfig(
+        translator=translator,
+        scheduler=args.scheduler,
+        batch_execute=args.execute == "batched",
+        admission=args.admission,
+        load_watermark_ms=args.load_watermark,
+        n_shards=args.shards,
+        shard_by=args.shard_by,
+        n_routers=args.routers,
+        processes=not (
+            args.inline_routers if args.routers > 1 else args.inline_shards
+        ),
+        rpc_deadline_ms=args.rpc_deadline_ms or None,
+        max_respawns=args.max_respawns,
+        backend=None if args.backend == "memory" else args.backend,
+    )
+    try:
+        service = build_service(maliva, service_config)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     def drive(reset_after: bool) -> dict:
         if args.use_async:
@@ -479,6 +566,8 @@ def _run_serve(args) -> int:
         sharding = f", {args.shards} {args.shard_by}-sharded workers"
     else:
         sharding = ""
+    if args.backend != "memory":
+        sharding += f", {args.backend} backend"
     print(
         f"serving {len(stream)} requests from {args.sessions} sessions "
         f"({args.scheduler} scheduler, {batching}, {args.execute} execute{sharding}) ..."
@@ -512,6 +601,15 @@ def _run_serve(args) -> int:
     service.close()
     print(f"\nengine cache hit rate: {report['engine_hit_rate']:.1%}")
     print(f"decision cache hits:   {warm['decision_cache_hits']}/{warm['n_requests']}")
+    backend_report = report.get("backend")
+    if backend_report:
+        print(
+            f"real backend:          {backend_report['name']} ran "
+            f"{backend_report['n_queries']} queries in "
+            f"{backend_report['wall_ms_total']:.0f} ms engine wall "
+            f"({backend_report['n_bin_queries']} aggregates, "
+            f"{backend_report['rows_returned']} rows returned)"
+        )
     if args.use_async:
         print(
             f"async overlap:         {warm['n_overlapped_batches']} batches "

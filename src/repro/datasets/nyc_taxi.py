@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..db import Column, ColumnKind, Database, EngineProfile, Table, TableSchema
+from ..db import Column, ColumnKind, Database, SimProfile, Table, TableSchema
 from ..db.types import days
 from .spatial import NYC_MODEL
 
@@ -85,7 +85,7 @@ def build_taxi_table(config: TaxiConfig | None = None) -> Table:
 
 def build_taxi_database(
     config: TaxiConfig | None = None,
-    profile: EngineProfile | None = None,
+    profile: SimProfile | None = None,
     seed: int = 0,
 ) -> Database:
     cfg = config or TaxiConfig()

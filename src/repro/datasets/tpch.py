@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..db import Column, ColumnKind, Database, EngineProfile, Table, TableSchema
+from ..db import Column, ColumnKind, Database, SimProfile, Table, TableSchema
 from ..db.types import days
 
 LINEITEM_FILTER_ATTRIBUTES = ("extended_price", "ship_date", "receipt_date")
@@ -68,7 +68,7 @@ def build_lineitem_table(config: TpchConfig | None = None) -> Table:
 
 def build_tpch_database(
     config: TpchConfig | None = None,
-    profile: EngineProfile | None = None,
+    profile: SimProfile | None = None,
     seed: int = 0,
 ) -> Database:
     cfg = config or TpchConfig()

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..db import Column, ColumnKind, Database, EngineProfile, Table, TableSchema
+from ..db import Column, ColumnKind, Database, SimProfile, Table, TableSchema
 from ..db.schema import ForeignKey
 from ..db.types import days
 from .spatial import US_MODEL
@@ -140,7 +140,7 @@ def build_twitter_tables(config: TwitterConfig | None = None) -> tuple[Table, Ta
 
 def build_twitter_database(
     config: TwitterConfig | None = None,
-    profile: EngineProfile | None = None,
+    profile: SimProfile | None = None,
     seed: int = 0,
 ) -> Database:
     """Create a fully wired database: tables, indexes, statistics, samples."""

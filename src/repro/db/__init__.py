@@ -10,7 +10,7 @@ from .binning import BinLayout, bin_center, bin_counts, bin_counts_many, build_b
 from .caches import CacheStats, CacheStatsReport, InstrumentedCache
 from .clock import Stopwatch, VirtualClock
 from .cost_model import CostModel, WorkCounters
-from .database import Database, EngineProfile
+from .database import Database, EngineProfile, SimProfile
 from .executor import ExecutionResult
 from .rowset import RowSet, intersect_all
 from .indexes import GridIndex, Index, InvertedIndex, SortedIndex
@@ -75,6 +75,7 @@ __all__ = [
     "SampleTableRule",
     "ScanPlan",
     "SelectQuery",
+    "SimProfile",
     "SortedIndex",
     "SpatialPredicate",
     "StatisticsConfig",

@@ -5,12 +5,13 @@ middleware only ever talks to it through :meth:`Database.execute` (run a
 query, hints honoured with high probability) and — for the oracle QTE and
 experiment bookkeeping — :meth:`Database.true_execution_time_ms`.
 
-Engine profiles capture the behavioural differences the paper observed:
+Simulated-engine profiles capture the behavioural differences the paper
+observed:
 
-* :meth:`EngineProfile.postgres` — small execution-time noise, hints almost
+* :meth:`SimProfile.postgres` — small execution-time noise, hints almost
   always honoured, no buffer-cache modelling.  The optimizer's selectivity
   misestimates (see ``statistics.py``) are the dominant failure source.
-* :meth:`EngineProfile.commercial` — Section 7.6's "complex behaviours":
+* :meth:`SimProfile.commercial` — Section 7.6's "complex behaviours":
   buffer-cache effects make repeated access patterns much cheaper, a plan
   can sporadically run far slower than its cost (dynamic plan change), and
   hints are ignored more often.  A selectivity-only analytic QTE becomes
@@ -45,8 +46,15 @@ from .types import ColumnKind
 
 
 @dataclass(frozen=True)
-class EngineProfile:
-    """Behavioural knobs of the simulated engine."""
+class SimProfile:
+    """Behavioural knobs of the *simulated* engine.
+
+    Renamed from ``EngineProfile`` when real execution backends landed
+    (``repro.backends``): the declarative description of a real engine is
+    now :class:`repro.backends.BackendProfile`, and this class only
+    parameterizes the in-memory simulation.  The old name stays importable
+    as a deprecated alias.
+    """
 
     name: str
     #: Probability that the engine silently ignores query hints (challenge C2).
@@ -63,12 +71,12 @@ class EngineProfile:
     instability_factor: float = 2.5
 
     @staticmethod
-    def postgres() -> "EngineProfile":
-        return EngineProfile(name="postgres", hint_ignore_prob=0.02, noise_sigma=0.04)
+    def postgres() -> "SimProfile":
+        return SimProfile(name="postgres", hint_ignore_prob=0.02, noise_sigma=0.04)
 
     @staticmethod
-    def commercial() -> "EngineProfile":
-        return EngineProfile(
+    def commercial() -> "SimProfile":
+        return SimProfile(
             name="commercial",
             hint_ignore_prob=0.08,
             noise_sigma=0.12,
@@ -79,9 +87,13 @@ class EngineProfile:
         )
 
     @staticmethod
-    def deterministic() -> "EngineProfile":
+    def deterministic() -> "SimProfile":
         """Noise-free profile used by unit tests."""
-        return EngineProfile(name="deterministic", hint_ignore_prob=0.0, noise_sigma=0.0)
+        return SimProfile(name="deterministic", hint_ignore_prob=0.0, noise_sigma=0.0)
+
+
+#: Deprecated alias — the pre-backends name for :class:`SimProfile`.
+EngineProfile = SimProfile
 
 
 class Database:
@@ -89,12 +101,12 @@ class Database:
 
     def __init__(
         self,
-        profile: EngineProfile | None = None,
+        profile: SimProfile | None = None,
         cost_model: CostModel | None = None,
         stats_config: StatisticsConfig | None = None,
         seed: int = 0,
     ) -> None:
-        self.profile = profile or EngineProfile.postgres()
+        self.profile = profile or SimProfile.postgres()
         self.cost_model = cost_model or CostModel()
         self._stats_config = stats_config or StatisticsConfig()
         self._rng = np.random.default_rng(seed)

@@ -103,7 +103,10 @@ class KeywordPredicate(Predicate):
         return ("keyword", self.column, self.keyword)
 
     def render_sql(self) -> str:
-        return f"{self.column} CONTAINS '{self.keyword}'"
+        # Tokens may contain apostrophes ("don't"); escape SQL-style so
+        # parse_sql can round-trip the literal.
+        escaped = self.keyword.replace("'", "''")
+        return f"{self.column} CONTAINS '{escaped}'"
 
 
 @dataclass(frozen=True, eq=False)

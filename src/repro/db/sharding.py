@@ -66,7 +66,7 @@ import numpy as np
 from ..errors import SchemaError
 from .binning import bin_counts, bin_counts_many
 from .cost_model import CostModel, WorkCounters
-from .database import Database, EngineProfile
+from .database import Database, SimProfile
 from .executor import EngineAccess, ScanCardinalities, charge_scan
 from .indexes import IndexLookup
 from .plans import PhysicalPlan
@@ -96,7 +96,7 @@ class ShardSpec:
     """Everything a worker process needs to warm-start one shard engine.
 
     The spec is deliberately plain data — numpy-backed :class:`Table`
-    objects, an :class:`EngineProfile`, a :class:`CostModel`, and index
+    objects, an :class:`SimProfile`, a :class:`CostModel`, and index
     column names — so it pickles across a process boundary regardless of
     start method.  Workers always run the *deterministic* profile: profile
     effects (noise, instability, buffer cache) are charged once, by the
@@ -109,7 +109,7 @@ class ShardSpec:
     tables: list[Table]
     #: table name -> columns to index (mirrors the router's catalog).
     indexed_columns: dict[str, tuple[str, ...]]
-    profile: EngineProfile = field(default_factory=EngineProfile.deterministic)
+    profile: SimProfile = field(default_factory=SimProfile.deterministic)
     cost_model: CostModel = field(default_factory=CostModel)
     #: Tables this shard owns outright (table mode; empty in rows mode).
     owned_tables: frozenset[str] = frozenset()

@@ -50,7 +50,7 @@ _BIN_SELECT_RE = re.compile(
 _NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?|[-+]?inf"
 
 _CONTAINS_RE = re.compile(
-    r"^(?P<col>[\w.]+)\s+CONTAINS\s+'(?P<kw>[^']*)'$", re.IGNORECASE
+    r"^(?P<col>[\w.]+)\s+CONTAINS\s+'(?P<kw>(?:[^']|'')*)'$", re.IGNORECASE
 )
 _BETWEEN_RE = re.compile(
     rf"^(?P<col>[\w.]+)\s+BETWEEN\s+(?P<low>{_NUMBER})\s+AND\s+(?P<high>{_NUMBER})$",
@@ -116,7 +116,10 @@ def _parse_condition(text: str) -> Predicate | tuple[str, str, str, str]:
         return (join["lt"], join["lc"], join["rt"], join["rc"])
     contains = _CONTAINS_RE.match(condition)
     if contains:
-        return KeywordPredicate(_strip_qualifier(contains["col"]), contains["kw"])
+        return KeywordPredicate(
+            _strip_qualifier(contains["col"]),
+            contains["kw"].replace("''", "'"),
+        )
     between = _BETWEEN_RE.match(condition)
     if between:
         return RangePredicate(
@@ -160,11 +163,14 @@ def _split_conjuncts(where_body: str) -> list[str]:
     return [p for p in parts if p]
 
 
-def parse_sql(sql: str, default_cell: float = 0.5) -> SelectQuery:
+def parse_sql(
+    sql: str, default_cell: float = 0.5, default_cell_y: float | None = None
+) -> SelectQuery:
     """Parse one middleware SQL statement into a :class:`SelectQuery`.
 
     ``default_cell`` is the BIN_ID cell size, which the SQL text does not
-    carry (the middleware tracks it out of band).
+    carry (the middleware tracks it out of band); ``default_cell_y`` lets
+    rectangular cells round-trip too (defaults to ``default_cell``).
     """
     text = sql.strip().rstrip(";").strip()
 
@@ -243,7 +249,11 @@ def parse_sql(sql: str, default_cell: float = 0.5) -> SelectQuery:
     if bin_select:
         if not match["group"]:
             raise QueryError("BIN_ID select requires GROUP BY BIN_ID")
-        group_by = BinGroupBy(bin_select["col"], default_cell, default_cell)
+        group_by = BinGroupBy(
+            bin_select["col"],
+            default_cell,
+            default_cell if default_cell_y is None else default_cell_y,
+        )
     else:
         if match["group"]:
             raise QueryError("GROUP BY requires a BIN_ID select list")

@@ -39,6 +39,10 @@ class WorkloadError(ReproError):
     """A workload generator was asked for something the dataset cannot give."""
 
 
+class BackendError(ReproError):
+    """A real execution backend failed (missing driver, ingest, or compile)."""
+
+
 class ServiceOverloadError(ReproError):
     """The serving tier shed a request under overload (admission control).
 

@@ -36,6 +36,7 @@ KEY_METRICS: dict[str, tuple[str, ...]] = {
         "degraded_mode.degraded_qps",
         "pipelined_stream.async_qps",
         "replicated_failover.surviving_qps",
+        "real_backend.sqlite_qps",
     ),
     "BENCH_planning.json": (
         "cold_batched_qps",

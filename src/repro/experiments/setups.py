@@ -19,7 +19,7 @@ from ..datasets import (
     build_tpch_database,
     build_twitter_database,
 )
-from ..db import Database, EngineProfile
+from ..db import Database, SimProfile
 from ..errors import WorkloadError
 from ..qte import AccurateQTE, SamplingQTE
 from ..workloads import (
@@ -100,7 +100,7 @@ def twitter_setup(
         raise WorkloadError("Twitter workloads use 3, 4, or 5 attributes")
 
     engine_profile = (
-        EngineProfile.commercial() if profile == "commercial" else EngineProfile.postgres()
+        SimProfile.commercial() if profile == "commercial" else SimProfile.postgres()
     )
     n_rows = rows_override or resolved.twitter_rows
     config = TwitterConfig(

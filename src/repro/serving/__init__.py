@@ -10,6 +10,8 @@ replicated router tier (journaled failover, decision-cache gossip).
 
 from .admission import AdmissionController, AdmissionVerdict
 from .async_service import AsyncMalivaService
+from .backend_service import BackendMalivaService
+from .factory import ServiceConfig, build_service
 from .faults import FaultPlan, FaultSpec, RandomFaultPlan, WorkerFault, WorkerTimeout
 from .replicated import (
     ReplicatedMalivaService,
@@ -34,6 +36,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionVerdict",
     "AsyncMalivaService",
+    "BackendMalivaService",
     "FaultPlan",
     "FaultSpec",
     "FifoScheduler",
@@ -45,6 +48,7 @@ __all__ = [
     "RouterSpec",
     "RouterStats",
     "RouterWindow",
+    "ServiceConfig",
     "ServiceStats",
     "SessionAffinityScheduler",
     "ShardStats",
@@ -53,6 +57,7 @@ __all__ = [
     "VizRequest",
     "WorkerFault",
     "WorkerTimeout",
+    "build_service",
     "interleave",
     "requests_from_steps",
     "router_spec_for",

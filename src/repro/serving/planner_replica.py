@@ -40,7 +40,7 @@ import numpy as np
 
 from ..core.agent import MalivaAgent
 from ..core.rewriter import MDPQueryRewriter, RewriteDecision
-from ..db import Database, EngineProfile, SelectQuery
+from ..db import Database, SimProfile, SelectQuery
 from ..db.predicates import Predicate
 from ..db.statistics import TableStatistics
 from ..db.table import Table
@@ -310,7 +310,7 @@ class PlannerReplica:
 
     @staticmethod
     def _build_database(spec: PlannerSpec) -> Database:
-        database = Database(profile=EngineProfile.deterministic())
+        database = Database(profile=SimProfile.deterministic())
         for table in spec.sample_tables:
             database.add_table(table, analyze=False)
             for column in spec.indexed_columns.get(table.name, ()):

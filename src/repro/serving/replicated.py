@@ -79,7 +79,7 @@ from typing import Sequence
 from ..core.middleware import Maliva, RequestOutcome
 from ..db import Database, SelectQuery
 from ..db.cost_model import CostModel
-from ..db.database import EngineProfile
+from ..db.database import SimProfile
 from ..db.statistics import TableStatistics
 from ..db.table import Table
 from ..errors import QueryError
@@ -119,7 +119,7 @@ class RouterSpec:
     #: table name -> columns to index (mirrors the dispatcher's catalog).
     indexed_columns: dict[str, tuple[str, ...]]
     stats: dict[str, TableStatistics]
-    profile: EngineProfile
+    profile: SimProfile
     cost_model: CostModel
     agent: object
     qte: QteSpec

@@ -1,0 +1,77 @@
+"""DuckDbBackend: same equivalence contract, behind the optional extra.
+
+Every test that needs the driver skips itself when ``duckdb`` is not
+installed (the CI optional-deps leg installs it); the import-gating test
+runs only where the driver is absent.
+"""
+
+import pytest
+
+from repro.backends import (
+    BackendError,
+    DuckDbBackend,
+    create_backend,
+    duckdb_available,
+    duckdb_profile,
+)
+from repro.db import BinGroupBy, KeywordPredicate, RangePredicate, SelectQuery
+from repro.workloads import TwitterJoinWorkloadGenerator
+
+from ..conftest import random_query_workload
+from .equivalence import assert_matches_memory
+
+
+@pytest.fixture(scope="module")
+def duckdb_backend(request):
+    pytest.importorskip("duckdb")
+    twitter_db = request.getfixturevalue("twitter_db")
+    backend = DuckDbBackend()
+    backend.ingest(twitter_db)
+    yield backend
+    backend.close()
+
+
+@pytest.mark.skipif(duckdb_available(), reason="duckdb is installed here")
+def test_missing_driver_raises_backend_error():
+    with pytest.raises(BackendError, match="optional 'duckdb' package"):
+        DuckDbBackend()
+    with pytest.raises(BackendError, match="optional 'duckdb' package"):
+        create_backend("duckdb")
+
+
+class TestEquivalence:
+    def test_randomized_workload(self, twitter_db, duckdb_backend):
+        queries = random_query_workload(twitter_db, seed=53, n=30)
+        # The duckdb profile honors no hints, so strip them (the planner
+        # never emits them against this profile — pinned in test_profiles).
+        assert_matches_memory(
+            twitter_db, duckdb_backend, [q.without_hints() for q in queries]
+        )
+
+    def test_join_workload(self, twitter_db, duckdb_backend):
+        generator = TwitterJoinWorkloadGenerator(twitter_db, seed=4)
+        assert_matches_memory(twitter_db, duckdb_backend, generator.generate(10))
+
+    def test_rectangular_bins(self, twitter_db, duckdb_backend):
+        query = SelectQuery(
+            "tweets",
+            (KeywordPredicate("text", "covid"),),
+            group_by=BinGroupBy("coordinates", 2.0, 0.5),
+        )
+        assert_matches_memory(twitter_db, duckdb_backend, [query])
+
+
+class TestExplain:
+    def test_explain_non_empty(self, duckdb_backend):
+        query = SelectQuery(
+            "tweets",
+            (RangePredicate("created_at", 0.0, 100_000.0),),
+            output=("id",),
+        )
+        assert duckdb_backend.explain(query)
+
+    def test_profile_wiring(self, duckdb_backend):
+        assert duckdb_backend.profile is duckdb_profile()
+        assert duckdb_backend.name == "duckdb"
+        # No hints honored -> the backend creates no hintable indexes.
+        assert duckdb_backend.catalog.indexes == set()

@@ -1,0 +1,136 @@
+"""BackendMalivaService: real-engine execute stage behind the service seam.
+
+Acceptance pin (ISSUE): a full taxi dashboard session served through
+``--backend sqlite`` answers every widget with rows/bins *identical* to
+the in-memory engine on the deterministic profile — cold and warm — while
+``execution_ms`` carries measured wall clock instead of virtual cost-model
+milliseconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import SqliteBackend, backend_profile
+from repro.cli import _taxi_dashboard_stream
+from repro.core.options import RewriteOptionSpace
+from repro.datasets import TRIP_FILTER_ATTRIBUTES, TaxiConfig, build_taxi_database
+from repro.errors import QueryError
+from repro.serving import BackendMalivaService, MalivaService
+from repro.viz import TAXI_TRANSLATOR, TWITTER_TRANSLATOR
+from repro.workloads import TaxiWorkloadGenerator
+
+from ..conftest import build_trained_maliva
+
+
+def assert_same_answers(memory_outcomes, backend_outcomes):
+    assert len(memory_outcomes) == len(backend_outcomes)
+    for expected, actual in zip(memory_outcomes, backend_outcomes):
+        assert actual.option_label == expected.option_label
+        assert actual.rewritten == expected.rewritten
+        if expected.result.bins is not None:
+            assert actual.result.bins == expected.result.bins
+        else:
+            assert np.array_equal(expected.result.row_ids, actual.result.row_ids)
+
+
+@pytest.fixture(scope="module")
+def backend_pair(request):
+    """One trained middleware behind two services: memory and sqlite."""
+    serving_maliva = request.getfixturevalue("serving_maliva")
+    backend = SqliteBackend()
+    backend.ingest(serving_maliva.database)
+    memory = MalivaService(serving_maliva, translator=TWITTER_TRANSLATOR)
+    real = BackendMalivaService(
+        serving_maliva, backend, translator=TWITTER_TRANSLATOR
+    )
+    yield memory, real
+    memory.close()
+    real.close()  # owns the backend
+
+
+class TestStreamEquivalence:
+    def test_same_rows_and_bins_as_memory(self, backend_pair, make_workload):
+        memory, real = backend_pair
+        stream = make_workload(11, 24)
+        assert_same_answers(memory.answer_many(stream), real.answer_many(stream))
+
+    def test_wall_clock_timing(self, backend_pair, make_workload):
+        _, real = backend_pair
+        outcome = real.answer_many(make_workload(5, 1))[0]
+        # Virtual costs on this workload sit in the tens of ms; a local
+        # sqlite probe over 6k rows measures well under that.
+        assert 0.0 <= outcome.execution_ms < 1_000.0
+        assert outcome.result.base_ms == outcome.execution_ms
+
+    def test_report_backend_section(self, backend_pair, make_workload):
+        _, real = backend_pair
+        real.answer_many(make_workload(7, 4))
+        section = real.report()["backend"]
+        assert section["name"] == "sqlite"
+        assert section["profile"].startswith("SQLite Backend Profile")
+        assert section["n_queries"] >= 4
+        assert section["wall_ms_total"] > 0.0
+
+    def test_quality_fn_rejected(self, serving_maliva):
+        backend = SqliteBackend()
+        with pytest.raises(QueryError, match="quality"):
+            BackendMalivaService(
+                serving_maliva, backend, quality_fn=lambda *a: 1.0
+            )
+        backend.close()
+
+
+class TestTaxiDashboardAcceptance:
+    """The end-to-end pin behind ``maliva serve --backend sqlite``."""
+
+    @pytest.fixture(scope="class")
+    def taxi_maliva(self):
+        profile = backend_profile("sqlite")
+        database = build_taxi_database(
+            TaxiConfig(n_trips=4_000, seed=11), profile=profile.sim_profile()
+        )
+        space = profile.prune_space(
+            RewriteOptionSpace.hint_subsets(TRIP_FILTER_ATTRIBUTES),
+            database.table("trips").schema,
+        )
+        queries = TaxiWorkloadGenerator(database, seed=3).generate(20)
+        return build_trained_maliva(
+            database,
+            space,
+            queries,
+            qte="accurate",
+            tau_ms=500.0,
+            max_epochs=4,
+            n_train=15,
+        )
+
+    def test_full_dashboard_session_cold_and_warm(self, taxi_maliva):
+        # Two sessions x 8 steps: the 4 ops-dashboard widgets, each hit
+        # cold and then refreshed warm (widgets cycle modulo 4).
+        stream = _taxi_dashboard_stream(2, 8)
+        assert len(stream) == 16
+        backend = SqliteBackend()
+        backend.ingest(taxi_maliva.database)
+        with (
+            MalivaService(taxi_maliva, translator=TAXI_TRANSLATOR) as memory,
+            BackendMalivaService(
+                taxi_maliva, backend, translator=TAXI_TRANSLATOR
+            ) as real,
+        ):
+            memory_outcomes = memory.answer_many(stream)
+            backend_outcomes = real.answer_many(stream)
+            assert_same_answers(memory_outcomes, backend_outcomes)
+            # Every widget produced an actual answer (bins for heatmaps,
+            # rows for scatters) and the heatmaps are non-trivial.
+            kinds = {o.result.kind for o in backend_outcomes}
+            assert kinds == {"rows", "bins"}
+            assert any(
+                o.result.bins for o in backend_outcomes if o.result.bins is not None
+            )
+            # The action space the planner used is the pruned one.
+            labels = {o.option_label for o in backend_outcomes}
+            honorable = {
+                option.label() for option in taxi_maliva.space.options
+            }
+            assert labels <= honorable
+            assert len(taxi_maliva.space) == 3  # pinned in test_profiles too
